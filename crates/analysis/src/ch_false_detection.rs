@@ -1,0 +1,133 @@
+//! `P(False detection on CH)` — the accuracy measure of **Figure 6**.
+//!
+//! The paper omits this measure's formulation for space; we re-derive
+//! it from the CH-failure rule of Section 4.2. The DCH wrongly judges
+//! an operational clusterhead failed iff **all** of:
+//!
+//! 1. the CH's heartbeat is lost to the DCH (`fds.R-1`): `p`;
+//! 2. the CH's digest is lost to the DCH (`fds.R-2`): `p`;
+//! 3. the CH's health update is lost to the DCH (`fds.R-3`): `p`;
+//! 4. no digest the DCH receives reflects the CH's heartbeat. The CH
+//!    reaches **every** member by construction (the cluster is the
+//!    CH's unit disk), so each of the `N−2` other members hears the
+//!    heartbeat with probability `1−p` and its digest reaches the DCH
+//!    with probability `1−p`; per-member failure is `1−(1−p)² =
+//!    p(2−p)`.
+//!
+//! Hence `P(FD on CH) = p³ · (p(2−p))^{N−2}` when the DCH hears all
+//! members, and the `d`-offset variant discounts members outside the
+//! DCH's range by the lens fraction `An(d)/Au`.
+//!
+//! The extra `p` (condition 3) and the *full-cluster* audience of the
+//! CH's heartbeat are exactly why the curves of Figure 6 sit far below
+//! those of Figure 5 — the paper calls this out as "indeed reasonable
+//! results".
+
+use crate::geometry::an_fraction;
+
+/// `p³ (p(2−p))^{N−2}`: the DCH hears every member (it is near the
+/// centre of a dense cluster).
+///
+/// ```
+/// # use cbfd_analysis::ch_false_detection::probability;
+/// // The paper: "still below 10⁻⁶ even when N drops to 50" at p = 0.5.
+/// assert!(probability(50, 0.5) < 1e-6);
+/// ```
+pub fn probability(n: u64, p: f64) -> f64 {
+    assert!(n >= 2, "a cluster needs the CH and the DCH");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let per_member_silence = p * (2.0 - p);
+    p.powi(3) * per_member_silence.powi((n - 2) as i32)
+}
+
+/// Range-limited variant: the DCH sits at normalized distance
+/// `d_over_r ∈ [0, 1]` from the clusterhead, so a uniformly placed
+/// member relays evidence only if it also lies within the DCH's range
+/// (probability `An(d)/Au`). Per-member failure becomes
+/// `1 − (An/Au)(1−p)²`.
+///
+/// At `d = 0` this degenerates to [`probability`].
+pub fn probability_at_distance(n: u64, p: f64, d_over_r: f64) -> f64 {
+    assert!(n >= 2, "a cluster needs the CH and the DCH");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let reach = an_fraction(d_over_r);
+    let per_member_silence = 1.0 - reach * (1.0 - p) * (1.0 - p);
+    p.powi(3) * per_member_silence.powi((n - 2) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::false_detection;
+
+    #[test]
+    fn figure6_magnitudes() {
+        // "Practically negligible or extremely low when p is below
+        // 0.25":
+        assert!(probability(50, 0.25) < 1e-15);
+        assert!(probability(100, 0.25) < 1e-30);
+        // "Still very low for N = 100 and N = 75" at p = 0.5:
+        assert!(probability(100, 0.5) < 1e-10);
+        assert!(probability(75, 0.5) < 1e-8);
+        // "Below 10⁻⁶ even when N drops to 50":
+        assert!(probability(50, 0.5) < 1e-6);
+        // The y-axis of Figure 6 reaches 1e-120; small p, large N gets
+        // there.
+        assert!(probability(100, 0.05) < 1e-95);
+    }
+
+    #[test]
+    fn dch_is_less_error_prone_than_ch() {
+        // The paper's comparison of Figures 5 and 6: the DCH's
+        // judgement of the CH is *more* reliable than the CH's
+        // judgement of a circumference member, because everyone hears
+        // the CH.
+        for &n in &[50u64, 75, 100] {
+            for i in 1..=10 {
+                let p = i as f64 * 0.05;
+                assert!(
+                    probability(n, p) < false_detection::worst_case(n, p),
+                    "n={n} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_p_and_density() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            let v = probability(75, p);
+            assert!(v > prev);
+            prev = v;
+            assert!(probability(100, p) < probability(50, p));
+        }
+    }
+
+    #[test]
+    fn distance_zero_matches_base_formula() {
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            let a = probability(75, p);
+            let b = probability_at_distance(75, p, 0.0);
+            assert!((a - b).abs() / a.max(f64::MIN_POSITIVE) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn displaced_dch_is_more_error_prone() {
+        // Members beyond the DCH's reach cannot relay evidence, so a
+        // displaced DCH misjudges more often.
+        for i in 1..=9 {
+            let p = i as f64 * 0.05;
+            assert!(probability_at_distance(75, p, 0.8) > probability_at_distance(75, p, 0.2));
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(probability(50, 0.0), 0.0);
+        assert!((probability(50, 1.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Conflicting failure reports (Section 4.2).
+//!
+//! The paper's worst failure mode: a deputy wrongly judges an
+//! operational clusterhead failed, so "the CH and DCH [may] generate
+//! two conflicting failure reports and broadcast them simultaneously …
+//! the GWs may not notice the discrepancy and thus may forward the
+//! conflicting reports to neighbouring clusters, resulting in
+//! inconsistent views on failures. Nonetheless, due to the
+//! exploitation of time, spatial, and message redundancies, the
+//! likelihood of such a scenario will be extremely low."
+//!
+//! This module quantifies that claim: a *propagated conflict* needs
+//! the deputy's false judgement (the Figure 6 measure) **and** at
+//! least one gateway to receive the takeover update and forward it
+//! outward before the discrepancy is noticed.
+
+use crate::ch_false_detection;
+
+/// Probability that, in one FDS execution, the deputy wrongly declares
+/// the head failed **and** at least one of the cluster's `gateways`
+/// receives the conflicting takeover update (and would therefore
+/// forward it).
+///
+/// ```
+/// # use cbfd_analysis::conflict::propagated_conflict;
+/// // The paper's "extremely low" claim at its harshest plotted point:
+/// let p = propagated_conflict(50, 0.5, 3);
+/// assert!(p < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the parameters are out of range (see
+/// [`ch_false_detection::probability`]).
+pub fn propagated_conflict(n: u64, p: f64, gateways: u32) -> f64 {
+    let false_takeover = ch_false_detection::probability(n, p);
+    // At least one gateway hears the deputy's broadcast.
+    let some_gateway_hears = 1.0 - p.powi(gateways as i32);
+    false_takeover * some_gateway_hears
+}
+
+/// Expected number of propagated conflicts over a deployment lifetime:
+/// `clusters × executions × propagated_conflict`. The operations-team
+/// figure ("will we ever see an inconsistent view?").
+pub fn expected_conflicts(n: u64, p: f64, gateways: u32, clusters: u64, executions: u64) -> f64 {
+    propagated_conflict(n, p, gateways) * clusters as f64 * executions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremely_low_at_paper_parameters() {
+        // Even at the harsh corner (N = 50, p = 0.5, 3 gateways) a
+        // propagated conflict is a once-in-ten-million-executions
+        // event; at the benign end it is astronomically rare.
+        assert!(propagated_conflict(50, 0.5, 3) < 1e-6);
+        assert!(propagated_conflict(100, 0.25, 3) < 1e-30);
+    }
+
+    #[test]
+    fn lifetime_expectation_stays_negligible() {
+        // A 1000-cluster system running every second for a year:
+        // ~3.2e10 cluster-executions.
+        let per_exec = expected_conflicts(75, 0.3, 3, 1_000, 31_536_000);
+        assert!(
+            per_exec < 1e-3,
+            "a year of operation should expect zero conflicts: {per_exec}"
+        );
+    }
+
+    #[test]
+    fn more_gateways_propagate_more_but_bounded_by_fig6() {
+        let base = ch_false_detection::probability(50, 0.5);
+        let one = propagated_conflict(50, 0.5, 1);
+        let four = propagated_conflict(50, 0.5, 4);
+        assert!(one < four);
+        assert!(four <= base);
+    }
+
+    #[test]
+    fn no_gateways_no_propagation() {
+        assert_eq!(propagated_conflict(50, 0.5, 0), 0.0);
+    }
+}

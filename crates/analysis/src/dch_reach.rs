@@ -1,0 +1,109 @@
+//! DCH reachability — the model-based analysis the paper *describes*
+//! but omits "due to space limitations" (Section 4.2, Figure 2(a)).
+//!
+//! After a deputy at distance `d` from the failed clusterhead takes
+//! over, members in the crescent `Av` are outside the deputy's range.
+//! The digest round still lets the deputy learn such a member `v` is
+//! alive, through any relay `v'` in the region `Ag` covered by both
+//! `v` and the deputy: the relay must overhear `v`'s heartbeat
+//! (`1−p`) and its digest must reach the deputy (`1−p`).
+//!
+//! The paper's summarized finding — "unless the node population
+//! density is low and the DCH's distance from the original CH is big,
+//! with high probability a DCH will be able to hear from an
+//! out-of-range cluster member" — is reproduced by
+//! [`miss_probability`], and validated geometrically by the Monte
+//! Carlo estimator in [`montecarlo`](crate::montecarlo).
+
+use crate::geometry::ag_fraction;
+
+/// Probability that the deputy obtains **no** evidence of an
+/// out-of-range member `v` through the digest round.
+///
+/// `n` is the cluster population, `p` the loss probability, `d_dch`
+/// the deputy's normalized distance from the old centre, and `d_v`
+/// the member's normalized distance (the worst case is `d_v = 1`,
+/// i.e. on the circumference opposite the deputy).
+///
+/// Each of the other `N−3` members lies in the relay region with
+/// probability `Ag/Au` and relays successfully with probability
+/// `(1−p)²`, so
+///
+/// ```text
+/// P(miss) = (1 − (Ag/Au)(1−p)²)^{N−3}.
+/// ```
+///
+/// ```
+/// # use cbfd_analysis::dch_reach::miss_probability;
+/// // Dense cluster, deputy near the centre: reachability is certain.
+/// assert!(miss_probability(100, 0.1, 0.2, 1.0) < 1e-10);
+/// ```
+pub fn miss_probability(n: u64, p: f64, d_dch: f64, d_v: f64) -> f64 {
+    assert!(n >= 3, "needs the CH, the DCH, and the member");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let relay_region = ag_fraction(d_dch, d_v);
+    let per_member_relay = relay_region * (1.0 - p) * (1.0 - p);
+    (1.0 - per_member_relay).powi((n - 3) as i32)
+}
+
+/// Convenience: worst-case member (`d_v = 1`).
+pub fn worst_case_miss(n: u64, p: f64, d_dch: f64) -> f64 {
+    miss_probability(n, p, d_dch, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_clusters_reach_everyone() {
+        // The paper's claim: high probability of reachability unless
+        // density is low AND the displacement is big.
+        assert!(worst_case_miss(100, 0.2, 0.3) < 1e-6);
+        assert!(worst_case_miss(75, 0.2, 0.3) < 1e-4);
+    }
+
+    #[test]
+    fn sparse_and_displaced_is_the_bad_corner() {
+        let bad = worst_case_miss(50, 0.5, 0.9);
+        let good = worst_case_miss(100, 0.05, 0.1);
+        assert!(bad > 1e-3, "sparse+displaced should be risky: {bad}");
+        assert!(good < 1e-10);
+    }
+
+    #[test]
+    fn miss_grows_with_displacement() {
+        let mut prev = 0.0;
+        for i in 0..=9 {
+            let d = i as f64 / 10.0;
+            let v = worst_case_miss(75, 0.2, d);
+            assert!(v >= prev, "displacement {d}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn miss_grows_with_loss() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            let v = worst_case_miss(75, p, 0.5);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fully_separated_regions_never_relay() {
+        // d_dch = 1 and d_v = 1 on opposite sides: Ag = 0, miss is
+        // certain regardless of density.
+        assert_eq!(worst_case_miss(100, 0.05, 1.0), 1.0);
+    }
+
+    #[test]
+    fn colocated_deputy_reaches_directly_modelled_region() {
+        // d_dch = 0 reduces to the member's own An lens relaying.
+        let v = miss_probability(100, 0.1, 0.0, 0.5);
+        assert!(v < 1e-20);
+    }
+}

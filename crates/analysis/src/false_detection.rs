@@ -1,0 +1,207 @@
+//! `P̂(False detection)` — the accuracy measure of **Figure 5**.
+//!
+//! An operational member `v` is falsely detected iff
+//!
+//! * **C1** — the CH receives neither `v`'s heartbeat (`fds.R-1`) nor
+//!   `v`'s digest (`fds.R-2`): probability `p²`; and
+//! * **C2** — no digest the CH receives reflects `v`'s heartbeat:
+//!   a neighbour helps only if it overheard the heartbeat (`1−p`) and
+//!   its digest reached the CH (`1−p`), so each of `v`'s `k`
+//!   in-cluster neighbours independently *fails* to help with
+//!   probability `1−(1−p)² = p(2−p)`.
+//!
+//! With `k ~ Binomial(N−2, An/Au)` (hosts uniform over the cluster
+//! disk) the paper's double sum is
+//!
+//! ```text
+//! P̂ = p² Σₖ C(N−2,k)(An/Au)ᵏ(1−An/Au)^{N−2−k} Σⱼ C(k,j)((1−p)p)ʲ p^{k−j}
+//! ```
+//!
+//! whose inner sum telescopes to `(p(2−p))ᵏ`, giving the closed form
+//!
+//! ```text
+//! P̂ = p² (1 − (An/Au)(1−p)²)^{N−2}.
+//! ```
+//!
+//! Both forms are implemented; a property test pins their equality.
+
+use crate::geometry::worst_case_an_fraction;
+use crate::numerics::binomial_pmf;
+
+/// The paper's printed double sum, evaluated term by term.
+///
+/// `n` is the cluster population (the paper's `N ∈ {50, 75, 100}`),
+/// `p` the message-loss probability, `an_fraction` the neighbourhood
+/// fraction `An/Au` (use
+/// [`worst_case_an_fraction`] for the circumference-node upper
+/// bound).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the probabilities are out of range.
+pub fn paper_sum(n: u64, p: f64, an_fraction: f64) -> f64 {
+    assert!(n >= 2, "a cluster needs the CH and the judged member");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&an_fraction),
+        "An/Au must be a fraction"
+    );
+    let m = n - 2;
+    let mut total = 0.0;
+    for k in 0..=m {
+        let weight = binomial_pmf(m, an_fraction, k);
+        // Inner sum: Σ_j C(k,j) ((1−p)p)^j p^{k−j}; j = 0 is the
+        // "nobody overheard" term, j > 0 the "overheard but digests
+        // lost" terms.
+        let mut inner = 0.0;
+        for j in 0..=k {
+            inner += (crate::numerics::ln_choose(k, j)
+                + j as f64 * ((1.0 - p) * p).max(f64::MIN_POSITIVE).ln()
+                + (k - j) as f64 * p.max(f64::MIN_POSITIVE).ln())
+            .exp();
+        }
+        if p == 0.0 {
+            inner = if k == 0 { 1.0 } else { 0.0 };
+        }
+        total += weight * inner;
+    }
+    p * p * total
+}
+
+/// The telescoped closed form `p²(1 − (An/Au)(1−p)²)^{N−2}`.
+///
+/// ```
+/// # use cbfd_analysis::false_detection::{closed_form, worst_case};
+/// // Densely populated cluster at heavy loss: still small.
+/// let p_fd = worst_case(100, 0.5);
+/// assert!(p_fd < 1e-4);
+/// assert!((p_fd - closed_form(100, 0.5, 0.391_002_218_96)).abs() < 1e-12);
+/// ```
+pub fn closed_form(n: u64, p: f64, an_fraction: f64) -> f64 {
+    assert!(n >= 2, "a cluster needs the CH and the judged member");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&an_fraction),
+        "An/Au must be a fraction"
+    );
+    let q = 1.0 - an_fraction * (1.0 - p) * (1.0 - p);
+    p * p * q.powi((n - 2) as i32)
+}
+
+/// The worst-case measure plotted in Figure 5: the judged member on
+/// the cluster circumference.
+pub fn worst_case(n: u64, p: f64) -> f64 {
+    closed_form(n, p, worst_case_an_fraction())
+}
+
+/// The *average-case* measure over a uniformly placed member: the
+/// position-marginalized `∫₀¹ 2t · P̂(n, p, An(t)/Au) dt` (density
+/// `2t` because area grows with the radius). This is what a
+/// protocol-level simulation with uniformly placed members should
+/// converge to, whereas [`worst_case`] upper-bounds it.
+pub fn average_case(n: u64, p: f64) -> f64 {
+    crate::numerics::integrate(
+        |t| 2.0 * t * closed_form(n, p, crate::geometry::an_fraction(t)),
+        0.0,
+        1.0,
+        1e-12,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_closed_form_agree() {
+        for &n in &[50u64, 75, 100] {
+            for i in 1..=10 {
+                let p = i as f64 * 0.05;
+                let a = paper_sum(n, p, worst_case_an_fraction());
+                let b = worst_case(n, p);
+                let rel = (a - b).abs() / b.max(f64::MIN_POSITIVE);
+                assert!(rel < 1e-9, "n={n} p={p}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            let v = worst_case(75, p);
+            assert!(v > prev, "P̂ must grow with loss probability");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn denser_clusters_are_more_accurate() {
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            assert!(worst_case(100, p) < worst_case(75, p));
+            assert!(worst_case(75, p) < worst_case(50, p));
+        }
+    }
+
+    #[test]
+    fn figure5_magnitudes() {
+        // The figure's qualitative claims: at p = 0.5, N = 100 and 75
+        // are "very small"; N = 50 is still "very reasonable"; at
+        // p = 0.05 everything is tiny (the y-axis reaches 1e-25).
+        assert!(worst_case(100, 0.5) < 1e-4);
+        assert!(worst_case(75, 0.5) < 1e-3);
+        assert!(worst_case(50, 0.5) < 1e-2);
+        assert!(worst_case(100, 0.05) < 1e-18);
+        assert!(worst_case(50, 0.05) > 1e-14 && worst_case(50, 0.05) < 1e-9);
+    }
+
+    #[test]
+    fn perfect_channel_never_falsely_detects() {
+        assert_eq!(worst_case(50, 0.0), 0.0);
+    }
+
+    #[test]
+    fn certain_loss_always_falsely_detects() {
+        // p = 1: everything is lost, C1 and C2 are certain.
+        assert!((worst_case(50, 1.0) - 1.0).abs() < 1e-12);
+        assert!((paper_sum(50, 1.0, worst_case_an_fraction()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn central_member_is_best_case() {
+        // An/Au = 1 (member at the centre): maximal redundancy.
+        for i in 1..=9 {
+            let p = i as f64 * 0.05;
+            assert!(closed_form(75, p, 1.0) < worst_case(75, p));
+        }
+    }
+
+    #[test]
+    fn two_node_cluster_degenerates_to_p_squared() {
+        // N = 2: no helpers at all, the measure is exactly p².
+        let p = 0.3;
+        assert!((closed_form(2, p, 0.391) - p * p).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster needs")]
+    fn tiny_cluster_rejected() {
+        let _ = closed_form(1, 0.1, 0.391);
+    }
+}
+
+#[cfg(test)]
+mod average_case_tests {
+    use super::*;
+
+    #[test]
+    fn average_sits_between_center_and_rim() {
+        for &(n, p) in &[(50u64, 0.5), (100, 0.3)] {
+            let avg = average_case(n, p);
+            assert!(avg < worst_case(n, p), "n={n} p={p}");
+            assert!(avg > closed_form(n, p, 1.0), "n={n} p={p}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The cluster-disk geometry of the paper's analysis (Figure 4).
+//!
+//! A cluster is a unit disk of radius `R` (the transmission range)
+//! centred on the clusterhead. A member `v` at distance `d` from the
+//! centre covers the overlap `An` between its own range disk and the
+//! cluster disk; the analysis needs the fraction `An / Au` (with
+//! `Au = πR²`), which depends only on `d/R`.
+//!
+//! This module is self-contained (pure math, no dependency on the
+//! simulator); the integration tests cross-check it against
+//! `cbfd_net::geometry`.
+
+use std::f64::consts::PI;
+
+/// Area of the intersection of two disks of equal radius `r` whose
+/// centres are `d` apart.
+pub fn lens_area(r: f64, d: f64) -> f64 {
+    assert!(r > 0.0, "radius must be positive");
+    assert!(d >= 0.0, "distance must be non-negative");
+    if d >= 2.0 * r {
+        return 0.0;
+    }
+    if d == 0.0 {
+        return PI * r * r;
+    }
+    2.0 * r * r * (d / (2.0 * r)).acos() - (d / 2.0) * (4.0 * r * r - d * d).sqrt()
+}
+
+/// `An / Au` for a member at normalized distance `t = d/R` from the
+/// clusterhead: the fraction of the cluster a member's radio covers.
+///
+/// ```
+/// # use cbfd_analysis::geometry::an_fraction;
+/// assert!((an_fraction(0.0) - 1.0).abs() < 1e-12);
+/// assert!((an_fraction(1.0) - 0.391).abs() < 1e-3);
+/// ```
+pub fn an_fraction(t: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&t), "members lie inside the cluster");
+    lens_area(1.0, t) / PI
+}
+
+/// The worst-case `An / Au`: a member on the cluster circumference
+/// (`d = R`), the case the paper's upper bounds use. Equals
+/// `(2π/3 − √3/2) / π ≈ 0.3910`.
+pub fn worst_case_an_fraction() -> f64 {
+    (2.0 * PI / 3.0 - 3f64.sqrt() / 2.0) / PI
+}
+
+/// The overlap fraction `Ag / Au` available for DCH-reachability
+/// relays (Figure 2(a)): the region covered by **both** a deputy at
+/// distance `d_dch` from the centre and a member at distance `d_v`,
+/// with the two on opposite sides of the clusterhead (the worst
+/// case). Computed as the lens of the two R-disks whose centres are
+/// `d_dch + d_v` apart, clipped conservatively to the cluster area.
+pub fn ag_fraction(d_dch: f64, d_v: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&d_dch), "DCH lies inside the cluster");
+    assert!((0.0..=1.0).contains(&d_v), "member lies inside the cluster");
+    let lens = lens_area(1.0, d_dch + d_v);
+    (lens / PI).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_fraction_limits() {
+        assert!((an_fraction(0.0) - 1.0).abs() < 1e-12);
+        let expected = (2.0 * PI / 3.0 - 3f64.sqrt() / 2.0) / PI;
+        assert!((an_fraction(1.0) - expected).abs() < 1e-12);
+        assert!((worst_case_an_fraction() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn an_fraction_is_monotone_decreasing() {
+        let mut prev = an_fraction(0.0);
+        for i in 1..=10 {
+            let f = an_fraction(i as f64 / 10.0);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn worst_case_value_matches_paper_figure() {
+        // ≈ 0.39100 (reported implicitly through the curves).
+        assert!((worst_case_an_fraction() - 0.391_002_218_96).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ag_fraction_shrinks_with_separation() {
+        // With both nodes at the centre the relay region is the whole
+        // cluster; as they separate it shrinks to nothing at total
+        // separation 2R.
+        assert!((ag_fraction(0.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!(ag_fraction(0.5, 0.5) < ag_fraction(0.25, 0.25));
+        assert_eq!(ag_fraction(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lens_area_degenerate_cases() {
+        assert_eq!(lens_area(1.0, 2.0), 0.0);
+        assert!((lens_area(1.0, 0.0) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "members lie inside the cluster")]
+    fn an_fraction_rejects_outside() {
+        let _ = an_fraction(1.5);
+    }
+}

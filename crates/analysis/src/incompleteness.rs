@@ -1,0 +1,168 @@
+//! `P̂(Incompleteness)` — the completeness measure of **Figure 7**.
+//!
+//! The paper omits the formulation for space; we re-derive it from the
+//! intra-cluster completeness enhancement of Section 4.2. A member `v`
+//! fails to learn a health update iff:
+//!
+//! 1. the CH's `fds.R-3` broadcast is lost to `v`: probability `p`;
+//! 2. progressive peer forwarding fails. Each of `v`'s `k` in-cluster
+//!    neighbours can recover the update for `v` only if it (a) itself
+//!    received the update (`1−p`), (b) heard `v`'s forwarding request
+//!    (`1−p`), and (c) its forwarded copy reached `v` (`1−p`) — so a
+//!    neighbour fails with probability `1−(1−p)³`. The quit-on-ack
+//!    back-off scheme gives every holder its own slot, so recovery
+//!    fails only if **all** `k` neighbours fail.
+//!
+//! With `k ~ Binomial(N−2, An/Au)` (the worst case puts `v` on the
+//! circumference, as in Figure 4(b)) and the binomial sum telescoping:
+//!
+//! ```text
+//! P̂(Inc) = p · (1 − (An/Au)(1−p)³)^{N−2}.
+//! ```
+
+use crate::geometry::worst_case_an_fraction;
+use crate::numerics::binomial_pmf;
+
+/// The explicit binomial sum over the neighbour count `k`.
+pub fn binomial_sum(n: u64, p: f64, an_fraction: f64) -> f64 {
+    assert!(n >= 2, "a cluster needs the CH and the member");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&an_fraction),
+        "An/Au must be a fraction"
+    );
+    let m = n - 2;
+    let neighbor_fails = 1.0 - (1.0 - p).powi(3);
+    let total: f64 = (0..=m)
+        .map(|k| binomial_pmf(m, an_fraction, k) * neighbor_fails.powi(k as i32))
+        .sum();
+    p * total
+}
+
+/// The telescoped closed form `p(1 − (An/Au)(1−p)³)^{N−2}`.
+pub fn closed_form(n: u64, p: f64, an_fraction: f64) -> f64 {
+    assert!(n >= 2, "a cluster needs the CH and the member");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&an_fraction),
+        "An/Au must be a fraction"
+    );
+    let q = 1.0 - an_fraction * (1.0 - p).powi(3);
+    p * q.powi((n - 2) as i32)
+}
+
+/// The worst-case measure plotted in Figure 7: the recovering member
+/// on the cluster circumference.
+///
+/// ```
+/// # use cbfd_analysis::incompleteness::worst_case;
+/// // Figure 7's range: noticeable at p = 0.5 for sparse clusters...
+/// assert!(worst_case(50, 0.5) > 1e-3);
+/// // ...vanishing (≈2e-19) at p = 0.05 for dense ones.
+/// assert!(worst_case(100, 0.05) < 1e-15);
+/// ```
+pub fn worst_case(n: u64, p: f64) -> f64 {
+    closed_form(n, p, worst_case_an_fraction())
+}
+
+/// The *average-case* measure over a uniformly placed member (see
+/// [`false_detection::average_case`](crate::false_detection::average_case)
+/// for the marginalization); protocol-level simulations with uniform
+/// members converge to this, below the [`worst_case`] bound.
+pub fn average_case(n: u64, p: f64) -> f64 {
+    crate::numerics::integrate(
+        |t| 2.0 * t * closed_form(n, p, crate::geometry::an_fraction(t)),
+        0.0,
+        1.0,
+        1e-12,
+    )
+}
+
+/// The ablation counterpart: completeness *without* peer forwarding is
+/// simply the probability of losing the CH broadcast, `p`,
+/// independent of density.
+pub fn without_peer_forwarding(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_closed_form_agree() {
+        for &n in &[50u64, 75, 100] {
+            for i in 1..=10 {
+                let p = i as f64 * 0.05;
+                let a = binomial_sum(n, p, worst_case_an_fraction());
+                let b = worst_case(n, p);
+                let rel = (a - b).abs() / b.max(f64::MIN_POSITIVE);
+                assert!(rel < 1e-9, "n={n} p={p}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_magnitudes_and_ordering() {
+        // N = 50 is the top curve, N = 100 the bottom one.
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            assert!(worst_case(50, p) > worst_case(75, p));
+            assert!(worst_case(75, p) > worst_case(100, p));
+        }
+        // The y-axis spans many decades: ≈2e-19 at the benign corner,
+        // a few percent at the harsh one.
+        assert!(worst_case(100, 0.05) < 1e-15);
+        assert!(worst_case(50, 0.5) < 0.1);
+    }
+
+    #[test]
+    fn larger_n_is_more_p_sensitive() {
+        // The paper: "P̂(Incompleteness) becomes more sensitive to p
+        // when N becomes larger" — the log-slope over the p range is
+        // steeper for N = 100 than for N = 50.
+        let slope = |n: u64| worst_case(n, 0.5).ln() - worst_case(n, 0.05).ln();
+        assert!(slope(100) > slope(50));
+    }
+
+    #[test]
+    fn peer_forwarding_wins_the_ablation() {
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            assert!(worst_case(50, p) < without_peer_forwarding(p));
+        }
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let p = i as f64 * 0.05;
+            let v = worst_case(75, p);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(worst_case(50, 0.0), 0.0);
+        assert!((worst_case(50, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(without_peer_forwarding(0.25), 0.25);
+    }
+}
+
+#[cfg(test)]
+mod average_case_tests {
+    use super::*;
+
+    #[test]
+    fn average_sits_between_center_and_rim() {
+        for &(n, p) in &[(50u64, 0.5), (100, 0.3)] {
+            let avg = average_case(n, p);
+            assert!(avg < worst_case(n, p), "n={n} p={p}");
+            assert!(avg > closed_form(n, p, 1.0), "n={n} p={p}");
+        }
+    }
+}

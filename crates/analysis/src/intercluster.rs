@@ -1,0 +1,122 @@
+//! Across-cluster forwarding reliability (Section 4.3) — experiment
+//! E5 of `DESIGN.md`.
+//!
+//! The paper's mechanism gives one failure report `1 + n` candidate
+//! forwarders between two neighbouring clusters (the primary gateway
+//! plus `n` ranked backup gateways) and two layers of implicit
+//! acknowledgment:
+//!
+//! * the sending clusterhead retransmits its update if it does not
+//!   overhear a forward within `2·Thop`;
+//! * each forwarder re-forwards if it does not hear the receiving
+//!   clusterhead's re-broadcast within `(n+1)·2·Thop`.
+//!
+//! [`failure_probability`] models one *cycle* of the scheme: the
+//! update broadcast reaches each forwarder independently (`1−p`), and
+//! each forwarder holding the update gets `attempts` transmissions
+//! toward the receiving head, each succeeding with probability `1−p`.
+//! With `r` head-retransmission rounds the cycles repeat with fresh
+//! randomness, so the overall failure probability is the single-cycle
+//! value raised to `r + 1`. The protocol-level simulation in the
+//! bench harness validates the model.
+
+/// Probability that one forwarding cycle fails to deliver the report:
+/// every forwarder either missed the update or lost all its
+/// `attempts` transmissions.
+///
+/// ```
+/// # use cbfd_analysis::intercluster::cycle_failure;
+/// // A single gateway with one attempt fails iff it misses the update
+/// // or its one forward is lost: 1 − (1−p)².
+/// let p = 0.3;
+/// assert!((cycle_failure(p, 0, 1) - (1.0 - 0.7 * 0.7)).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `attempts` is zero or `p` is out of range.
+pub fn cycle_failure(p: f64, backups: u32, attempts: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(attempts > 0, "each forwarder needs at least one attempt");
+    let deliver_given_received = 1.0 - p.powi(attempts as i32);
+    let per_forwarder_failure = 1.0 - (1.0 - p) * deliver_given_received;
+    per_forwarder_failure.powi(backups as i32 + 1)
+}
+
+/// Probability that a report never crosses the link despite `retx`
+/// clusterhead retransmission rounds (each round is an independent
+/// cycle).
+pub fn failure_probability(p: f64, backups: u32, attempts: u32, retx: u32) -> f64 {
+    cycle_failure(p, backups, attempts).powi(retx as i32 + 1)
+}
+
+/// Expected number of report transmissions spent in one cycle (cost
+/// side of the trade-off): each of the `1 + n` forwarders transmits
+/// only if it received the update, and stops after its first success.
+pub fn expected_report_transmissions(p: f64, backups: u32, attempts: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(attempts > 0, "each forwarder needs at least one attempt");
+    // A forwarder that received the update transmits T times where T
+    // is min(geometric(1-p), attempts):
+    // E[T] = Σ_{t=1..attempts} p^{t-1}.
+    let e_tries: f64 = (0..attempts).map(|t| p.powi(t as i32)).sum();
+    (1.0 - p) * e_tries * (f64::from(backups) + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backups_improve_reliability() {
+        let p = 0.3;
+        let mut prev = 1.0;
+        for n in 0..5 {
+            let f = cycle_failure(p, n, 1);
+            assert!(f < prev, "{n} backups");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn attempts_improve_reliability() {
+        let p = 0.3;
+        assert!(cycle_failure(p, 1, 2) < cycle_failure(p, 1, 1));
+        assert!(cycle_failure(p, 1, 3) < cycle_failure(p, 1, 2));
+    }
+
+    #[test]
+    fn retransmission_rounds_compound() {
+        let p = 0.4;
+        let single = cycle_failure(p, 2, 1);
+        assert!((failure_probability(p, 2, 1, 1) - single * single).abs() < 1e-12);
+        assert!((failure_probability(p, 2, 1, 0) - single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_reliability() {
+        // With 3 backups, 2 attempts, and 2 retransmission rounds at
+        // p = 0.5 a report still crosses with overwhelming
+        // probability.
+        let f = failure_probability(0.5, 3, 2, 2);
+        assert!(f < 5e-3, "{f}");
+        // At the benign end the failure probability is negligible.
+        assert!(failure_probability(0.05, 3, 2, 2) < 1e-12);
+    }
+
+    #[test]
+    fn cost_grows_mildly_with_backups() {
+        let p = 0.2;
+        let one = expected_report_transmissions(p, 0, 2);
+        let four = expected_report_transmissions(p, 3, 2);
+        assert!(four > one);
+        assert!(four < 4.0 * one + 1e-12, "linear in forwarders at most");
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(cycle_failure(0.0, 0, 1), 0.0);
+        assert_eq!(cycle_failure(1.0, 5, 3), 1.0);
+        assert_eq!(expected_report_transmissions(1.0, 3, 2), 0.0);
+    }
+}

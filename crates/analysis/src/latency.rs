@@ -1,0 +1,177 @@
+//! Detection and dissemination latency.
+//!
+//! The paper notes that for its applications "completeness and
+//! accuracy of failure detection are more important than time to
+//! failure detection" (Section 2.1) — but an operations team still
+//! wants to know *when* the news arrives. Two components:
+//!
+//! * **detection latency** is structural: a fail-stop node produces no
+//!   evidence, so the rule fires at the first FDS execution after the
+//!   crash — exactly one heartbeat interval in the fault-free-path
+//!   case (tested at the protocol level);
+//! * **dissemination latency** across the backbone is stochastic: per
+//!   heartbeat interval, a report crosses each link with the E5 cycle
+//!   success probability, retrying every interval until it does. The
+//!   time to cross one link is geometric; the time to reach a cluster
+//!   `d` hops away is the sum of `d` independent geometrics (a
+//!   negative binomial), for which this module provides the mean and
+//!   tail.
+
+use crate::intercluster;
+
+/// Per-interval probability that a report crosses one backbone link
+/// (one full E5 cycle per heartbeat interval).
+pub fn link_success_per_interval(p: f64, backups: u32, attempts: u32, retx: u32) -> f64 {
+    1.0 - intercluster::failure_probability(p, backups, attempts, retx)
+}
+
+/// Expected intervals for a report to reach a cluster `hops` links
+/// away: `hops / q` with `q` the per-interval link success (mean of a
+/// negative binomial with `hops` successes).
+///
+/// # Panics
+///
+/// Panics unless `0 < q <= 1`.
+///
+/// ```
+/// # use cbfd_analysis::latency::expected_intervals;
+/// assert_eq!(expected_intervals(3, 1.0), 3.0);
+/// assert!((expected_intervals(3, 0.5) - 6.0).abs() < 1e-12);
+/// ```
+pub fn expected_intervals(hops: u32, q: f64) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+    f64::from(hops) / q
+}
+
+/// Probability that a report has reached a cluster `hops` links away
+/// within `intervals` heartbeat intervals: the negative-binomial CDF
+/// `P[NB(hops, q) <= intervals]`, evaluated by summing the PMF.
+///
+/// ```
+/// # use cbfd_analysis::latency::within;
+/// // One perfectly reliable hop arrives in exactly one interval.
+/// assert!((within(1, 1.0, 1) - 1.0).abs() < 1e-12);
+/// // Three lossy hops rarely finish in three intervals.
+/// assert!(within(3, 0.5, 3) < 0.2);
+/// ```
+pub fn within(hops: u32, q: f64, intervals: u32) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+    if hops == 0 {
+        return 1.0;
+    }
+    if intervals < hops {
+        return 0.0;
+    }
+    // P[sum of `hops` geometrics == t] = C(t-1, hops-1) q^hops (1-q)^(t-hops)
+    let mut total = 0.0;
+    for t in hops..=intervals {
+        let ln_pmf = crate::numerics::ln_choose(u64::from(t - 1), u64::from(hops - 1))
+            + f64::from(hops) * q.ln()
+            + f64::from(t - hops) * (1.0 - q).max(f64::MIN_POSITIVE).ln();
+        let pmf = if q == 1.0 {
+            if t == hops {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            ln_pmf.exp()
+        };
+        total += pmf;
+    }
+    total.min(1.0)
+}
+
+/// Intervals needed to reach a cluster `hops` away with probability at
+/// least `confidence` (smallest such count; a coarse planning figure
+/// for "how long until the whole field knows").
+pub fn intervals_for_confidence(hops: u32, q: f64, confidence: f64) -> u32 {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0, 1)"
+    );
+    let mut t = hops;
+    while within(hops, q, t) < confidence {
+        t += 1;
+        if t > hops.saturating_mul(1_000).max(10_000) {
+            break; // pathological q; cap the search
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_links_arrive_in_hops_intervals() {
+        assert_eq!(expected_intervals(5, 1.0), 5.0);
+        assert!((within(5, 1.0, 5) - 1.0).abs() < 1e-12);
+        assert_eq!(within(5, 1.0, 4), 0.0);
+        assert_eq!(intervals_for_confidence(5, 1.0, 0.99), 5);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_converges() {
+        let q = 0.6;
+        let mut prev = 0.0;
+        for t in 3..40 {
+            let v = within(3, q, t);
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert!(prev > 0.999, "the CDF must converge to 1: {prev}");
+    }
+
+    #[test]
+    fn mean_matches_simulation_of_geometrics() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let q = 0.4;
+        let hops = 4;
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 20_000;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            for _ in 0..hops {
+                let mut t = 1;
+                while !rng.random_bool(q) {
+                    t += 1;
+                }
+                total += t;
+            }
+        }
+        let empirical = total as f64 / trials as f64;
+        let analytic = expected_intervals(hops, q);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.02,
+            "{empirical} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn zero_hops_is_immediate() {
+        assert_eq!(within(0, 0.3, 0), 1.0);
+        assert_eq!(intervals_for_confidence(0, 0.3, 0.99), 0);
+    }
+
+    #[test]
+    fn realistic_paper_scale_planning_figure() {
+        // p = 0.3, 2 backups: per-interval link success is essentially
+        // certain, so even a 6-hop backbone is informed within 7
+        // intervals at 99% confidence.
+        let q = link_success_per_interval(0.3, 2, 2, 2);
+        assert!(q > 0.999);
+        assert!(intervals_for_confidence(6, q, 0.99) <= 7);
+        // Without backups at p = 0.5, the same radius needs slack.
+        let q0 = link_success_per_interval(0.5, 0, 1, 0);
+        assert!(intervals_for_confidence(6, q0, 0.99) > 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in (0, 1]")]
+    fn zero_success_rejected() {
+        let _ = expected_intervals(1, 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Monte Carlo validation of the closed-form measures.
+//!
+//! Two estimator families:
+//!
+//! * **Conditional (geometric) Monte Carlo** — sample the member
+//!   *positions* (the only modelling approximation in the closed
+//!   forms is the binomial neighbour-count induced by uniform
+//!   placement), then evaluate the loss probabilities analytically
+//!   per placement. This has tiny variance and validates the
+//!   binomial-area approximation even where the probabilities are
+//!   `10⁻²⁰`.
+//! * **Direct Monte Carlo** — draw the actual Bernoulli losses and
+//!   count events; only feasible where the target probability is
+//!   large enough to observe (the `p = 0.5`, `N = 50` corner), which
+//!   is exactly how it is used in tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A Monte Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McResult {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of samples.
+    pub trials: u64,
+}
+
+impl McResult {
+    /// Whether `value` lies within `sigmas` standard errors of the
+    /// estimate.
+    pub fn agrees_with(&self, value: f64, sigmas: f64) -> bool {
+        (self.mean - value).abs() <= sigmas * self.std_error.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn summarize(samples: impl Iterator<Item = f64>) -> McResult {
+    let mut n = 0u64;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    for x in samples {
+        n += 1;
+        let delta = x - mean;
+        mean += delta / n as f64;
+        m2 += delta * (x - mean);
+    }
+    let variance = if n > 1 { m2 / (n - 1) as f64 } else { 0.0 };
+    McResult {
+        mean,
+        std_error: (variance / n.max(1) as f64).sqrt(),
+        trials: n,
+    }
+}
+
+/// Samples a point uniformly in the unit disk.
+fn sample_in_disk(rng: &mut StdRng) -> (f64, f64) {
+    let r = rng.random_range(0.0..1.0f64).sqrt();
+    let theta = rng.random_range(0.0..std::f64::consts::TAU);
+    (r * theta.cos(), r * theta.sin())
+}
+
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+/// Conditional MC for Figure 5's `P̂(False detection)`: the judged
+/// member sits on the circumference at `(1, 0)`; the other `N−2`
+/// members are uniform in the unit disk; the loss part
+/// `p²(p(2−p))ᵏ` is evaluated exactly per placement.
+pub fn false_detection(n: u64, p: f64, trials: u64, seed: u64) -> McResult {
+    assert!(n >= 2, "a cluster needs the CH and the judged member");
+    let v = (1.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    summarize((0..trials).map(|_| {
+        let k = (0..n - 2)
+            .filter(|_| dist2(sample_in_disk(&mut rng), v) <= 1.0)
+            .count() as i32;
+        p * p * (p * (2.0 - p)).powi(k)
+    }))
+}
+
+/// Direct MC for Figure 5: draw every Bernoulli loss and count the
+/// event `C1 ∧ C2`. Only meaningful where the probability is
+/// observable (high `p`, low `N`).
+pub fn false_detection_direct(n: u64, p: f64, trials: u64, seed: u64) -> McResult {
+    assert!(n >= 2, "a cluster needs the CH and the judged member");
+    let v = (1.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    summarize((0..trials).map(|_| {
+        // C1: heartbeat and digest from v both lost to the CH.
+        if !(rng.random_bool(p) && rng.random_bool(p)) {
+            return 0.0;
+        }
+        // C2: no in-range neighbour both overheard v and delivered
+        // its digest to the CH.
+        for _ in 0..n - 2 {
+            let w = sample_in_disk(&mut rng);
+            if dist2(w, v) <= 1.0 && rng.random_bool(1.0 - p) && rng.random_bool(1.0 - p) {
+                return 0.0;
+            }
+        }
+        1.0
+    }))
+}
+
+/// Conditional MC for Figure 6's `P(False detection on CH)` with the
+/// deputy displaced by `d_over_r` from the centre: members relay only
+/// when they fall inside the deputy's range.
+pub fn ch_false_detection(n: u64, p: f64, d_over_r: f64, trials: u64, seed: u64) -> McResult {
+    assert!(n >= 2, "a cluster needs the CH and the DCH");
+    let dch = (d_over_r, 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let relay_fail_in_range = 1.0 - (1.0 - p) * (1.0 - p);
+    summarize((0..trials).map(|_| {
+        let mut value = p.powi(3);
+        for _ in 0..n - 2 {
+            let w = sample_in_disk(&mut rng);
+            value *= if dist2(w, dch) <= 1.0 {
+                relay_fail_in_range
+            } else {
+                1.0
+            };
+        }
+        value
+    }))
+}
+
+/// Conditional MC for Figure 7's `P̂(Incompleteness)`: the recovering
+/// member on the circumference; per in-range neighbour failure
+/// `1−(1−p)³`.
+pub fn incompleteness(n: u64, p: f64, trials: u64, seed: u64) -> McResult {
+    assert!(n >= 2, "a cluster needs the CH and the member");
+    let v = (1.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let neighbor_fails = 1.0 - (1.0 - p).powi(3);
+    summarize((0..trials).map(|_| {
+        let k = (0..n - 2)
+            .filter(|_| dist2(sample_in_disk(&mut rng), v) <= 1.0)
+            .count() as i32;
+        p * neighbor_fails.powi(k)
+    }))
+}
+
+/// Geometric MC for the DCH-reachability study (E4): deputy at
+/// `(d_dch, 0)`, out-of-range member at `(−d_v, 0)`; each of the
+/// `N−3` other members relays iff within range of both, succeeding
+/// with probability `(1−p)²`.
+pub fn dch_reach_miss(n: u64, p: f64, d_dch: f64, d_v: f64, trials: u64, seed: u64) -> McResult {
+    assert!(n >= 3, "needs the CH, the DCH, and the member");
+    let dch = (d_dch, 0.0);
+    let v = (-d_v, 0.0);
+    let relay_success = (1.0 - p) * (1.0 - p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    summarize((0..trials).map(|_| {
+        let mut miss = 1.0;
+        for _ in 0..n - 3 {
+            let w = sample_in_disk(&mut rng);
+            if dist2(w, dch) <= 1.0 && dist2(w, v) <= 1.0 {
+                miss *= 1.0 - relay_success;
+            }
+        }
+        miss
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ch_false_detection, dch_reach, false_detection as fd, incompleteness as inc};
+
+    const TRIALS: u64 = 20_000;
+
+    #[test]
+    fn conditional_mc_matches_fig5_closed_form() {
+        // Low p makes the per-placement value heavy-tailed (the mean
+        // is dominated by rare low-k placements), so the statistical
+        // check runs where the estimator is well-conditioned.
+        for &(n, p) in &[(50u64, 0.5), (75, 0.5), (100, 0.4)] {
+            let mc = false_detection(n, p, 50_000, 7);
+            let analytic = fd::worst_case(n, p);
+            assert!(
+                mc.agrees_with(analytic, 4.0),
+                "n={n} p={p}: mc {} ± {} vs {analytic}",
+                mc.mean,
+                mc.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn direct_mc_matches_fig5_at_observable_corner() {
+        // P̂ ≈ 2e-3 at N=50, p=0.5 — observable with 4e5 draws.
+        let p = 0.5;
+        let n = 50;
+        let mc = false_detection_direct(n, p, 400_000, 11);
+        let analytic = fd::worst_case(n, p);
+        assert!(
+            mc.agrees_with(analytic, 4.0),
+            "mc {} ± {} vs {analytic}",
+            mc.mean,
+            mc.std_error
+        );
+    }
+
+    #[test]
+    fn conditional_mc_matches_fig6_closed_form() {
+        let mc = ch_false_detection(50, 0.5, 0.0, TRIALS, 13);
+        let analytic = ch_false_detection::probability(50, 0.5);
+        // d = 0: every member is in range, zero variance expected.
+        assert!((mc.mean - analytic).abs() / analytic < 1e-9);
+
+        let mc = ch_false_detection(50, 0.5, 0.6, TRIALS, 13);
+        let analytic = ch_false_detection::probability_at_distance(50, 0.5, 0.6);
+        assert!(
+            mc.agrees_with(analytic, 4.0),
+            "mc {} ± {} vs {analytic}",
+            mc.mean,
+            mc.std_error
+        );
+    }
+
+    #[test]
+    fn conditional_mc_matches_fig7_closed_form() {
+        for &(n, p) in &[(50u64, 0.5), (100, 0.4)] {
+            let mc = incompleteness(n, p, 50_000, 17);
+            let analytic = inc::worst_case(n, p);
+            assert!(
+                mc.agrees_with(analytic, 4.0),
+                "n={n} p={p}: mc {} ± {} vs {analytic}",
+                mc.mean,
+                mc.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn dch_reach_mc_close_to_lens_model() {
+        // The closed form approximates Ag by an unclipped lens; the MC
+        // is exact, so allow a loose (but telling) agreement band.
+        let mc = dch_reach_miss(75, 0.3, 0.5, 1.0, TRIALS, 23);
+        let analytic = dch_reach::miss_probability(75, 0.3, 0.5, 1.0);
+        let ratio = mc.mean / analytic;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "mc {} vs lens model {analytic}",
+            mc.mean
+        );
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let a = false_detection(50, 0.3, 1_000, 5);
+        let b = false_detection(50, 0.3, 1_000, 5);
+        assert_eq!(a, b);
+        let c = false_detection(50, 0.3, 1_000, 6);
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn summarize_handles_constants() {
+        let r = summarize([2.0, 2.0, 2.0].into_iter());
+        assert_eq!(r.mean, 2.0);
+        assert_eq!(r.std_error, 0.0);
+        assert_eq!(r.trials, 3);
+    }
+}

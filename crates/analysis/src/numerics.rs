@@ -1,0 +1,210 @@
+//! Numerical helpers: log-space binomials and quadrature.
+//!
+//! The paper's measures reach values around `10⁻¹²⁰` (Figure 6), well
+//! within `f64` range but far outside the reach of naive factorials;
+//! binomial terms are therefore computed in log space.
+
+/// Natural log of `n!`, via `ln Γ(n+1)` (Stirling–Lanczos); exact
+/// table for small `n`.
+pub fn ln_factorial(n: u64) -> f64 {
+    #[allow(clippy::approx_constant, clippy::excessive_precision)]
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_945_8,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_683,
+        27.899_271_383_840_89,
+        30.671_860_106_080_675,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n < 21 {
+        return TABLE[n as usize];
+    }
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7,
+/// n = 9), accurate to ~1e-13 for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "C(n, k) requires k <= n");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability mass of `Binomial(n, q)` at `k`, computed in log space.
+///
+/// ```
+/// # use cbfd_analysis::numerics::binomial_pmf;
+/// let p = binomial_pmf(10, 0.5, 5);
+/// assert!((p - 0.24609375).abs() < 1e-12);
+/// ```
+pub fn binomial_pmf(n: u64, q: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    if k > n {
+        return 0.0;
+    }
+    if q == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if q == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * q.ln() + (n - k) as f64 * (1.0 - q).ln()).exp()
+}
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` with absolute
+/// tolerance `tol`.
+///
+/// ```
+/// # use cbfd_analysis::numerics::integrate;
+/// let area = integrate(|x| x * x, 0.0, 3.0, 1e-10);
+/// assert!((area - 9.0).abs() < 1e-8);
+/// ```
+pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    fn simpson(f: &impl Fn(f64) -> f64, a: f64, fa: f64, b: f64, fb: f64) -> (f64, f64, f64) {
+        let m = (a + b) / 2.0;
+        let fm = f(m);
+        ((b - a) / 6.0 * (fa + 4.0 * fm + fb), m, fm)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        f: &impl Fn(f64) -> f64,
+        a: f64,
+        fa: f64,
+        b: f64,
+        fb: f64,
+        whole: f64,
+        m: f64,
+        fm: f64,
+        tol: f64,
+        depth: u32,
+    ) -> f64 {
+        let (left, lm, flm) = simpson(f, a, fa, m, fm);
+        let (right, rm, frm) = simpson(f, m, fm, b, fb);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            return left + right + delta / 15.0;
+        }
+        recurse(f, a, fa, m, fm, left, lm, flm, tol / 2.0, depth - 1)
+            + recurse(f, m, fm, b, fb, right, rm, frm, tol / 2.0, depth - 1)
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let (whole, m, fm) = simpson(&f, a, fa, b, fb);
+    recurse(&f, a, fa, b, fb, whole, m, fm, tol, 40)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(20) - 2.432_902_008_176_64e18f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factorial_large_values_match_stirling_region() {
+        // 100! has ln ≈ 363.739...
+        assert!((ln_factorial(100) - 363.739_375_555_563_5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn choose_matches_pascal() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(98, 49).exp() - 2.547_761_225_898_1e28).abs() / 2.5e28 < 1e-9);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, q) in &[(10u64, 0.3), (50, 0.05), (98, 0.391)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, q, k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} q={q}: {total}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_edge_probabilities() {
+        assert_eq!(binomial_pmf(5, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(5, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(5, 1.0, 5), 1.0);
+        assert_eq!(binomial_pmf(5, 0.5, 6), 0.0);
+    }
+
+    #[test]
+    fn integration_of_smooth_functions() {
+        let pi = integrate(|x| 4.0 / (1.0 + x * x), 0.0, 1.0, 1e-12);
+        assert!((pi - std::f64::consts::PI).abs() < 1e-9);
+        let e = integrate(f64::exp, 0.0, 1.0, 1e-12);
+        assert!((e - (std::f64::consts::E - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integration_handles_reversed_scale() {
+        // The paper's An integral: 4∫₀^c (√(R²−x²) − R/2) dx with
+        // c = (√3/2)R equals R²(2π/3 − √3/2).
+        let r: f64 = 100.0;
+        let c = (3f64.sqrt() / 2.0) * r;
+        let an = 4.0 * integrate(|x| (r * r - x * x).sqrt() - 0.5 * r, 0.0, c, 1e-9);
+        let expected = r * r * (2.0 * std::f64::consts::PI / 3.0 - 3f64.sqrt() / 2.0);
+        assert!((an - expected).abs() < 1e-5, "{an} vs {expected}");
+    }
+}

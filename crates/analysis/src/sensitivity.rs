@@ -1,0 +1,112 @@
+//! Sensitivity of the measures to density and loss — the "interesting
+//! interactions among N, p, and the measures" the paper discusses at
+//! the end of Section 5.2:
+//!
+//! > when N increases, spatial redundancy and inherent message
+//! > redundancy will increase accordingly … a decreased likelihood of
+//! > false detection … On the other hand, a larger N means more
+//! > messaging activities in a cluster; that, in turn, makes the
+//! > system behavior more sensitive to the variations of p.
+//!
+//! Both effects fall out of the closed forms: the measures are of the
+//! shape `p^a (1 − c(1−p)^b)^{N−2}`, so the *level* decreases
+//! geometrically in `N` while the *log-slope* in `p` grows linearly in
+//! `N`. This module exposes those elasticities for any of the
+//! measures, with tests pinning the paper's observations.
+
+/// Log-slope of a measure in `p` (elasticity): the symmetric finite
+/// difference `d ln f / d p` at `p`, using step `h`.
+///
+/// # Panics
+///
+/// Panics if the evaluation window leaves `(0, 1)` or the measure is
+/// non-positive there.
+pub fn log_slope_in_p(f: impl Fn(f64) -> f64, p: f64, h: f64) -> f64 {
+    assert!(p - h > 0.0 && p + h < 1.0, "window must stay inside (0, 1)");
+    let lo = f(p - h);
+    let hi = f(p + h);
+    assert!(
+        lo > 0.0 && hi > 0.0,
+        "measure must be positive in the window"
+    );
+    (hi.ln() - lo.ln()) / (2.0 * h)
+}
+
+/// Per-member improvement factor of a measure in `N`: `f(N+1)/f(N)`.
+/// Values below 1 mean each added member reduces the measure; the
+/// closed forms make this ratio constant in `N` (geometric decay).
+pub fn density_ratio(f: impl Fn(u64) -> f64, n: u64) -> f64 {
+    let a = f(n);
+    let b = f(n + 1);
+    assert!(a > 0.0, "measure must be positive at N = {n}");
+    b / a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{false_detection, incompleteness};
+
+    #[test]
+    fn density_buys_geometric_accuracy() {
+        // Each extra member multiplies P̂(FD) by the same factor < 1.
+        let p = 0.3;
+        let r50 = density_ratio(|n| false_detection::worst_case(n, p), 50);
+        let r100 = density_ratio(|n| false_detection::worst_case(n, p), 100);
+        assert!(r50 < 1.0);
+        assert!(
+            (r50 - r100).abs() < 1e-9,
+            "geometric decay is N-independent"
+        );
+        // The factor equals 1 − (An/Au)(1−p)².
+        let expected = 1.0 - crate::geometry::worst_case_an_fraction() * (1.0 - p) * (1.0 - p);
+        assert!((r50 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_n_is_more_p_sensitive_for_both_measures() {
+        // The paper's observation, quantified: the log-slope in p grows
+        // with N.
+        for f in [
+            false_detection::worst_case as fn(u64, f64) -> f64,
+            incompleteness::worst_case as fn(u64, f64) -> f64,
+        ] {
+            let s50 = log_slope_in_p(|p| f(50, p), 0.25, 1e-4);
+            let s100 = log_slope_in_p(|p| f(100, p), 0.25, 1e-4);
+            assert!(
+                s100 > s50,
+                "N = 100 must react more steeply to p: {s100} vs {s50}"
+            );
+        }
+    }
+
+    #[test]
+    fn slopes_are_positive_everywhere_in_range() {
+        for i in 2..=9 {
+            let p = i as f64 * 0.05;
+            let s = log_slope_in_p(|p| false_detection::worst_case(75, p), p, 1e-4);
+            assert!(s > 0.0, "the measure must increase in p at p = {p}");
+        }
+    }
+
+    #[test]
+    fn slope_matches_analytic_derivative() {
+        // d ln P̂/dp for P̂ = p²(1 − a(1−p)²)^{N−2}:
+        //   2/p + (N−2)·2a(1−p)/(1 − a(1−p)²).
+        let (n, p) = (75u64, 0.3);
+        let a = crate::geometry::worst_case_an_fraction();
+        let analytic =
+            2.0 / p + (n as f64 - 2.0) * 2.0 * a * (1.0 - p) / (1.0 - a * (1.0 - p) * (1.0 - p));
+        let numeric = log_slope_in_p(|p| false_detection::worst_case(n, p), p, 1e-5);
+        assert!(
+            (analytic - numeric).abs() / analytic < 1e-4,
+            "{analytic} vs {numeric}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must stay inside")]
+    fn slope_rejects_boundary_windows() {
+        let _ = log_slope_in_p(|p| p, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,342 @@
+//! Base-station heartbeat detector.
+//!
+//! Heartbeats converge-cast along a spanning tree to one collector
+//! (the base station), which judges staleness and floods verdicts
+//! back out. This is the "report to the operation team" architecture
+//! the paper's applications start from; it concentrates both traffic
+//! and trust at the root, and every lossy hop on the path to the root
+//! is a chance for a false suspicion — the contrast that motivates
+//! local, cluster-based judgement.
+//!
+//! Routing uses a BFS parent tree computed from the topology at
+//! start-up, standing in for the routing protocol the paper assumes.
+
+use crate::common::{completeness_of, BaselineOutcome, CrashAt};
+use cbfd_net::actor::{Actor, Ctx, TimerToken};
+use cbfd_net::id::NodeId;
+use cbfd_net::radio::RadioConfig;
+use cbfd_net::sim::Simulator;
+use cbfd_net::time::{SimDuration, SimTime};
+use cbfd_net::topology::Topology;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Messages of the base-station detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CentralMsg {
+    /// A heartbeat on its way up the tree.
+    Heartbeat {
+        /// Originating node.
+        origin: NodeId,
+        /// Origin's interval counter.
+        seq: u64,
+        /// The tree node that should relay next.
+        next_hop: NodeId,
+    },
+    /// A verdict flooded down from the base station.
+    Verdict {
+        /// Verdict sequence (one per interval with news).
+        seq: u64,
+        /// All nodes the base station believes failed.
+        failed: Vec<NodeId>,
+    },
+}
+
+const EPOCH_TIMER: TimerToken = TimerToken(0);
+
+/// The base-station detector on one node.
+#[derive(Debug)]
+pub struct CentralNode {
+    me: NodeId,
+    base: NodeId,
+    parent: Option<NodeId>,
+    interval: SimDuration,
+    suspicion_threshold: u64,
+    epoch: u64,
+    /// Base station only: newest heartbeat per origin.
+    newest: BTreeMap<NodeId, u64>,
+    /// Base station only: first interval each origin was suspected.
+    first_suspected: BTreeMap<NodeId, u64>,
+    /// Everyone: failed set last learned from a verdict.
+    believed_failed: BTreeSet<NodeId>,
+    /// Everyone: verdict sequences already re-flooded.
+    relayed_verdicts: BTreeSet<u64>,
+    verdict_seq: u64,
+}
+
+impl CentralNode {
+    /// Creates the detector; `parent` is the node's next hop toward
+    /// the base station (`None` for the base itself or unreachable
+    /// nodes).
+    pub fn new(
+        me: NodeId,
+        base: NodeId,
+        parent: Option<NodeId>,
+        interval: SimDuration,
+        suspicion_threshold: u64,
+    ) -> Self {
+        CentralNode {
+            me,
+            base,
+            parent,
+            interval,
+            suspicion_threshold,
+            epoch: 0,
+            newest: BTreeMap::new(),
+            first_suspected: BTreeMap::new(),
+            believed_failed: BTreeSet::new(),
+            relayed_verdicts: BTreeSet::new(),
+            verdict_seq: 0,
+        }
+    }
+
+    /// Nodes this node believes failed (the base judges; everyone else
+    /// echoes verdicts).
+    pub fn believed_failed(&self) -> Vec<NodeId> {
+        self.believed_failed.iter().copied().collect()
+    }
+
+    /// Base station only: the interval each origin was first
+    /// suspected.
+    pub fn suspected_since(&self, origin: NodeId) -> Option<u64> {
+        self.first_suspected.get(&origin).copied()
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, CentralMsg>) {
+        if self.me == self.base {
+            let mut news = false;
+            for (&origin, &seq) in &self.newest {
+                if self.epoch.saturating_sub(seq) > self.suspicion_threshold {
+                    if self.first_suspected.insert(origin, self.epoch).is_none() {
+                        news = true;
+                    }
+                    self.believed_failed.insert(origin);
+                } else if self.first_suspected.remove(&origin).is_some() {
+                    self.believed_failed.remove(&origin);
+                    news = true;
+                }
+            }
+            if news {
+                self.verdict_seq += 1;
+                ctx.broadcast(CentralMsg::Verdict {
+                    seq: self.verdict_seq,
+                    failed: self.believed_failed.iter().copied().collect(),
+                });
+            }
+        } else if let Some(parent) = self.parent {
+            ctx.broadcast(CentralMsg::Heartbeat {
+                origin: self.me,
+                seq: self.epoch,
+                next_hop: parent,
+            });
+        }
+        self.epoch += 1;
+        ctx.set_timer(self.interval, EPOCH_TIMER);
+    }
+}
+
+impl Actor for CentralNode {
+    type Msg = CentralMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CentralMsg>) {
+        self.tick(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, CentralMsg>, _from: NodeId, msg: CentralMsg) {
+        match msg {
+            CentralMsg::Heartbeat {
+                origin,
+                seq,
+                next_hop,
+            } => {
+                if next_hop != self.me {
+                    return;
+                }
+                if self.me == self.base {
+                    let newest = self.newest.entry(origin).or_insert(0);
+                    *newest = (*newest).max(seq);
+                } else if let Some(parent) = self.parent {
+                    ctx.broadcast(CentralMsg::Heartbeat {
+                        origin,
+                        seq,
+                        next_hop: parent,
+                    });
+                }
+            }
+            CentralMsg::Verdict { seq, failed } => {
+                if self.me == self.base || !self.relayed_verdicts.insert(seq) {
+                    return;
+                }
+                self.believed_failed = failed.iter().copied().collect();
+                ctx.broadcast(CentralMsg::Verdict { seq, failed });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, CentralMsg>, _token: TimerToken) {
+        self.tick(ctx);
+    }
+}
+
+/// Computes each node's BFS parent toward `base`.
+pub fn bfs_parents(topology: &Topology, base: NodeId) -> Vec<Option<NodeId>> {
+    let mut parents = vec![None; topology.len()];
+    let mut seen = vec![false; topology.len()];
+    seen[base.index()] = true;
+    let mut queue = VecDeque::from([base]);
+    while let Some(v) = queue.pop_front() {
+        for &w in topology.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                parents[w.index()] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    parents
+}
+
+/// Runs the base-station detector (base = node 0) and evaluates the
+/// common outcome.
+pub fn run(
+    topology: &Topology,
+    p: f64,
+    interval: SimDuration,
+    epochs: u64,
+    suspicion_threshold: u64,
+    crashes: &[CrashAt],
+    seed: u64,
+) -> BaselineOutcome {
+    let base = NodeId(0);
+    let parents = bfs_parents(topology, base);
+    let mut sim = Simulator::new(topology.clone(), RadioConfig::bernoulli(p), seed, |id| {
+        CentralNode::new(id, base, parents[id.index()], interval, suspicion_threshold)
+    });
+    let mut crash_epochs: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for c in crashes {
+        let at =
+            SimTime::ZERO + interval * c.epoch + SimDuration::from_micros(interval.as_micros() / 2);
+        sim.schedule_crash(c.node, at);
+        crash_epochs.entry(c.node).or_insert(c.epoch);
+    }
+    sim.run_until(SimTime::ZERO + interval * epochs - SimDuration::from_micros(1));
+
+    let crashed: Vec<NodeId> = crash_epochs.keys().copied().collect();
+    let mut false_suspicions = Vec::new();
+    let mut detection_latency: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let mut observers = Vec::new();
+    for (id, node) in sim.actors() {
+        if !sim.is_alive(id) {
+            continue;
+        }
+        let believed = node.believed_failed();
+        for s in &believed {
+            match crash_epochs.get(s) {
+                Some(&crash_epoch) => {
+                    if id == base {
+                        let latency = node
+                            .suspected_since(*s)
+                            .unwrap_or(crash_epoch)
+                            .saturating_sub(crash_epoch);
+                        detection_latency
+                            .entry(*s)
+                            .and_modify(|l| *l = (*l).min(latency))
+                            .or_insert(latency);
+                    }
+                }
+                None => false_suspicions.push((id, *s)),
+            }
+        }
+        observers.push((id, believed));
+    }
+    let (completeness, _) = completeness_of(&observers, &crashed);
+    BaselineOutcome {
+        epochs,
+        crashed,
+        false_suspicions,
+        completeness,
+        detection_latency,
+        metrics: sim.metrics().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::geometry::Point;
+
+    const INTERVAL: SimDuration = SimDuration::from_millis(100);
+
+    fn line(n: usize, spacing: f64) -> Topology {
+        let pts = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        Topology::from_positions(pts, 100.0)
+    }
+
+    #[test]
+    fn parents_form_a_tree_toward_base() {
+        let topo = line(5, 60.0);
+        let parents = bfs_parents(&topo, NodeId(0));
+        assert_eq!(parents[0], None);
+        assert_eq!(parents[1], Some(NodeId(0)));
+        // Node 4 reaches the base through a chain.
+        let mut hops = 0;
+        let mut v = NodeId(4);
+        while let Some(p) = parents[v.index()] {
+            v = p;
+            hops += 1;
+        }
+        assert_eq!(v, NodeId(0));
+        assert!(hops >= 2);
+    }
+
+    #[test]
+    fn quiet_lossless_run_is_clean() {
+        let topo = line(6, 60.0);
+        let outcome = run(&topo, 0.0, INTERVAL, 10, 2, &[], 1);
+        assert!(outcome.accurate(), "{:?}", outcome.false_suspicions);
+        assert_eq!(outcome.completeness, 1.0);
+    }
+
+    #[test]
+    fn crash_detected_and_verdict_flooded() {
+        let topo = line(7, 60.0);
+        let crashes = [CrashAt {
+            epoch: 2,
+            node: NodeId(6),
+        }];
+        let outcome = run(&topo, 0.0, INTERVAL, 14, 2, &crashes, 2);
+        assert!(outcome.detection_latency.contains_key(&NodeId(6)));
+        assert_eq!(outcome.completeness, 1.0);
+    }
+
+    #[test]
+    fn multi_hop_loss_breaks_naive_convergecast() {
+        // Every hop toward the base multiplies the loss; with a long
+        // chain and p = 0.4 the base falsely suspects far nodes.
+        let topo = line(10, 90.0);
+        let outcome = run(&topo, 0.4, INTERVAL, 20, 2, &[], 3);
+        assert!(
+            !outcome.false_suspicions.is_empty(),
+            "deep convergecast should misfire under loss"
+        );
+    }
+
+    #[test]
+    fn crash_of_a_relay_partitions_upstream_reports() {
+        // Node 1 relays everyone beyond it; when it dies, the base
+        // eventually suspects the whole tail (correctly only for the
+        // dead node — the tail is falsely suspected).
+        let topo = line(5, 90.0);
+        let crashes = [CrashAt {
+            epoch: 2,
+            node: NodeId(1),
+        }];
+        let outcome = run(&topo, 0.0, INTERVAL, 14, 2, &crashes, 4);
+        assert!(outcome.detection_latency.contains_key(&NodeId(1)));
+        assert!(
+            !outcome.false_suspicions.is_empty(),
+            "the tail behind the dead relay gets falsely suspected"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared outcome type and evaluation helpers for the baselines.
+
+use cbfd_net::id::NodeId;
+use cbfd_net::metrics::SimMetrics;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A planned fail-stop crash for a baseline run: `node` dies midway
+/// through interval `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashAt {
+    /// Interval during which the crash happens.
+    pub epoch: u64,
+    /// The crashing node.
+    pub node: NodeId,
+}
+
+/// The common read-out of a baseline detector run, aligned with
+/// [`cbfd_core::service::FdsOutcome`](https://docs.rs/) fields so the
+/// bench harness can tabulate them together.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    /// Intervals executed.
+    pub epochs: u64,
+    /// Ground-truth crashed nodes.
+    pub crashed: Vec<NodeId>,
+    /// (accuser, wrongly suspected operational node) pairs observed at
+    /// the end of the run.
+    pub false_suspicions: Vec<(NodeId, NodeId)>,
+    /// Fraction of (operational observer, crash) pairs that were
+    /// informed; `1.0` when nothing crashed.
+    pub completeness: f64,
+    /// First interval (per crashed node) at which *some* node
+    /// suspected it, if any.
+    pub detection_latency: BTreeMap<NodeId, u64>,
+    /// Channel traffic counters.
+    pub metrics: SimMetrics,
+}
+
+impl BaselineOutcome {
+    /// Whether accuracy held (no operational node suspected).
+    pub fn accurate(&self) -> bool {
+        self.false_suspicions.is_empty()
+    }
+
+    /// Transmissions per node per interval — the cost figure compared
+    /// across detectors.
+    pub fn tx_per_node_interval(&self, nodes: usize) -> f64 {
+        if nodes == 0 || self.epochs == 0 {
+            return 0.0;
+        }
+        self.metrics.transmissions as f64 / (nodes as f64 * self.epochs as f64)
+    }
+}
+
+/// Computes the completeness fraction and missing pairs given each
+/// alive observer's suspicion set.
+pub fn completeness_of(
+    observers: &[(NodeId, Vec<NodeId>)],
+    crashed: &[NodeId],
+) -> (f64, Vec<(NodeId, NodeId)>) {
+    let mut informed = 0u64;
+    let mut total = 0u64;
+    let mut missing = Vec::new();
+    for (observer, suspected) in observers {
+        for f in crashed {
+            if f == observer {
+                continue;
+            }
+            total += 1;
+            if suspected.contains(f) {
+                informed += 1;
+            } else {
+                missing.push((*observer, *f));
+            }
+        }
+    }
+    let fraction = if total == 0 {
+        1.0
+    } else {
+        informed as f64 / total as f64
+    };
+    (fraction, missing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completeness_counts_pairs() {
+        let observers = vec![(NodeId(0), vec![NodeId(9)]), (NodeId(1), vec![])];
+        let (fraction, missing) = completeness_of(&observers, &[NodeId(9)]);
+        assert_eq!(fraction, 0.5);
+        assert_eq!(missing, vec![(NodeId(1), NodeId(9))]);
+    }
+
+    #[test]
+    fn completeness_skips_self_pairs() {
+        let observers = vec![(NodeId(9), vec![])];
+        let (fraction, missing) = completeness_of(&observers, &[NodeId(9)]);
+        assert_eq!(fraction, 1.0);
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn tx_rate_is_normalized() {
+        let mut metrics = SimMetrics::new(2);
+        for _ in 0..20 {
+            metrics.record_transmission(NodeId(0), 1);
+        }
+        let outcome = BaselineOutcome {
+            epochs: 10,
+            crashed: vec![],
+            false_suspicions: vec![],
+            completeness: 1.0,
+            detection_latency: BTreeMap::new(),
+            metrics,
+        };
+        assert_eq!(outcome.tx_per_node_interval(2), 1.0);
+        assert_eq!(outcome.tx_per_node_interval(0), 0.0);
+        assert!(outcome.accurate());
+    }
+}

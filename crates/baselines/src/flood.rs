@@ -1,0 +1,226 @@
+//! Flat-flooding heartbeat detector.
+//!
+//! Every interval, every node floods a heartbeat network-wide (each
+//! node rebroadcasts the first copy of any newer heartbeat it hears).
+//! Every node judges every other node by staleness: an origin is
+//! suspected once its newest heartbeat is older than
+//! `suspicion_threshold` intervals. This is the "flat flooding" the
+//! paper's Section 3 contrasts the two-tier architecture against: it
+//! is maximally informed but costs `O(n)` transmissions per node per
+//! interval in the worst case.
+
+use crate::common::{completeness_of, BaselineOutcome, CrashAt};
+use cbfd_net::actor::{Actor, Ctx, TimerToken};
+use cbfd_net::id::NodeId;
+use cbfd_net::radio::RadioConfig;
+use cbfd_net::sim::Simulator;
+use cbfd_net::time::{SimDuration, SimTime};
+use cbfd_net::topology::Topology;
+use std::collections::BTreeMap;
+
+/// A flooded heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodMsg {
+    /// The heartbeat's origin.
+    pub origin: NodeId,
+    /// The origin's interval counter.
+    pub seq: u64,
+}
+
+const EPOCH_TIMER: TimerToken = TimerToken(0);
+
+/// The flooding detector on one node.
+#[derive(Debug)]
+pub struct FloodNode {
+    me: NodeId,
+    interval: SimDuration,
+    suspicion_threshold: u64,
+    epoch: u64,
+    /// Newest sequence heard (or forwarded) per origin.
+    newest: BTreeMap<NodeId, u64>,
+    /// First interval at which each origin became suspected.
+    first_suspected: BTreeMap<NodeId, u64>,
+}
+
+impl FloodNode {
+    /// Creates the detector with the given heartbeat `interval` and
+    /// staleness threshold (in intervals).
+    pub fn new(me: NodeId, interval: SimDuration, suspicion_threshold: u64) -> Self {
+        FloodNode {
+            me,
+            interval,
+            suspicion_threshold,
+            epoch: 0,
+            newest: BTreeMap::new(),
+            first_suspected: BTreeMap::new(),
+        }
+    }
+
+    /// Origins currently suspected.
+    pub fn suspected(&self) -> Vec<NodeId> {
+        self.first_suspected.keys().copied().collect()
+    }
+
+    /// The interval at which `origin` was first suspected.
+    pub fn suspected_since(&self, origin: NodeId) -> Option<u64> {
+        self.first_suspected.get(&origin).copied()
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, FloodMsg>) {
+        // Judge staleness before advancing.
+        for (&origin, &seq) in &self.newest {
+            if self.epoch.saturating_sub(seq) > self.suspicion_threshold {
+                self.first_suspected.entry(origin).or_insert(self.epoch);
+            } else {
+                // A fresh heartbeat rehabilitates a suspect.
+                self.first_suspected.remove(&origin);
+            }
+        }
+        ctx.broadcast(FloodMsg {
+            origin: self.me,
+            seq: self.epoch,
+        });
+        self.epoch += 1;
+        ctx.set_timer(self.interval, EPOCH_TIMER);
+    }
+}
+
+impl Actor for FloodNode {
+    type Msg = FloodMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, FloodMsg>) {
+        self.tick(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FloodMsg>, _from: NodeId, msg: FloodMsg) {
+        if msg.origin == self.me {
+            return;
+        }
+        let prev = self.newest.get(&msg.origin).copied();
+        if prev.is_none_or(|p| msg.seq > p) {
+            self.newest.insert(msg.origin, msg.seq);
+            ctx.broadcast(msg); // flood: forward the first copy of newer news
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, FloodMsg>, _token: TimerToken) {
+        self.tick(ctx);
+    }
+}
+
+/// Runs the flooding detector and evaluates the common outcome.
+pub fn run(
+    topology: &Topology,
+    p: f64,
+    interval: SimDuration,
+    epochs: u64,
+    crashes: &[CrashAt],
+    seed: u64,
+) -> BaselineOutcome {
+    let threshold = 2;
+    let mut sim = Simulator::new(topology.clone(), RadioConfig::bernoulli(p), seed, |id| {
+        FloodNode::new(id, interval, threshold)
+    });
+    let mut crash_epochs: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for c in crashes {
+        let at =
+            SimTime::ZERO + interval * c.epoch + SimDuration::from_micros(interval.as_micros() / 2);
+        sim.schedule_crash(c.node, at);
+        crash_epochs.entry(c.node).or_insert(c.epoch);
+    }
+    sim.run_until(SimTime::ZERO + interval * epochs - SimDuration::from_micros(1));
+
+    let crashed: Vec<NodeId> = crash_epochs.keys().copied().collect();
+    let mut false_suspicions = Vec::new();
+    let mut detection_latency: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let mut observers = Vec::new();
+    for (id, node) in sim.actors() {
+        if !sim.is_alive(id) {
+            continue;
+        }
+        let suspected = node.suspected();
+        for s in &suspected {
+            match crash_epochs.get(s) {
+                Some(&crash_epoch) => {
+                    let latency = node
+                        .suspected_since(*s)
+                        .unwrap_or(crash_epoch)
+                        .saturating_sub(crash_epoch);
+                    detection_latency
+                        .entry(*s)
+                        .and_modify(|l| *l = (*l).min(latency))
+                        .or_insert(latency);
+                }
+                None => false_suspicions.push((id, *s)),
+            }
+        }
+        observers.push((id, suspected));
+    }
+    let (completeness, _) = completeness_of(&observers, &crashed);
+    BaselineOutcome {
+        epochs,
+        crashed,
+        false_suspicions,
+        completeness,
+        detection_latency,
+        metrics: sim.metrics().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::geometry::Point;
+
+    const INTERVAL: SimDuration = SimDuration::from_millis(100);
+
+    fn line(n: usize, spacing: f64) -> Topology {
+        let pts = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        Topology::from_positions(pts, 100.0)
+    }
+
+    #[test]
+    fn quiet_lossless_run_is_clean() {
+        let topo = line(6, 60.0);
+        let outcome = run(&topo, 0.0, INTERVAL, 6, &[], 1);
+        assert!(outcome.accurate(), "{:?}", outcome.false_suspicions);
+        assert_eq!(outcome.completeness, 1.0);
+    }
+
+    #[test]
+    fn crash_is_suspected_everywhere() {
+        let topo = line(8, 60.0);
+        let crashes = [CrashAt {
+            epoch: 1,
+            node: NodeId(7),
+        }];
+        let outcome = run(&topo, 0.0, INTERVAL, 8, &crashes, 2);
+        assert_eq!(outcome.completeness, 1.0);
+        assert!(outcome.detection_latency.contains_key(&NodeId(7)));
+        assert!(outcome.accurate());
+    }
+
+    #[test]
+    fn flooding_cost_scales_with_population() {
+        // Every heartbeat traverses every node once: Θ(n) tx per node
+        // per interval on a connected topology.
+        let topo = line(10, 60.0);
+        let outcome = run(&topo, 0.0, INTERVAL, 5, &[], 3);
+        let rate = outcome.tx_per_node_interval(10);
+        assert!(rate > 5.0, "flooding must be expensive, got {rate}");
+    }
+
+    #[test]
+    fn loss_can_cause_false_suspicion_without_redundancy() {
+        // At p = 0.6, a 2-interval staleness threshold will misfire
+        // somewhere over 12 intervals and 6 nodes.
+        let topo = line(6, 60.0);
+        let outcome = run(&topo, 0.6, INTERVAL, 12, &[], 5);
+        assert!(
+            !outcome.false_suspicions.is_empty(),
+            "heavy loss should break the naive detector"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Gossip-style heartbeat detector (van Renesse et al., the paper's
+//! reference \[11\]), adapted to the broadcast medium.
+//!
+//! Every node keeps a heartbeat-counter table covering every node it
+//! has ever heard of. Each interval it increments its own counter and
+//! broadcasts the whole table; receivers merge entry-wise maxima, so
+//! information diffuses one hop per interval. An entry is suspected
+//! once it has not increased for `suspicion_threshold` intervals —
+//! which must therefore exceed the network diameter in hops, or
+//! distant nodes are falsely suspected by construction.
+
+use crate::common::{completeness_of, BaselineOutcome, CrashAt};
+use cbfd_net::actor::{Actor, Ctx, TimerToken};
+use cbfd_net::id::NodeId;
+use cbfd_net::radio::RadioConfig;
+use cbfd_net::sim::Simulator;
+use cbfd_net::time::{SimDuration, SimTime};
+use cbfd_net::topology::Topology;
+use std::collections::BTreeMap;
+
+/// A gossiped heartbeat-counter table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipMsg {
+    /// `(node, heartbeat counter)` entries known to the sender.
+    pub table: Vec<(NodeId, u64)>,
+}
+
+const EPOCH_TIMER: TimerToken = TimerToken(0);
+
+/// The gossip detector on one node.
+#[derive(Debug)]
+pub struct GossipNode {
+    me: NodeId,
+    interval: SimDuration,
+    suspicion_threshold: u64,
+    epoch: u64,
+    /// Highest counter seen per node.
+    counters: BTreeMap<NodeId, u64>,
+    /// Local interval at which each counter last increased.
+    freshened: BTreeMap<NodeId, u64>,
+    /// First interval at which each node became suspected.
+    first_suspected: BTreeMap<NodeId, u64>,
+}
+
+impl GossipNode {
+    /// Creates the detector with the given gossip `interval` and
+    /// staleness threshold (in intervals).
+    pub fn new(me: NodeId, interval: SimDuration, suspicion_threshold: u64) -> Self {
+        GossipNode {
+            me,
+            interval,
+            suspicion_threshold,
+            epoch: 0,
+            counters: BTreeMap::new(),
+            freshened: BTreeMap::new(),
+            first_suspected: BTreeMap::new(),
+        }
+    }
+
+    /// Nodes currently suspected.
+    pub fn suspected(&self) -> Vec<NodeId> {
+        self.first_suspected.keys().copied().collect()
+    }
+
+    /// The interval at which `node` was first suspected.
+    pub fn suspected_since(&self, node: NodeId) -> Option<u64> {
+        self.first_suspected.get(&node).copied()
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, GossipMsg>) {
+        for (&node, &last) in &self.freshened {
+            if self.epoch.saturating_sub(last) > self.suspicion_threshold {
+                self.first_suspected.entry(node).or_insert(self.epoch);
+            } else {
+                self.first_suspected.remove(&node);
+            }
+        }
+        let own = self.counters.entry(self.me).or_insert(0);
+        *own += 1;
+        self.freshened.insert(self.me, self.epoch);
+        ctx.broadcast(GossipMsg {
+            table: self.counters.iter().map(|(n, c)| (*n, *c)).collect(),
+        });
+        self.epoch += 1;
+        ctx.set_timer(self.interval, EPOCH_TIMER);
+    }
+}
+
+impl Actor for GossipNode {
+    type Msg = GossipMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GossipMsg>) {
+        self.tick(ctx);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, GossipMsg>, _from: NodeId, msg: GossipMsg) {
+        for (node, counter) in msg.table {
+            if node == self.me {
+                continue;
+            }
+            let entry = self.counters.entry(node).or_insert(0);
+            if counter > *entry {
+                *entry = counter;
+                self.freshened.insert(node, self.epoch);
+            } else {
+                self.freshened.entry(node).or_insert(self.epoch);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GossipMsg>, _token: TimerToken) {
+        self.tick(ctx);
+    }
+}
+
+/// Runs the gossip detector and evaluates the common outcome.
+///
+/// `suspicion_threshold` should exceed the hop diameter of the
+/// topology; [`suggested_threshold`] derives one.
+pub fn run(
+    topology: &Topology,
+    p: f64,
+    interval: SimDuration,
+    epochs: u64,
+    suspicion_threshold: u64,
+    crashes: &[CrashAt],
+    seed: u64,
+) -> BaselineOutcome {
+    let mut sim = Simulator::new(topology.clone(), RadioConfig::bernoulli(p), seed, |id| {
+        GossipNode::new(id, interval, suspicion_threshold)
+    });
+    let mut crash_epochs: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for c in crashes {
+        let at =
+            SimTime::ZERO + interval * c.epoch + SimDuration::from_micros(interval.as_micros() / 2);
+        sim.schedule_crash(c.node, at);
+        crash_epochs.entry(c.node).or_insert(c.epoch);
+    }
+    sim.run_until(SimTime::ZERO + interval * epochs - SimDuration::from_micros(1));
+
+    let crashed: Vec<NodeId> = crash_epochs.keys().copied().collect();
+    let mut false_suspicions = Vec::new();
+    let mut detection_latency: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let mut observers = Vec::new();
+    for (id, node) in sim.actors() {
+        if !sim.is_alive(id) {
+            continue;
+        }
+        let suspected = node.suspected();
+        for s in &suspected {
+            match crash_epochs.get(s) {
+                Some(&crash_epoch) => {
+                    let latency = node
+                        .suspected_since(*s)
+                        .unwrap_or(crash_epoch)
+                        .saturating_sub(crash_epoch);
+                    detection_latency
+                        .entry(*s)
+                        .and_modify(|l| *l = (*l).min(latency))
+                        .or_insert(latency);
+                }
+                None => false_suspicions.push((id, *s)),
+            }
+        }
+        observers.push((id, suspected));
+    }
+    let (completeness, _) = completeness_of(&observers, &crashed);
+    BaselineOutcome {
+        epochs,
+        crashed,
+        false_suspicions,
+        completeness,
+        detection_latency,
+        metrics: sim.metrics().clone(),
+    }
+}
+
+/// A staleness threshold that tolerates the topology's diffusion
+/// delay: the hop-diameter plus slack.
+pub fn suggested_threshold(topology: &Topology) -> u64 {
+    let mut diameter = 0usize;
+    // Diameter over a sample of sources keeps this O(k·E).
+    for source in topology.node_ids().take(8) {
+        for target in topology.node_ids() {
+            if let Some(d) = topology.hop_distance(source, target) {
+                diameter = diameter.max(d);
+            }
+        }
+    }
+    diameter as u64 + 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::geometry::Point;
+
+    const INTERVAL: SimDuration = SimDuration::from_millis(100);
+
+    fn line(n: usize, spacing: f64) -> Topology {
+        let pts = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        Topology::from_positions(pts, 100.0)
+    }
+
+    #[test]
+    fn quiet_lossless_run_is_clean() {
+        let topo = line(6, 60.0);
+        let threshold = suggested_threshold(&topo);
+        let outcome = run(&topo, 0.0, INTERVAL, 15, threshold, &[], 1);
+        assert!(outcome.accurate(), "{:?}", outcome.false_suspicions);
+    }
+
+    #[test]
+    fn crash_eventually_suspected_by_all() {
+        let topo = line(6, 60.0);
+        let threshold = suggested_threshold(&topo);
+        let crashes = [CrashAt {
+            epoch: 2,
+            node: NodeId(5),
+        }];
+        let outcome = run(&topo, 0.0, INTERVAL, 25, threshold, &crashes, 2);
+        assert_eq!(outcome.completeness, 1.0);
+        // Gossip latency includes the staleness threshold.
+        let latency = outcome.detection_latency[&NodeId(5)];
+        assert!(latency >= threshold, "latency {latency} < threshold");
+    }
+
+    #[test]
+    fn low_threshold_misfires_under_loss() {
+        // Once the counter pipeline fills, every interval refreshes
+        // every entry — but a tight threshold tolerates at most one
+        // consecutive loss, so at p = 0.3 distant, healthy nodes get
+        // suspected. The cluster-based design avoids this by keeping
+        // judgement local and adding digest redundancy.
+        let topo = line(10, 90.0);
+        let outcome = run(&topo, 0.3, INTERVAL, 20, 1, &[], 3);
+        assert!(!outcome.false_suspicions.is_empty());
+    }
+
+    #[test]
+    fn gossip_message_count_is_linear() {
+        let topo = line(10, 60.0);
+        let threshold = suggested_threshold(&topo);
+        let outcome = run(&topo, 0.0, INTERVAL, 10, threshold, &[], 4);
+        let rate = outcome.tx_per_node_interval(10);
+        assert!(
+            (0.9..1.1).contains(&rate),
+            "one gossip per node per interval, got {rate}"
+        );
+    }
+
+    #[test]
+    fn suggested_threshold_tracks_diameter() {
+        let short = suggested_threshold(&line(3, 60.0));
+        let long = suggested_threshold(&line(12, 90.0));
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline failure detectors for comparison with the cluster-based
+//! FDS.
+//!
+//! The paper motivates its design against the obvious alternatives on
+//! large, dense, lossy ad hoc networks; this crate implements three of
+//! them over the same `cbfd-net` substrate so the trade-offs can be
+//! measured rather than asserted:
+//!
+//! * [`flood`] — **flat flooding**: every heartbeat is flooded
+//!   network-wide and every node judges every other node. Maximal
+//!   information, `O(n²)` transmissions per interval.
+//! * [`gossip`] — a **gossip-style detector** in the spirit of van
+//!   Renesse et al. (the paper's reference \[11\]): nodes maintain
+//!   heartbeat counter tables that diffuse one hop per interval;
+//!   suspicion after a staleness timeout.
+//! * [`central`] — a **base-station detector**: heartbeats
+//!   converge-cast along a spanning tree to one collector, which
+//!   detects failures and floods verdicts back out.
+//! * [`swim`] — a **SWIM-style detector** (randomized ping /
+//!   ping-req probing with suspicion timeouts and piggybacked
+//!   dissemination), the modern reference point for scalable
+//!   membership services.
+//!
+//! All three expose the same [`BaselineOutcome`] so the bench harness
+//! can tabulate accuracy, completeness, latency, and message cost
+//! side by side with the cluster-based service (experiment E6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod central;
+pub mod common;
+pub mod flood;
+pub mod gossip;
+pub mod swim;
+
+pub use common::{BaselineOutcome, CrashAt};

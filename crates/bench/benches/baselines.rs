@@ -1,0 +1,82 @@
+//! Benchmarks comparing one detection interval of the cluster-based
+//! FDS against the baseline detectors on the same 200-node field —
+//! the runtime-cost side of experiment E6.
+
+use cbfd_baselines::{central, flood, gossip, swim};
+use cbfd_cluster::FormationConfig;
+use cbfd_core::config::FdsConfig;
+use cbfd_core::service::Experiment;
+use cbfd_net::geometry::Rect;
+use cbfd_net::placement::Placement;
+use cbfd_net::time::SimDuration;
+use cbfd_net::topology::Topology;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let pts = Placement::UniformRect(Rect::square(700.0)).generate(200, &mut rng);
+    let topology = Topology::from_positions(pts, 100.0);
+    let interval = SimDuration::from_secs(1);
+    let p = 0.15;
+
+    let mut group = c.benchmark_group("detectors_one_interval");
+    group.sample_size(20);
+
+    let experiment = Experiment::new(
+        topology.clone(),
+        FdsConfig::default(),
+        FormationConfig::default(),
+    );
+    group.bench_function("cbfd", |b| {
+        b.iter(|| black_box(experiment.run(p, 1, &[], 7).metrics.transmissions))
+    });
+
+    group.bench_function("flooding", |b| {
+        b.iter(|| {
+            black_box(
+                flood::run(&topology, p, interval, 1, &[], 7)
+                    .metrics
+                    .transmissions,
+            )
+        })
+    });
+
+    let threshold = gossip::suggested_threshold(&topology);
+    group.bench_function("gossip", |b| {
+        b.iter(|| {
+            black_box(
+                gossip::run(&topology, p, interval, 1, threshold, &[], 7)
+                    .metrics
+                    .transmissions,
+            )
+        })
+    });
+
+    group.bench_function("base_station", |b| {
+        b.iter(|| {
+            black_box(
+                central::run(&topology, p, interval, 1, 2, &[], 7)
+                    .metrics
+                    .transmissions,
+            )
+        })
+    });
+
+    group.bench_function("swim", |b| {
+        b.iter(|| {
+            black_box(
+                swim::run(&topology, p, interval, 1, 4, &[], 7)
+                    .metrics
+                    .transmissions,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks for regenerating Figure 5: the closed form, the paper's
+//! double sum, and the conditional Monte Carlo estimator.
+
+use cbfd_analysis::{false_detection, geometry, montecarlo, series};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+
+    group.bench_function("closed_form_full_series", |b| {
+        b.iter(|| {
+            let pts = series::fig5();
+            black_box(pts.len())
+        })
+    });
+
+    group.bench_function("paper_sum_n100_p05", |b| {
+        b.iter(|| {
+            black_box(false_detection::paper_sum(
+                black_box(100),
+                black_box(0.5),
+                geometry::worst_case_an_fraction(),
+            ))
+        })
+    });
+
+    group.bench_function("closed_form_n100_p05", |b| {
+        b.iter(|| black_box(false_detection::worst_case(black_box(100), black_box(0.5))))
+    });
+
+    group.bench_function("conditional_mc_1k_trials", |b| {
+        b.iter(|| black_box(montecarlo::false_detection(100, 0.5, 1_000, 7).mean))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

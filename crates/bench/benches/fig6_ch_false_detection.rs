@@ -1,0 +1,36 @@
+//! Benchmarks for regenerating Figure 6: the CH-false-detection
+//! measure and its displaced-deputy variant.
+
+use cbfd_analysis::{ch_false_detection, montecarlo, series};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+
+    group.bench_function("closed_form_full_series", |b| {
+        b.iter(|| {
+            let pts = series::fig6();
+            black_box(pts.len())
+        })
+    });
+
+    group.bench_function("displaced_dch_n100_p05", |b| {
+        b.iter(|| {
+            black_box(ch_false_detection::probability_at_distance(
+                black_box(100),
+                black_box(0.5),
+                black_box(0.5),
+            ))
+        })
+    });
+
+    group.bench_function("conditional_mc_1k_trials", |b| {
+        b.iter(|| black_box(montecarlo::ch_false_detection(100, 0.5, 0.5, 1_000, 7).mean))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks for regenerating Figure 7: the incompleteness measure,
+//! its binomial sum, and the average-case marginalization.
+
+use cbfd_analysis::{incompleteness, montecarlo, series};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+
+    group.bench_function("closed_form_full_series", |b| {
+        b.iter(|| {
+            let pts = series::fig7();
+            black_box(pts.len())
+        })
+    });
+
+    group.bench_function("binomial_sum_n100_p05", |b| {
+        b.iter(|| {
+            black_box(incompleteness::binomial_sum(
+                black_box(100),
+                black_box(0.5),
+                black_box(0.391),
+            ))
+        })
+    });
+
+    group.bench_function("average_case_n100_p05", |b| {
+        b.iter(|| black_box(incompleteness::average_case(black_box(100), black_box(0.5))))
+    });
+
+    group.bench_function("conditional_mc_1k_trials", |b| {
+        b.iter(|| black_box(montecarlo::incompleteness(100, 0.5, 1_000, 7).mean))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks for cluster formation: the geometric oracle and the
+//! distributed (in-simulator) protocol at increasing population sizes.
+
+use cbfd_cluster::{oracle, protocol, FormationConfig};
+use cbfd_net::geometry::Rect;
+use cbfd_net::placement::Placement;
+use cbfd_net::radio::RadioConfig;
+use cbfd_net::time::SimDuration;
+use cbfd_net::topology::Topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn field(seed: u64, n: usize) -> Topology {
+    // Constant density: scale the field with the population.
+    let side = 100.0 * (n as f64 / 0.6).sqrt() / 10.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts = Placement::UniformRect(Rect::square(side.max(200.0))).generate(n, &mut rng);
+    Topology::from_positions(pts, 100.0)
+}
+
+fn bench_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formation");
+
+    for &n in &[100usize, 500, 1_000] {
+        let topology = field(7, n);
+        group.bench_with_input(BenchmarkId::new("oracle", n), &topology, |b, topo| {
+            b.iter(|| {
+                let view = oracle::form(black_box(topo), &FormationConfig::default());
+                black_box(view.cluster_count())
+            })
+        });
+    }
+
+    let topology = field(7, 200);
+    group.bench_function("distributed_protocol_200_nodes", |b| {
+        b.iter(|| {
+            let view = protocol::run_formation(
+                black_box(&topology),
+                RadioConfig::lossless(),
+                &FormationConfig::default(),
+                SimDuration::from_millis(10),
+                6,
+                7,
+            );
+            black_box(view.cluster_count())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_formation);
+criterion_main!(benches);

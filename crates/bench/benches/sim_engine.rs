@@ -1,0 +1,71 @@
+//! Benchmarks for the discrete-event engine and the full FDS epoch
+//! loop: how many simulated heartbeat intervals per second the
+//! substrate sustains at paper scale.
+
+use cbfd_cluster::FormationConfig;
+use cbfd_core::config::FdsConfig;
+use cbfd_core::service::Experiment;
+use cbfd_net::geometry::{Point, Rect};
+use cbfd_net::placement::Placement;
+use cbfd_net::topology::Topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn analysis_cluster(n: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = Point::new(0.0, 0.0);
+    let mut positions = vec![center];
+    positions.extend(
+        Placement::UniformDisk {
+            center,
+            radius: 100.0,
+        }
+        .generate(n - 1, &mut rng),
+    );
+    Topology::from_positions(positions, 100.0)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+
+    for &n in &[50usize, 100] {
+        let experiment = Experiment::new(
+            analysis_cluster(n, 3),
+            FdsConfig::default(),
+            FormationConfig::default(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fds_epoch_single_cluster", n),
+            &experiment,
+            |b, exp| {
+                b.iter(|| {
+                    let outcome = exp.run(black_box(0.1), 1, &[], 7);
+                    black_box(outcome.metrics.transmissions)
+                })
+            },
+        );
+    }
+
+    // A multi-cluster field: 300 nodes over 800 m.
+    let mut rng = StdRng::seed_from_u64(9);
+    let pts = Placement::UniformRect(Rect::square(800.0)).generate(300, &mut rng);
+    let field = Experiment::new(
+        Topology::from_positions(pts, 100.0),
+        FdsConfig::default(),
+        FormationConfig::default(),
+    );
+    group.bench_function("fds_epoch_300_node_field", |b| {
+        b.iter(|| {
+            let outcome = field.run(black_box(0.1), 1, &[], 7);
+            black_box(outcome.metrics.transmissions)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

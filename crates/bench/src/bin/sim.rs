@@ -1,0 +1,171 @@
+//! A command-line driver for one-off FDS experiments.
+//!
+//! ```sh
+//! cargo run --release -p cbfd-bench --bin sim -- \
+//!     --nodes 300 --side 800 --p 0.15 --epochs 12 --crashes 3 --seed 7
+//! ```
+//!
+//! Prints the formed architecture, the injected crashes, and the full
+//! outcome (accuracy, completeness, latency, traffic, energy).
+
+use cbfd_cluster::FormationConfig;
+use cbfd_core::config::FdsConfig;
+use cbfd_core::service::{Experiment, PlannedCrash};
+use cbfd_net::geometry::Rect;
+use cbfd_net::placement::Placement;
+use cbfd_net::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug)]
+struct Args {
+    nodes: usize,
+    side: f64,
+    range: f64,
+    p: f64,
+    epochs: u64,
+    crashes: usize,
+    seed: u64,
+    no_digests: bool,
+    no_peer_forwarding: bool,
+    no_bgw: bool,
+    aggregation: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            nodes: 200,
+            side: 700.0,
+            range: 100.0,
+            p: 0.1,
+            epochs: 10,
+            crashes: 2,
+            seed: 7,
+            no_digests: false,
+            no_peer_forwarding: false,
+            no_bgw: false,
+            aggregation: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--side" => args.side = value("--side")?.parse().map_err(|e| format!("{e}"))?,
+            "--range" => args.range = value("--range")?.parse().map_err(|e| format!("{e}"))?,
+            "--p" => args.p = value("--p")?.parse().map_err(|e| format!("{e}"))?,
+            "--epochs" => args.epochs = value("--epochs")?.parse().map_err(|e| format!("{e}"))?,
+            "--crashes" => {
+                args.crashes = value("--crashes")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--no-digests" => args.no_digests = true,
+            "--no-peer-forwarding" => args.no_peer_forwarding = true,
+            "--no-bgw" => args.no_bgw = true,
+            "--aggregation" => args.aggregation = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: sim [--nodes N] [--side M] [--range M] [--p P] [--epochs E] \
+                     [--crashes K] [--seed S] [--no-digests] [--no-peer-forwarding] \
+                     [--no-bgw] [--aggregation]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(0.0..=1.0).contains(&args.p) {
+        return Err("--p must be in [0, 1]".into());
+    }
+    if args.nodes == 0 || args.epochs == 0 {
+        return Err("--nodes and --epochs must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let positions = Placement::UniformRect(Rect::square(args.side)).generate(args.nodes, &mut rng);
+    let topology = Topology::from_positions(positions, args.range);
+    println!(
+        "{} nodes on a {:.0} m field, range {:.0} m, mean degree {:.1}, {} isolated",
+        args.nodes,
+        args.side,
+        args.range,
+        topology.mean_degree(),
+        topology.isolated_nodes().len()
+    );
+
+    let config = FdsConfig {
+        digest_round: !args.no_digests,
+        peer_forwarding: !args.no_peer_forwarding,
+        bgw_assist: !args.no_bgw,
+        aggregation: args.aggregation,
+        ..FdsConfig::default()
+    };
+    let experiment = Experiment::new(topology, config, FormationConfig::default());
+    let view = experiment.view();
+    println!(
+        "{} clusters ({} backbone component(s)), {} gateway links",
+        view.cluster_count(),
+        view.backbone_components().len(),
+        view.gateway_links().count()
+    );
+
+    // Crash ordinary members from distinct clusters, one per epoch.
+    let victims: Vec<PlannedCrash> = view
+        .clusters()
+        .filter_map(|c| c.non_head_members().next())
+        .take(args.crashes)
+        .enumerate()
+        .map(|(i, node)| PlannedCrash {
+            epoch: 1 + i as u64 % args.epochs.saturating_sub(2).max(1),
+            node,
+        })
+        .collect();
+    for c in &victims {
+        println!("crash: {} at epoch {}", c.node, c.epoch);
+    }
+
+    let outcome = experiment.run(args.p, args.epochs, &victims, args.seed);
+
+    println!("\noutcome after {} epochs at p = {}:", args.epochs, args.p);
+    println!(
+        "  accuracy: {} false detections",
+        outcome.false_detections.len()
+    );
+    println!(
+        "  completeness: {:.4} ({} pairs missing)",
+        outcome.completeness,
+        outcome.missed.len()
+    );
+    for (node, latency) in &outcome.detection_latency {
+        println!("  {node} detected after {latency} epoch(s)");
+    }
+    println!(
+        "  traffic: {} tx ({:.2}/node/epoch), {} bytes, delivery ratio {:.3}",
+        outcome.metrics.transmissions,
+        outcome.metrics.transmissions as f64 / (args.nodes as f64 * args.epochs as f64),
+        outcome.bytes,
+        outcome.metrics.delivery_ratio()
+    );
+    println!(
+        "  recovery: {} peer forwards, {} reports, {} retransmissions, {} update misses",
+        outcome.peer_forwards, outcome.reports, outcome.retransmissions, outcome.update_misses
+    );
+    println!("  energy imbalance: {:.2}", outcome.energy_imbalance);
+}

@@ -1,0 +1,2 @@
+//! Shared helpers for the CBFD benchmark harness (see the `benches/`
+//! directory and the `figures` binary).

@@ -1,0 +1,313 @@
+//! Validation of the structural guarantees F1–F4.
+//!
+//! [`check`] verifies that a [`ClusterView`] satisfies every property
+//! the paper's formation algorithm promises; formation implementations
+//! and property tests run it on their outputs.
+
+use crate::view::ClusterView;
+use cbfd_net::id::NodeId;
+use cbfd_net::topology::Topology;
+use std::fmt;
+
+/// A violated structural guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// A member of a cluster is not a one-hop neighbour of its head.
+    MemberOutOfHeadRange {
+        /// The offending member.
+        member: NodeId,
+        /// Its clusterhead.
+        head: NodeId,
+    },
+    /// A node's affiliation does not match the member list of its
+    /// cluster (or points to a non-existent cluster).
+    InconsistentAffiliation {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node appears in the member list of more than one cluster
+    /// (violates F3's unique affiliation).
+    MultipleAffiliation {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A gateway or backup gateway cannot hear both heads it is
+    /// supposed to connect (violates F1's overlap guarantee).
+    GatewayOutOfRange {
+        /// The offending (backup) gateway.
+        gateway: NodeId,
+    },
+    /// A deputy is not a non-head member of its cluster (violates the
+    /// F2 election contract).
+    BadDeputy {
+        /// The offending deputy.
+        deputy: NodeId,
+    },
+    /// A non-isolated node was left out of every cluster even though
+    /// formation completed.
+    UncoveredNode {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::MemberOutOfHeadRange { member, head } => {
+                write!(f, "member {member} cannot hear its head {head}")
+            }
+            InvariantViolation::InconsistentAffiliation { node } => {
+                write!(f, "affiliation of {node} disagrees with cluster membership")
+            }
+            InvariantViolation::MultipleAffiliation { node } => {
+                write!(f, "{node} is a member of more than one cluster (F3)")
+            }
+            InvariantViolation::GatewayOutOfRange { gateway } => {
+                write!(f, "gateway {gateway} cannot hear both heads (F1)")
+            }
+            InvariantViolation::BadDeputy { deputy } => {
+                write!(f, "deputy {deputy} is not a valid member (F2)")
+            }
+            InvariantViolation::UncoveredNode { node } => {
+                write!(f, "non-isolated node {node} is unaffiliated")
+            }
+        }
+    }
+}
+
+/// Checks all structural invariants of `view` against `topology`.
+/// Returns every violation found (empty means the view is sound).
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_cluster::{invariants, oracle, FormationConfig};
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::topology::Topology;
+///
+/// let positions = (0..8).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+/// let topology = Topology::from_positions(positions, 100.0);
+/// let view = oracle::form(&topology, &FormationConfig::default());
+/// assert!(invariants::check(&topology, &view).is_empty());
+/// ```
+pub fn check(topology: &Topology, view: &ClusterView) -> Vec<InvariantViolation> {
+    check_excluding(topology, view, &[])
+}
+
+/// Like [`check`], but treats the nodes in `dead` as failed: they are
+/// exempt from the coverage requirement (a crashed host is legitimately
+/// unaffiliated) while every structural property of the surviving
+/// clustering is still enforced.
+pub fn check_excluding(
+    topology: &Topology,
+    view: &ClusterView,
+    dead: &[NodeId],
+) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    let mut membership_count = vec![0usize; topology.len()];
+
+    for cluster in view.clusters() {
+        let head = cluster.head();
+        for member in cluster.members() {
+            membership_count[member.index()] += 1;
+            if *member != head && !topology.linked(*member, head) {
+                violations.push(InvariantViolation::MemberOutOfHeadRange {
+                    member: *member,
+                    head,
+                });
+            }
+            if view.cluster_of(*member) != Some(cluster.id()) {
+                violations.push(InvariantViolation::InconsistentAffiliation { node: *member });
+            }
+        }
+        for deputy in cluster.deputies() {
+            if *deputy == head || !cluster.contains(*deputy) {
+                violations.push(InvariantViolation::BadDeputy { deputy: *deputy });
+            }
+        }
+    }
+
+    for node in topology.node_ids() {
+        let count = membership_count[node.index()];
+        if count > 1 {
+            violations.push(InvariantViolation::MultipleAffiliation { node });
+        }
+        match view.cluster_of(node) {
+            Some(_) if count == 0 => {
+                violations.push(InvariantViolation::InconsistentAffiliation { node });
+            }
+            None if count > 0 => {
+                violations.push(InvariantViolation::InconsistentAffiliation { node });
+            }
+            None if topology.degree(node) > 0 && !dead.contains(&node) => {
+                violations.push(InvariantViolation::UncoveredNode { node });
+            }
+            _ => {}
+        }
+    }
+
+    for (pair, link) in view.gateway_links() {
+        let (a, b) = pair.endpoints();
+        let (Some(ca), Some(cb)) = (view.cluster(a), view.cluster(b)) else {
+            continue;
+        };
+        for gw in link.all() {
+            if !topology.linked(gw, ca.head()) || !topology.linked(gw, cb.head()) {
+                violations.push(InvariantViolation::GatewayOutOfRange { gateway: gw });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::oracle;
+    use crate::view::{ClusterPair, GatewayLink};
+    use crate::FormationConfig;
+    use cbfd_net::geometry::{Point, Rect};
+    use cbfd_net::id::ClusterId;
+    use cbfd_net::placement::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn random_topology(seed: u64, n: usize, side: f64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = Placement::UniformRect(Rect::square(side)).generate(n, &mut rng);
+        Topology::from_positions(pts, 100.0)
+    }
+
+    #[test]
+    fn oracle_formation_is_sound_on_random_fields() {
+        for seed in 0..10 {
+            let topo = random_topology(seed, 120, 600.0);
+            let view = oracle::form(&topo, &FormationConfig::default());
+            let violations = check(&topo, &view);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn detects_member_out_of_range() {
+        let topo =
+            Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(300.0, 0.0)], 100.0);
+        // Deliberately broken: node 1 claimed as member though out of
+        // range (and itself uncovered per its own affiliation).
+        let c = Cluster::new(NodeId(0), vec![NodeId(0), NodeId(1)], vec![]);
+        let cid = c.id();
+        let mut clusters = BTreeMap::new();
+        clusters.insert(cid, c);
+        let view = ClusterView::from_parts(clusters, vec![Some(cid), Some(cid)], BTreeMap::new());
+        let violations = check(&topo, &view);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::MemberOutOfHeadRange { member, .. } if *member == NodeId(1))));
+    }
+
+    #[test]
+    fn detects_multiple_affiliation() {
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(100.0, 0.0),
+            ],
+            100.0,
+        );
+        let a = Cluster::new(NodeId(0), vec![NodeId(0), NodeId(1)], vec![]);
+        let b = Cluster::new(NodeId(2), vec![NodeId(2), NodeId(1)], vec![]);
+        let (ca, cb) = (a.id(), b.id());
+        let mut clusters = BTreeMap::new();
+        clusters.insert(ca, a);
+        clusters.insert(cb, b);
+        let view = ClusterView::from_parts(
+            clusters,
+            vec![Some(ca), Some(ca), Some(cb)],
+            BTreeMap::new(),
+        );
+        let violations = check(&topo, &view);
+        assert!(violations.iter().any(
+            |v| matches!(v, InvariantViolation::MultipleAffiliation { node } if *node == NodeId(1))
+        ));
+    }
+
+    #[test]
+    fn detects_uncovered_node() {
+        let topo =
+            Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)], 100.0);
+        let view = ClusterView::from_parts(BTreeMap::new(), vec![None, None], BTreeMap::new());
+        let violations = check(&topo, &view);
+        assert_eq!(
+            violations
+                .iter()
+                .filter(|v| matches!(v, InvariantViolation::UncoveredNode { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn detects_gateway_out_of_range() {
+        // Clusters at 0 and 400; "gateway" node 1 is at 50, out of
+        // range of head 2 at 400.
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(400.0, 0.0),
+            ],
+            100.0,
+        );
+        let a = Cluster::new(NodeId(0), vec![NodeId(0), NodeId(1)], vec![]);
+        let b = Cluster::new(NodeId(2), vec![NodeId(2)], vec![]);
+        let (ca, cb) = (a.id(), b.id());
+        let mut clusters = BTreeMap::new();
+        clusters.insert(ca, a);
+        clusters.insert(cb, b);
+        let mut gateways = BTreeMap::new();
+        gateways.insert(
+            ClusterPair::new(ca, cb),
+            GatewayLink {
+                primary: NodeId(1),
+                backups: vec![],
+            },
+        );
+        let view = ClusterView::from_parts(clusters, vec![Some(ca), Some(ca), Some(cb)], gateways);
+        let violations = check(&topo, &view);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::GatewayOutOfRange { gateway } if *gateway == NodeId(1))));
+    }
+
+    #[test]
+    fn violations_display_mentions_node() {
+        let v = InvariantViolation::UncoveredNode { node: NodeId(5) };
+        assert!(v.to_string().contains("n5"));
+        let v = InvariantViolation::GatewayOutOfRange { gateway: NodeId(3) };
+        assert!(v.to_string().contains("F1"));
+    }
+
+    #[test]
+    fn isolated_node_is_not_a_violation() {
+        let topo =
+            Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(9_999.0, 0.0)], 100.0);
+        let view = oracle::form(&topo, &FormationConfig::default());
+        assert!(check(&topo, &view).is_empty());
+    }
+
+    #[test]
+    fn cluster_id_of_unknown_cluster_is_inconsistent() {
+        let topo = Topology::from_positions(vec![Point::new(0.0, 0.0)], 100.0);
+        let bogus = ClusterId::of(NodeId(42));
+        let view = ClusterView::from_parts(BTreeMap::new(), vec![Some(bogus)], BTreeMap::new());
+        let violations = check(&topo, &view);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::InconsistentAffiliation { .. })));
+    }
+}

@@ -1,0 +1,441 @@
+//! Cluster maintenance after failures and arrivals.
+//!
+//! Formation is open-ended (F4): newly arriving hosts are admitted by
+//! further iterations ([`oracle::extend`]).
+//! This module provides the complementary operations the failure
+//! detection service needs once failures are *detected*: removing
+//! failed members, promoting deputies after clusterhead failures, and
+//! re-electing gateway links that the failure invalidated.
+
+use crate::oracle;
+use crate::view::ClusterView;
+use crate::FormationConfig;
+use cbfd_net::id::{ClusterId, NodeId};
+use cbfd_net::topology::Topology;
+use std::collections::BTreeMap;
+
+/// The outcome of applying one detected failure to a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureOutcome {
+    /// An ordinary member (or gateway/deputy) was removed.
+    MemberRemoved,
+    /// The clusterhead failed and `new_head` took over.
+    HeadReplaced {
+        /// The deputy promoted to clusterhead.
+        new_head: NodeId,
+    },
+    /// The clusterhead failed with no deputy left; the cluster
+    /// dissolved and its surviving members became unaffiliated (a
+    /// later formation iteration re-admits them).
+    ClusterDissolved,
+    /// The node was not affiliated with any cluster.
+    NotAMember,
+}
+
+/// Applies a detected failure of `failed` to `view`, returning the
+/// updated view and what happened.
+///
+/// Gateway links are re-elected from scratch, because the failure may
+/// have removed a primary gateway, a backup, or (after head
+/// replacement) changed which nodes can hear the head.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_cluster::{maintenance, oracle, FormationConfig};
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::id::NodeId;
+/// use cbfd_net::topology::Topology;
+///
+/// let positions = (0..6).map(|i| Point::new(i as f64 * 40.0, 0.0)).collect();
+/// let topology = Topology::from_positions(positions, 100.0);
+/// let config = FormationConfig::default();
+/// let view = oracle::form(&topology, &config);
+/// let (view, outcome) = maintenance::apply_failure(&topology, &config, &view, NodeId(5));
+/// assert_eq!(outcome, maintenance::FailureOutcome::MemberRemoved);
+/// assert!(view.cluster_of(NodeId(5)).is_none());
+/// ```
+pub fn apply_failure(
+    topology: &Topology,
+    config: &FormationConfig,
+    view: &ClusterView,
+    failed: NodeId,
+) -> (ClusterView, FailureOutcome) {
+    let Some(cid) = view.cluster_of(failed) else {
+        return (view.clone(), FailureOutcome::NotAMember);
+    };
+
+    let mut clusters: BTreeMap<ClusterId, _> =
+        view.clusters().map(|c| (c.id(), c.clone())).collect();
+    let mut affiliation: Vec<Option<ClusterId>> = (0..topology.len() as u32)
+        .map(|i| view.cluster_of(NodeId(i)))
+        .collect();
+    affiliation[failed.index()] = None;
+
+    let cluster = clusters
+        .get_mut(&cid)
+        .expect("affiliation points at a cluster");
+    let outcome = if cluster.head() == failed {
+        match cluster.promote_deputy() {
+            Some(new_head) => {
+                // Members out of the new head's range fall out of the
+                // cluster; open-ended formation will re-admit them.
+                let strays: Vec<NodeId> = cluster
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|m| *m != new_head && !topology.linked(*m, new_head))
+                    .collect();
+                for s in strays {
+                    cluster.remove_member(s);
+                    affiliation[s.index()] = None;
+                }
+                FailureOutcome::HeadReplaced { new_head }
+            }
+            None => {
+                for m in cluster.members().to_vec() {
+                    affiliation[m.index()] = None;
+                }
+                clusters.remove(&cid);
+                FailureOutcome::ClusterDissolved
+            }
+        }
+    } else {
+        cluster.remove_member(failed);
+        FailureOutcome::MemberRemoved
+    };
+
+    let gateways = oracle::elect_gateways(topology, &clusters, &affiliation, config);
+    (
+        ClusterView::from_parts(clusters, affiliation, gateways),
+        outcome,
+    )
+}
+
+/// Reconciles a clustering with a **moved** topology (host migration,
+/// Section 2.1): members that drifted out of their head's range are
+/// dropped, deputies are re-elected from the survivors, stranded and
+/// newly arrived hosts are re-admitted by an open-ended formation
+/// iteration, and gateway links are re-elected throughout.
+///
+/// Cluster identities are stable: a cluster persists as long as its
+/// head does, which is the cluster-stability property the paper cites
+/// from the clustering literature.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_cluster::{maintenance, oracle, FormationConfig};
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::topology::Topology;
+///
+/// let before = Topology::from_positions(
+///     vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)],
+///     100.0,
+/// );
+/// let config = FormationConfig::default();
+/// let view = oracle::form(&before, &config);
+/// // Node 1 wanders far away: after reconciliation it heads its own
+/// // cluster (it is out of range of everyone).
+/// let after = Topology::from_positions(
+///     vec![Point::new(0.0, 0.0), Point::new(400.0, 0.0)],
+///     100.0,
+/// );
+/// let view = maintenance::reconcile(&after, &config, &view);
+/// assert!(view.cluster_of(cbfd_net::id::NodeId(1)).is_none());
+/// ```
+pub fn reconcile(topology: &Topology, config: &FormationConfig, view: &ClusterView) -> ClusterView {
+    let mut affiliation: Vec<Option<ClusterId>> = vec![None; topology.len()];
+    let mut clusters: BTreeMap<ClusterId, crate::cluster::Cluster> = BTreeMap::new();
+
+    // Least-cluster-change head contention (the stable-clustering rule
+    // the paper cites): when motion brings two heads into mutual
+    // range, the higher-ID head abdicates and its cluster dissolves —
+    // the members rejoin by the open-ended iteration below. Without
+    // this, long runs fragment into ever more stale clusters.
+    let mut abdicated: Vec<ClusterId> = Vec::new();
+    let heads: Vec<NodeId> = view
+        .clusters()
+        .map(|c| c.head())
+        .filter(|h| h.index() < topology.len())
+        .collect();
+    for (i, a) in heads.iter().enumerate() {
+        for b in heads.iter().skip(i + 1) {
+            if topology.linked(*a, *b) {
+                let loser = (*a).max(*b);
+                if let Some(cid) = view.cluster_of(loser) {
+                    if view.cluster(cid).is_some_and(|c| c.head() == loser) {
+                        abdicated.push(cid);
+                    }
+                }
+            }
+        }
+    }
+
+    for cluster in view.clusters() {
+        let head = cluster.head();
+        if head.index() >= topology.len() || abdicated.contains(&cluster.id()) {
+            continue; // the head left the system or abdicated
+        }
+        let survivors: Vec<NodeId> = cluster
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| *m == head || (m.index() < topology.len() && topology.linked(*m, head)))
+            .collect();
+        let deputies = oracle::elect_deputies(topology, head, &survivors, config.max_deputies);
+        for m in &survivors {
+            affiliation[m.index()] = Some(cluster.id());
+        }
+        clusters.insert(
+            cluster.id(),
+            crate::cluster::Cluster::new(head, survivors, deputies),
+        );
+    }
+
+    let gateways = oracle::elect_gateways(topology, &clusters, &affiliation, config);
+    let reconciled = ClusterView::from_parts(clusters, affiliation, gateways);
+    // Open-ended iteration (F4) re-admits everyone who fell out.
+    oracle::extend(topology, config, &reconciled)
+}
+
+/// Applies a batch of detected failures in ID order.
+pub fn apply_failures(
+    topology: &Topology,
+    config: &FormationConfig,
+    view: &ClusterView,
+    failed: &[NodeId],
+) -> ClusterView {
+    let mut sorted: Vec<NodeId> = failed.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut current = view.clone();
+    for f in sorted {
+        current = apply_failure(topology, config, &current, f).0;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants;
+    use cbfd_net::geometry::{Point, Rect};
+    use cbfd_net::placement::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_topology(seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = Placement::UniformRect(Rect::square(400.0)).generate(120, &mut rng);
+        Topology::from_positions(pts, 100.0)
+    }
+
+    #[test]
+    fn member_failure_removes_from_cluster() {
+        let topo = dense_topology(1);
+        let config = FormationConfig::default();
+        let view = oracle::form(&topo, &config);
+        // Pick some ordinary (non-head) member.
+        let victim = view
+            .clusters()
+            .flat_map(|c| c.non_head_members().collect::<Vec<_>>())
+            .next()
+            .expect("dense field has non-head members");
+        let (after, outcome) = apply_failure(&topo, &config, &view, victim);
+        assert_eq!(outcome, FailureOutcome::MemberRemoved);
+        assert_eq!(after.cluster_of(victim), None);
+        let violations = invariants::check_excluding(&topo, &after, &[victim]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn head_failure_promotes_first_deputy() {
+        let topo = dense_topology(2);
+        let config = FormationConfig::default();
+        let view = oracle::form(&topo, &config);
+        let cluster = view
+            .clusters()
+            .find(|c| c.first_deputy().is_some())
+            .expect("dense field elects deputies");
+        let head = cluster.head();
+        let deputy = cluster.first_deputy().unwrap();
+        let cid = cluster.id();
+        let (after, outcome) = apply_failure(&topo, &config, &view, head);
+        assert_eq!(outcome, FailureOutcome::HeadReplaced { new_head: deputy });
+        let promoted = after.cluster(cid).expect("cluster survives");
+        assert_eq!(promoted.head(), deputy);
+        assert_eq!(after.cluster_of(head), None);
+    }
+
+    #[test]
+    fn head_failure_without_deputy_dissolves_cluster() {
+        // A two-node cluster with zero deputies allowed.
+        let topo =
+            Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)], 100.0);
+        let config = FormationConfig {
+            max_deputies: 0,
+            ..FormationConfig::default()
+        };
+        let view = oracle::form(&topo, &config);
+        let (after, outcome) = apply_failure(&topo, &config, &view, NodeId(0));
+        assert_eq!(outcome, FailureOutcome::ClusterDissolved);
+        assert_eq!(after.cluster_count(), 0);
+        assert_eq!(after.cluster_of(NodeId(1)), None);
+    }
+
+    #[test]
+    fn unknown_node_failure_is_a_noop() {
+        let topo =
+            Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(5_000.0, 0.0)], 100.0);
+        let config = FormationConfig::default();
+        let view = oracle::form(&topo, &config);
+        let (after, outcome) = apply_failure(&topo, &config, &view, NodeId(1));
+        assert_eq!(outcome, FailureOutcome::NotAMember);
+        assert_eq!(after, view);
+    }
+
+    #[test]
+    fn surviving_view_stays_invariant_sound() {
+        let topo = dense_topology(3);
+        let config = FormationConfig::default();
+        let mut view = oracle::form(&topo, &config);
+        // Kill five nodes one after another.
+        for victim in [7u32, 23, 41, 77, 102] {
+            view = apply_failure(&topo, &config, &view, NodeId(victim)).0;
+        }
+        let violations: Vec<_> = invariants::check(&topo, &view)
+            .into_iter()
+            // Nodes orphaned by head dissolution are expected
+            // "uncovered" until re-formation runs; everything else
+            // must hold.
+            .filter(|v| !matches!(v, invariants::InvariantViolation::UncoveredNode { .. }))
+            .collect();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn reformation_readmits_orphans() {
+        let topo = dense_topology(4);
+        let config = FormationConfig::default();
+        let view = oracle::form(&topo, &config);
+        let head = view.clusters().next().unwrap().head();
+        let (after, _) = apply_failure(&topo, &config, &view, head);
+        // Any orphans are re-admitted by an open-ended iteration. The
+        // failed head is still in the topology, so exclude it from the
+        // check (it would be re-admitted in reality it is dead; the
+        // FDS layer removes it from the admission set).
+        let extended = oracle::extend(&topo, &config, &after);
+        for orphan in after.unaffiliated_nodes() {
+            if orphan != head && topo.degree(orphan) > 0 {
+                assert!(extended.cluster_of(orphan).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_failures_match_sequential() {
+        let topo = dense_topology(5);
+        let config = FormationConfig::default();
+        let view = oracle::form(&topo, &config);
+        let victims = [NodeId(3), NodeId(50), NodeId(90)];
+        let batch = apply_failures(&topo, &config, &view, &victims);
+        let mut seq = view.clone();
+        for v in victims {
+            seq = apply_failure(&topo, &config, &seq, v).0;
+        }
+        assert_eq!(batch, seq);
+    }
+}
+
+#[cfg(test)]
+mod reconcile_tests {
+    use super::*;
+    use crate::invariants;
+    use crate::oracle;
+    use cbfd_net::geometry::Point;
+
+    #[test]
+    fn colliding_heads_merge_by_lcc() {
+        // Two clusters ({0,1} and {2,3}) whose heads drift into mutual
+        // range: the higher-ID head (2) abdicates and everyone joins
+        // the winner's cluster.
+        let before = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(300.0, 0.0),
+                Point::new(350.0, 0.0),
+            ],
+            100.0,
+        );
+        let config = FormationConfig::default();
+        let view = oracle::form(&before, &config);
+        assert_eq!(view.cluster_count(), 2);
+
+        let after = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(60.0, 0.0),
+                Point::new(80.0, 0.0),
+            ],
+            100.0,
+        );
+        let merged = reconcile(&after, &config, &view);
+        assert_eq!(merged.cluster_count(), 1, "LCC must merge the heads");
+        assert_eq!(
+            merged.cluster_of(NodeId(2)),
+            merged.cluster_of(NodeId(0)),
+            "the abdicated head joins the winner"
+        );
+        assert!(invariants::check(&after, &merged).is_empty());
+    }
+
+    #[test]
+    fn stable_heads_keep_their_clusters() {
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(300.0, 0.0),
+                Point::new(350.0, 0.0),
+            ],
+            100.0,
+        );
+        let config = FormationConfig::default();
+        let view = oracle::form(&topo, &config);
+        let same = reconcile(&topo, &config, &view);
+        assert_eq!(view, same, "no motion, no change");
+    }
+
+    #[test]
+    fn drifted_member_is_rehomed() {
+        // Member 1 drifts from cluster 0's disk into cluster 2's.
+        let before = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(300.0, 0.0),
+            ],
+            100.0,
+        );
+        let config = FormationConfig::default();
+        let view = oracle::form(&before, &config);
+        let after = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(260.0, 0.0),
+                Point::new(300.0, 0.0),
+            ],
+            100.0,
+        );
+        let rehomed = reconcile(&after, &config, &view);
+        assert_eq!(
+            rehomed.cluster_of(NodeId(1)),
+            rehomed.cluster_of(NodeId(2)),
+            "the drifted member must join the cluster it now overlaps"
+        );
+        assert!(invariants::check(&after, &rehomed).is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! Geometric ("oracle") cluster formation.
+//!
+//! Computes, from global topology knowledge, exactly the clustering
+//! that the distributed lowest-ID algorithm converges to on a
+//! loss-free channel. Formation proceeds in synchronous rounds, like
+//! the message-driven protocol: in each round every unmarked node that
+//! is a *local ID minimum* among the unmarked nodes of its
+//! neighbourhood declares itself clusterhead, and every other unmarked
+//! node that neighbours at least one new clusterhead joins the
+//! smallest such head. Rounds repeat until every non-isolated node is
+//! marked (each round marks at least the globally smallest unmarked
+//! node, so the loop terminates). Deputy clusterheads and
+//! gateway/backup-gateway assignments (features F1–F3 of the paper)
+//! are then derived per cluster and per neighbouring cluster pair.
+//!
+//! The oracle is what experiments use to set up the FDS quickly; the
+//! message-driven implementation in [`protocol`](crate::protocol) is
+//! verified to agree with it on lossless networks.
+
+use crate::cluster::Cluster;
+use crate::view::{ClusterPair, ClusterView, GatewayLink};
+use crate::FormationConfig;
+use cbfd_net::id::{ClusterId, NodeId};
+use cbfd_net::topology::Topology;
+use std::collections::BTreeMap;
+
+/// Runs a full formation over `topology`.
+///
+/// Degree-zero (isolated) hosts remain unaffiliated; every other host
+/// is admitted to exactly one cluster and every member is a one-hop
+/// neighbour of its clusterhead.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_cluster::{oracle, FormationConfig};
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::topology::Topology;
+///
+/// let positions = (0..10).map(|i| Point::new(i as f64 * 40.0, 0.0)).collect();
+/// let topology = Topology::from_positions(positions, 100.0);
+/// let view = oracle::form(&topology, &FormationConfig::default());
+/// assert!(view.unaffiliated_nodes().is_empty());
+/// ```
+pub fn form(topology: &Topology, config: &FormationConfig) -> ClusterView {
+    let affiliation = vec![None; topology.len()];
+    admit(topology, config, affiliation, BTreeMap::new())
+}
+
+/// Runs further formation iterations on a partially clustered network
+/// (feature F4): hosts already affiliated keep their clusters; every
+/// unmarked, non-isolated host is admitted, founding new clusters
+/// where necessary. Gateway links are recomputed for the whole view.
+pub fn extend(topology: &Topology, config: &FormationConfig, view: &ClusterView) -> ClusterView {
+    let affiliation: Vec<Option<ClusterId>> =
+        topology.node_ids().map(|n| view.cluster_of(n)).collect();
+    let clusters: BTreeMap<ClusterId, Cluster> =
+        view.clusters().map(|c| (c.id(), c.clone())).collect();
+    admit(topology, config, affiliation, clusters)
+}
+
+fn admit(
+    topology: &Topology,
+    config: &FormationConfig,
+    mut affiliation: Vec<Option<ClusterId>>,
+    mut clusters: BTreeMap<ClusterId, Cluster>,
+) -> ClusterView {
+    loop {
+        // Subscription pass (feature F5): an unmarked node inside an
+        // *established* cluster — i.e. within range of an existing
+        // head — joins that cluster rather than founding a new one;
+        // its heartbeat is its membership subscription. Ties go to
+        // the lowest head ID.
+        let mut subscribed = false;
+        for v in topology.node_ids() {
+            if affiliation[v.index()].is_some() {
+                continue;
+            }
+            let host = clusters
+                .values()
+                .filter(|c| topology.linked(v, c.head()))
+                .map(|c| c.id())
+                .min();
+            if let Some(cid) = host {
+                affiliation[v.index()] = Some(cid);
+                let cluster = clusters.get_mut(&cid).expect("cluster exists");
+                let mut members = cluster.members().to_vec();
+                members.push(v);
+                let head = cluster.head();
+                let deputies = elect_deputies(topology, head, &members, config.max_deputies);
+                *cluster = Cluster::new(head, members, deputies);
+                subscribed = true;
+            }
+        }
+
+        // Claim phase: unmarked local ID minima become clusterheads.
+        let claimants: Vec<NodeId> = topology
+            .node_ids()
+            .filter(|v| {
+                affiliation[v.index()].is_none()
+                    && topology.degree(*v) > 0
+                    && topology
+                        .neighbors(*v)
+                        .iter()
+                        .all(|w| affiliation[w.index()].is_some() || *w > *v)
+            })
+            .collect();
+        if claimants.is_empty() {
+            if subscribed {
+                continue; // subscriptions may have unblocked nothing more, re-check
+            }
+            break;
+        }
+        let mut rosters: BTreeMap<NodeId, Vec<NodeId>> =
+            claimants.iter().map(|c| (*c, vec![*c])).collect();
+        for c in &claimants {
+            affiliation[c.index()] = Some(ClusterId::of(*c));
+        }
+        // Join phase: every remaining unmarked node joins the smallest
+        // neighbouring claimant of this round, if any.
+        for v in topology.node_ids() {
+            if affiliation[v.index()].is_some() {
+                continue;
+            }
+            let winner = topology
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|w| rosters.contains_key(w))
+                .min();
+            if let Some(head) = winner {
+                affiliation[v.index()] = Some(ClusterId::of(head));
+                rosters
+                    .get_mut(&head)
+                    .expect("winner is a claimant")
+                    .push(v);
+            }
+        }
+        for (head, members) in rosters {
+            let deputies = elect_deputies(topology, head, &members, config.max_deputies);
+            clusters.insert(ClusterId::of(head), Cluster::new(head, members, deputies));
+        }
+    }
+
+    let gateways = elect_gateways(topology, &clusters, &affiliation, config);
+    ClusterView::from_parts(clusters, affiliation, gateways)
+}
+
+/// Ranks deputy candidates by in-cluster coverage (how many fellow
+/// members they can reach directly), breaking ties by distance to the
+/// head and then by ID. Dense clusters thus get deputies that can
+/// stand in for the head with the least reachability loss.
+pub(crate) fn elect_deputies(
+    topology: &Topology,
+    head: NodeId,
+    members: &[NodeId],
+    max_deputies: usize,
+) -> Vec<NodeId> {
+    let head_pos = topology.position(head);
+    let mut candidates: Vec<(usize, u64, NodeId)> = members
+        .iter()
+        .copied()
+        .filter(|m| *m != head)
+        .map(|m| {
+            let coverage = members
+                .iter()
+                .filter(|o| **o != m && topology.linked(m, **o))
+                .count();
+            // Distance quantized to micro-metres for a total order.
+            let dist = (topology.position(m).distance(head_pos) * 1e6) as u64;
+            (coverage, dist, m)
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.0.cmp(&a.0) // more coverage first
+            .then(a.1.cmp(&b.1)) // closer to the head first
+            .then(a.2.cmp(&b.2)) // lower ID first
+    });
+    candidates
+        .into_iter()
+        .take(max_deputies)
+        .map(|(_, _, m)| m)
+        .collect()
+}
+
+/// For every pair of clusters with at least one member adjacent to the
+/// other cluster's head, elects a primary gateway and ranked backup
+/// gateways. Candidates are non-head members of either cluster that
+/// hear **both** heads (so the overlap guarantee F1 holds); selection
+/// is by ID for determinism.
+pub(crate) fn elect_gateways(
+    topology: &Topology,
+    clusters: &BTreeMap<ClusterId, Cluster>,
+    affiliation: &[Option<ClusterId>],
+    config: &FormationConfig,
+) -> BTreeMap<ClusterPair, GatewayLink> {
+    let mut candidates: BTreeMap<ClusterPair, Vec<NodeId>> = BTreeMap::new();
+    for v in topology.node_ids() {
+        let Some(own) = affiliation[v.index()] else {
+            continue;
+        };
+        let own_cluster = &clusters[&own];
+        if own_cluster.head() == v {
+            continue; // heads coordinate, they do not serve as gateways
+        }
+        for (other_id, other) in clusters {
+            if *other_id == own {
+                continue;
+            }
+            if topology.linked(v, other.head()) {
+                candidates
+                    .entry(ClusterPair::new(own, *other_id))
+                    .or_default()
+                    .push(v);
+            }
+        }
+    }
+    candidates
+        .into_iter()
+        .map(|(pair, mut nodes)| {
+            nodes.sort_unstable();
+            nodes.dedup();
+            let primary = nodes[0];
+            let backups = nodes[1..]
+                .iter()
+                .copied()
+                .take(config.max_backup_gateways)
+                .collect();
+            (pair, GatewayLink { primary, backups })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::geometry::Point;
+
+    fn line_topology(spacing: f64, n: usize) -> Topology {
+        let pts = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        Topology::from_positions(pts, 100.0)
+    }
+
+    #[test]
+    fn single_clique_forms_one_cluster() {
+        // Everyone within 100 m of everyone: node 0 heads one cluster.
+        let topo = line_topology(10.0, 5);
+        let view = form(&topo, &FormationConfig::default());
+        assert_eq!(view.cluster_count(), 1);
+        let c = view.clusters().next().unwrap();
+        assert_eq!(c.head(), NodeId(0));
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn line_forms_chain_of_clusters() {
+        // Spacing 60: round 1 marks {0,1}; round 2 marks {2,3};
+        // round 3 marks {4,5}.
+        let topo = line_topology(60.0, 6);
+        let view = form(&topo, &FormationConfig::default());
+        assert_eq!(view.cluster_count(), 3);
+        assert_eq!(view.cluster_of(NodeId(1)), Some(ClusterId::of(NodeId(0))));
+        assert_eq!(view.cluster_of(NodeId(3)), Some(ClusterId::of(NodeId(2))));
+        assert_eq!(view.cluster_of(NodeId(5)), Some(ClusterId::of(NodeId(4))));
+    }
+
+    #[test]
+    fn members_are_one_hop_from_head() {
+        let topo = line_topology(45.0, 20);
+        let view = form(&topo, &FormationConfig::default());
+        for c in view.clusters() {
+            for m in c.non_head_members() {
+                assert!(topo.linked(m, c.head()), "{m} must hear its head");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_stay_unaffiliated() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(5_000.0, 0.0),
+        ];
+        let topo = Topology::from_positions(pts, 100.0);
+        let view = form(&topo, &FormationConfig::default());
+        assert_eq!(view.unaffiliated_nodes(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn singleton_cluster_for_stranded_node() {
+        // Node 2 only hears node 1 (a member of cluster 0), never a
+        // head, so it must found its own cluster.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(90.0, 0.0),
+            Point::new(180.0, 0.0),
+        ];
+        let topo = Topology::from_positions(pts, 100.0);
+        let view = form(&topo, &FormationConfig::default());
+        assert_eq!(view.cluster_of(NodeId(2)), Some(ClusterId::of(NodeId(2))));
+        assert_eq!(view.cluster(ClusterId::of(NodeId(2))).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn gateways_hear_both_heads() {
+        let topo = line_topology(45.0, 12);
+        let view = form(&topo, &FormationConfig::default());
+        for (pair, link) in view.gateway_links() {
+            let (a, b) = pair.endpoints();
+            for gw in link.all() {
+                assert!(topo.linked(gw, view.cluster(a).unwrap().head()));
+                assert!(topo.linked(gw, view.cluster(b).unwrap().head()));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_field_elects_deputies_and_backups() {
+        use cbfd_net::geometry::Rect;
+        use cbfd_net::placement::Placement;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts = Placement::UniformRect(Rect::square(400.0)).generate(150, &mut rng);
+        let topo = Topology::from_positions(pts, 100.0);
+        let config = FormationConfig::default();
+        let view = form(&topo, &config);
+        // Density: most clusters should have a full deputy bench.
+        let with_deputies = view
+            .clusters()
+            .filter(|c| c.deputies().len() == config.max_deputies.min(c.len() - 1))
+            .count();
+        assert!(with_deputies as f64 >= view.cluster_count() as f64 * 0.8);
+        assert!(view.gateway_links().count() > 0, "clusters must connect");
+    }
+
+    #[test]
+    fn deputies_prefer_coverage() {
+        // A tight clique where node 1 sits at the head's position
+        // (full coverage) and node 4 dangles at the edge.
+        let pts = vec![
+            Point::new(0.0, 0.0),   // head
+            Point::new(1.0, 0.0),   // centre-ish
+            Point::new(60.0, 0.0),  //
+            Point::new(-60.0, 0.0), //
+            Point::new(99.0, 0.0),  // edge: cannot hear node 3
+        ];
+        let topo = Topology::from_positions(pts, 100.0);
+        let view = form(&topo, &FormationConfig::default());
+        let c = view.cluster(ClusterId::of(NodeId(0))).unwrap();
+        assert_eq!(c.first_deputy(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn extend_admits_new_nodes_without_disturbing_old() {
+        let topo_before = line_topology(60.0, 4);
+        let view_before = form(&topo_before, &FormationConfig::default());
+
+        // Two late arrivals beyond the old field.
+        let mut pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect();
+        pts.push(Point::new(240.0, 0.0));
+        pts.push(Point::new(300.0, 0.0));
+        let topo_after = Topology::from_positions(pts, 100.0);
+        let view_after = extend(&topo_after, &FormationConfig::default(), &view_before);
+
+        for n in 0..4u32 {
+            assert_eq!(
+                view_after.cluster_of(NodeId(n)),
+                view_before.cluster_of(NodeId(n)),
+                "existing affiliations must be preserved"
+            );
+        }
+        assert!(view_after.cluster_of(NodeId(4)).is_some());
+        assert!(view_after.cluster_of(NodeId(5)).is_some());
+    }
+
+    #[test]
+    fn extend_is_idempotent_when_nothing_new() {
+        let topo = line_topology(45.0, 15);
+        let view = form(&topo, &FormationConfig::default());
+        let again = extend(&topo, &FormationConfig::default(), &view);
+        assert_eq!(view, again, "degenerate iteration must change nothing");
+    }
+
+    #[test]
+    fn formation_is_deterministic() {
+        let topo = line_topology(45.0, 30);
+        let a = form(&topo, &FormationConfig::default());
+        let b = form(&topo, &FormationConfig::default());
+        assert_eq!(a, b);
+    }
+}

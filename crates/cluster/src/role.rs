@@ -1,0 +1,132 @@
+//! Roles a host can hold in the cluster-based architecture.
+
+use cbfd_net::id::ClusterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The communication role of a host (Section 3 of the paper).
+///
+/// Roles are a *summary* derived from the authoritative
+/// [`ClusterView`](crate::view::ClusterView) structures; a host that
+/// qualifies for several roles is labelled with the highest-precedence
+/// one in the order clusterhead → gateway → backup gateway → deputy →
+/// ordinary member.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_cluster::Role;
+///
+/// assert!(Role::Clusterhead.participates_in_backbone());
+/// assert!(!Role::Ordinary.participates_in_backbone());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Role {
+    /// Centre of a cluster; runs the failure-detection rule for its
+    /// members.
+    Clusterhead,
+    /// Primary forwarder between this host's cluster and `peer`.
+    Gateway {
+        /// The neighbouring cluster this gateway connects to.
+        peer: ClusterId,
+    },
+    /// Standby forwarder of rank `rank` (1-based) between this host's
+    /// cluster and `peer`; takes over per the BGW-assisted forwarding
+    /// scheme of Section 4.3.
+    BackupGateway {
+        /// The neighbouring cluster this backup serves.
+        peer: ClusterId,
+        /// 1-based standby rank; lower ranks act sooner.
+        rank: u8,
+    },
+    /// Deputy clusterhead of rank `rank` (1-based); the highest-ranked
+    /// operational deputy judges clusterhead failures and takes over.
+    Deputy {
+        /// 1-based succession rank.
+        rank: u8,
+    },
+    /// An ordinary member (OM): talks only to its clusterhead and,
+    /// when necessary, to other members.
+    #[default]
+    Ordinary,
+    /// Not (yet) admitted to any cluster — an *unmarked* node in the
+    /// paper's terminology, or an isolated one.
+    Unaffiliated,
+}
+
+impl Role {
+    /// Whether this role takes part in inter-cluster communication
+    /// (the backbone of the two-tier architecture).
+    pub fn participates_in_backbone(&self) -> bool {
+        matches!(
+            self,
+            Role::Clusterhead | Role::Gateway { .. } | Role::BackupGateway { .. }
+        )
+    }
+
+    /// Whether this host belongs to a cluster at all.
+    pub fn is_affiliated(&self) -> bool {
+        !matches!(self, Role::Unaffiliated)
+    }
+
+    /// Whether this host is the clusterhead of its cluster.
+    pub fn is_clusterhead(&self) -> bool {
+        matches!(self, Role::Clusterhead)
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Clusterhead => write!(f, "CH"),
+            Role::Gateway { peer } => write!(f, "GW->{peer}"),
+            Role::BackupGateway { peer, rank } => write!(f, "BGW{rank}->{peer}"),
+            Role::Deputy { rank } => write!(f, "DCH{rank}"),
+            Role::Ordinary => write!(f, "OM"),
+            Role::Unaffiliated => write!(f, "unaffiliated"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::id::NodeId;
+
+    #[test]
+    fn backbone_participation() {
+        let peer = ClusterId::of(NodeId(1));
+        assert!(Role::Clusterhead.participates_in_backbone());
+        assert!(Role::Gateway { peer }.participates_in_backbone());
+        assert!(Role::BackupGateway { peer, rank: 1 }.participates_in_backbone());
+        assert!(!Role::Deputy { rank: 1 }.participates_in_backbone());
+        assert!(!Role::Ordinary.participates_in_backbone());
+        assert!(!Role::Unaffiliated.participates_in_backbone());
+    }
+
+    #[test]
+    fn affiliation() {
+        assert!(Role::Ordinary.is_affiliated());
+        assert!(Role::Clusterhead.is_affiliated());
+        assert!(!Role::Unaffiliated.is_affiliated());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let peer = ClusterId::of(NodeId(2));
+        assert_eq!(Role::Clusterhead.to_string(), "CH");
+        assert_eq!(Role::Gateway { peer }.to_string(), "GW->C(n2)");
+        assert_eq!(
+            Role::BackupGateway { peer, rank: 2 }.to_string(),
+            "BGW2->C(n2)"
+        );
+        assert_eq!(Role::Deputy { rank: 1 }.to_string(), "DCH1");
+        assert_eq!(Role::Ordinary.to_string(), "OM");
+    }
+
+    #[test]
+    fn default_is_ordinary() {
+        assert_eq!(Role::default(), Role::Ordinary);
+        assert!(!Role::default().is_clusterhead());
+    }
+}

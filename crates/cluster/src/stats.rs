@@ -1,0 +1,259 @@
+//! Clustering quality metrics.
+//!
+//! The FDS's probabilistic guarantees degrade with sparse clusters and
+//! weak backbone redundancy (Section 5's measures are all functions of
+//! the per-cluster population `N`); these summary statistics let
+//! experiments and operators judge a formed architecture at a glance.
+
+use crate::view::ClusterView;
+use cbfd_net::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of one [`ClusterView`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Smallest cluster population.
+    pub min_size: usize,
+    /// Mean cluster population.
+    pub mean_size: f64,
+    /// Largest cluster population.
+    pub max_size: usize,
+    /// Smallest population among clusters that actually monitor
+    /// someone (≥ 2 members); 0 when every cluster is a singleton.
+    pub min_monitored_size: usize,
+    /// Clusters with at least one deputy (head-failure resilient).
+    pub with_deputies: usize,
+    /// Backbone links between neighbouring clusters.
+    pub links: usize,
+    /// Links with at least one backup gateway (link-failure
+    /// resilient).
+    pub links_with_backups: usize,
+    /// Mean forwarders (primary + backups) per link.
+    pub mean_forwarders: f64,
+    /// Connected components of the backbone (1 = fully connected).
+    pub backbone_components: usize,
+    /// Nodes outside every cluster.
+    pub unaffiliated: usize,
+}
+
+impl ClusterStats {
+    /// Computes the statistics of `view`.
+    pub fn of(view: &ClusterView) -> Self {
+        let sizes: Vec<usize> = view.clusters().map(|c| c.len()).collect();
+        let clusters = sizes.len();
+        let links: Vec<usize> = view
+            .gateway_links()
+            .map(|(_, l)| 1 + l.backups.len())
+            .collect();
+        ClusterStats {
+            clusters,
+            min_size: sizes.iter().copied().min().unwrap_or(0),
+            mean_size: if clusters == 0 {
+                0.0
+            } else {
+                sizes.iter().sum::<usize>() as f64 / clusters as f64
+            },
+            max_size: sizes.iter().copied().max().unwrap_or(0),
+            min_monitored_size: sizes.iter().copied().filter(|s| *s >= 2).min().unwrap_or(0),
+            with_deputies: view
+                .clusters()
+                .filter(|c| c.first_deputy().is_some())
+                .count(),
+            links: links.len(),
+            links_with_backups: links.iter().filter(|f| **f > 1).count(),
+            mean_forwarders: if links.is_empty() {
+                0.0
+            } else {
+                links.iter().sum::<usize>() as f64 / links.len() as f64
+            },
+            backbone_components: view.backbone_components().len(),
+            unaffiliated: view.unaffiliated_nodes().len(),
+        }
+    }
+
+    /// A coarse robustness verdict: every cluster has a deputy, every
+    /// link has a backup, and the backbone is one component.
+    pub fn fully_redundant(&self) -> bool {
+        self.with_deputies == self.clusters
+            && self.links_with_backups == self.links
+            && self.backbone_components <= 1
+    }
+
+    /// The worst-case Figure 5 accuracy measure achievable with this
+    /// clustering at loss probability `p`: evaluated at the smallest
+    /// *monitoring* cluster (≥ 2 members), which dominates the
+    /// system's false-detection risk. Singleton clusters judge nobody
+    /// and contribute no risk; returns 0 when no cluster monitors.
+    pub fn worst_cluster_false_detection(&self, p: f64) -> f64 {
+        if self.min_monitored_size < 2 {
+            return 0.0;
+        }
+        // Inline the closed form to avoid a dependency cycle with
+        // cbfd-analysis: p²(1 − (An/Au)(1−p)²)^(N−2).
+        let an_over_au =
+            (2.0 * std::f64::consts::PI / 3.0 - 3f64.sqrt() / 2.0) / std::f64::consts::PI;
+        p * p * (1.0 - an_over_au * (1.0 - p) * (1.0 - p)).powi(self.min_monitored_size as i32 - 2)
+    }
+}
+
+impl fmt::Display for ClusterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} clusters (sizes {}..{}, mean {:.1}), {} links ({} backed), \
+             {} backbone component(s), {} unaffiliated",
+            self.clusters,
+            self.min_size,
+            self.max_size,
+            self.mean_size,
+            self.links,
+            self.links_with_backups,
+            self.backbone_components,
+            self.unaffiliated
+        )
+    }
+}
+
+/// Statistics of the raw topology (density context for the clustering
+/// figures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityStats {
+    /// Host count.
+    pub nodes: usize,
+    /// Mean one-hop degree.
+    pub mean_degree: f64,
+    /// Hosts with no neighbours at all.
+    pub isolated: usize,
+}
+
+impl DensityStats {
+    /// Computes the statistics of `topology`.
+    pub fn of(topology: &Topology) -> Self {
+        DensityStats {
+            nodes: topology.len(),
+            mean_degree: topology.mean_degree(),
+            isolated: topology.isolated_nodes().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{oracle, FormationConfig};
+    use cbfd_net::geometry::{Point, Rect};
+    use cbfd_net::placement::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_view() -> (Topology, ClusterView) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pts = Placement::UniformRect(Rect::square(400.0)).generate(150, &mut rng);
+        let topology = Topology::from_positions(pts, 100.0);
+        let view = oracle::form(&topology, &FormationConfig::default());
+        (topology, view)
+    }
+
+    #[test]
+    fn stats_reflect_the_view() {
+        let (topology, view) = dense_view();
+        let stats = ClusterStats::of(&view);
+        assert_eq!(stats.clusters, view.cluster_count());
+        assert_eq!(stats.links, view.gateway_links().count());
+        assert!(stats.min_size <= stats.max_size);
+        assert!(stats.mean_size >= stats.min_size as f64);
+        assert!(stats.mean_size <= stats.max_size as f64);
+        assert_eq!(stats.unaffiliated, view.unaffiliated_nodes().len());
+        let density = DensityStats::of(&topology);
+        assert_eq!(density.nodes, 150);
+        assert!(density.mean_degree > 5.0, "this field is dense");
+    }
+
+    #[test]
+    fn dense_fields_are_mostly_redundant() {
+        // Random fields occasionally strand a singleton cluster or a
+        // single-gateway link, so full redundancy is not guaranteed —
+        // but a 150-node 400 m field must come close.
+        let (_, view) = dense_view();
+        let stats = ClusterStats::of(&view);
+        assert_eq!(stats.backbone_components, 1, "{stats}");
+        assert!(stats.with_deputies + 4 >= stats.clusters, "{stats}");
+        assert!(stats.links_with_backups + 3 >= stats.links, "{stats}");
+    }
+
+    #[test]
+    fn fully_redundant_verdict_on_a_pinned_view() {
+        use crate::cluster::Cluster;
+        use crate::view::{ClusterPair, GatewayLink};
+        use cbfd_net::id::NodeId;
+        use std::collections::BTreeMap;
+
+        let a = Cluster::new(
+            NodeId(0),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![NodeId(1)],
+        );
+        let b = Cluster::new(
+            NodeId(3),
+            vec![NodeId(3), NodeId(4), NodeId(5)],
+            vec![NodeId(4)],
+        );
+        let (ca, cb) = (a.id(), b.id());
+        let mut clusters = BTreeMap::new();
+        clusters.insert(ca, a);
+        clusters.insert(cb, b);
+        let mut gateways = BTreeMap::new();
+        gateways.insert(
+            ClusterPair::new(ca, cb),
+            GatewayLink {
+                primary: NodeId(2),
+                backups: vec![NodeId(5)],
+            },
+        );
+        let view = ClusterView::from_parts(
+            clusters,
+            vec![Some(ca), Some(ca), Some(ca), Some(cb), Some(cb), Some(cb)],
+            gateways,
+        );
+        let stats = ClusterStats::of(&view);
+        assert!(stats.fully_redundant(), "{stats}");
+        assert_eq!(stats.mean_forwarders, 2.0);
+    }
+
+    #[test]
+    fn empty_view_is_degenerate_but_sane() {
+        let topology = Topology::from_positions(vec![Point::new(0.0, 0.0)], 100.0);
+        let view = oracle::form(&topology, &FormationConfig::default());
+        let stats = ClusterStats::of(&view);
+        assert_eq!(stats.clusters, 0);
+        assert_eq!(stats.mean_size, 0.0);
+        assert_eq!(stats.unaffiliated, 1);
+        assert!(!stats.fully_redundant() || stats.clusters == 0);
+    }
+
+    #[test]
+    fn worst_cluster_measure_tracks_min_size() {
+        let (_, view) = dense_view();
+        let stats = ClusterStats::of(&view);
+        let risk = stats.worst_cluster_false_detection(0.3);
+        assert!(risk > 0.0 && risk < 1.0);
+        // A bigger monitored size means lower risk.
+        let mut bigger = stats.clone();
+        bigger.min_monitored_size += 20;
+        assert!(bigger.worst_cluster_false_detection(0.3) < risk);
+        // No monitoring clusters, no risk.
+        let mut none = stats.clone();
+        none.min_monitored_size = 0;
+        assert_eq!(none.worst_cluster_false_detection(0.3), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let (_, view) = dense_view();
+        let s = ClusterStats::of(&view).to_string();
+        assert!(s.contains("clusters") && s.contains("backbone"));
+    }
+}

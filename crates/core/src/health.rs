@@ -1,0 +1,160 @@
+//! Network-health summaries — the paper's motivating use case.
+//!
+//! The introduction frames the FDS as the mechanism that keeps an
+//! unattended system's operators informed: failure information "could
+//! offer early warnings of system failure (e.g., a significant number
+//! of lost resources may suggest an imminent system capacity
+//! exhaustion) and would aid in maintenance scheduling for the
+//! deployment of additional resources". [`HealthReport`] derives that
+//! operator view from any single node's failure view — which is
+//! exactly why completeness matters: the summary must be accurate from
+//! *anywhere* in the system (base stations may be scattered in the
+//! field, Section 2.1).
+
+use crate::view::FailureView;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operator-facing summary of system health, as seen from one
+/// node's failure view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Total deployed population the reporter knows about.
+    pub deployed: usize,
+    /// Resources the reporter believes failed.
+    pub believed_failed: usize,
+    /// The latest FDS epoch at which a failure became known (`None`
+    /// when no failures are known).
+    pub last_failure_epoch: Option<u64>,
+}
+
+impl HealthReport {
+    /// Builds a report from a node's failure view over a known
+    /// deployment size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more failures are known than resources deployed.
+    pub fn from_view(view: &FailureView, deployed: usize) -> Self {
+        assert!(
+            view.len() <= deployed,
+            "cannot have more failures than deployed resources"
+        );
+        HealthReport {
+            deployed,
+            believed_failed: view.len(),
+            last_failure_epoch: view.nodes().filter_map(|n| view.known_since(n)).max(),
+        }
+    }
+
+    /// Estimated operational resources.
+    pub fn operational(&self) -> usize {
+        self.deployed - self.believed_failed
+    }
+
+    /// Estimated surviving fraction of the deployment.
+    pub fn capacity(&self) -> f64 {
+        if self.deployed == 0 {
+            1.0
+        } else {
+            self.operational() as f64 / self.deployed as f64
+        }
+    }
+
+    /// The paper's replenishment trigger: true when the operational
+    /// population has dropped below `threshold` nodes, meaning
+    /// "additional resources will be deployed to replenish the system"
+    /// (Section 2.1).
+    pub fn needs_replenishment(&self, threshold: usize) -> bool {
+        self.operational() < threshold
+    }
+
+    /// An early-warning signal: true when at least `fraction` of the
+    /// deployment is believed lost ("a significant number of lost
+    /// resources may suggest an imminent system capacity exhaustion").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn capacity_warning(&self, fraction: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        if self.deployed == 0 {
+            return false;
+        }
+        self.believed_failed as f64 / self.deployed as f64 >= fraction
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} operational ({:.1}% capacity)",
+            self.operational(),
+            self.deployed,
+            self.capacity() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::id::NodeId;
+
+    fn view_with(failures: &[(u32, u64)]) -> FailureView {
+        failures.iter().map(|(n, e)| (NodeId(*n), *e)).collect()
+    }
+
+    #[test]
+    fn report_summarizes_the_view() {
+        let view = view_with(&[(3, 1), (7, 4), (9, 2)]);
+        let report = HealthReport::from_view(&view, 100);
+        assert_eq!(report.believed_failed, 3);
+        assert_eq!(report.operational(), 97);
+        assert!((report.capacity() - 0.97).abs() < 1e-12);
+        assert_eq!(report.last_failure_epoch, Some(4));
+    }
+
+    #[test]
+    fn replenishment_trigger() {
+        let view = view_with(&[(1, 0), (2, 0), (3, 0)]);
+        let report = HealthReport::from_view(&view, 10);
+        assert!(report.needs_replenishment(8));
+        assert!(!report.needs_replenishment(7));
+    }
+
+    #[test]
+    fn capacity_warning_fraction() {
+        let view = view_with(&[(1, 0), (2, 0)]);
+        let report = HealthReport::from_view(&view, 10);
+        assert!(report.capacity_warning(0.2));
+        assert!(!report.capacity_warning(0.21));
+    }
+
+    #[test]
+    fn healthy_system_report() {
+        let report = HealthReport::from_view(&FailureView::new(), 50);
+        assert_eq!(report.operational(), 50);
+        assert_eq!(report.last_failure_epoch, None);
+        assert!(!report.capacity_warning(0.01));
+        assert_eq!(report.to_string(), "50/50 operational (100.0% capacity)");
+    }
+
+    #[test]
+    fn empty_deployment_is_degenerate_but_sane() {
+        let report = HealthReport::from_view(&FailureView::new(), 0);
+        assert_eq!(report.capacity(), 1.0);
+        assert!(!report.capacity_warning(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "more failures than deployed")]
+    fn oversized_view_rejected() {
+        let view = view_with(&[(1, 0), (2, 0)]);
+        let _ = HealthReport::from_view(&view, 1);
+    }
+}

@@ -1,0 +1,690 @@
+//! Protocol messages of the failure detection service.
+//!
+//! Because hosts receive promiscuously, every message is physically a
+//! local broadcast; "sending to the CH" just names the intended
+//! recipient in the payload. A compact wire codec (via [`bytes`]) is
+//! provided so experiments can account traffic in bytes as well as in
+//! message counts.
+
+use crate::aggregation::Aggregate;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cbfd_net::id::{ClusterId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The digest a node sends in `fds.R-2`: the set of cluster members it
+/// heard (or overheard) heartbeats from during `fds.R-1`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Digest {
+    /// The digest's author.
+    pub from: NodeId,
+    /// Members whose heartbeats the author heard this epoch.
+    pub heard: BTreeSet<NodeId>,
+    /// The `(node, reading)` pairs the author overheard, when data
+    /// aggregation is embedded in the FDS (message sharing); the head
+    /// deduplicates by node ID.
+    pub readings: Vec<(NodeId, i32)>,
+}
+
+impl Digest {
+    /// Creates a digest authored by `from` over the heard set.
+    pub fn new(from: NodeId, heard: impl IntoIterator<Item = NodeId>) -> Self {
+        Digest {
+            from,
+            heard: heard.into_iter().collect(),
+            readings: Vec::new(),
+        }
+    }
+
+    /// Attaches overheard sensor readings (aggregation embedding).
+    pub fn with_readings(mut self, readings: Vec<(NodeId, i32)>) -> Self {
+        self.readings = readings;
+        self
+    }
+
+    /// Whether the digest reflects awareness of `node`'s heartbeat.
+    pub fn reflects(&self, node: NodeId) -> bool {
+        self.heard.contains(&node)
+    }
+}
+
+/// The health-status update a clusterhead (or a deputy taking over)
+/// broadcasts in `fds.R-3`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthUpdate {
+    /// The broadcasting authority (CH, or DCH on takeover).
+    pub from: NodeId,
+    /// The cluster this update concerns.
+    pub cluster: ClusterId,
+    /// The FDS epoch the update belongs to.
+    pub epoch: u64,
+    /// Failures detected **this** epoch in this cluster.
+    pub new_failed: Vec<NodeId>,
+    /// Every failure known to the authority (cumulative; enables
+    /// catch-up by clusters that missed earlier reports).
+    pub all_failed: Vec<NodeId>,
+    /// Set when a deputy clusterhead announces a clusterhead failure
+    /// and takes over.
+    pub takeover: bool,
+    /// Unmarked nodes admitted to the cluster this epoch (their
+    /// heartbeats served as membership subscriptions — feature F5).
+    pub joined: Vec<NodeId>,
+    /// The full roster after admissions; empty unless `joined` is
+    /// non-empty (it then serves as a cluster organization
+    /// re-announcement).
+    pub roster: Vec<NodeId>,
+    /// The duplicate-eliminated cluster aggregate of this epoch's
+    /// sensor readings, when data aggregation is embedded.
+    pub aggregate: Option<Aggregate>,
+}
+
+impl HealthUpdate {
+    /// Whether the update indicates newly detected failures (only such
+    /// updates trigger inter-cluster forwarding; otherwise "no news is
+    /// good news").
+    pub fn has_news(&self) -> bool {
+        !self.new_failed.is_empty()
+    }
+}
+
+/// An inter-cluster failure report forwarded over the backbone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// The gateway (or backup gateway) forwarding the report.
+    pub via: NodeId,
+    /// The cluster whose head should consume the report.
+    pub to_cluster: ClusterId,
+    /// Failed nodes being announced (newly detected plus, when
+    /// cumulative reports are on, previously detected ones).
+    pub failed: Vec<NodeId>,
+    /// Clusters whose heads — as far as the forwarder overheard —
+    /// already announced every failure in `failed`. Receivers merge
+    /// this into their implicit-ack ledgers, so a head never
+    /// retransmits news back toward the cluster it came from.
+    pub known_by: Vec<ClusterId>,
+}
+
+/// All messages of the FDS protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FdsMsg {
+    /// `fds.R-1`: heartbeat carrying the sender and its one-bit mark
+    /// indicator (marked = admitted to a cluster).
+    Heartbeat {
+        /// The heartbeating node.
+        from: NodeId,
+        /// The paper's one-bit mark indicator.
+        marked: bool,
+        /// The sender's sensor reading, when data aggregation is
+        /// embedded in the FDS.
+        reading: Option<i32>,
+    },
+    /// `fds.R-2`: digest of heard heartbeats.
+    Digest(Digest),
+    /// `fds.R-3`: cluster health-status update.
+    HealthUpdate(HealthUpdate),
+    /// A member that missed the health update requests peer
+    /// forwarding.
+    ForwardRequest {
+        /// The requesting node.
+        from: NodeId,
+        /// The epoch whose update is missing.
+        epoch: u64,
+    },
+    /// A peer forwards the health update to a requester.
+    PeerForward {
+        /// The intended recipient (the requester).
+        to: NodeId,
+        /// The forwarded update.
+        update: HealthUpdate,
+    },
+    /// The requester acknowledges a successful peer forward; other
+    /// waiting peers quit on overhearing it.
+    PeerAck {
+        /// The satisfied requester.
+        from: NodeId,
+        /// The epoch that was recovered.
+        epoch: u64,
+    },
+    /// Inter-cluster failure report (gateway → neighbouring CH).
+    Report(FailureReport),
+    /// A member announces it is entering sleep mode until the given
+    /// epoch (the sleep/wakeup extension from the paper's concluding
+    /// remarks; announced sleepers are excluded from the detection
+    /// rule instead of being falsely condemned).
+    SleepNotice {
+        /// The node going to sleep.
+        from: NodeId,
+        /// First epoch at which it will be awake again.
+        until_epoch: u64,
+    },
+}
+
+impl fmt::Display for FdsMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdsMsg::Heartbeat { from, marked, .. } => {
+                write!(f, "heartbeat({from}, marked={marked})")
+            }
+            FdsMsg::Digest(d) => write!(f, "digest({}, |heard|={})", d.from, d.heard.len()),
+            FdsMsg::HealthUpdate(u) => write!(
+                f,
+                "update({}, epoch={}, new={}, takeover={})",
+                u.from,
+                u.epoch,
+                u.new_failed.len(),
+                u.takeover
+            ),
+            FdsMsg::ForwardRequest { from, epoch } => {
+                write!(f, "forward-request({from}, epoch={epoch})")
+            }
+            FdsMsg::PeerForward { to, .. } => write!(f, "peer-forward(to {to})"),
+            FdsMsg::PeerAck { from, epoch } => write!(f, "peer-ack({from}, epoch={epoch})"),
+            FdsMsg::Report(r) => {
+                write!(
+                    f,
+                    "report(via {}, to {}, |failed|={})",
+                    r.via,
+                    r.to_cluster,
+                    r.failed.len()
+                )
+            }
+            FdsMsg::SleepNotice { from, until_epoch } => {
+                write!(f, "sleep-notice({from}, until epoch {until_epoch})")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+/// Errors from [`FdsMsg::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// The message tag byte is unknown.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_HEARTBEAT: u8 = 1;
+const TAG_DIGEST: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_REQUEST: u8 = 4;
+const TAG_PEER_FORWARD: u8 = 5;
+const TAG_PEER_ACK: u8 = 6;
+const TAG_REPORT: u8 = 7;
+const TAG_SLEEP: u8 = 8;
+
+fn put_ids(buf: &mut BytesMut, ids: impl IntoIterator<Item = NodeId>) {
+    let ids: Vec<NodeId> = ids.into_iter().collect();
+    buf.put_u16(ids.len() as u16);
+    for id in ids {
+        buf.put_u32(id.0);
+    }
+}
+
+fn get_ids(buf: &mut Bytes) -> Result<Vec<NodeId>, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u16() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..n).map(|_| NodeId(buf.get_u32())).collect())
+}
+
+fn put_update(buf: &mut BytesMut, u: &HealthUpdate) {
+    buf.put_u32(u.from.0);
+    buf.put_u32(u.cluster.head().0);
+    buf.put_u64(u.epoch);
+    buf.put_u8(u.takeover as u8);
+    put_ids(buf, u.new_failed.iter().copied());
+    put_ids(buf, u.all_failed.iter().copied());
+    put_ids(buf, u.joined.iter().copied());
+    put_ids(buf, u.roster.iter().copied());
+    match &u.aggregate {
+        Some(a) => {
+            buf.put_u8(1);
+            buf.put_u32(a.count);
+            buf.put_i64(a.sum);
+            buf.put_i32(a.min);
+            buf.put_i32(a.max);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_update(buf: &mut Bytes) -> Result<HealthUpdate, DecodeError> {
+    if buf.remaining() < 4 + 4 + 8 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let from = NodeId(buf.get_u32());
+    let cluster = ClusterId::of(NodeId(buf.get_u32()));
+    let epoch = buf.get_u64();
+    let takeover = buf.get_u8() != 0;
+    let new_failed = get_ids(buf)?;
+    let all_failed = get_ids(buf)?;
+    let joined = get_ids(buf)?;
+    let roster = get_ids(buf)?;
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let aggregate = match buf.get_u8() {
+        0 => None,
+        _ => {
+            if buf.remaining() < 4 + 8 + 4 + 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Some(Aggregate {
+                count: buf.get_u32(),
+                sum: buf.get_i64(),
+                min: buf.get_i32(),
+                max: buf.get_i32(),
+            })
+        }
+    };
+    Ok(HealthUpdate {
+        from,
+        cluster,
+        epoch,
+        new_failed,
+        all_failed,
+        takeover,
+        joined,
+        roster,
+        aggregate,
+    })
+}
+
+impl FdsMsg {
+    /// Encodes the message to its wire representation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            FdsMsg::Heartbeat {
+                from,
+                marked,
+                reading,
+            } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u32(from.0);
+                buf.put_u8(*marked as u8);
+                match reading {
+                    Some(r) => {
+                        buf.put_u8(1);
+                        buf.put_i32(*r);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            FdsMsg::Digest(d) => {
+                buf.put_u8(TAG_DIGEST);
+                buf.put_u32(d.from.0);
+                put_ids(&mut buf, d.heard.iter().copied());
+                buf.put_u16(d.readings.len() as u16);
+                for (node, reading) in &d.readings {
+                    buf.put_u32(node.0);
+                    buf.put_i32(*reading);
+                }
+            }
+            FdsMsg::HealthUpdate(u) => {
+                buf.put_u8(TAG_UPDATE);
+                put_update(&mut buf, u);
+            }
+            FdsMsg::ForwardRequest { from, epoch } => {
+                buf.put_u8(TAG_REQUEST);
+                buf.put_u32(from.0);
+                buf.put_u64(*epoch);
+            }
+            FdsMsg::PeerForward { to, update } => {
+                buf.put_u8(TAG_PEER_FORWARD);
+                buf.put_u32(to.0);
+                put_update(&mut buf, update);
+            }
+            FdsMsg::PeerAck { from, epoch } => {
+                buf.put_u8(TAG_PEER_ACK);
+                buf.put_u32(from.0);
+                buf.put_u64(*epoch);
+            }
+            FdsMsg::Report(r) => {
+                buf.put_u8(TAG_REPORT);
+                buf.put_u32(r.via.0);
+                buf.put_u32(r.to_cluster.head().0);
+                put_ids(&mut buf, r.failed.iter().copied());
+                put_ids(&mut buf, r.known_by.iter().map(|c| c.head()));
+            }
+            FdsMsg::SleepNotice { from, until_epoch } => {
+                buf.put_u8(TAG_SLEEP);
+                buf.put_u32(from.0);
+                buf.put_u64(*until_epoch);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message from its wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the buffer is truncated or carries
+    /// an unknown tag.
+    pub fn decode(mut buf: Bytes) -> Result<Self, DecodeError> {
+        if buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_HEARTBEAT => {
+                if buf.remaining() < 6 {
+                    return Err(DecodeError::Truncated);
+                }
+                let from = NodeId(buf.get_u32());
+                let marked = buf.get_u8() != 0;
+                let reading = match buf.get_u8() {
+                    0 => None,
+                    _ => {
+                        if buf.remaining() < 4 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        Some(buf.get_i32())
+                    }
+                };
+                Ok(FdsMsg::Heartbeat {
+                    from,
+                    marked,
+                    reading,
+                })
+            }
+            TAG_DIGEST => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let from = NodeId(buf.get_u32());
+                let heard = get_ids(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(DecodeError::Truncated);
+                }
+                let n = buf.get_u16() as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let readings = (0..n)
+                    .map(|_| (NodeId(buf.get_u32()), buf.get_i32()))
+                    .collect();
+                Ok(FdsMsg::Digest(
+                    Digest::new(from, heard).with_readings(readings),
+                ))
+            }
+            TAG_UPDATE => Ok(FdsMsg::HealthUpdate(get_update(&mut buf)?)),
+            TAG_REQUEST => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(FdsMsg::ForwardRequest {
+                    from: NodeId(buf.get_u32()),
+                    epoch: buf.get_u64(),
+                })
+            }
+            TAG_PEER_FORWARD => {
+                if buf.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let to = NodeId(buf.get_u32());
+                let update = get_update(&mut buf)?;
+                Ok(FdsMsg::PeerForward { to, update })
+            }
+            TAG_PEER_ACK => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(FdsMsg::PeerAck {
+                    from: NodeId(buf.get_u32()),
+                    epoch: buf.get_u64(),
+                })
+            }
+            TAG_REPORT => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let via = NodeId(buf.get_u32());
+                let to_cluster = ClusterId::of(NodeId(buf.get_u32()));
+                let failed = get_ids(&mut buf)?;
+                let known_by = get_ids(&mut buf)?.into_iter().map(ClusterId::of).collect();
+                Ok(FdsMsg::Report(FailureReport {
+                    via,
+                    to_cluster,
+                    failed,
+                    known_by,
+                }))
+            }
+            TAG_SLEEP => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(FdsMsg::SleepNotice {
+                    from: NodeId(buf.get_u32()),
+                    until_epoch: buf.get_u64(),
+                })
+            }
+            other => Err(DecodeError::UnknownTag(other)),
+        }
+    }
+
+    /// Wire size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update() -> HealthUpdate {
+        HealthUpdate {
+            from: NodeId(9),
+            cluster: ClusterId::of(NodeId(3)),
+            epoch: 17,
+            new_failed: vec![NodeId(5)],
+            all_failed: vec![NodeId(5), NodeId(7)],
+            takeover: true,
+            joined: vec![NodeId(11)],
+            roster: vec![NodeId(3), NodeId(9), NodeId(11)],
+            aggregate: Some(Aggregate::of(37)),
+        }
+    }
+
+    fn all_messages() -> Vec<FdsMsg> {
+        vec![
+            FdsMsg::Heartbeat {
+                from: NodeId(1),
+                marked: true,
+                reading: Some(-7),
+            },
+            FdsMsg::Digest(
+                Digest::new(NodeId(2), [NodeId(1), NodeId(3)]).with_readings(vec![(NodeId(1), 55)]),
+            ),
+            FdsMsg::HealthUpdate(update()),
+            FdsMsg::ForwardRequest {
+                from: NodeId(4),
+                epoch: 3,
+            },
+            FdsMsg::PeerForward {
+                to: NodeId(6),
+                update: update(),
+            },
+            FdsMsg::PeerAck {
+                from: NodeId(6),
+                epoch: 3,
+            },
+            FdsMsg::Report(FailureReport {
+                via: NodeId(8),
+                to_cluster: ClusterId::of(NodeId(10)),
+                failed: vec![NodeId(5)],
+                known_by: vec![ClusterId::of(NodeId(3))],
+            }),
+            FdsMsg::SleepNotice {
+                from: NodeId(12),
+                until_epoch: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn codec_round_trips_every_variant() {
+        for msg in all_messages() {
+            let decoded = FdsMsg::decode(msg.encode()).expect("decode");
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_empty_and_unknown() {
+        assert_eq!(FdsMsg::decode(Bytes::new()), Err(DecodeError::Truncated));
+        assert_eq!(
+            FdsMsg::decode(Bytes::from_static(&[0xFF])),
+            Err(DecodeError::UnknownTag(0xFF))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        for msg in all_messages() {
+            let full = msg.encode();
+            for cut in 0..full.len() {
+                let r = FdsMsg::decode(full.slice(0..cut));
+                assert!(
+                    r.is_err(),
+                    "decoding {cut}/{} bytes of {msg} should fail",
+                    full.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heartbeat_is_small() {
+        let hb = FdsMsg::Heartbeat {
+            from: NodeId(1),
+            marked: false,
+            reading: None,
+        };
+        assert!(hb.encoded_len() <= 8, "heartbeats must stay tiny");
+    }
+
+    #[test]
+    fn digest_reflects_heard_nodes() {
+        let d = Digest::new(NodeId(0), [NodeId(4)]);
+        assert!(d.reflects(NodeId(4)));
+        assert!(!d.reflects(NodeId(5)));
+    }
+
+    #[test]
+    fn update_news_detection() {
+        let mut u = update();
+        assert!(u.has_news());
+        u.new_failed.clear();
+        assert!(!u.has_news());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        for msg in all_messages() {
+            assert!(!msg.to_string().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod wire_compat {
+    //! Golden wire vectors: changing the on-air format is a breaking
+    //! change for deployed networks, so these tests pin the exact
+    //! bytes of representative messages.
+
+    use super::*;
+
+    #[test]
+    fn heartbeat_golden_bytes() {
+        let msg = FdsMsg::Heartbeat {
+            from: NodeId(0x0102_0304),
+            marked: true,
+            reading: None,
+        };
+        assert_eq!(msg.encode().as_ref(), &[1, 1, 2, 3, 4, 1, 0]);
+    }
+
+    #[test]
+    fn heartbeat_with_reading_golden_bytes() {
+        let msg = FdsMsg::Heartbeat {
+            from: NodeId(5),
+            marked: false,
+            reading: Some(-2),
+        };
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[1, 0, 0, 0, 5, 0, 1, 0xFF, 0xFF, 0xFF, 0xFE]
+        );
+    }
+
+    #[test]
+    fn digest_golden_bytes() {
+        let msg = FdsMsg::Digest(Digest::new(NodeId(7), [NodeId(1), NodeId(2)]));
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[2, 0, 0, 0, 7, 0, 2, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0]
+        );
+    }
+
+    #[test]
+    fn peer_ack_golden_bytes() {
+        let msg = FdsMsg::PeerAck {
+            from: NodeId(9),
+            epoch: 0x0A,
+        };
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[6, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0x0A]
+        );
+    }
+
+    #[test]
+    fn sleep_notice_golden_bytes() {
+        let msg = FdsMsg::SleepNotice {
+            from: NodeId(3),
+            until_epoch: 7,
+        };
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[8, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 7]
+        );
+    }
+
+    #[test]
+    fn report_golden_bytes() {
+        let msg = FdsMsg::Report(FailureReport {
+            via: NodeId(1),
+            to_cluster: ClusterId::of(NodeId(2)),
+            failed: vec![NodeId(3)],
+            known_by: vec![],
+        });
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[7, 0, 0, 0, 1, 0, 0, 0, 2, 0, 1, 0, 0, 0, 3, 0, 0]
+        );
+    }
+}

@@ -1,0 +1,1120 @@
+//! The per-host FDS protocol actor.
+//!
+//! [`FdsNode`] implements the full service of Section 4 on one host:
+//!
+//! * the three rounds — heartbeat exchange (`fds.R-1`), digest
+//!   exchange (`fds.R-2`), and the health-status-update broadcast
+//!   (`fds.R-3`) — executed at the epoch of every heartbeat interval;
+//! * the member and clusterhead failure-detection rules;
+//! * deputy takeover after a detected clusterhead failure;
+//! * peer forwarding with energy-balanced waiting periods for members
+//!   that missed the update;
+//! * inter-cluster report forwarding with implicit acknowledgments and
+//!   rank-`k` backup-gateway timeouts (Section 4.3).
+//!
+//! The actor consumes only node-local knowledge (its
+//! [`NodeProfile`]) plus what it hears on the air.
+
+use crate::aggregation::{aggregate_readings, synthetic_reading, Aggregate};
+use crate::config::FdsConfig;
+use crate::message::{Digest, FailureReport, FdsMsg, HealthUpdate};
+use crate::peer_forward::waiting_period;
+use crate::profile::NodeProfile;
+use crate::rules::{ch_failed, detect_failures, RoundEvidence};
+use crate::view::FailureView;
+use cbfd_net::actor::{Actor, Ctx, TimerToken};
+use cbfd_net::id::{ClusterId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Energy quantization levels for the peer-forwarding waiting period.
+const ENERGY_LEVELS: u32 = 4;
+
+/// One detection decision made by this node while acting as an
+/// authority (clusterhead or judging deputy).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionEvent {
+    /// The FDS epoch of the decision.
+    pub epoch: u64,
+    /// The nodes newly declared failed.
+    pub suspects: Vec<NodeId>,
+    /// Whether this was a deputy's clusterhead-failure judgement (and
+    /// takeover).
+    pub takeover: bool,
+}
+
+/// Traffic/behaviour counters of one node, for experiment read-out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Health updates received (from the authority, any epoch).
+    pub updates_received: u64,
+    /// Peer-forwarding requests this node broadcast.
+    pub requests_sent: u64,
+    /// Peer forwards this node performed for others.
+    pub peer_forwards_sent: u64,
+    /// Inter-cluster reports this node forwarded.
+    pub reports_sent: u64,
+    /// Update retransmissions this node performed while acting head.
+    pub retransmissions: u64,
+    /// Epochs in which this node missed the update entirely (even
+    /// after peer forwarding) — the incompleteness events.
+    pub updates_missed: u64,
+    /// Unmarked nodes this node admitted while acting head (membership
+    /// subscriptions honoured, feature F5).
+    pub joins_admitted: u64,
+    /// Total wire bytes this node transmitted (per the message codec).
+    pub bytes_sent: u64,
+}
+
+#[derive(Debug, Clone)]
+enum TimerPayload {
+    EpochStart,
+    R2,
+    R3,
+    Post,
+    /// Close of the peer-forwarding recovery window: count a miss if
+    /// the update still has not arrived.
+    RecoveryDeadline {
+        epoch: u64,
+    },
+    PeerSlot {
+        requester: NodeId,
+        epoch: u64,
+    },
+    /// A gateway/backup re-checks whether `failed` still needs
+    /// forwarding toward `target`.
+    GwForward {
+        target: ClusterId,
+        failed: Vec<NodeId>,
+        attempt: u32,
+    },
+    /// The acting head re-checks whether its news was forwarded on the
+    /// link toward `peer` (implicit-ack timeout `2·Thop`).
+    ChRetx {
+        peer: ClusterId,
+        failed: Vec<NodeId>,
+        attempt: u32,
+    },
+}
+
+/// The FDS actor for one host.
+#[derive(Debug)]
+pub struct FdsNode {
+    profile: NodeProfile,
+    config: FdsConfig,
+    /// Full-charge reference for the energy fraction used by the
+    /// waiting-period policy.
+    energy_capacity: f64,
+
+    epoch: u64,
+    acting_head: Option<NodeId>,
+    evidence: RoundEvidence,
+    update_this_epoch: Option<HealthUpdate>,
+    request_outstanding: bool,
+    known_failed: FailureView,
+    /// What each cluster's head has evidently learned (from overheard
+    /// health updates of that cluster) — the implicit-ack ledger.
+    known_by_cluster: BTreeMap<ClusterId, BTreeSet<NodeId>>,
+    /// Failures seen in overheard reports per target cluster (the
+    /// head's layer-one implicit ack: "my gateway did forward").
+    forward_seen: BTreeMap<ClusterId, BTreeSet<NodeId>>,
+    /// Peer-forward requests already satisfied (quit on overheard ack).
+    quit: BTreeSet<(NodeId, u64)>,
+    /// Unmarked nodes heard this epoch (candidate subscriptions, only
+    /// tracked by the acting head).
+    join_pending: BTreeSet<NodeId>,
+    /// This node's own sleep windows, as `(first_epoch, until_epoch)`
+    /// half-open intervals (sorted, non-overlapping).
+    sleep_plan: Vec<(u64, u64)>,
+    /// Whether the radio is currently off.
+    asleep: bool,
+    /// Peers known to be sleeping, with their wake epochs.
+    known_sleepers: BTreeMap<NodeId, u64>,
+    /// Sleep notices already relayed (one relay per notice).
+    relayed_notices: BTreeSet<(NodeId, u64)>,
+    /// Sensor readings collected this epoch (aggregation embedding),
+    /// deduplicated by reporting node.
+    readings: BTreeMap<NodeId, i32>,
+    /// The head's published cluster aggregates, by epoch.
+    aggregates: Vec<(u64, Aggregate)>,
+
+    detections: Vec<DetectionEvent>,
+    stats: NodeStats,
+
+    next_token: u64,
+    timers: HashMap<u64, TimerPayload>,
+}
+
+impl FdsNode {
+    /// Creates the actor from its node-local knowledge.
+    ///
+    /// `energy_capacity` is the full-charge reference used to turn the
+    /// simulator's remaining-energy figure into the fraction consumed
+    /// by the waiting-period policy.
+    pub fn new(profile: NodeProfile, config: FdsConfig, energy_capacity: f64) -> Self {
+        let acting_head = profile.head;
+        FdsNode {
+            profile,
+            config,
+            energy_capacity,
+            epoch: 0,
+            acting_head,
+            evidence: RoundEvidence::new(),
+            update_this_epoch: None,
+            request_outstanding: false,
+            known_failed: FailureView::new(),
+            known_by_cluster: BTreeMap::new(),
+            forward_seen: BTreeMap::new(),
+            quit: BTreeSet::new(),
+            join_pending: BTreeSet::new(),
+            sleep_plan: Vec::new(),
+            asleep: false,
+            known_sleepers: BTreeMap::new(),
+            relayed_notices: BTreeSet::new(),
+            readings: BTreeMap::new(),
+            aggregates: Vec::new(),
+            detections: Vec::new(),
+            stats: NodeStats::default(),
+            next_token: 0,
+            timers: HashMap::new(),
+        }
+    }
+
+    /// The node's failure view (what it believes has failed).
+    pub fn known_failed(&self) -> &FailureView {
+        &self.known_failed
+    }
+
+    /// Detection decisions this node made as an authority.
+    pub fn detections(&self) -> &[DetectionEvent] {
+        &self.detections
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// The head this node currently obeys (changes on takeover).
+    pub fn acting_head(&self) -> Option<NodeId> {
+        self.acting_head
+    }
+
+    /// The current FDS epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The node's static profile.
+    pub fn profile(&self) -> &NodeProfile {
+        &self.profile
+    }
+
+    /// Installs this node's sleep schedule: half-open epoch intervals
+    /// `[first, until)` during which the radio is off. Intervals must
+    /// be sorted and non-overlapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interval is empty or the list is unsorted.
+    pub fn set_sleep_plan(&mut self, plan: Vec<(u64, u64)>) {
+        let mut last_end = 0;
+        for &(from, until) in &plan {
+            assert!(from < until, "empty sleep window [{from}, {until})");
+            assert!(
+                from >= last_end,
+                "sleep windows must be sorted and disjoint"
+            );
+            last_end = until;
+        }
+        self.sleep_plan = plan;
+    }
+
+    /// Whether the radio is currently off.
+    pub fn is_asleep(&self) -> bool {
+        self.asleep
+    }
+
+    /// Cluster aggregates this node published while acting head (one
+    /// per epoch; requires `FdsConfig::aggregation`).
+    pub fn aggregates(&self) -> &[(u64, Aggregate)] {
+        &self.aggregates
+    }
+
+    /// The sleep window covering `epoch`, if any.
+    fn sleep_window(&self, epoch: u64) -> Option<(u64, u64)> {
+        self.sleep_plan
+            .iter()
+            .copied()
+            .find(|&(from, until)| (from..until).contains(&epoch))
+    }
+
+    fn is_acting_head(&self) -> bool {
+        self.acting_head == Some(self.profile.id)
+    }
+
+    fn my_cluster(&self) -> Option<ClusterId> {
+        self.profile.cluster
+    }
+
+    /// Broadcasts `msg`, accounting its wire size.
+    fn transmit(&mut self, ctx: &mut Ctx<'_, FdsMsg>, msg: FdsMsg) {
+        self.stats.bytes_sent += msg.encoded_len() as u64;
+        ctx.broadcast(msg);
+    }
+
+    fn schedule(
+        &mut self,
+        ctx: &mut Ctx<'_, FdsMsg>,
+        delay: cbfd_net::time::SimDuration,
+        payload: TimerPayload,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, payload);
+        ctx.set_timer(delay, TimerToken(token));
+    }
+
+    fn begin_epoch(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        self.evidence = RoundEvidence::new();
+        self.update_this_epoch = None;
+        self.request_outstanding = false;
+        self.join_pending.clear();
+        self.readings.clear();
+
+        // Sleep/wakeup power management (concluding-remarks
+        // extension): during a sleep window the radio is off — no
+        // heartbeat, no rounds; only the epoch clock keeps running.
+        if let Some((from, until)) = self.sleep_window(self.epoch) {
+            if !self.asleep {
+                self.asleep = true;
+                if self.config.sleep_announcements {
+                    self.transmit(
+                        ctx,
+                        FdsMsg::SleepNotice {
+                            from: self.profile.id,
+                            until_epoch: until,
+                        },
+                    );
+                }
+            }
+            let _ = from;
+            self.schedule(
+                ctx,
+                self.config.heartbeat_interval,
+                TimerPayload::EpochStart,
+            );
+            return;
+        }
+        self.asleep = false;
+
+        // fds.R-1: everyone (marked or not — feature F5) heartbeats;
+        // with aggregation embedded, the heartbeat carries the sensor
+        // reading (message sharing: zero extra transmissions).
+        let reading = if self.config.aggregation {
+            let r = synthetic_reading(self.profile.id, self.epoch);
+            self.readings.insert(self.profile.id, r);
+            Some(r)
+        } else {
+            None
+        };
+        self.transmit(
+            ctx,
+            FdsMsg::Heartbeat {
+                from: self.profile.id,
+                marked: self.profile.cluster.is_some(),
+                reading,
+            },
+        );
+        if self.profile.cluster.is_some() {
+            self.schedule(ctx, self.config.r2_offset(), TimerPayload::R2);
+            self.schedule(ctx, self.config.r3_offset(), TimerPayload::R3);
+            self.schedule(ctx, self.config.post_offset(), TimerPayload::Post);
+        }
+        self.schedule(
+            ctx,
+            self.config.heartbeat_interval,
+            TimerPayload::EpochStart,
+        );
+    }
+
+    /// Expected-alive members, excluding this node itself, known
+    /// failures, and announced sleepers that have not woken yet.
+    fn expected_members(&self) -> Vec<NodeId> {
+        self.profile
+            .roster
+            .iter()
+            .copied()
+            .filter(|m| *m != self.profile.id && !self.known_failed.contains(*m))
+            .filter(|m| {
+                self.known_sleepers
+                    .get(m)
+                    .is_none_or(|until| *until <= self.epoch)
+            })
+            .collect()
+    }
+
+    /// The deputy currently entitled to judge the acting head: the
+    /// highest-ranked deputy that is neither failed, promoted, nor
+    /// (announcedly) asleep — a sleeping deputy's duty falls to the
+    /// next rank for the duration of its window.
+    fn judging_deputy(&self) -> Option<NodeId> {
+        self.profile.deputies.iter().copied().find(|d| {
+            Some(*d) != self.acting_head
+                && !self.known_failed.contains(*d)
+                && self
+                    .known_sleepers
+                    .get(d)
+                    .is_none_or(|until| *until <= self.epoch)
+        })
+    }
+
+    /// Broadcasts a health update as the (possibly just promoted)
+    /// acting head, and arms the implicit-ack watchdogs for links that
+    /// must carry the news.
+    fn announce_update(
+        &mut self,
+        ctx: &mut Ctx<'_, FdsMsg>,
+        new_failed: Vec<NodeId>,
+        takeover: bool,
+    ) {
+        let Some(cluster) = self.my_cluster() else {
+            return;
+        };
+        let all_failed: Vec<NodeId> = if self.config.cumulative_reports {
+            self.known_failed.nodes().collect()
+        } else {
+            new_failed.clone()
+        };
+        // Honour this epoch's membership subscriptions (F5).
+        let joined: Vec<NodeId> = if self.config.admit_unmarked && !takeover {
+            self.join_pending.iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+        let mut roster = Vec::new();
+        if !joined.is_empty() {
+            self.stats.joins_admitted += joined.len() as u64;
+            self.profile.roster.extend(joined.iter().copied());
+            self.profile.roster.sort_unstable();
+            self.profile.roster.dedup();
+            roster = self.profile.roster.clone();
+            self.join_pending.clear();
+        }
+        let aggregate = if self.config.aggregation && !takeover {
+            let agg = aggregate_readings(&self.readings);
+            self.aggregates.push((self.epoch, agg));
+            Some(agg)
+        } else {
+            None
+        };
+        let update = HealthUpdate {
+            from: self.profile.id,
+            cluster,
+            epoch: self.epoch,
+            new_failed: new_failed.clone(),
+            all_failed,
+            takeover,
+            joined,
+            roster,
+            aggregate,
+        };
+        // The head's own broadcast is evidence of what this cluster
+        // knows (gateways overhear it the same way).
+        self.known_by_cluster
+            .entry(cluster)
+            .or_default()
+            .extend(update.all_failed.iter().copied());
+        self.update_this_epoch = Some(update.clone());
+        self.evidence.update_received = true;
+        self.transmit(ctx, FdsMsg::HealthUpdate(update));
+
+        if !new_failed.is_empty() {
+            for link in self.profile.cluster_links.clone() {
+                self.schedule(
+                    ctx,
+                    self.config.t_hop * 2,
+                    TimerPayload::ChRetx {
+                        peer: link.peer_cluster,
+                        failed: new_failed.clone(),
+                        attempt: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Adopts failure knowledge (never about self) and returns what
+    /// was new.
+    fn adopt_failures(&mut self, failed: impl IntoIterator<Item = NodeId>) -> Vec<NodeId> {
+        let me = self.profile.id;
+        let epoch = self.epoch;
+        self.known_failed
+            .extend(failed.into_iter().filter(|f| *f != me), epoch)
+    }
+
+    /// Gateway logic: schedule forwarding of everything `target`'s
+    /// head has evidently not yet announced.
+    fn gw_consider_forward(
+        &mut self,
+        ctx: &mut Ctx<'_, FdsMsg>,
+        rank: u8,
+        backups: u8,
+        target: ClusterId,
+    ) {
+        let pending: Vec<NodeId> = self
+            .known_failed
+            .nodes()
+            .filter(|f| {
+                !self
+                    .known_by_cluster
+                    .get(&target)
+                    .is_some_and(|known| known.contains(f))
+            })
+            .filter(|f| *f != target.head())
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        if rank == 0 {
+            // The primary forwards immediately, then re-checks after
+            // (n+1)·2Thop.
+            self.send_report(ctx, target, pending.clone());
+            self.schedule(
+                ctx,
+                self.config.t_hop * 2 * (u64::from(backups) + 1),
+                TimerPayload::GwForward {
+                    target,
+                    failed: pending,
+                    attempt: 1,
+                },
+            );
+        } else if self.config.bgw_assist {
+            // Backup of rank k stands by for k·2Thop.
+            self.schedule(
+                ctx,
+                self.config.t_hop * 2 * u64::from(rank),
+                TimerPayload::GwForward {
+                    target,
+                    failed: pending,
+                    attempt: 0,
+                },
+            );
+        }
+    }
+
+    fn send_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, target: ClusterId, failed: Vec<NodeId>) {
+        self.stats.reports_sent += 1;
+        // Piggyback which clusters evidently already announced all of
+        // `failed`, so receivers extend their implicit-ack ledgers.
+        let known_by: Vec<ClusterId> = self
+            .known_by_cluster
+            .iter()
+            .filter(|(_, known)| failed.iter().all(|f| known.contains(f)))
+            .map(|(c, _)| *c)
+            .collect();
+        self.transmit(
+            ctx,
+            FdsMsg::Report(FailureReport {
+                via: self.profile.id,
+                to_cluster: target,
+                failed,
+                known_by,
+            }),
+        );
+    }
+
+    /// Runs gateway forwarding for every duty, in both directions:
+    /// toward the duty's peer cluster and (for news learned *from*
+    /// that peer) toward this node's own cluster.
+    fn gw_run_duties(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        let duties = self.profile.duties.clone();
+        let own = self.my_cluster();
+        for duty in duties {
+            self.gw_consider_forward(ctx, duty.rank, duty.backups, duty.peer_cluster);
+            if let Some(own) = own {
+                self.gw_consider_forward(ctx, duty.rank, duty.backups, own);
+            }
+        }
+    }
+
+    fn handle_update(&mut self, ctx: &mut Ctx<'_, FdsMsg>, u: HealthUpdate, via_peer: bool) {
+        self.stats.updates_received += 1;
+        // Any overheard update is evidence of what its cluster knows.
+        self.known_by_cluster.entry(u.cluster).or_default().extend(
+            u.all_failed
+                .iter()
+                .copied()
+                .chain(u.new_failed.iter().copied()),
+        );
+
+        // An unaffiliated node that finds itself admitted adopts the
+        // announcing cluster (its earlier heartbeat was its
+        // subscription).
+        if self.my_cluster().is_none() && u.joined.contains(&self.profile.id) {
+            self.profile.cluster = Some(u.cluster);
+            self.profile.head = Some(u.from);
+            self.profile.roster = if u.roster.is_empty() {
+                vec![u.from, self.profile.id]
+            } else {
+                u.roster.clone()
+            };
+            self.acting_head = Some(u.from);
+        }
+
+        let mine = self.my_cluster() == Some(u.cluster);
+        let news = self.adopt_failures(
+            u.all_failed
+                .iter()
+                .copied()
+                .chain(u.new_failed.iter().copied()),
+        );
+
+        // Roster re-announcements keep every member's view current.
+        if mine && !u.roster.is_empty() && self.profile.roster.contains(&u.from) {
+            self.profile.roster = u.roster.clone();
+        }
+
+        if mine && self.profile.roster.contains(&u.from) {
+            if u.epoch == self.epoch && Some(u.from) == self.acting_head && !via_peer {
+                self.evidence.update_received = true;
+            }
+            if u.takeover && u.from != self.profile.id {
+                self.acting_head = Some(u.from);
+                if u.epoch == self.epoch {
+                    self.evidence.update_received = true;
+                }
+                // Proactive relay (Figure 2(a)): the promoted deputy
+                // may be unable to reach some members directly. Its
+                // digest — overheard in fds.R-2 — reveals whom it
+                // heard; any member *we* heard but the deputy did not
+                // may be out of its range, so we relay the takeover
+                // update to them unprompted (quitting on their ack via
+                // the usual slot machinery).
+                if self.config.peer_forwarding && u.epoch == self.epoch && !via_peer {
+                    if let Some(dch_digest) = self.evidence.digests.get(&u.from).cloned() {
+                        let unreachable: Vec<NodeId> = self
+                            .profile
+                            .roster
+                            .iter()
+                            .copied()
+                            .filter(|v| {
+                                *v != self.profile.id
+                                    && *v != u.from
+                                    && !self.known_failed.contains(*v)
+                                    && !dch_digest.reflects(*v)
+                                    && self.evidence.heartbeats.contains(v)
+                            })
+                            .collect();
+                        for v in unreachable {
+                            let fraction = if self.energy_capacity > 0.0 {
+                                (ctx.remaining_energy() / self.energy_capacity).clamp(0.0, 1.0)
+                            } else {
+                                1.0
+                            };
+                            let delay = waiting_period(
+                                self.profile.id,
+                                fraction,
+                                self.config.t_hop,
+                                ENERGY_LEVELS,
+                                self.config.peer_forward_slots,
+                            );
+                            self.schedule(
+                                ctx,
+                                delay,
+                                TimerPayload::PeerSlot {
+                                    requester: v,
+                                    epoch: u.epoch,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            if self.update_this_epoch.is_none() && u.epoch == self.epoch {
+                self.update_this_epoch = Some(u.clone());
+                if self.request_outstanding {
+                    self.request_outstanding = false;
+                    self.transmit(
+                        ctx,
+                        FdsMsg::PeerAck {
+                            from: self.profile.id,
+                            epoch: u.epoch,
+                        },
+                    );
+                }
+            }
+        }
+
+        if !news.is_empty() || u.has_news() {
+            self.gw_run_duties(ctx);
+        }
+    }
+
+    fn handle_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, r: FailureReport) {
+        // Layer-one implicit ack for the acting head: some forwarder
+        // carried these failures toward that cluster.
+        self.forward_seen
+            .entry(r.to_cluster)
+            .or_default()
+            .extend(r.failed.iter().copied());
+        // Piggybacked ledger: the forwarder vouches that these
+        // clusters' heads already announced every listed failure.
+        for c in &r.known_by {
+            self.known_by_cluster
+                .entry(*c)
+                .or_default()
+                .extend(r.failed.iter().copied());
+        }
+
+        if self.my_cluster() == Some(r.to_cluster) && self.is_acting_head() {
+            let news = self.adopt_failures(r.failed.iter().copied());
+            // Re-broadcast as the implicit acknowledgment (and the
+            // intra-cluster dissemination of the news, if any).
+            self.announce_update(ctx, news, false);
+        }
+    }
+
+    fn handle_post(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        if self.is_acting_head() {
+            return;
+        }
+        let Some(head) = self.acting_head else {
+            return;
+        };
+        // Deputy judgement of the clusterhead.
+        if self.judging_deputy() == Some(self.profile.id) && ch_failed(head, &self.evidence) {
+            self.adopt_failures([head]);
+            self.detections.push(DetectionEvent {
+                epoch: self.epoch,
+                suspects: vec![head],
+                takeover: true,
+            });
+            self.acting_head = Some(self.profile.id);
+            self.announce_update(ctx, vec![head], true);
+            return;
+        }
+        // Members that missed the update ask their peers.
+        if self.update_this_epoch.is_none() {
+            if self.config.peer_forwarding && self.profile.roster.len() > 1 {
+                self.request_outstanding = true;
+                self.stats.requests_sent += 1;
+                self.transmit(
+                    ctx,
+                    FdsMsg::ForwardRequest {
+                        from: self.profile.id,
+                        epoch: self.epoch,
+                    },
+                );
+                let window = self.config.t_hop * u64::from(self.config.peer_forward_slots + 2);
+                self.schedule(
+                    ctx,
+                    window,
+                    TimerPayload::RecoveryDeadline { epoch: self.epoch },
+                );
+            } else {
+                self.stats.updates_missed += 1;
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, FdsMsg>, payload: TimerPayload) {
+        match payload {
+            TimerPayload::EpochStart => {
+                self.epoch += 1;
+                self.begin_epoch(ctx);
+            }
+            TimerPayload::R2 => {
+                if self.config.digest_round {
+                    let roster: BTreeSet<NodeId> = self.profile.roster.iter().copied().collect();
+                    let heard: Vec<NodeId> = self
+                        .evidence
+                        .heartbeats
+                        .iter()
+                        .copied()
+                        .filter(|h| roster.contains(h))
+                        .collect();
+                    let mut digest = Digest::new(self.profile.id, heard);
+                    if self.config.aggregation {
+                        digest = digest
+                            .with_readings(self.readings.iter().map(|(n, r)| (*n, *r)).collect());
+                    }
+                    self.transmit(ctx, FdsMsg::Digest(digest));
+                }
+            }
+            TimerPayload::R3 => {
+                if self.is_acting_head() {
+                    let expected = self.expected_members();
+                    let new_failed = detect_failures(&expected, &self.evidence);
+                    if !new_failed.is_empty() {
+                        self.detections.push(DetectionEvent {
+                            epoch: self.epoch,
+                            suspects: new_failed.clone(),
+                            takeover: false,
+                        });
+                    }
+                    self.adopt_failures(new_failed.iter().copied());
+                    self.announce_update(ctx, new_failed, false);
+                }
+            }
+            TimerPayload::Post => self.handle_post(ctx),
+            TimerPayload::RecoveryDeadline { epoch } => {
+                if epoch == self.epoch && self.update_this_epoch.is_none() {
+                    self.stats.updates_missed += 1;
+                    self.request_outstanding = false;
+                }
+            }
+            TimerPayload::PeerSlot { requester, epoch } => {
+                if self.quit.contains(&(requester, epoch)) {
+                    return;
+                }
+                if let Some(update) = self.update_this_epoch.clone() {
+                    if update.epoch == epoch {
+                        self.stats.peer_forwards_sent += 1;
+                        self.transmit(
+                            ctx,
+                            FdsMsg::PeerForward {
+                                to: requester,
+                                update,
+                            },
+                        );
+                    }
+                }
+            }
+            TimerPayload::GwForward {
+                target,
+                failed,
+                attempt,
+            } => {
+                let still_pending: Vec<NodeId> = failed
+                    .iter()
+                    .copied()
+                    .filter(|f| {
+                        !self
+                            .known_by_cluster
+                            .get(&target)
+                            .is_some_and(|known| known.contains(f))
+                    })
+                    .collect();
+                if still_pending.is_empty() || attempt > self.config.max_retransmits {
+                    return;
+                }
+                self.send_report(ctx, target, still_pending.clone());
+                // Stand by again for one full cycle of the link.
+                let backups = self
+                    .profile
+                    .duties
+                    .iter()
+                    .map(|d| d.backups)
+                    .max()
+                    .unwrap_or(0);
+                self.schedule(
+                    ctx,
+                    self.config.t_hop * 2 * (u64::from(backups) + 1),
+                    TimerPayload::GwForward {
+                        target,
+                        failed: still_pending,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            TimerPayload::ChRetx {
+                peer,
+                failed,
+                attempt,
+            } => {
+                if !self.is_acting_head() {
+                    return;
+                }
+                let missing: Vec<NodeId> = failed
+                    .iter()
+                    .copied()
+                    .filter(|f| {
+                        let forwarded = self
+                            .forward_seen
+                            .get(&peer)
+                            .is_some_and(|seen| seen.contains(f));
+                        let acked = self
+                            .known_by_cluster
+                            .get(&peer)
+                            .is_some_and(|known| known.contains(f));
+                        !forwarded && !acked
+                    })
+                    .collect();
+                if missing.is_empty() || attempt >= self.config.max_retransmits {
+                    return;
+                }
+                // Retransmit the update so the link's forwarders get a
+                // second chance to hear it.
+                self.stats.retransmissions += 1;
+                let Some(cluster) = self.my_cluster() else {
+                    return;
+                };
+                let all_failed: Vec<NodeId> = self.known_failed.nodes().collect();
+                self.transmit(
+                    ctx,
+                    FdsMsg::HealthUpdate(HealthUpdate {
+                        from: self.profile.id,
+                        cluster,
+                        epoch: self.epoch,
+                        new_failed: missing.clone(),
+                        all_failed,
+                        takeover: false,
+                        joined: Vec::new(),
+                        roster: Vec::new(),
+                        aggregate: None,
+                    }),
+                );
+                self.schedule(
+                    ctx,
+                    self.config.t_hop * 2,
+                    TimerPayload::ChRetx {
+                        peer,
+                        failed: missing,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Actor for FdsNode {
+    type Msg = FdsMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        self.begin_epoch(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FdsMsg>, _from: NodeId, msg: FdsMsg) {
+        if self.asleep {
+            return; // radio off
+        }
+        match msg {
+            FdsMsg::Heartbeat {
+                from,
+                marked,
+                reading,
+            } => {
+                self.evidence.record_heartbeat(from);
+                if let Some(r) = reading {
+                    self.readings.insert(from, r);
+                }
+                if !marked
+                    && self.config.admit_unmarked
+                    && self.is_acting_head()
+                    && !self.profile.roster.contains(&from)
+                {
+                    self.join_pending.insert(from);
+                }
+            }
+            FdsMsg::Digest(d) => {
+                if self.config.aggregation {
+                    for (node, reading) in &d.readings {
+                        self.readings.entry(*node).or_insert(*reading);
+                    }
+                }
+                self.evidence.record_digest(d);
+            }
+            FdsMsg::HealthUpdate(u) => self.handle_update(ctx, u, false),
+            FdsMsg::ForwardRequest { from, epoch } => {
+                // Peers answer, not the acting head: the paper prefers
+                // peer forwarding over CH/DCH retransmission for
+                // energy balance (Section 4.2).
+                if self.config.peer_forwarding
+                    && epoch == self.epoch
+                    && from != self.profile.id
+                    && !self.is_acting_head()
+                    && self.profile.roster.contains(&from)
+                    && self.update_this_epoch.is_some()
+                {
+                    let fraction = if !self.config.energy_balanced_forwarding {
+                        // Ablation: energy-blind back-off (NID only).
+                        1.0
+                    } else if self.energy_capacity > 0.0 {
+                        (ctx.remaining_energy() / self.energy_capacity).clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    };
+                    let delay = waiting_period(
+                        self.profile.id,
+                        fraction,
+                        self.config.t_hop,
+                        ENERGY_LEVELS,
+                        self.config.peer_forward_slots,
+                    );
+                    self.schedule(
+                        ctx,
+                        delay,
+                        TimerPayload::PeerSlot {
+                            requester: from,
+                            epoch,
+                        },
+                    );
+                }
+            }
+            FdsMsg::PeerForward { to, update } => {
+                // Promiscuous receiving: by default the update is
+                // adopted even when addressed to someone else (free
+                // redundancy); strict mode limits recovery to the
+                // addressee, matching the Figure 7 model exactly.
+                let addressed_to_me = to == self.profile.id;
+                if self.my_cluster() == Some(update.cluster)
+                    && (addressed_to_me || self.config.promiscuous_recovery)
+                {
+                    let epoch = update.epoch;
+                    let had_update = self.update_this_epoch.is_some();
+                    let had_request = self.request_outstanding;
+                    self.handle_update(ctx, update, true);
+                    // Acknowledge proactive relays too (the Figure 2
+                    // case: we never requested, a peer relayed on the
+                    // deputy's behalf) so other standby relayers quit.
+                    // handle_update already acked if a request was
+                    // outstanding.
+                    if addressed_to_me
+                        && !had_update
+                        && !had_request
+                        && self.update_this_epoch.is_some()
+                        && epoch == self.epoch
+                    {
+                        self.transmit(
+                            ctx,
+                            FdsMsg::PeerAck {
+                                from: self.profile.id,
+                                epoch,
+                            },
+                        );
+                    }
+                }
+            }
+            FdsMsg::PeerAck { from, epoch } => {
+                self.quit.insert((from, epoch));
+            }
+            FdsMsg::Report(r) => self.handle_report(ctx, r),
+            FdsMsg::SleepNotice { from, until_epoch } => {
+                self.known_sleepers.insert(from, until_epoch);
+                // Relay each notice once: the inherent message
+                // redundancy gives the head a second chance to hear
+                // it, reducing sleep-caused false detections.
+                if self.config.sleep_announcements
+                    && self.relayed_notices.insert((from, until_epoch))
+                    && from != self.profile.id
+                {
+                    self.transmit(ctx, FdsMsg::SleepNotice { from, until_epoch });
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, FdsMsg>, token: TimerToken) {
+        if let Some(payload) = self.timers.remove(&token.0) {
+            self.handle_timer(ctx, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::id::ClusterId;
+
+    fn profile_for(id: u32, head: u32, roster: &[u32], deputies: &[u32]) -> NodeProfile {
+        NodeProfile {
+            id: NodeId(id),
+            cluster: Some(ClusterId::of(NodeId(head))),
+            head: Some(NodeId(head)),
+            roster: roster.iter().map(|r| NodeId(*r)).collect(),
+            deputies: deputies.iter().map(|d| NodeId(*d)).collect(),
+            duties: Vec::new(),
+            cluster_links: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn expected_members_excludes_self_and_failed() {
+        let mut node = FdsNode::new(
+            profile_for(0, 0, &[0, 1, 2, 3], &[]),
+            FdsConfig::default(),
+            1_000.0,
+        );
+        node.known_failed.insert(NodeId(2), 0);
+        assert_eq!(node.expected_members(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn judging_deputy_skips_failed_and_promoted() {
+        let mut node = FdsNode::new(
+            profile_for(3, 0, &[0, 1, 2, 3], &[1, 2, 3]),
+            FdsConfig::default(),
+            1_000.0,
+        );
+        assert_eq!(node.judging_deputy(), Some(NodeId(1)));
+        node.known_failed.insert(NodeId(1), 0);
+        assert_eq!(node.judging_deputy(), Some(NodeId(2)));
+        // After 2 takes over, the judge becomes 3.
+        node.acting_head = Some(NodeId(2));
+        assert_eq!(node.judging_deputy(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn adopt_failures_never_marks_self() {
+        let mut node = FdsNode::new(
+            profile_for(5, 0, &[0, 5], &[]),
+            FdsConfig::default(),
+            1_000.0,
+        );
+        let news = node.adopt_failures([NodeId(5), NodeId(7)]);
+        assert_eq!(news, vec![NodeId(7)]);
+        assert!(!node.known_failed().contains(NodeId(5)));
+    }
+
+    #[test]
+    fn sleep_plan_validation() {
+        let mut node = FdsNode::new(
+            profile_for(0, 0, &[0, 1], &[]),
+            FdsConfig::default(),
+            1_000.0,
+        );
+        node.set_sleep_plan(vec![(1, 3), (5, 8)]);
+        assert!(!node.is_asleep());
+        assert_eq!(node.sleep_window(2), Some((1, 3)));
+        assert_eq!(node.sleep_window(3), None);
+        assert_eq!(node.sleep_window(6), Some((5, 8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sleep window")]
+    fn empty_sleep_window_rejected() {
+        let mut node = FdsNode::new(
+            profile_for(0, 0, &[0, 1], &[]),
+            FdsConfig::default(),
+            1_000.0,
+        );
+        node.set_sleep_plan(vec![(3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn overlapping_sleep_windows_rejected() {
+        let mut node = FdsNode::new(
+            profile_for(0, 0, &[0, 1], &[]),
+            FdsConfig::default(),
+            1_000.0,
+        );
+        node.set_sleep_plan(vec![(1, 5), (4, 8)]);
+    }
+
+    #[test]
+    fn initial_state_mirrors_profile() {
+        let node = FdsNode::new(
+            profile_for(1, 0, &[0, 1], &[1]),
+            FdsConfig::default(),
+            1_000.0,
+        );
+        assert_eq!(node.acting_head(), Some(NodeId(0)));
+        assert_eq!(node.epoch(), 0);
+        assert!(node.known_failed().is_empty());
+        assert!(node.detections().is_empty());
+        assert_eq!(*node.stats(), NodeStats::default());
+    }
+}

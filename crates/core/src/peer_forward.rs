@@ -1,0 +1,134 @@
+//! Energy-balanced peer forwarding (Section 4.2).
+//!
+//! When a member misses the clusterhead's health update, it broadcasts
+//! a forwarding request. Every in-cluster neighbour that holds the
+//! update schedules a forwarding attempt after a **waiting period**
+//! that is unique per node ("a function of the node's NID, which is
+//! globally unique") and **inversely proportional to the node's
+//! remaining energy**, so the best-charged neighbour answers first and
+//! forwarding load spreads across the cluster. Neighbours quit upon
+//! overhearing the requester's acknowledgment.
+
+use cbfd_net::id::NodeId;
+use cbfd_net::time::SimDuration;
+
+/// Computes the back-off before a neighbour answers a forwarding
+/// request.
+///
+/// The slot index combines an energy term (nodes at full charge wait
+/// `0` energy slots; depleted nodes wait up to `energy_levels − 1`)
+/// with an NID-derived sub-slot that makes concurrent responders
+/// collide with negligible probability. The returned delay is
+/// `slot · slot_len`, bounded by `max_slots · slot_len`.
+///
+/// # Panics
+///
+/// Panics if `energy_levels` or `max_slots` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_core::peer_forward::waiting_period;
+/// use cbfd_net::id::NodeId;
+/// use cbfd_net::time::SimDuration;
+///
+/// let slot = SimDuration::from_millis(10);
+/// let fresh = waiting_period(NodeId(7), 1.0, slot, 4, 8);
+/// let tired = waiting_period(NodeId(7), 0.1, slot, 4, 8);
+/// assert!(fresh < tired, "well-charged nodes answer sooner");
+/// ```
+pub fn waiting_period(
+    nid: NodeId,
+    energy_fraction: f64,
+    slot_len: SimDuration,
+    energy_levels: u32,
+    max_slots: u32,
+) -> SimDuration {
+    assert!(energy_levels > 0, "energy_levels must be positive");
+    assert!(max_slots > 0, "max_slots must be positive");
+    let energy = energy_fraction.clamp(0.0, 1.0);
+    // Inverse proportionality, quantized: full charge → level 0,
+    // near-empty → level energy_levels − 1.
+    let energy_slot = ((1.0 - energy) * energy_levels as f64).floor() as u32;
+    let energy_slot = energy_slot.min(energy_levels - 1);
+    // NID sub-slot spreads ties within one energy level. The sub-slot
+    // granularity is slot_len / 16, giving 16 distinct offsets.
+    let sub_slot = nid.0 % 16;
+    let base = slot_len * u64::from(energy_slot.min(max_slots - 1));
+    let jitter = SimDuration::from_micros(slot_len.as_micros() / 16 * u64::from(sub_slot));
+    base + jitter
+}
+
+/// The bound on any waiting period produced by [`waiting_period`] with
+/// the same parameters; requesters give up (and the protocol's
+/// recovery window closes) after this long.
+pub fn max_waiting_period(
+    slot_len: SimDuration,
+    energy_levels: u32,
+    max_slots: u32,
+) -> SimDuration {
+    let slots = energy_levels.min(max_slots);
+    slot_len * u64::from(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLOT: SimDuration = SimDuration::from_millis(10);
+
+    #[test]
+    fn full_energy_answers_in_first_slot() {
+        let w = waiting_period(NodeId(0), 1.0, SLOT, 4, 8);
+        assert!(w < SLOT);
+    }
+
+    #[test]
+    fn lower_energy_waits_longer() {
+        let mut last = SimDuration::ZERO;
+        for level in [1.0, 0.7, 0.45, 0.2] {
+            let w = waiting_period(NodeId(0), level, SLOT, 4, 8);
+            assert!(w >= last, "energy {level} must not answer sooner");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn nids_get_distinct_offsets_within_a_level() {
+        let a = waiting_period(NodeId(1), 1.0, SLOT, 4, 8);
+        let b = waiting_period(NodeId(2), 1.0, SLOT, 4, 8);
+        assert_ne!(a, b, "distinct NIDs must not collide in one level");
+    }
+
+    #[test]
+    fn waiting_period_is_bounded() {
+        let bound = max_waiting_period(SLOT, 4, 8);
+        for nid in 0..64u32 {
+            for energy in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                let w = waiting_period(NodeId(nid), energy, SLOT, 4, 8);
+                assert!(w <= bound, "nid {nid} energy {energy}: {w} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_slots_caps_energy_levels() {
+        // Even with 100 energy levels, max_slots = 2 bounds the wait.
+        let w = waiting_period(NodeId(0), 0.0, SLOT, 100, 2);
+        assert!(w <= SLOT * 2);
+    }
+
+    #[test]
+    fn out_of_range_energy_is_clamped() {
+        let hi = waiting_period(NodeId(0), 7.5, SLOT, 4, 8);
+        let lo = waiting_period(NodeId(0), -3.0, SLOT, 4, 8);
+        assert_eq!(hi, waiting_period(NodeId(0), 1.0, SLOT, 4, 8));
+        assert_eq!(lo, waiting_period(NodeId(0), 0.0, SLOT, 4, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "energy_levels must be positive")]
+    fn zero_levels_rejected() {
+        let _ = waiting_period(NodeId(0), 1.0, SLOT, 0, 8);
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-node protocol knowledge derived from the clustering.
+//!
+//! After cluster formation every host knows its cluster, its roster
+//! (from the clusterhead's organization announcement), the deputy
+//! succession, and any gateway duties it holds. [`NodeProfile`]
+//! captures exactly that node-local knowledge; the FDS actor never
+//! consults global state.
+
+use cbfd_cluster::ClusterView;
+use cbfd_net::id::{ClusterId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A forwarding duty on one backbone link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayDuty {
+    /// The neighbouring cluster served by this duty.
+    pub peer_cluster: ClusterId,
+    /// The neighbouring cluster's head (the report recipient).
+    pub peer_head: NodeId,
+    /// 0 for the primary gateway; `k ≥ 1` for the backup of rank `k`.
+    pub rank: u8,
+    /// Number of backup gateways on this link (the paper's `n`).
+    pub backups: u8,
+}
+
+impl GatewayDuty {
+    /// Whether this duty is the link's primary gateway.
+    pub fn is_primary(&self) -> bool {
+        self.rank == 0
+    }
+}
+
+/// A backbone link of a cluster as seen by its head: the peer cluster
+/// and the forwarders serving the link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeadLink {
+    /// The neighbouring cluster.
+    pub peer_cluster: ClusterId,
+    /// The primary gateway of the link.
+    pub primary: NodeId,
+    /// Backup gateways in rank order.
+    pub backups: Vec<NodeId>,
+}
+
+/// Everything one host knows about its place in the architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// This host.
+    pub id: NodeId,
+    /// The cluster the host is affiliated with (`None` while
+    /// unmarked/isolated; such hosts heartbeat but run no detection).
+    pub cluster: Option<ClusterId>,
+    /// The cluster's head at formation time.
+    pub head: Option<NodeId>,
+    /// The cluster roster (head included), sorted.
+    pub roster: Vec<NodeId>,
+    /// Deputy succession (index 0 = highest rank).
+    pub deputies: Vec<NodeId>,
+    /// Gateway/backup duties this host holds.
+    pub duties: Vec<GatewayDuty>,
+    /// Links of this host's cluster (consulted when the host acts as
+    /// head — possibly after deputy takeover — to know which
+    /// forwarders to expect implicit acks from).
+    pub cluster_links: Vec<HeadLink>,
+}
+
+impl NodeProfile {
+    /// Profile of an unaffiliated host.
+    pub fn unaffiliated(id: NodeId) -> Self {
+        NodeProfile {
+            id,
+            cluster: None,
+            head: None,
+            roster: Vec::new(),
+            deputies: Vec::new(),
+            duties: Vec::new(),
+            cluster_links: Vec::new(),
+        }
+    }
+
+    /// Whether the host was the clusterhead at formation time.
+    pub fn is_initial_head(&self) -> bool {
+        self.head == Some(self.id)
+    }
+}
+
+/// Builds the per-node profiles for a whole network from its
+/// [`ClusterView`].
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_cluster::{oracle, FormationConfig};
+/// use cbfd_core::profile::build_profiles;
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::topology::Topology;
+///
+/// let positions = (0..6).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+/// let topology = Topology::from_positions(positions, 100.0);
+/// let view = oracle::form(&topology, &FormationConfig::default());
+/// let profiles = build_profiles(&view);
+/// assert_eq!(profiles.len(), 6);
+/// ```
+pub fn build_profiles(view: &ClusterView) -> Vec<NodeProfile> {
+    let n = view.node_count();
+    let mut profiles: Vec<NodeProfile> = (0..n as u32)
+        .map(|i| NodeProfile::unaffiliated(NodeId(i)))
+        .collect();
+
+    for cluster in view.clusters() {
+        for member in cluster.members() {
+            let p = &mut profiles[member.index()];
+            p.cluster = Some(cluster.id());
+            p.head = Some(cluster.head());
+            p.roster = cluster.members().to_vec();
+            p.deputies = cluster.deputies().to_vec();
+        }
+    }
+
+    for (pair, link) in view.gateway_links() {
+        let (a, b) = pair.endpoints();
+        let backups = link.backups.len() as u8;
+        for (rank, node) in link.all().enumerate() {
+            let own = view.cluster_of(node);
+            for cluster_id in [a, b] {
+                // The duty is registered once, pointing at the peer of
+                // the node's own side; a gateway serves both directions
+                // but reports flow to whichever head is "the other".
+                if own == Some(cluster_id) {
+                    continue;
+                }
+                let Some(peer) = view.cluster(cluster_id) else {
+                    continue;
+                };
+                profiles[node.index()].duties.push(GatewayDuty {
+                    peer_cluster: cluster_id,
+                    peer_head: peer.head(),
+                    rank: rank as u8,
+                    backups,
+                });
+            }
+        }
+        // Register the link with every member of both clusters, so
+        // that a promoted deputy knows the forwarders too.
+        for own in [a, b] {
+            if let Some(cluster) = view.cluster(own) {
+                let peer_id = pair.other(own);
+                for member in cluster.members() {
+                    profiles[member.index()].cluster_links.push(HeadLink {
+                        peer_cluster: peer_id,
+                        primary: link.primary,
+                        backups: link.backups.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    for p in &mut profiles {
+        p.duties.sort_by_key(|d| d.peer_cluster);
+        p.cluster_links.sort_by_key(|l| l.peer_cluster);
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_cluster::{oracle, FormationConfig};
+    use cbfd_net::geometry::Point;
+    use cbfd_net::topology::Topology;
+
+    fn chain_profiles() -> (Topology, Vec<NodeProfile>) {
+        // Spacing 60 m: clusters {0,1}, {2,3}, {4,5}; node 1 hears head
+        // 2, node 3 hears heads 0(no: 180 away).. compute: positions
+        // 0,60,120,180,240,300. head 0 at 0; head 2 at 120; head 4 at
+        // 240. Node 1 (60) hears head 2 (120, 60 away): gateway
+        // candidate between C0 and C2. Node 3 (180) hears head 4 (240)
+        // and head 2: gateway C2-C4.
+        let positions = (0..6).map(|i| Point::new(i as f64 * 60.0, 0.0)).collect();
+        let topology = Topology::from_positions(positions, 100.0);
+        let view = oracle::form(&topology, &FormationConfig::default());
+        let profiles = build_profiles(&view);
+        (topology, profiles)
+    }
+
+    #[test]
+    fn heads_and_rosters_are_populated() {
+        let (_, profiles) = chain_profiles();
+        assert!(profiles[0].is_initial_head());
+        assert_eq!(profiles[1].head, Some(NodeId(0)));
+        assert_eq!(profiles[1].roster, vec![NodeId(0), NodeId(1)]);
+        assert!(profiles[2].is_initial_head());
+    }
+
+    #[test]
+    fn gateways_know_their_duties() {
+        let (_, profiles) = chain_profiles();
+        // Node 1 bridges C(n0) and C(n2).
+        let duties = &profiles[1].duties;
+        assert_eq!(duties.len(), 1);
+        assert_eq!(duties[0].peer_head, NodeId(2));
+        assert!(duties[0].is_primary());
+    }
+
+    #[test]
+    fn all_members_know_their_cluster_links() {
+        let (_, profiles) = chain_profiles();
+        let links = &profiles[0].cluster_links;
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].primary, NodeId(1));
+        // The member knows the same links as its head (for takeover).
+        assert_eq!(profiles[1].cluster_links, profiles[0].cluster_links);
+        // The middle cluster links to both sides.
+        assert_eq!(profiles[2].cluster_links.len(), 2);
+    }
+
+    #[test]
+    fn unaffiliated_profile_is_empty() {
+        let p = NodeProfile::unaffiliated(NodeId(9));
+        assert_eq!(p.cluster, None);
+        assert!(p.roster.is_empty());
+        assert!(!p.is_initial_head());
+    }
+
+    #[test]
+    fn dense_field_duty_ranks_match_link() {
+        use cbfd_net::geometry::Rect;
+        use cbfd_net::placement::Placement;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = Placement::UniformRect(Rect::square(500.0)).generate(120, &mut rng);
+        let topology = Topology::from_positions(pts, 100.0);
+        let view = oracle::form(&topology, &FormationConfig::default());
+        let profiles = build_profiles(&view);
+        for (pair, link) in view.gateway_links() {
+            let (a, b) = pair.endpoints();
+            // The primary's profile must carry rank 0 toward the peer
+            // on the other side of its own cluster.
+            let own = view.cluster_of(link.primary).unwrap();
+            let peer = if own == a { b } else { a };
+            let duty = profiles[link.primary.index()]
+                .duties
+                .iter()
+                .find(|d| d.peer_cluster == peer)
+                .expect("primary has a duty");
+            assert_eq!(duty.rank, 0);
+            assert_eq!(duty.backups as usize, link.backups.len());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Abstract failure-detector properties, evaluated over runs.
+//!
+//! The paper frames its service against the unreliable-failure-
+//! detector hierarchy of Chandra & Toueg (the paper's reference \[13\]): since
+//! deterministic guarantees are impossible over lossy radio, the FDS
+//! provides the properties *probabilistically*. This module evaluates
+//! those classical properties over concrete
+//! `FdsOutcome` values, so experiments can
+//! report which abstract class a given run (or ensemble of runs)
+//! exhibited:
+//!
+//! * **strong completeness** — every crashed node is eventually
+//!   suspected by *every* operational node;
+//! * **weak completeness** — every crashed node is eventually
+//!   suspected by *some* operational node;
+//! * **strong accuracy** — no operational node is ever suspected.
+//!
+//! A run satisfying strong completeness + strong accuracy behaved like
+//! a *perfect* detector (class P) for its duration; the probabilistic
+//! guarantee of the paper is that this happens with the probabilities
+//! of Section 5.
+
+use crate::service::FdsOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The classical detector properties a finished run exhibited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunProperties {
+    /// Every crash known to every surviving affiliated node.
+    pub strong_completeness: bool,
+    /// Every crash known to at least one surviving node.
+    pub weak_completeness: bool,
+    /// No operational node was ever suspected.
+    pub strong_accuracy: bool,
+}
+
+impl RunProperties {
+    /// Whether the run behaved like a perfect detector (class `P`):
+    /// strong completeness and strong accuracy together.
+    pub fn perfect(&self) -> bool {
+        self.strong_completeness && self.strong_accuracy
+    }
+}
+
+impl fmt::Display for RunProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "completeness: {}, accuracy: {}{}",
+            if self.strong_completeness {
+                "strong"
+            } else if self.weak_completeness {
+                "weak"
+            } else {
+                "violated"
+            },
+            if self.strong_accuracy {
+                "strong"
+            } else {
+                "violated"
+            },
+            if self.perfect() { " (perfect run)" } else { "" }
+        )
+    }
+}
+
+/// Evaluates the classical properties over one finished run.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_core::properties::evaluate;
+/// use cbfd_core::service::{Experiment, PlannedCrash};
+/// use cbfd_core::config::FdsConfig;
+/// use cbfd_cluster::FormationConfig;
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::id::NodeId;
+/// use cbfd_net::topology::Topology;
+///
+/// let positions = (0..8).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+/// let topology = Topology::from_positions(positions, 100.0);
+/// let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+/// let outcome = exp.run(0.0, 6, &[PlannedCrash { epoch: 1, node: NodeId(5) }], 1);
+/// assert!(evaluate(&outcome).perfect());
+/// ```
+pub fn evaluate(outcome: &FdsOutcome) -> RunProperties {
+    let strong_completeness = outcome.missed.is_empty();
+    // Weak completeness: every crashed node was detected by some
+    // authority (a detection-latency entry exists), or there were no
+    // crashes at all.
+    let detected: BTreeSet<_> = outcome.detection_latency.keys().copied().collect();
+    let weak_completeness = outcome.crashed.iter().all(|c| detected.contains(c));
+    RunProperties {
+        strong_completeness,
+        weak_completeness,
+        strong_accuracy: outcome.false_detections.is_empty(),
+    }
+}
+
+/// Fraction of runs in an ensemble that behaved perfectly — the
+/// empirical counterpart of the paper's probabilistic guarantee.
+pub fn perfect_fraction<'a>(outcomes: impl IntoIterator<Item = &'a FdsOutcome>) -> f64 {
+    let mut total = 0u64;
+    let mut perfect = 0u64;
+    for o in outcomes {
+        total += 1;
+        if evaluate(o).perfect() {
+            perfect += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        perfect as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FdsConfig;
+    use crate::service::{Experiment, PlannedCrash};
+    use cbfd_cluster::FormationConfig;
+    use cbfd_net::geometry::Point;
+    use cbfd_net::id::NodeId;
+    use cbfd_net::topology::Topology;
+
+    fn line_experiment(n: usize) -> Experiment {
+        let positions = (0..n).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+        Experiment::new(
+            Topology::from_positions(positions, 100.0),
+            FdsConfig::default(),
+            FormationConfig::default(),
+        )
+    }
+
+    #[test]
+    fn clean_run_is_perfect() {
+        let exp = line_experiment(8);
+        let outcome = exp.run(
+            0.0,
+            6,
+            &[PlannedCrash {
+                epoch: 1,
+                node: NodeId(5),
+            }],
+            1,
+        );
+        let props = evaluate(&outcome);
+        assert!(props.perfect());
+        assert!(props.weak_completeness);
+        assert_eq!(
+            props.to_string(),
+            "completeness: strong, accuracy: strong (perfect run)"
+        );
+    }
+
+    #[test]
+    fn total_loss_violates_accuracy() {
+        let exp = line_experiment(6);
+        let outcome = exp.run(1.0, 2, &[], 2);
+        let props = evaluate(&outcome);
+        assert!(!props.strong_accuracy);
+        assert!(!props.perfect());
+        assert!(props.to_string().contains("accuracy: violated"));
+    }
+
+    #[test]
+    fn weak_but_not_strong_completeness_is_distinguished() {
+        // Crash at the far end of a sparse chain under heavy loss with
+        // almost no propagation time: local detection (weak) often
+        // succeeds while some distant node stays uninformed.
+        let exp = line_experiment(12);
+        let mut found_weak_only = false;
+        for seed in 0..30 {
+            let outcome = exp.run(
+                0.6,
+                3,
+                &[PlannedCrash {
+                    epoch: 1,
+                    node: NodeId(11),
+                }],
+                seed,
+            );
+            let props = evaluate(&outcome);
+            if props.weak_completeness && !props.strong_completeness {
+                found_weak_only = true;
+                break;
+            }
+        }
+        assert!(
+            found_weak_only,
+            "some harsh run should show weak-but-not-strong completeness"
+        );
+    }
+
+    #[test]
+    fn perfect_fraction_over_ensemble() {
+        let exp = line_experiment(8);
+        let outcomes: Vec<_> = (0..5)
+            .map(|seed| {
+                exp.run(
+                    0.0,
+                    4,
+                    &[PlannedCrash {
+                        epoch: 1,
+                        node: NodeId(3),
+                    }],
+                    seed,
+                )
+            })
+            .collect();
+        assert_eq!(perfect_fraction(outcomes.iter()), 1.0);
+        assert_eq!(perfect_fraction(std::iter::empty()), 1.0);
+    }
+}

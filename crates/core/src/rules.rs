@@ -1,0 +1,186 @@
+//! The failure-detection rules (Section 4.2), as pure functions.
+//!
+//! Keeping the rules side-effect-free lets the same code drive the
+//! protocol actor, the unit tests, and the Monte Carlo condition
+//! simulations in `cbfd-analysis`.
+
+use crate::message::Digest;
+use cbfd_net::id::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything a judging authority (CH or DCH) collected during one FDS
+/// execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundEvidence {
+    /// Heartbeats heard directly during `fds.R-1`.
+    pub heartbeats: BTreeSet<NodeId>,
+    /// Digests received (or overheard) during `fds.R-2`, by author.
+    pub digests: BTreeMap<NodeId, Digest>,
+    /// Whether a health-status update was received during `fds.R-3`
+    /// (only relevant to the CH-failure rule).
+    pub update_received: bool,
+}
+
+impl RoundEvidence {
+    /// Creates empty evidence (start of an epoch).
+    pub fn new() -> Self {
+        RoundEvidence::default()
+    }
+
+    /// Records a heartbeat from `from`.
+    pub fn record_heartbeat(&mut self, from: NodeId) {
+        self.heartbeats.insert(from);
+    }
+
+    /// Records a digest (replacing any earlier digest by the same
+    /// author this epoch).
+    pub fn record_digest(&mut self, digest: Digest) {
+        self.digests.insert(digest.from, digest);
+    }
+
+    /// Whether any *direct* evidence of `node` exists: its heartbeat
+    /// was heard or its own digest arrived.
+    pub fn direct_evidence(&self, node: NodeId) -> bool {
+        self.heartbeats.contains(&node) || self.digests.contains_key(&node)
+    }
+
+    /// Whether any received digest reflects a member's awareness of
+    /// `node`'s heartbeat (the spatial/message redundancy of the
+    /// rule).
+    pub fn reflected_in_digests(&self, node: NodeId) -> bool {
+        self.digests.values().any(|d| d.reflects(node))
+    }
+}
+
+/// The failure-detection rule of `fds.R-3`:
+///
+/// > A node `v` is determined to have failed if and only if 1) the CH
+/// > receives neither `v`'s heartbeat in fds.R-1 nor the digest from
+/// > `v` in fds.R-2, and 2) none of the digests that the CH receives
+/// > reflect a member's awareness of the heartbeat of `v`.
+///
+/// `expected` is the set of members the authority expects to hear from
+/// (the cluster roster minus already-known failures and the authority
+/// itself). Returns the newly detected failures, sorted.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_core::rules::{detect_failures, RoundEvidence};
+/// use cbfd_core::message::Digest;
+/// use cbfd_net::id::NodeId;
+///
+/// let mut ev = RoundEvidence::new();
+/// ev.record_heartbeat(NodeId(1));
+/// // Node 2 is silent, but node 1's digest overheard it:
+/// ev.record_digest(Digest::new(NodeId(1), [NodeId(2)]));
+/// // Node 3 is silent and unreflected: detected.
+/// let failed = detect_failures(&[NodeId(1), NodeId(2), NodeId(3)], &ev);
+/// assert_eq!(failed, vec![NodeId(3)]);
+/// ```
+pub fn detect_failures(expected: &[NodeId], evidence: &RoundEvidence) -> Vec<NodeId> {
+    expected
+        .iter()
+        .copied()
+        .filter(|v| !evidence.direct_evidence(*v) && !evidence.reflected_in_digests(*v))
+        .collect()
+}
+
+/// The CH-failure rule applied by the highest-ranked deputy:
+///
+/// > A CH will be judged to have failed if and only if 1) the DCH
+/// > receives neither the CH's heartbeat in fds.R-1 nor the digest
+/// > from the CH in fds.R-2, 2) none of the digests that the DCH
+/// > receives reflect a member's awareness of the heartbeat of the CH,
+/// > and 3) the DCH does not receive the health status update from the
+/// > CH in fds.R-3.
+pub fn ch_failed(head: NodeId, evidence: &RoundEvidence) -> bool {
+    !evidence.direct_evidence(head)
+        && !evidence.reflected_in_digests(head)
+        && !evidence.update_received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32) -> NodeId {
+        NodeId(id)
+    }
+
+    #[test]
+    fn silent_unreflected_node_is_detected() {
+        let ev = RoundEvidence::new();
+        assert_eq!(detect_failures(&[n(1)], &ev), vec![n(1)]);
+    }
+
+    #[test]
+    fn heartbeat_clears_suspicion() {
+        let mut ev = RoundEvidence::new();
+        ev.record_heartbeat(n(1));
+        assert!(detect_failures(&[n(1)], &ev).is_empty());
+    }
+
+    #[test]
+    fn own_digest_clears_suspicion_time_redundancy() {
+        // Heartbeat lost in R-1, but the node's digest arrives in R-2:
+        // the rule's time redundancy keeps it alive.
+        let mut ev = RoundEvidence::new();
+        ev.record_digest(Digest::new(n(1), []));
+        assert!(detect_failures(&[n(1)], &ev).is_empty());
+    }
+
+    #[test]
+    fn reflection_clears_suspicion_spatial_redundancy() {
+        // Both the heartbeat and the digest of node 1 are lost, but a
+        // neighbour overheard the heartbeat: message redundancy.
+        let mut ev = RoundEvidence::new();
+        ev.record_digest(Digest::new(n(2), [n(1)]));
+        assert!(detect_failures(&[n(1)], &ev).is_empty());
+    }
+
+    #[test]
+    fn detection_is_per_node_and_sorted() {
+        let mut ev = RoundEvidence::new();
+        ev.record_heartbeat(n(3));
+        ev.record_digest(Digest::new(n(3), [n(5)]));
+        let failed = detect_failures(&[n(1), n(3), n(5), n(7)], &ev);
+        assert_eq!(failed, vec![n(1), n(7)]);
+    }
+
+    #[test]
+    fn later_digest_replaces_earlier() {
+        let mut ev = RoundEvidence::new();
+        ev.record_digest(Digest::new(n(2), [n(1)]));
+        ev.record_digest(Digest::new(n(2), []));
+        // The replacement digest no longer reflects node 1; only the
+        // author's own liveness survives.
+        assert_eq!(detect_failures(&[n(1), n(2)], &ev), vec![n(1)]);
+    }
+
+    #[test]
+    fn ch_rule_requires_all_three_conditions() {
+        let head = n(0);
+        // All evidence missing: failed.
+        assert!(ch_failed(head, &RoundEvidence::new()));
+        // Heartbeat heard: alive.
+        let mut ev = RoundEvidence::new();
+        ev.record_heartbeat(head);
+        assert!(!ch_failed(head, &ev));
+        // Only a reflection: alive.
+        let mut ev = RoundEvidence::new();
+        ev.record_digest(Digest::new(n(4), [head]));
+        assert!(!ch_failed(head, &ev));
+        // Only the R-3 update: alive.
+        let ev = RoundEvidence {
+            update_received: true,
+            ..RoundEvidence::new()
+        };
+        assert!(!ch_failed(head, &ev));
+    }
+
+    #[test]
+    fn empty_expected_set_detects_nothing() {
+        assert!(detect_failures(&[], &RoundEvidence::new()).is_empty());
+    }
+}

@@ -1,0 +1,731 @@
+//! The system-level FDS harness: sets up a network, runs the service
+//! for a number of heartbeat intervals, injects fail-stop crashes, and
+//! evaluates the paper's two properties on the outcome:
+//!
+//! * **accuracy** — no operational node suspected (violations are
+//!   reported as [`FalseDetection`] events);
+//! * **completeness** — every crash known to every operational
+//!   affiliated node by the end of the run (violations are reported as
+//!   observer/failure pairs).
+
+use crate::config::FdsConfig;
+use crate::node::FdsNode;
+use crate::profile::{build_profiles, NodeProfile};
+use cbfd_cluster::{oracle, ClusterView, FormationConfig};
+use cbfd_net::energy::EnergyModel;
+use cbfd_net::id::NodeId;
+use cbfd_net::metrics::SimMetrics;
+use cbfd_net::radio::RadioConfig;
+use cbfd_net::sim::Simulator;
+use cbfd_net::time::{SimDuration, SimTime};
+use cbfd_net::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One accuracy violation: an authority declared an operational node
+/// failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FalseDetection {
+    /// The judging authority (clusterhead or deputy).
+    pub accuser: NodeId,
+    /// The operational node wrongly suspected.
+    pub suspect: NodeId,
+    /// The FDS epoch of the wrong decision.
+    pub epoch: u64,
+    /// Whether this was a deputy's (mistaken) clusterhead judgement.
+    pub takeover: bool,
+}
+
+/// One completeness violation: an operational node that never learned
+/// about a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissedFailure {
+    /// The operational node lacking the knowledge.
+    pub observer: NodeId,
+    /// The crashed node it never heard about.
+    pub failed: NodeId,
+}
+
+/// Aggregated result of one FDS run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FdsOutcome {
+    /// Heartbeat intervals executed.
+    pub epochs: u64,
+    /// Ground-truth crashed nodes (in crash order).
+    pub crashed: Vec<NodeId>,
+    /// Accuracy violations.
+    pub false_detections: Vec<FalseDetection>,
+    /// Completeness violations at the end of the run.
+    pub missed: Vec<MissedFailure>,
+    /// Fraction of (operational observer, crash) pairs that were
+    /// informed; `1.0` when nothing crashed.
+    pub completeness: f64,
+    /// Detection latency in epochs (crash epoch → first authority
+    /// detection), per crashed node that was detected at all.
+    pub detection_latency: BTreeMap<NodeId, u64>,
+    /// Total update-miss events (a member ending an epoch without the
+    /// health update even after peer forwarding) — the protocol-level
+    /// incompleteness counter of Figure 7.
+    pub update_misses: u64,
+    /// Total member-epochs that could have missed an update (the
+    /// denominator for `update_misses`).
+    pub member_epochs: u64,
+    /// Channel-level traffic counters.
+    pub metrics: SimMetrics,
+    /// Sum of per-node peer forwards performed.
+    pub peer_forwards: u64,
+    /// Sum of inter-cluster reports forwarded.
+    pub reports: u64,
+    /// Sum of head retransmissions.
+    pub retransmissions: u64,
+    /// Membership subscriptions honoured (unmarked nodes admitted to
+    /// clusters during the run, feature F5).
+    pub joins: u64,
+    /// Total wire bytes transmitted (per the message codec).
+    pub bytes: u64,
+    /// Standard deviation of remaining energy (energy balance).
+    pub energy_imbalance: f64,
+}
+
+impl FdsOutcome {
+    /// Empirical per-member-epoch probability of missing the health
+    /// update (the protocol-level counterpart of Figure 7's
+    /// `P̂(Incompleteness)`).
+    pub fn incompleteness_rate(&self) -> f64 {
+        if self.member_epochs == 0 {
+            0.0
+        } else {
+            self.update_misses as f64 / self.member_epochs as f64
+        }
+    }
+
+    /// Whether accuracy held (no operational node was suspected).
+    pub fn accurate(&self) -> bool {
+        self.false_detections.is_empty()
+    }
+}
+
+impl std::fmt::Display for FdsOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} epochs: {} crash(es), {} detected, completeness {:.3}, \
+             {} false detection(s), {} tx ({} bytes), {} update miss(es)",
+            self.epochs,
+            self.crashed.len(),
+            self.detection_latency.len(),
+            self.completeness,
+            self.false_detections.len(),
+            self.metrics.transmissions,
+            self.bytes,
+            self.update_misses
+        )
+    }
+}
+
+/// A planned fail-stop crash: node `node` crashes midway through epoch
+/// `epoch` (honouring the paper's assumption that nodes do not fail
+/// *during* an FDS execution, which occupies only the first few
+/// `Thop` of the interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedCrash {
+    /// The epoch during which the crash happens.
+    pub epoch: u64,
+    /// The crashing node.
+    pub node: NodeId,
+}
+
+/// A planned sleep window: `node` powers its radio down for the
+/// half-open epoch interval `[from_epoch, until_epoch)` (the paper's
+/// concluding-remarks power-management extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedSleep {
+    /// The sleeping node.
+    pub node: NodeId,
+    /// First sleeping epoch.
+    pub from_epoch: u64,
+    /// First epoch awake again.
+    pub until_epoch: u64,
+}
+
+/// A ready-to-run FDS experiment over one network.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_core::service::{Experiment, PlannedCrash};
+/// use cbfd_core::config::FdsConfig;
+/// use cbfd_cluster::FormationConfig;
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::id::NodeId;
+/// use cbfd_net::topology::Topology;
+///
+/// let positions = (0..8).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+/// let topology = Topology::from_positions(positions, 100.0);
+/// let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+/// let outcome = exp.run(0.0, 6, &[PlannedCrash { epoch: 1, node: NodeId(5) }], 42);
+/// assert!(outcome.accurate());
+/// assert_eq!(outcome.completeness, 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    topology: Topology,
+    view: ClusterView,
+    profiles: Vec<NodeProfile>,
+    fds: FdsConfig,
+    energy: EnergyModel,
+}
+
+impl Experiment {
+    /// Forms clusters over `topology` with the oracle and prepares the
+    /// experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fds` fails [`FdsConfig::validate`].
+    pub fn new(topology: Topology, fds: FdsConfig, formation: FormationConfig) -> Self {
+        let view = oracle::form(&topology, &formation);
+        Self::with_view(topology, view, fds)
+    }
+
+    /// Prepares an experiment over a pre-computed clustering (e.g. one
+    /// produced by the distributed formation protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fds` fails [`FdsConfig::validate`].
+    pub fn with_view(topology: Topology, view: ClusterView, fds: FdsConfig) -> Self {
+        fds.validate().expect("invalid FDS configuration");
+        let profiles = build_profiles(&view);
+        Experiment {
+            topology,
+            view,
+            profiles,
+            fds,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Replaces the energy model used by the run.
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The clustering in force.
+    pub fn view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs the service for `epochs` heartbeat intervals on a channel
+    /// with i.i.d. loss probability `p`, injecting `crashes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planned crash names an out-of-range node or an
+    /// epoch beyond the run.
+    pub fn run(&self, p: f64, epochs: u64, crashes: &[PlannedCrash], seed: u64) -> FdsOutcome {
+        let radio = RadioConfig::bernoulli(p);
+        self.run_full(radio, epochs, crashes, &[], seed)
+    }
+
+    /// Like [`Experiment::run`] with full control over the channel.
+    pub fn run_with_radio(
+        &self,
+        radio: RadioConfig,
+        epochs: u64,
+        crashes: &[PlannedCrash],
+        seed: u64,
+    ) -> FdsOutcome {
+        self.run_full(radio, epochs, crashes, &[], seed)
+    }
+
+    /// Like [`Experiment::run`], additionally applying a sleep
+    /// schedule (nodes with radios off per [`PlannedSleep`] windows).
+    pub fn run_with_sleep(
+        &self,
+        p: f64,
+        epochs: u64,
+        crashes: &[PlannedCrash],
+        sleep: &[PlannedSleep],
+        seed: u64,
+    ) -> FdsOutcome {
+        self.run_full(RadioConfig::bernoulli(p), epochs, crashes, sleep, seed)
+    }
+
+    /// Runs the same experiment across many seeds in parallel (one
+    /// thread per available core via crossbeam scoped threads) and
+    /// returns the outcomes in seed order. Determinism is unaffected:
+    /// each run is seeded independently, so the result equals running
+    /// the seeds sequentially.
+    pub fn run_many(
+        &self,
+        p: f64,
+        epochs: u64,
+        crashes: &[PlannedCrash],
+        seeds: &[u64],
+    ) -> Vec<FdsOutcome> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(seeds.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut outcomes: Vec<Option<FdsOutcome>> = vec![None; seeds.len()];
+        let slots: Vec<std::sync::Mutex<Option<FdsOutcome>>> = outcomes
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= seeds.len() {
+                        break;
+                    }
+                    let outcome = self.run(p, epochs, crashes, seeds[i]);
+                    *slots[i].lock().expect("slot poisoned") = Some(outcome);
+                });
+            }
+        })
+        .expect("worker panicked");
+        for (slot, out) in slots.into_iter().zip(outcomes.iter_mut()) {
+            *out = slot.into_inner().expect("slot poisoned");
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every seed produces an outcome"))
+            .collect()
+    }
+
+    /// The most general run entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planned crash names an out-of-range node or an
+    /// epoch beyond the run, or a sleep plan is malformed.
+    pub fn run_full(
+        &self,
+        radio: RadioConfig,
+        epochs: u64,
+        crashes: &[PlannedCrash],
+        sleep: &[PlannedSleep],
+        seed: u64,
+    ) -> FdsOutcome {
+        let phi = self.fds.heartbeat_interval;
+        let profiles = self.profiles.clone();
+        let fds = self.fds;
+        let capacity = self.energy.initial;
+        let mut sleep_plans: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.topology.len()];
+        for s in sleep {
+            assert!(
+                s.node.index() < self.topology.len(),
+                "sleep plan names unknown node {}",
+                s.node
+            );
+            sleep_plans[s.node.index()].push((s.from_epoch, s.until_epoch));
+        }
+        for plan in &mut sleep_plans {
+            plan.sort_unstable();
+        }
+        let mut sim = Simulator::new(self.topology.clone(), radio, seed, |id| {
+            let mut node = FdsNode::new(profiles[id.index()].clone(), fds, capacity);
+            if !sleep_plans[id.index()].is_empty() {
+                node.set_sleep_plan(sleep_plans[id.index()].clone());
+            }
+            node
+        });
+        sim.set_energy_model(self.energy);
+
+        let mut crash_epochs: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for c in crashes {
+            assert!(
+                c.node.index() < self.topology.len(),
+                "crash plan names unknown node {}",
+                c.node
+            );
+            assert!(c.epoch < epochs, "crash epoch {} beyond run", c.epoch);
+            // Mid-interval: after the FDS execution of this epoch.
+            let at = SimTime::ZERO + phi * c.epoch + SimDuration::from_micros(phi.as_micros() / 2);
+            sim.schedule_crash(c.node, at);
+            crash_epochs.entry(c.node).or_insert(c.epoch);
+        }
+
+        // Stop just before epoch `epochs` would begin.
+        sim.run_until(SimTime::ZERO + phi * epochs - SimDuration::from_micros(1));
+
+        self.evaluate(&sim, epochs, &crash_epochs)
+    }
+
+    fn evaluate(
+        &self,
+        sim: &Simulator<FdsNode>,
+        epochs: u64,
+        crash_epochs: &BTreeMap<NodeId, u64>,
+    ) -> FdsOutcome {
+        let crashed: Vec<NodeId> = crash_epochs.keys().copied().collect();
+        let mut false_detections = Vec::new();
+        let mut detection_latency: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut update_misses = 0;
+        let mut peer_forwards = 0;
+        let mut reports = 0;
+        let mut retransmissions = 0;
+        let mut member_epochs = 0;
+        let mut joins = 0;
+        let mut bytes = 0;
+
+        for (id, node) in sim.actors() {
+            let s = node.stats();
+            update_misses += s.updates_missed;
+            peer_forwards += s.peer_forwards_sent;
+            reports += s.reports_sent;
+            retransmissions += s.retransmissions;
+            joins += s.joins_admitted;
+            bytes += s.bytes_sent;
+            if node.profile().cluster.is_some() && node.profile().head != Some(id) {
+                // A member can miss an update in any epoch it survives.
+                let survived = crash_epochs.get(&id).copied().unwrap_or(epochs);
+                member_epochs += survived;
+            }
+            for d in node.detections() {
+                for suspect in &d.suspects {
+                    let truly_failed = crash_epochs
+                        .get(suspect)
+                        .is_some_and(|crashed_at| *crashed_at < d.epoch);
+                    if truly_failed {
+                        let latency = d.epoch - crash_epochs[suspect];
+                        detection_latency
+                            .entry(*suspect)
+                            .and_modify(|l| *l = (*l).min(latency))
+                            .or_insert(latency);
+                    } else {
+                        false_detections.push(FalseDetection {
+                            accuser: id,
+                            suspect: *suspect,
+                            epoch: d.epoch,
+                            takeover: d.takeover,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Completeness: every operational affiliated node must know
+        // every crash by the end of the run.
+        let mut missed = Vec::new();
+        let mut informed_pairs = 0u64;
+        let mut total_pairs = 0u64;
+        for (id, node) in sim.actors() {
+            if !sim.is_alive(id) || node.profile().cluster.is_none() {
+                continue;
+            }
+            for f in &crashed {
+                if *f == id {
+                    continue;
+                }
+                total_pairs += 1;
+                if node.known_failed().contains(*f) {
+                    informed_pairs += 1;
+                } else {
+                    missed.push(MissedFailure {
+                        observer: id,
+                        failed: *f,
+                    });
+                }
+            }
+        }
+        let completeness = if total_pairs == 0 {
+            1.0
+        } else {
+            informed_pairs as f64 / total_pairs as f64
+        };
+
+        FdsOutcome {
+            epochs,
+            crashed,
+            false_detections,
+            missed,
+            completeness,
+            detection_latency,
+            update_misses,
+            member_epochs,
+            metrics: sim.metrics().clone(),
+            peer_forwards,
+            reports,
+            retransmissions,
+            joins,
+            bytes,
+            energy_imbalance: sim.energy().imbalance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbfd_net::geometry::{Point, Rect};
+    use cbfd_net::placement::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_experiment(n: usize, spacing: f64) -> Experiment {
+        let positions = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        let topology = Topology::from_positions(positions, 100.0);
+        Experiment::new(topology, FdsConfig::default(), FormationConfig::default())
+    }
+
+    fn dense_experiment(seed: u64, n: usize, side: f64) -> Experiment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = Placement::UniformRect(Rect::square(side)).generate(n, &mut rng);
+        let topology = Topology::from_positions(pts, 100.0);
+        Experiment::new(topology, FdsConfig::default(), FormationConfig::default())
+    }
+
+    #[test]
+    fn quiet_lossless_run_is_clean() {
+        let exp = line_experiment(6, 50.0);
+        let outcome = exp.run(0.0, 4, &[], 1);
+        assert!(outcome.accurate());
+        assert_eq!(outcome.completeness, 1.0);
+        assert_eq!(outcome.update_misses, 0);
+        assert!(outcome.crashed.is_empty());
+    }
+
+    #[test]
+    fn member_crash_is_detected_and_propagated() {
+        // Chain of clusters; crash an ordinary member.
+        let exp = line_experiment(8, 45.0);
+        let victim = exp
+            .view()
+            .clusters()
+            .flat_map(|c| c.non_head_members().collect::<Vec<_>>())
+            .next()
+            .unwrap();
+        let outcome = exp.run(
+            0.0,
+            6,
+            &[PlannedCrash {
+                epoch: 1,
+                node: victim,
+            }],
+            2,
+        );
+        assert!(outcome.accurate(), "{:?}", outcome.false_detections);
+        assert_eq!(outcome.completeness, 1.0, "missed: {:?}", outcome.missed);
+        assert_eq!(outcome.detection_latency.get(&victim), Some(&1));
+    }
+
+    #[test]
+    fn head_crash_triggers_deputy_takeover() {
+        let exp = dense_experiment(3, 60, 300.0);
+        let cluster = exp
+            .view()
+            .clusters()
+            .find(|c| c.first_deputy().is_some() && c.len() >= 4)
+            .expect("dense cluster with deputies");
+        let head = cluster.head();
+        let outcome = exp.run(
+            0.0,
+            6,
+            &[PlannedCrash {
+                epoch: 1,
+                node: head,
+            }],
+            3,
+        );
+        assert!(outcome.accurate(), "{:?}", outcome.false_detections);
+        assert!(
+            outcome.detection_latency.contains_key(&head),
+            "head failure must be detected"
+        );
+        assert_eq!(outcome.completeness, 1.0, "missed: {:?}", outcome.missed);
+    }
+
+    #[test]
+    fn lossless_run_has_no_false_detections_by_construction() {
+        let exp = dense_experiment(5, 80, 400.0);
+        let outcome = exp.run(0.0, 5, &[], 5);
+        assert!(outcome.accurate());
+        assert_eq!(outcome.update_misses, 0);
+    }
+
+    #[test]
+    fn lossy_run_keeps_good_accuracy_with_redundancy() {
+        // p = 0.2 with N≈tens per cluster: the analysis predicts a
+        // false-detection probability of order 1e-4 per member-epoch
+        // for the *smallest* clusters of this field, so across 3
+        // seeds × ~900 member-epochs at most a stray event or two may
+        // appear; more would indicate broken redundancy.
+        let mut events = 0;
+        for seed in 0..3 {
+            let exp = dense_experiment(7, 100, 400.0);
+            events += exp.run(0.2, 10, &[], seed).false_detections.len();
+        }
+        assert!(
+            events <= 3,
+            "redundancy should mask p=0.2 losses: {events} false detections"
+        );
+    }
+
+    #[test]
+    fn crash_propagates_across_many_clusters() {
+        // Long chain: failure detected at one end must reach the other
+        // end's cluster members via inter-cluster forwarding.
+        let exp = line_experiment(14, 45.0);
+        assert!(
+            exp.view().cluster_count() >= 3,
+            "need a multi-cluster chain"
+        );
+        let victim = NodeId(13);
+        let outcome = exp.run(
+            0.0,
+            8,
+            &[PlannedCrash {
+                epoch: 1,
+                node: victim,
+            }],
+            11,
+        );
+        assert_eq!(outcome.completeness, 1.0, "missed: {:?}", outcome.missed);
+    }
+
+    #[test]
+    fn multiple_crashes_all_detected() {
+        let exp = dense_experiment(13, 90, 400.0);
+        let members: Vec<NodeId> = exp
+            .view()
+            .clusters()
+            .flat_map(|c| c.non_head_members().collect::<Vec<_>>())
+            .take(3)
+            .collect();
+        let crashes: Vec<PlannedCrash> = members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| PlannedCrash {
+                epoch: 1 + i as u64,
+                node: *m,
+            })
+            .collect();
+        let outcome = exp.run(0.0, 9, &crashes, 13);
+        for m in &members {
+            assert!(
+                outcome.detection_latency.contains_key(m),
+                "{m} not detected"
+            );
+        }
+        assert_eq!(outcome.completeness, 1.0, "missed: {:?}", outcome.missed);
+    }
+
+    #[test]
+    fn lossy_crash_detection_still_completes() {
+        let exp = dense_experiment(17, 80, 400.0);
+        let victim = exp
+            .view()
+            .clusters()
+            .flat_map(|c| c.non_head_members().collect::<Vec<_>>())
+            .next()
+            .unwrap();
+        let outcome = exp.run(
+            0.15,
+            10,
+            &[PlannedCrash {
+                epoch: 2,
+                node: victim,
+            }],
+            17,
+        );
+        assert!(
+            outcome.detection_latency.contains_key(&victim),
+            "crash must be detected under loss"
+        );
+        assert!(
+            outcome.completeness > 0.95,
+            "completeness {} too low; missed {:?}",
+            outcome.completeness,
+            outcome.missed
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "crash epoch")]
+    fn crash_beyond_run_is_rejected() {
+        let exp = line_experiment(4, 50.0);
+        let _ = exp.run(
+            0.0,
+            2,
+            &[PlannedCrash {
+                epoch: 5,
+                node: NodeId(1),
+            }],
+            1,
+        );
+    }
+
+    #[test]
+    fn outcome_display_summarizes() {
+        let exp = line_experiment(6, 50.0);
+        let outcome = exp.run(
+            0.0,
+            3,
+            &[PlannedCrash {
+                epoch: 1,
+                node: NodeId(5),
+            }],
+            1,
+        );
+        let s = outcome.to_string();
+        assert!(s.contains("3 epochs") && s.contains("1 crash"), "{s}");
+    }
+
+    #[test]
+    fn outcome_rates_are_consistent() {
+        let exp = line_experiment(6, 50.0);
+        let outcome = exp.run(0.3, 6, &[], 23);
+        let rate = outcome.incompleteness_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(outcome.member_epochs > 0);
+    }
+}
+
+#[cfg(test)]
+mod run_many_tests {
+    use super::*;
+    use cbfd_net::geometry::Point;
+
+    #[test]
+    fn parallel_runs_equal_sequential_runs() {
+        let positions = (0..30).map(|i| Point::new(i as f64 * 40.0, 0.0)).collect();
+        let topology = Topology::from_positions(positions, 100.0);
+        let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+        let crashes = [PlannedCrash {
+            epoch: 1,
+            node: NodeId(7),
+        }];
+        let seeds: Vec<u64> = (0..8).collect();
+        let parallel = exp.run_many(0.2, 5, &crashes, &seeds);
+        for (seed, outcome) in seeds.iter().zip(&parallel) {
+            let sequential = exp.run(0.2, 5, &crashes, *seed);
+            assert_eq!(
+                outcome.metrics.transmissions,
+                sequential.metrics.transmissions
+            );
+            assert_eq!(outcome.false_detections, sequential.false_detections);
+            assert_eq!(outcome.completeness, sequential.completeness);
+        }
+    }
+
+    #[test]
+    fn run_many_handles_empty_and_single() {
+        let positions = (0..4).map(|i| Point::new(i as f64 * 40.0, 0.0)).collect();
+        let topology = Topology::from_positions(positions, 100.0);
+        let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+        assert!(exp.run_many(0.0, 2, &[], &[]).is_empty());
+        assert_eq!(exp.run_many(0.0, 2, &[], &[5]).len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-node failure views.
+//!
+//! Completeness, in the paper's sense, means every node failure ends
+//! up in the [`FailureView`] of every operational node. The view
+//! records when (at which FDS epoch) each failure became known
+//! locally, which also gives detection/propagation latency.
+
+use cbfd_net::id::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The set of nodes a host believes have failed, with the epoch at
+/// which each belief was acquired.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_core::view::FailureView;
+/// use cbfd_net::id::NodeId;
+///
+/// let mut view = FailureView::new();
+/// assert!(view.insert(NodeId(4), 2));
+/// assert!(!view.insert(NodeId(4), 5), "already known");
+/// assert_eq!(view.known_since(NodeId(4)), Some(2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureView {
+    failed: BTreeMap<NodeId, u64>,
+}
+
+impl FailureView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        FailureView::default()
+    }
+
+    /// Records `node` as failed, learned at `epoch`. Returns true iff
+    /// this was new information (the original epoch is kept
+    /// otherwise).
+    pub fn insert(&mut self, node: NodeId, epoch: u64) -> bool {
+        match self.failed.entry(node) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(epoch);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Records many failures; returns those that were new.
+    pub fn extend(&mut self, nodes: impl IntoIterator<Item = NodeId>, epoch: u64) -> Vec<NodeId> {
+        nodes
+            .into_iter()
+            .filter(|n| self.insert(*n, epoch))
+            .collect()
+    }
+
+    /// Whether `node` is believed failed.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.failed.contains_key(&node)
+    }
+
+    /// The epoch at which `node` became known failed, if it is.
+    pub fn known_since(&self, node: NodeId) -> Option<u64> {
+        self.failed.get(&node).copied()
+    }
+
+    /// All believed-failed nodes, sorted.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.failed.keys().copied()
+    }
+
+    /// Number of believed-failed nodes.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Whether no failures are known.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+impl FromIterator<(NodeId, u64)> for FailureView {
+    fn from_iter<T: IntoIterator<Item = (NodeId, u64)>>(iter: T) -> Self {
+        let mut view = FailureView::new();
+        for (node, epoch) in iter {
+            view.insert(node, epoch);
+        }
+        view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_first_epoch() {
+        let mut v = FailureView::new();
+        assert!(v.insert(NodeId(1), 3));
+        assert!(!v.insert(NodeId(1), 1));
+        assert_eq!(v.known_since(NodeId(1)), Some(3));
+    }
+
+    #[test]
+    fn extend_reports_only_news() {
+        let mut v = FailureView::new();
+        v.insert(NodeId(1), 0);
+        let news = v.extend([NodeId(1), NodeId(2), NodeId(3)], 4);
+        assert_eq!(news, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn queries() {
+        let v: FailureView = [(NodeId(2), 1), (NodeId(5), 2)].into_iter().collect();
+        assert!(v.contains(NodeId(2)));
+        assert!(!v.contains(NodeId(3)));
+        assert_eq!(v.nodes().collect::<Vec<_>>(), vec![NodeId(2), NodeId(5)]);
+        assert!(!v.is_empty());
+        assert!(FailureView::new().is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Protocol actors: the interface between node-local protocol logic
+//! and the simulator.
+//!
+//! Each host runs one [`Actor`]. The simulator invokes the actor's
+//! callbacks for message deliveries and timer expirations; within a
+//! callback the actor interacts with the world only through its
+//! [`Ctx`], which queues transmissions and timers for the simulator to
+//! execute once the callback returns. Because hosts operate in
+//! promiscuous receiving mode, the only transmission primitive is a
+//! local broadcast — "sending to a neighbour" is a broadcast whose
+//! intended recipient is named inside the payload, exactly as in the
+//! paper (Section 2.3).
+
+use crate::id::NodeId;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An actor-chosen discriminator carried by timers.
+///
+/// The value is opaque to the simulator; protocols typically encode a
+/// round or purpose in it.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::actor::TimerToken;
+///
+/// const ROUND_END: TimerToken = TimerToken(1);
+/// assert_eq!(ROUND_END.0, 1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimerToken(pub u64);
+
+impl fmt::Display for TimerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// A side effect queued by an actor for the simulator to apply.
+#[derive(Debug)]
+pub(crate) enum Command<M> {
+    Broadcast(M),
+    SetTimer { fire_at: SimTime, token: TimerToken },
+    CancelTimer { token: TimerToken },
+}
+
+/// The world as visible from inside an actor callback.
+///
+/// All interactions are deferred: they take effect when the callback
+/// returns, in the order they were issued.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: NodeId,
+    energy: f64,
+    rng: &'a mut dyn rand::Rng,
+    pub(crate) commands: Vec<Command<M>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn new(now: SimTime, me: NodeId, rng: &'a mut dyn rand::Rng) -> Self {
+        Ctx {
+            now,
+            me,
+            energy: f64::INFINITY,
+            rng,
+            commands: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_energy(mut self, energy: f64) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// This node's remaining energy, per the simulator's
+    /// [`EnergyBook`](crate::energy::EnergyBook). The peer-forwarding
+    /// waiting period of the FDS is inversely proportional to this
+    /// value.
+    #[inline]
+    pub fn remaining_energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The ID of the node this actor runs on.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The node's deterministic random source.
+    #[inline]
+    pub fn rng(&mut self) -> &mut dyn rand::Rng {
+        self.rng
+    }
+
+    /// Transmits `msg`. Under promiscuous receiving every in-range
+    /// neighbour may hear it; each copy is subject to the channel's
+    /// loss model independently.
+    pub fn broadcast(&mut self, msg: M) {
+        self.commands.push(Command::Broadcast(msg));
+    }
+
+    /// Schedules a timer to fire after `delay`, carrying `token`.
+    ///
+    /// Setting a second timer with the same token does **not** replace
+    /// the first; use distinct tokens or [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.commands.push(Command::SetTimer {
+            fire_at: self.now + delay,
+            token,
+        });
+    }
+
+    /// Cancels every pending timer of this node carrying `token`.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.commands.push(Command::CancelTimer { token });
+    }
+}
+
+impl<M> fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("me", &self.me)
+            .field("queued", &self.commands.len())
+            .finish()
+    }
+}
+
+/// Node-local protocol logic driven by the simulator.
+///
+/// Callbacks are never invoked on crashed nodes (fail-stop model). The
+/// default `on_start` and `on_timer` do nothing so that trivial actors
+/// stay trivial.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::prelude::*;
+///
+/// /// Rebroadcasts the first copy of every message it hears (a flood).
+/// #[derive(Default)]
+/// struct Flooder { seen: bool }
+///
+/// impl Actor for Flooder {
+///     type Msg = u32;
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+///         if !self.seen {
+///             self.seen = true;
+///             ctx.broadcast(msg);
+///         }
+///     }
+/// }
+/// ```
+pub trait Actor {
+    /// The protocol's message type.
+    type Msg: Clone + fmt::Debug;
+
+    /// Invoked once at simulation start (time zero).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a transmission from `from` reaches this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Invoked when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: TimerToken) {
+        let _ = (ctx, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_queues_commands_in_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx: Ctx<'_, u8> = Ctx::new(SimTime::from_millis(3), NodeId(7), &mut rng);
+        ctx.broadcast(1);
+        ctx.set_timer(SimDuration::from_millis(2), TimerToken(9));
+        ctx.cancel_timer(TimerToken(9));
+        assert_eq!(ctx.commands.len(), 3);
+        match &ctx.commands[1] {
+            Command::SetTimer { fire_at, token } => {
+                assert_eq!(*fire_at, SimTime::from_millis(5));
+                assert_eq!(*token, TimerToken(9));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctx_reports_identity_and_time() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ctx: Ctx<'_, ()> = Ctx::new(SimTime::from_secs(1), NodeId(3), &mut rng);
+        assert_eq!(ctx.now(), SimTime::from_secs(1));
+        assert_eq!(ctx.me(), NodeId(3));
+    }
+
+    #[test]
+    fn ctx_rng_is_usable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx: Ctx<'_, ()> = Ctx::new(SimTime::ZERO, NodeId(0), &mut rng);
+        let a = ctx.rng().next_u64();
+        let b = ctx.rng().next_u64();
+        assert_ne!(a, b, "rng should advance");
+    }
+
+    #[test]
+    fn timer_token_display() {
+        assert_eq!(TimerToken(4).to_string(), "timer#4");
+    }
+
+    #[test]
+    fn default_actor_callbacks_do_nothing() {
+        struct Quiet;
+        impl Actor for Quiet {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::new(SimTime::ZERO, NodeId(0), &mut rng);
+        let mut q = Quiet;
+        q.on_start(&mut ctx);
+        q.on_timer(&mut ctx, TimerToken(0));
+        assert!(ctx.commands.is_empty());
+    }
+}

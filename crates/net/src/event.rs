@@ -1,0 +1,219 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: ties at the same virtual
+//! instant are broken by insertion order, which makes every simulation
+//! run fully deterministic for a given seed.
+
+use crate::id::NodeId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// Delivery of message `msg` from `from` to `to`.
+    Deliver {
+        /// Receiving node.
+        to: NodeId,
+        /// Transmitting node.
+        from: NodeId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer set by `node` fires with the actor-chosen `token`.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Actor-defined discriminator.
+        token: u64,
+        /// Simulator-assigned unique instance id (distinguishes
+        /// multiple pending timers with the same token so that
+        /// cancellation is exact).
+        id: u64,
+    },
+    /// Fail-stop crash of `node`.
+    Crash {
+        /// Crashing node.
+        node: NodeId,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops
+        // first, then the lowest sequence number.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::event::{EventKind, EventQueue};
+/// use cbfd_net::id::NodeId;
+/// use cbfd_net::time::SimTime;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), EventKind::Timer { node: NodeId(0), token: 1, id: 0 });
+/// q.schedule(SimTime::from_millis(1), EventKind::Timer { node: NodeId(0), token: 2, id: 1 });
+/// let (at, kind) = q.pop().unwrap();
+/// assert_eq!(at, SimTime::from_millis(1));
+/// assert_eq!(kind, EventKind::Timer { node: NodeId(0), token: 2, id: 1 });
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind<M>)> {
+        self.heap.pop().map(|s| (s.at, s.kind))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(token: u64) -> EventKind<()> {
+        EventKind::Timer {
+            node: NodeId(0),
+            token,
+            id: token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), timer(3));
+        q.schedule(SimTime::from_micros(10), timer(1));
+        q.schedule(SimTime::from_micros(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for token in 0..10 {
+            q.schedule(t, timer(token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(9), timer(0));
+        q.schedule(SimTime::from_micros(4), timer(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(4)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, timer(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deliver_events_carry_payload() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            SimTime::ZERO,
+            EventKind::Deliver {
+                to: NodeId(1),
+                from: NodeId(2),
+                msg: "hello",
+            },
+        );
+        match q.pop().unwrap().1 {
+            EventKind::Deliver { to, from, msg } => {
+                assert_eq!(to, NodeId(1));
+                assert_eq!(from, NodeId(2));
+                assert_eq!(msg, "hello");
+            }
+            _ => panic!("expected deliver"),
+        }
+    }
+}

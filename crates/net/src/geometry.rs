@@ -1,0 +1,319 @@
+//! Planar geometry for unit-disk radio networks.
+//!
+//! Hosts live in a 2-D field; a cluster is a unit disk of radius `R`
+//! (the transmission range) centred on its clusterhead. The analysis
+//! of the paper (Section 5, Figure 4) depends on areas of
+//! disk-intersection "lenses", which are provided here alongside the
+//! basic point/distance primitives.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the 2-D deployment field (metres).
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (metres).
+    pub x: f64,
+    /// Vertical coordinate (metres).
+    pub y: f64,
+}
+
+impl Point {
+    /// The field origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper than
+    /// [`Point::distance`]; prefer it for range comparisons).
+    #[inline]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Returns true iff `other` lies within transmission range `r` of
+    /// `self` (inclusive, per the paper's link definition).
+    #[inline]
+    pub fn in_range(self, other: Point, r: f64) -> bool {
+        self.distance_squared(other) <= r * r
+    }
+
+    /// The midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangular deployment field.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::geometry::{Point, Rect};
+///
+/// let field = Rect::new(0.0, 0.0, 1_000.0, 500.0);
+/// assert!(field.contains(Point::new(10.0, 10.0)));
+/// assert_eq!(field.area(), 500_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum x coordinate.
+    pub min_x: f64,
+    /// Minimum y coordinate.
+    pub min_y: f64,
+    /// Maximum x coordinate.
+    pub max_x: f64,
+    /// Maximum y coordinate.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates the rectangle `[min_x, max_x] × [min_y, max_y]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is inverted or any bound is not finite.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(
+            min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite(),
+            "rectangle bounds must be finite"
+        );
+        assert!(
+            min_x <= max_x && min_y <= max_y,
+            "rectangle bounds must not be inverted"
+        );
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// A square field `[0, side] × [0, side]`.
+    pub fn square(side: f64) -> Self {
+        Rect::new(0.0, 0.0, side, side)
+    }
+
+    /// Width of the field.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the field.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area of the field.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Returns true iff `p` lies inside the field (inclusive bounds).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// The centre of the field.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+}
+
+/// Area of a disk of radius `r`.
+///
+/// ```
+/// # use cbfd_net::geometry::disk_area;
+/// assert!((disk_area(1.0) - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn disk_area(r: f64) -> f64 {
+    std::f64::consts::PI * r * r
+}
+
+/// Area of the intersection ("lens") of two disks of equal radius `r`
+/// whose centres are `d` apart.
+///
+/// This is the paper's `An` computation (Figure 4): the overlap between
+/// the cluster disk and the neighbourhood disk of a member at distance
+/// `d` from the clusterhead. For `d = r` (a member on the cluster
+/// circumference — the worst case used for the upper-bound measures)
+/// the ratio `lens/πr² ≈ 0.391`.
+///
+/// Returns the full disk area when `d = 0` and `0` when `d ≥ 2r`.
+///
+/// # Panics
+///
+/// Panics if `r` is not strictly positive or `d` is negative.
+///
+/// ```
+/// # use cbfd_net::geometry::{disk_area, disk_lens_area};
+/// let ratio = disk_lens_area(100.0, 100.0) / disk_area(100.0);
+/// assert!((ratio - 0.391).abs() < 1e-3);
+/// ```
+pub fn disk_lens_area(r: f64, d: f64) -> f64 {
+    assert!(r > 0.0, "radius must be positive");
+    assert!(d >= 0.0, "distance must be non-negative");
+    if d >= 2.0 * r {
+        return 0.0;
+    }
+    if d == 0.0 {
+        return disk_area(r);
+    }
+    // Standard equal-radius lens: 2 r² cos⁻¹(d / 2r) − (d/2) √(4r² − d²).
+    2.0 * r * r * (d / (2.0 * r)).acos() - (d / 2.0) * (4.0 * r * r - d * d).sqrt()
+}
+
+/// Fraction of a cluster disk of radius `r` that is also covered by a
+/// member located `d` from the clusterhead (the paper's `An / Au`).
+///
+/// ```
+/// # use cbfd_net::geometry::neighborhood_fraction;
+/// // Worst case: member on the circumference.
+/// assert!((neighborhood_fraction(100.0, 100.0) - 0.391).abs() < 1e-3);
+/// // Member co-located with the clusterhead covers the whole cluster.
+/// assert!((neighborhood_fraction(100.0, 0.0) - 1.0).abs() < 1e-12);
+/// ```
+pub fn neighborhood_fraction(r: f64, d: f64) -> f64 {
+    disk_lens_area(r, d) / disk_area(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_squared(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_in_range_is_inclusive() {
+        let a = Point::ORIGIN;
+        let b = Point::new(100.0, 0.0);
+        assert!(a.in_range(b, 100.0));
+        assert!(!a.in_range(b, 99.999));
+    }
+
+    #[test]
+    fn point_midpoint() {
+        let m = Point::new(0.0, 0.0).midpoint(Point::new(10.0, 20.0));
+        assert_eq!(m, Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn rect_contains_and_area() {
+        let r = Rect::new(0.0, 0.0, 10.0, 20.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 20.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+        assert_eq!(r.area(), 200.0);
+        assert_eq!(r.center(), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn rect_square_constructor() {
+        let r = Rect::square(50.0);
+        assert_eq!(r.width(), 50.0);
+        assert_eq!(r.height(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rect_rejects_inverted_bounds() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn lens_area_limits() {
+        let r = 100.0;
+        assert!((disk_lens_area(r, 0.0) - disk_area(r)).abs() < 1e-9);
+        assert_eq!(disk_lens_area(r, 200.0), 0.0);
+        assert_eq!(disk_lens_area(r, 500.0), 0.0);
+    }
+
+    #[test]
+    fn lens_area_matches_closed_form_at_d_equals_r() {
+        // For d = r the lens area is r²(2π/3 − √3/2); this is the
+        // paper's An for a member on the cluster circumference.
+        let r = 100.0;
+        let expected = r * r * (2.0 * PI / 3.0 - 3f64.sqrt() / 2.0);
+        assert!((disk_lens_area(r, r) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lens_area_is_monotone_in_distance() {
+        let r = 100.0;
+        let mut prev = disk_lens_area(r, 0.0);
+        for i in 1..=20 {
+            let a = disk_lens_area(r, i as f64 * 10.0);
+            assert!(a <= prev + 1e-9, "lens area must shrink with distance");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn worst_case_neighborhood_fraction() {
+        // An/Au for the circumference node: (2π/3 − √3/2)/π ≈ 0.39100.
+        let f = neighborhood_fraction(100.0, 100.0);
+        let expected = (2.0 * PI / 3.0 - 3f64.sqrt() / 2.0) / PI;
+        assert!((f - expected).abs() < 1e-12);
+        assert!((f - 0.391_002).abs() < 1e-5);
+    }
+
+    #[test]
+    fn neighborhood_fraction_scale_invariant() {
+        // The An/Au ratio depends only on d/r, not on the absolute range.
+        let f1 = neighborhood_fraction(1.0, 0.5);
+        let f2 = neighborhood_fraction(250.0, 125.0);
+        assert!((f1 - f2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn lens_rejects_zero_radius() {
+        let _ = disk_lens_area(0.0, 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Node identifiers.
+//!
+//! The paper assumes each host carries a globally unique node ID (NID)
+//! that is totally ordered; the default clusterhead-qualification
+//! policy ("lowest node ID within its one-hop neighbourhood") and the
+//! energy-balanced waiting periods of peer forwarding both rely on
+//! this ordering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique, totally ordered identifier of a host (NID).
+///
+/// `NodeId` is a transparent newtype over `u32`; the numeric value is
+/// meaningful to protocols (lowest-ID clusterhead election, waiting
+/// period derivation), so it is exposed as a public field.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::id::NodeId;
+///
+/// let a = NodeId(3);
+/// let b = NodeId(7);
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw numeric identifier.
+    ///
+    /// ```
+    /// # use cbfd_net::id::NodeId;
+    /// assert_eq!(NodeId(9).index(), 9);
+    /// ```
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+/// Identifier of a cluster.
+///
+/// A cluster is named after its founding clusterhead, so a `ClusterId`
+/// wraps the clusterhead's [`NodeId`]. When a deputy takes over from a
+/// failed clusterhead the cluster retains its original identity.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::id::{ClusterId, NodeId};
+///
+/// let c = ClusterId::of(NodeId(4));
+/// assert_eq!(c.head(), NodeId(4));
+/// assert_eq!(c.to_string(), "C(n4)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(NodeId);
+
+impl ClusterId {
+    /// Creates the identifier of the cluster founded by `ch`.
+    #[inline]
+    pub fn of(ch: NodeId) -> Self {
+        ClusterId(ch)
+    }
+
+    /// Returns the founding clusterhead's node ID.
+    #[inline]
+    pub fn head(self) -> NodeId {
+        self.0
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_ordering_matches_raw() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(100) > NodeId(99));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(0).to_string(), "n0");
+        assert_eq!(NodeId(42).index(), 42);
+    }
+
+    #[test]
+    fn node_id_conversions_round_trip() {
+        let id = NodeId::from(17u32);
+        assert_eq!(u32::from(id), 17);
+    }
+
+    #[test]
+    fn node_id_hashes_distinctly() {
+        let set: HashSet<NodeId> = (0..100).map(NodeId).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn cluster_id_wraps_head() {
+        let c = ClusterId::of(NodeId(7));
+        assert_eq!(c.head(), NodeId(7));
+        assert_eq!(c.to_string(), "C(n7)");
+    }
+
+    #[test]
+    fn cluster_id_orders_by_head() {
+        assert!(ClusterId::of(NodeId(1)) < ClusterId::of(NodeId(2)));
+    }
+
+    #[test]
+    fn default_node_id_is_zero() {
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Message-loss models for the wireless channel.
+//!
+//! The paper assumes that "it is always possible for a message to be
+//! lost during transmission with a non-negligible probability": a
+//! transmission by `v` independently fails to reach each in-range
+//! neighbour with probability `p` (Section 5 takes `p ∈ [0.05, 0.5]`).
+//! [`Bernoulli`] implements exactly that channel. [`Perfect`],
+//! [`DistanceScaled`] and [`GilbertElliott`] are provided for testing
+//! and for sensitivity studies beyond the paper's model; collisions at
+//! the sender are not modelled because the paper assumes they are
+//! masked by the MAC layer's CSMA scheme.
+
+use crate::geometry::Point;
+use crate::id::NodeId;
+use rand::RngExt;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Decides, per (transmission, receiver) pair, whether a message is
+/// lost.
+///
+/// Implementations may keep per-link state (e.g. burst-loss models).
+/// The random source is supplied by the simulator so that runs are
+/// reproducible from a seed.
+pub trait LossModel: fmt::Debug + Send {
+    /// Returns true iff the copy of the message travelling from
+    /// `from` (at `from_pos`) to `to` (at `to_pos`) is **lost**.
+    fn is_lost(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        from_pos: Point,
+        to_pos: Point,
+        rng: &mut dyn rand::Rng,
+    ) -> bool;
+}
+
+/// A lossless channel; useful for functional tests and as the baseline
+/// against which loss resilience is measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Perfect;
+
+impl LossModel for Perfect {
+    fn is_lost(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _from_pos: Point,
+        _to_pos: Point,
+        _rng: &mut dyn rand::Rng,
+    ) -> bool {
+        false
+    }
+}
+
+/// The paper's channel: each receiver independently misses a
+/// transmission with fixed probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::loss::Bernoulli;
+///
+/// let channel = Bernoulli::new(0.25);
+/// assert_eq!(channel.loss_probability(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates the i.i.d. loss channel with per-receiver loss
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        Bernoulli { p }
+    }
+
+    /// The per-receiver loss probability `p`.
+    #[inline]
+    pub fn loss_probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl LossModel for Bernoulli {
+    fn is_lost(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _from_pos: Point,
+        _to_pos: Point,
+        rng: &mut dyn rand::Rng,
+    ) -> bool {
+        rng.random_bool(self.p)
+    }
+}
+
+/// Loss probability growing with distance: `p(d) = p_min + (p_max −
+/// p_min)·(d/R)^2`, saturating at `p_max` beyond range `R`.
+///
+/// A beyond-paper extension used in sensitivity benches; at `d = 0` it
+/// degenerates to `Bernoulli(p_min)` and at the edge of the range to
+/// `Bernoulli(p_max)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceScaled {
+    p_min: f64,
+    p_max: f64,
+    range: f64,
+}
+
+impl DistanceScaled {
+    /// Creates a distance-scaled loss model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p_min ≤ p_max ≤ 1` and `range > 0`.
+    pub fn new(p_min: f64, p_max: f64, range: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_min), "p_min must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&p_max), "p_max must be in [0, 1]");
+        assert!(p_min <= p_max, "p_min must not exceed p_max");
+        assert!(range > 0.0, "range must be positive");
+        DistanceScaled {
+            p_min,
+            p_max,
+            range,
+        }
+    }
+
+    /// Loss probability at distance `d`.
+    pub fn probability_at(&self, d: f64) -> f64 {
+        let frac = (d / self.range).min(1.0);
+        self.p_min + (self.p_max - self.p_min) * frac * frac
+    }
+}
+
+impl LossModel for DistanceScaled {
+    fn is_lost(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        from_pos: Point,
+        to_pos: Point,
+        rng: &mut dyn rand::Rng,
+    ) -> bool {
+        rng.random_bool(self.probability_at(from_pos.distance(to_pos)))
+    }
+}
+
+/// Two-state Gilbert–Elliott burst-loss channel, kept per directed
+/// link.
+///
+/// In the *good* state messages are lost with probability `p_good`; in
+/// the *bad* state with `p_bad`. Before each transmission the link
+/// transitions Good→Bad with probability `p_gb` and Bad→Good with
+/// probability `p_bg`. A beyond-paper extension that stresses the
+/// FDS's redundancy mechanisms with correlated losses.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    p_good: f64,
+    p_bad: f64,
+    p_gb: f64,
+    p_bg: f64,
+    bad: HashMap<(NodeId, NodeId), bool>,
+}
+
+impl GilbertElliott {
+    /// Creates a Gilbert–Elliott channel; all links start in the good
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every probability is in `[0, 1]`.
+    pub fn new(p_good: f64, p_bad: f64, p_gb: f64, p_bg: f64) -> Self {
+        for (name, v) in [
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1]");
+        }
+        GilbertElliott {
+            p_good,
+            p_bad,
+            p_gb,
+            p_bg,
+            bad: HashMap::new(),
+        }
+    }
+
+    /// Stationary long-run loss probability of a single link.
+    pub fn stationary_loss(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            return self.p_good;
+        }
+        let pi_bad = self.p_gb / (self.p_gb + self.p_bg);
+        self.p_bad * pi_bad + self.p_good * (1.0 - pi_bad)
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn is_lost(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _from_pos: Point,
+        _to_pos: Point,
+        rng: &mut dyn rand::Rng,
+    ) -> bool {
+        let state = self.bad.entry((from, to)).or_insert(false);
+        // Transition first, then draw the loss in the new state.
+        if *state {
+            if rng.random_bool(self.p_bg) {
+                *state = false;
+            }
+        } else if rng.random_bool(self.p_gb) {
+            *state = true;
+        }
+        let p = if *state { self.p_bad } else { self.p_good };
+        rng.random_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn draw_many<M: LossModel>(model: &mut M, n: usize) -> usize {
+        let mut r = rng();
+        let a = Point::ORIGIN;
+        let b = Point::new(10.0, 0.0);
+        (0..n)
+            .filter(|_| model.is_lost(NodeId(0), NodeId(1), a, b, &mut r))
+            .count()
+    }
+
+    #[test]
+    fn perfect_never_loses() {
+        assert_eq!(draw_many(&mut Perfect, 1_000), 0);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut m = Bernoulli::new(0.3);
+        let lost = draw_many(&mut m, 50_000);
+        let frac = lost as f64 / 50_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        assert_eq!(draw_many(&mut Bernoulli::new(0.0), 500), 0);
+        assert_eq!(draw_many(&mut Bernoulli::new(1.0), 500), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability must be in [0, 1]")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn distance_scaled_interpolates() {
+        let m = DistanceScaled::new(0.1, 0.5, 100.0);
+        assert!((m.probability_at(0.0) - 0.1).abs() < 1e-12);
+        assert!((m.probability_at(100.0) - 0.5).abs() < 1e-12);
+        assert!((m.probability_at(200.0) - 0.5).abs() < 1e-12, "saturates");
+        let mid = m.probability_at(50.0);
+        assert!(mid > 0.1 && mid < 0.5);
+    }
+
+    #[test]
+    fn distance_scaled_draws_respect_distance() {
+        let mut m = DistanceScaled::new(0.0, 1.0, 100.0);
+        let mut r = rng();
+        // At distance 0 the model never loses; at the range edge it always does.
+        let near = (0..200)
+            .filter(|_| m.is_lost(NodeId(0), NodeId(1), Point::ORIGIN, Point::ORIGIN, &mut r))
+            .count();
+        assert_eq!(near, 0);
+        let far = (0..200)
+            .filter(|_| {
+                m.is_lost(
+                    NodeId(0),
+                    NodeId(1),
+                    Point::ORIGIN,
+                    Point::new(100.0, 0.0),
+                    &mut r,
+                )
+            })
+            .count();
+        assert_eq!(far, 200);
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_loss() {
+        let m = GilbertElliott::new(0.05, 0.8, 0.1, 0.3);
+        let pi_bad = 0.1 / 0.4;
+        let expected = 0.8 * pi_bad + 0.05 * (1.0 - pi_bad);
+        assert!((m.stationary_loss() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_matches_stationary() {
+        let mut m = GilbertElliott::new(0.05, 0.8, 0.1, 0.3);
+        let lost = draw_many(&mut m, 100_000);
+        let frac = lost as f64 / 100_000.0;
+        assert!(
+            (frac - m.stationary_loss()).abs() < 0.02,
+            "got {frac}, expected about {}",
+            m.stationary_loss()
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_per_link_state_is_independent() {
+        // Degenerate chain that, once bad, stays bad and always loses.
+        let mut m = GilbertElliott::new(0.0, 1.0, 1.0, 0.0);
+        let mut r = rng();
+        let a = Point::ORIGIN;
+        assert!(m.is_lost(NodeId(0), NodeId(1), a, a, &mut r));
+        // A different link starts good but transitions immediately too;
+        // the reverse direction is an independent link.
+        assert!(m.is_lost(NodeId(1), NodeId(0), a, a, &mut r));
+        assert_eq!(m.bad.len(), 2);
+    }
+}

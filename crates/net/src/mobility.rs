@@ -1,0 +1,301 @@
+//! Host mobility: the random-waypoint model.
+//!
+//! The paper's application model allows "mobile hosts that have
+//! localization capability and may migrate in the field autonomously
+//! (e.g., nano-sat swarms)" and notes that sound clustering supports
+//! cluster stability under mobility (Section 2.1). This module
+//! provides the standard random-waypoint generator used to exercise
+//! that extension: each host picks a destination uniformly in the
+//! field, travels at a per-leg speed, pauses, and repeats.
+//!
+//! The FDS protocol itself runs over quasi-static snapshots: advance
+//! the walker, take a [`RandomWaypoint::snapshot`], rebuild the
+//! [`Topology`](crate::topology::Topology), reconcile the clustering,
+//! and run the next batch of heartbeat intervals.
+
+use crate::geometry::{Point, Rect};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the random-waypoint model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointConfig {
+    /// The field hosts roam in.
+    pub bounds: Rect,
+    /// Minimum leg speed (m/s).
+    pub min_speed: f64,
+    /// Maximum leg speed (m/s).
+    pub max_speed: f64,
+    /// Pause at each waypoint (seconds).
+    pub pause_secs: f64,
+}
+
+impl WaypointConfig {
+    /// Pedestrian-ish defaults on the given field: 0.5–2 m/s with a
+    /// 5-second pause.
+    pub fn slow(bounds: Rect) -> Self {
+        WaypointConfig {
+            bounds,
+            min_speed: 0.5,
+            max_speed: 2.0,
+            pause_secs: 5.0,
+        }
+    }
+
+    /// Validates speed and pause parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_speed <= 0.0 || self.max_speed < self.min_speed {
+            return Err("speeds must satisfy 0 < min <= max".into());
+        }
+        if self.pause_secs < 0.0 {
+            return Err("pause must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Walker {
+    position: Point,
+    target: Point,
+    speed: f64,
+    pause_left: f64,
+}
+
+/// A population of random-waypoint walkers.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::geometry::Rect;
+/// use cbfd_net::mobility::{RandomWaypoint, WaypointConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let config = WaypointConfig::slow(Rect::square(500.0));
+/// let mut walkers = RandomWaypoint::new(config, 50, &mut rng);
+/// let before = walkers.snapshot();
+/// walkers.advance(30.0, &mut rng);
+/// let after = walkers.snapshot();
+/// assert!(before.iter().zip(&after).any(|(a, b)| a.distance(*b) > 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    config: WaypointConfig,
+    walkers: Vec<Walker>,
+}
+
+impl RandomWaypoint {
+    /// Spawns `n` walkers at uniform positions with fresh waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new<R: Rng + ?Sized>(config: WaypointConfig, n: usize, rng: &mut R) -> Self {
+        config.validate().expect("invalid waypoint configuration");
+        let walkers = (0..n)
+            .map(|_| {
+                let position = uniform_point(config.bounds, rng);
+                let target = uniform_point(config.bounds, rng);
+                Walker {
+                    position,
+                    target,
+                    speed: rng.random_range(config.min_speed..=config.max_speed),
+                    pause_left: 0.0,
+                }
+            })
+            .collect();
+        RandomWaypoint { config, walkers }
+    }
+
+    /// Starts walkers from explicit positions (e.g. an air-drop
+    /// pattern) instead of uniform ones.
+    pub fn from_positions<R: Rng + ?Sized>(
+        config: WaypointConfig,
+        positions: Vec<Point>,
+        rng: &mut R,
+    ) -> Self {
+        config.validate().expect("invalid waypoint configuration");
+        let walkers = positions
+            .into_iter()
+            .map(|position| Walker {
+                position,
+                target: uniform_point(config.bounds, rng),
+                speed: rng.random_range(config.min_speed..=config.max_speed),
+                pause_left: 0.0,
+            })
+            .collect();
+        RandomWaypoint { config, walkers }
+    }
+
+    /// Number of walkers.
+    pub fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Whether there are no walkers.
+    pub fn is_empty(&self) -> bool {
+        self.walkers.is_empty()
+    }
+
+    /// Current positions, indexed like node IDs.
+    pub fn snapshot(&self) -> Vec<Point> {
+        self.walkers.iter().map(|w| w.position).collect()
+    }
+
+    /// Advances all walkers by `dt` seconds (handling waypoint arrival
+    /// and pauses; new targets and speeds are drawn from `rng`).
+    pub fn advance<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
+        assert!(dt >= 0.0, "time does not flow backwards");
+        for w in &mut self.walkers {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                if w.pause_left > 0.0 {
+                    let pause = w.pause_left.min(remaining);
+                    w.pause_left -= pause;
+                    remaining -= pause;
+                    continue;
+                }
+                let to_target = w.position.distance(w.target);
+                let travel = w.speed * remaining;
+                if travel < to_target {
+                    let f = travel / to_target;
+                    w.position = Point::new(
+                        w.position.x + (w.target.x - w.position.x) * f,
+                        w.position.y + (w.target.y - w.position.y) * f,
+                    );
+                    remaining = 0.0;
+                } else {
+                    // Arrive, pause, and pick the next leg.
+                    remaining -= if w.speed > 0.0 {
+                        to_target / w.speed
+                    } else {
+                        0.0
+                    };
+                    w.position = w.target;
+                    w.pause_left = self.config.pause_secs;
+                    w.target = uniform_point(self.config.bounds, rng);
+                    w.speed = rng.random_range(self.config.min_speed..=self.config.max_speed);
+                }
+            }
+        }
+    }
+}
+
+fn uniform_point<R: Rng + ?Sized>(bounds: Rect, rng: &mut R) -> Point {
+    crate::placement::uniform_in_rect(bounds, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    fn config() -> WaypointConfig {
+        WaypointConfig {
+            bounds: Rect::square(300.0),
+            min_speed: 1.0,
+            max_speed: 3.0,
+            pause_secs: 2.0,
+        }
+    }
+
+    #[test]
+    fn walkers_stay_in_bounds() {
+        let mut r = rng();
+        let mut w = RandomWaypoint::new(config(), 40, &mut r);
+        for _ in 0..50 {
+            w.advance(10.0, &mut r);
+            for p in w.snapshot() {
+                assert!(config().bounds.contains(p), "{p} escaped the field");
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_respects_speed_bound() {
+        let mut r = rng();
+        let mut w = RandomWaypoint::new(config(), 40, &mut r);
+        let before = w.snapshot();
+        let dt = 7.0;
+        w.advance(dt, &mut r);
+        for (a, b) in before.iter().zip(w.snapshot()) {
+            assert!(
+                a.distance(b) <= config().max_speed * dt + 1e-9,
+                "walker teleported"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut r = rng();
+        let mut w = RandomWaypoint::new(config(), 10, &mut r);
+        let before = w.snapshot();
+        w.advance(0.0, &mut r);
+        assert_eq!(before, w.snapshot());
+    }
+
+    #[test]
+    fn pauses_hold_position_at_waypoints() {
+        // A walker that just arrived must sit still for pause_secs.
+        let bounds = Rect::square(10.0);
+        let cfg = WaypointConfig {
+            bounds,
+            min_speed: 100.0,
+            max_speed: 100.0,
+            pause_secs: 1_000.0,
+        };
+        let mut r = rng();
+        let mut w = RandomWaypoint::new(cfg, 5, &mut r);
+        // Fast speed: everyone reaches a waypoint quickly, then pauses
+        // essentially forever.
+        w.advance(5.0, &mut r);
+        let parked = w.snapshot();
+        w.advance(5.0, &mut r);
+        assert_eq!(parked, w.snapshot(), "paused walkers must not move");
+    }
+
+    #[test]
+    fn from_positions_starts_where_told() {
+        let mut r = rng();
+        let start = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+        let w = RandomWaypoint::from_positions(config(), start.clone(), &mut r);
+        assert_eq!(w.snapshot(), start);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid waypoint configuration")]
+    fn invalid_speeds_rejected() {
+        let bad = WaypointConfig {
+            bounds: Rect::square(10.0),
+            min_speed: 0.0,
+            max_speed: 1.0,
+            pause_secs: 0.0,
+        };
+        let _ = RandomWaypoint::new(bad, 1, &mut rng());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut w = RandomWaypoint::new(config(), 20, &mut r);
+            w.advance(100.0, &mut r);
+            w.snapshot()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,195 @@
+//! Node placement: generating host locations in a deployment field.
+//!
+//! The applications motivating the paper (air-dropped sensor networks,
+//! smart dust, UAV swarms) scatter hundreds to thousands of hosts over
+//! a field. The paper's analysis assumes host locations that are
+//! **statistically uniformly distributed**; this module provides that
+//! distribution over rectangles and disks plus a deterministic grid
+//! placement that is convenient for tests.
+
+use crate::geometry::{Point, Rect};
+use rand::{Rng, RngExt};
+
+/// A strategy for generating `n` host positions.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::placement::Placement;
+/// use cbfd_net::geometry::Rect;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let field = Rect::square(1_000.0);
+/// let pts = Placement::UniformRect(field).generate(200, &mut rng);
+/// assert_eq!(pts.len(), 200);
+/// assert!(pts.iter().all(|p| field.contains(*p)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// Independently uniform positions inside a rectangle.
+    UniformRect(Rect),
+    /// Independently uniform positions inside a disk (centre, radius).
+    ///
+    /// This matches the paper's per-cluster analysis setting: `N`
+    /// hosts uniformly distributed over a unit disk of radius `R`.
+    UniformDisk {
+        /// Disk centre.
+        center: Point,
+        /// Disk radius (metres).
+        radius: f64,
+    },
+    /// A deterministic square-ish grid filling a rectangle row-major,
+    /// useful for reproducible topology tests.
+    Grid(Rect),
+}
+
+impl Placement {
+    /// Generates `n` positions with the given random source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a disk placement has a non-positive radius.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Point> {
+        match *self {
+            Placement::UniformRect(rect) => (0..n).map(|_| uniform_in_rect(rect, rng)).collect(),
+            Placement::UniformDisk { center, radius } => {
+                assert!(radius > 0.0, "disk radius must be positive");
+                (0..n)
+                    .map(|_| uniform_in_disk(center, radius, rng))
+                    .collect()
+            }
+            Placement::Grid(rect) => grid_in_rect(rect, n),
+        }
+    }
+}
+
+/// Samples one point uniformly inside `rect`.
+pub fn uniform_in_rect<R: Rng + ?Sized>(rect: Rect, rng: &mut R) -> Point {
+    let x = if rect.width() == 0.0 {
+        rect.min_x
+    } else {
+        rng.random_range(rect.min_x..=rect.max_x)
+    };
+    let y = if rect.height() == 0.0 {
+        rect.min_y
+    } else {
+        rng.random_range(rect.min_y..=rect.max_y)
+    };
+    Point::new(x, y)
+}
+
+/// Samples one point uniformly inside the disk of the given `center`
+/// and `radius`, using the inverse-CDF radius transform `r = R√u`.
+pub fn uniform_in_disk<R: Rng + ?Sized>(center: Point, radius: f64, rng: &mut R) -> Point {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let r = radius * u.sqrt();
+    let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    Point::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+}
+
+/// Lays out `n` points on a deterministic grid inside `rect`.
+///
+/// The grid has `ceil(sqrt(n))` columns; points fill rows left to
+/// right, top row first, each point centred in its cell.
+pub fn grid_in_rect(rect: Rect, n: usize) -> Vec<Point> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let cell_w = rect.width() / cols as f64;
+    let cell_h = rect.height() / rows as f64;
+    (0..n)
+        .map(|i| {
+            let col = i % cols;
+            let row = i / cols;
+            Point::new(
+                rect.min_x + (col as f64 + 0.5) * cell_w,
+                rect.min_y + (row as f64 + 0.5) * cell_h,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xCBFD)
+    }
+
+    #[test]
+    fn uniform_rect_stays_in_bounds() {
+        let rect = Rect::new(-10.0, 5.0, 30.0, 25.0);
+        let pts = Placement::UniformRect(rect).generate(500, &mut rng());
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| rect.contains(*p)));
+    }
+
+    #[test]
+    fn uniform_disk_stays_in_radius() {
+        let c = Point::new(100.0, 100.0);
+        let pts = Placement::UniformDisk {
+            center: c,
+            radius: 50.0,
+        }
+        .generate(500, &mut rng());
+        assert!(pts.iter().all(|p| c.distance(*p) <= 50.0 + 1e-9));
+    }
+
+    #[test]
+    fn uniform_disk_is_area_uniform() {
+        // With r = R√u, about half the points fall inside radius R/√2.
+        let c = Point::ORIGIN;
+        let pts = Placement::UniformDisk {
+            center: c,
+            radius: 1.0,
+        }
+        .generate(20_000, &mut rng());
+        let inner = pts
+            .iter()
+            .filter(|p| c.distance(**p) <= 1.0 / 2f64.sqrt())
+            .count();
+        let frac = inner as f64 / pts.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "got inner fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let field = Rect::square(100.0);
+        let a = Placement::UniformRect(field).generate(50, &mut rng());
+        let b = Placement::UniformRect(field).generate(50, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_covers_requested_count() {
+        let rect = Rect::square(100.0);
+        for n in [0, 1, 2, 9, 10, 37] {
+            let pts = grid_in_rect(rect, n);
+            assert_eq!(pts.len(), n);
+            assert!(pts.iter().all(|p| rect.contains(*p)));
+        }
+    }
+
+    #[test]
+    fn grid_points_are_distinct() {
+        let pts = grid_in_rect(Rect::square(100.0), 25);
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                assert!(a.distance(*b) > 1.0, "grid points must not collide");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_rect_is_handled() {
+        let line = Rect::new(5.0, 5.0, 5.0, 5.0);
+        let pts = Placement::UniformRect(line).generate(3, &mut rng());
+        assert!(pts.iter().all(|p| *p == Point::new(5.0, 5.0)));
+    }
+}

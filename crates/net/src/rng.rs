@@ -1,0 +1,74 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic component of the substrate (placement, channel
+//! loss, protocol back-off) draws from seeds derived from one master
+//! seed, so a whole experiment is reproducible from a single `u64`.
+
+/// One round of the SplitMix64 mixer.
+///
+/// Used to derive statistically independent child seeds from a master
+/// seed and a salt; SplitMix64 is the standard generator for seeding
+/// other PRNGs.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::rng::splitmix64;
+///
+/// assert_ne!(splitmix64(1), splitmix64(2));
+/// assert_eq!(splitmix64(7), splitmix64(7));
+/// ```
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed from `master` and a `salt` identifying the
+/// consumer (e.g. a node index or experiment replicate).
+///
+/// Distinct salts yield (with overwhelming probability) distinct,
+/// well-mixed child seeds.
+///
+/// ```
+/// use cbfd_net::rng::derive_seed;
+///
+/// let a = derive_seed(42, 0);
+/// let b = derive_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, 0));
+/// ```
+pub fn derive_seed(master: u64, salt: u64) -> u64 {
+    splitmix64(master ^ splitmix64(salt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        assert_eq!(splitmix64(0xDEAD), splitmix64(0xDEAD));
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let seeds: HashSet<u64> = (0..10_000).map(|s| derive_seed(7, s)).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn derived_seeds_differ_across_masters() {
+        assert_ne!(derive_seed(1, 5), derive_seed(2, 5));
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference value for seed 0 from the SplitMix64 paper's
+        // canonical implementation.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+}

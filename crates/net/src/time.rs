@@ -1,0 +1,249 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Simulated time is measured in integer **microseconds** to keep
+//! event ordering exact and deterministic (no floating-point time).
+//! The paper's protocol constants map naturally onto this scale: the
+//! per-round timeout `Thop` is a few milliseconds and the heartbeat
+//! interval `φ` is on the order of seconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An instant of simulated time (microseconds since simulation start).
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::time::{SimDuration, SimTime};
+///
+/// let t = SimTime::from_millis(5) + SimDuration::from_micros(250);
+/// assert_eq!(t.as_micros(), 5_250);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (microseconds).
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::time::SimDuration;
+///
+/// let slot = SimDuration::from_millis(10);
+/// assert_eq!((slot * 3).as_millis(), 30);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation origin, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `micros` microseconds after the origin.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after the origin.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Returns the instant as microseconds since the origin.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (truncated) milliseconds since the origin.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be after `self`"),
+        )
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `micros` microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Returns the span in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in (truncated) milliseconds.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns true iff the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::from_millis(1) + SimDuration::from_millis(2);
+        assert_eq!(t, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn time_add_assign() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_micros(7);
+        assert_eq!(t.as_micros(), 7);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!((d * 3).as_millis(), 30);
+        assert_eq!((d + d).as_millis(), 20);
+        assert_eq!((d - SimDuration::from_millis(4)).as_millis(), 6);
+    }
+
+    #[test]
+    fn since_computes_span() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(12);
+        assert_eq!(b.since(a), SimDuration::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` must not be after `self`")]
+    fn since_panics_on_reversed_order() {
+        let _ = SimTime::from_millis(1).since(SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!SimDuration::from_micros(1).is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_micros(12).to_string(), "t=12us");
+        assert_eq!(SimDuration::from_micros(9).to_string(), "9us");
+    }
+}

@@ -1,0 +1,397 @@
+//! Unit-disk network topology.
+//!
+//! The paper models the network as a graph `G = (V, E)` in which a
+//! link between `v` and `v'` exists iff each is within the other's
+//! transmission range; all hosts share the same range `R`
+//! (Section 2.2), so the graph is the **unit-disk graph** of the host
+//! positions. [`Topology`] precomputes the adjacency lists used by the
+//! radio model on every transmission.
+
+use crate::geometry::Point;
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The static unit-disk graph over a set of host positions.
+///
+/// Node `i` is identified by `NodeId(i as u32)`; positions and
+/// adjacency are indexed by `NodeId::index()`.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_net::geometry::Point;
+/// use cbfd_net::id::NodeId;
+/// use cbfd_net::topology::Topology;
+///
+/// let topo = Topology::from_positions(
+///     vec![Point::new(0.0, 0.0), Point::new(60.0, 0.0), Point::new(300.0, 0.0)],
+///     100.0,
+/// );
+/// assert_eq!(topo.neighbors(NodeId(0)), &[NodeId(1)]);
+/// assert!(topo.neighbors(NodeId(2)).is_empty()); // isolated
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Point>,
+    range: f64,
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds the unit-disk graph of `positions` with transmission
+    /// range `range`.
+    ///
+    /// Uses a uniform spatial grid with cells of side `range`, so only
+    /// the 3×3 cell neighbourhood of each host is examined — linear in
+    /// the host count at fixed density (the naive all-pairs scan is
+    /// kept as [`Topology::from_positions_naive`] and property-tested
+    /// equal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive or a coordinate is
+    /// not finite.
+    pub fn from_positions(positions: Vec<Point>, range: f64) -> Self {
+        assert!(range > 0.0, "transmission range must be positive");
+        let n = positions.len();
+        let mut adjacency = vec![Vec::new(); n];
+        if n > 0 {
+            assert!(
+                positions.iter().all(|p| p.x.is_finite() && p.y.is_finite()),
+                "positions must be finite"
+            );
+            // Bucket hosts into grid cells of side `range`.
+            let min_x = positions.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+            let min_y = positions.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+            let cell = |p: &Point| -> (i64, i64) {
+                (
+                    ((p.x - min_x) / range).floor() as i64,
+                    ((p.y - min_y) / range).floor() as i64,
+                )
+            };
+            let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+                std::collections::HashMap::new();
+            for (i, p) in positions.iter().enumerate() {
+                buckets.entry(cell(p)).or_default().push(i);
+            }
+            for (i, p) in positions.iter().enumerate() {
+                let (cx, cy) = cell(p);
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let Some(candidates) = buckets.get(&(cx + dx, cy + dy)) else {
+                            continue;
+                        };
+                        for &j in candidates {
+                            if j > i && p.in_range(positions[j], range) {
+                                adjacency[i].push(NodeId(j as u32));
+                                adjacency[j].push(NodeId(i as u32));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Keep neighbour lists sorted so iteration order (and thus the
+        // whole simulation) is deterministic.
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Topology {
+            positions,
+            range,
+            adjacency,
+        }
+    }
+
+    /// The reference all-pairs construction (quadratic); used to
+    /// validate the grid-accelerated [`Topology::from_positions`].
+    pub fn from_positions_naive(positions: Vec<Point>, range: f64) -> Self {
+        assert!(range > 0.0, "transmission range must be positive");
+        let n = positions.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].in_range(positions[j], range) {
+                    adjacency[i].push(NodeId(j as u32));
+                    adjacency[j].push(NodeId(i as u32));
+                }
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Topology {
+            positions,
+            range,
+            adjacency,
+        }
+    }
+
+    /// Number of hosts.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns true iff the topology has no hosts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The common transmission range `R`.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    /// All host positions, indexed by `NodeId::index()`.
+    #[inline]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// One-hop neighbours of `node`, sorted by ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Number of one-hop neighbours of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Returns true iff `a` and `b` are within each other's range.
+    #[inline]
+    pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.positions[a.index()].in_range(self.positions[b.index()], self.range)
+    }
+
+    /// Iterates over all node IDs.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len() as u32).map(NodeId)
+    }
+
+    /// Hosts outside the transmission range of every other host
+    /// ("isolated" nodes in the paper's terminology).
+    pub fn isolated_nodes(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|n| self.degree(*n) == 0).collect()
+    }
+
+    /// Connected components of the graph, each sorted by ID; the list
+    /// of components is sorted by its smallest member.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut queue = VecDeque::from([NodeId(start as u32)]);
+            seen[start] = true;
+            while let Some(v) = queue.pop_front() {
+                component.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Breadth-first hop distance from `from` to `to`, or `None` if
+    /// unreachable.
+    pub fn hop_distance(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.len()];
+        dist[from.index()] = 0;
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    if w == to {
+                        return Some(dist[w.index()]);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Average node degree — the paper's notion of population density
+    /// at the graph level.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.adjacency.iter().map(Vec::len).sum::<usize>() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(spacing: f64, n: usize, range: f64) -> Topology {
+        let pts = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        Topology::from_positions(pts, range)
+    }
+
+    #[test]
+    fn links_are_symmetric_and_inclusive() {
+        let t = line(100.0, 3, 100.0);
+        assert!(t.linked(NodeId(0), NodeId(1)));
+        assert!(t.linked(NodeId(1), NodeId(0)));
+        assert!(!t.linked(NodeId(0), NodeId(2)));
+        assert!(!t.linked(NodeId(0), NodeId(0)), "no self links");
+    }
+
+    #[test]
+    fn neighbors_sorted_and_correct() {
+        let t = line(50.0, 5, 100.0);
+        assert_eq!(
+            t.neighbors(NodeId(2)),
+            &[NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(t.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_detected() {
+        let t =
+            Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(1_000.0, 0.0)], 100.0);
+        assert_eq!(t.isolated_nodes(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn connected_components_partition_nodes() {
+        // Two separate pairs.
+        let t = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(500.0, 0.0),
+                Point::new(550.0, 0.0),
+            ],
+            100.0,
+        );
+        let comps = t.connected_components();
+        assert_eq!(
+            comps,
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]
+        );
+    }
+
+    #[test]
+    fn hop_distance_on_a_line() {
+        let t = line(100.0, 5, 100.0);
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(t.hop_distance(NodeId(4), NodeId(0)), Some(4));
+    }
+
+    #[test]
+    fn hop_distance_unreachable() {
+        let t = Topology::from_positions(vec![Point::new(0.0, 0.0), Point::new(999.0, 0.0)], 100.0);
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn mean_degree_counts_both_endpoints() {
+        let t = line(100.0, 2, 100.0);
+        assert_eq!(t.mean_degree(), 1.0);
+        assert_eq!(line(100.0, 1, 100.0).mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::from_positions(Vec::new(), 100.0);
+        assert!(t.is_empty());
+        assert!(t.connected_components().is_empty());
+        assert_eq!(t.mean_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmission range must be positive")]
+    fn zero_range_rejected() {
+        let _ = Topology::from_positions(vec![Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    fn grid_construction_matches_naive() {
+        use crate::geometry::Rect;
+        use crate::placement::Placement;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts = Placement::UniformRect(Rect::new(-100.0, -100.0, 500.0, 700.0))
+                .generate(200, &mut rng);
+            let fast = Topology::from_positions(pts.clone(), 100.0);
+            let slow = Topology::from_positions_naive(pts, 100.0);
+            for n in fast.node_ids() {
+                assert_eq!(
+                    fast.neighbors(n),
+                    slow.neighbors(n),
+                    "seed {seed}, node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_handles_exact_range_boundaries() {
+        // Points exactly `range` apart, axis-aligned with cell edges.
+        let t = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(200.0, 0.0),
+                Point::new(100.0, 100.0),
+            ],
+            100.0,
+        );
+        assert!(t.linked(NodeId(0), NodeId(1)));
+        assert!(t.linked(NodeId(1), NodeId(2)));
+        assert!(!t.linked(NodeId(0), NodeId(2)));
+        assert!(t.linked(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn node_ids_enumerates_all() {
+        let t = line(10.0, 4, 100.0);
+        let ids: Vec<NodeId> = t.node_ids().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

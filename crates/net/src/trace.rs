@@ -1,0 +1,209 @@
+//! Optional event tracing for debugging protocol runs.
+//!
+//! Tracing is off by default (simulations at paper scale generate
+//! millions of events); when enabled, the simulator records a compact
+//! [`TraceRecord`] per radio/timer/crash event which tests and tools
+//! can assert against or pretty-print.
+
+use crate::id::NodeId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// What happened at one traced instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `node` transmitted a message.
+    Transmit,
+    /// A copy from `peer` reached `node`.
+    Receive,
+    /// A copy from `peer` to `node` was lost on the channel.
+    Loss,
+    /// A timer fired at `node`.
+    Timer,
+    /// `node` crashed (fail-stop).
+    Crash,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// The node the record is about.
+    pub node: NodeId,
+    /// The counterpart node for radio events (`node` itself otherwise).
+    pub peer: NodeId,
+    /// The event class.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceKind::Transmit => write!(f, "[{}] {} tx", self.at, self.node),
+            TraceKind::Receive => write!(f, "[{}] {} rx from {}", self.at, self.node, self.peer),
+            TraceKind::Loss => write!(f, "[{}] {} lost from {}", self.at, self.node, self.peer),
+            TraceKind::Timer => write!(f, "[{}] {} timer", self.at, self.node),
+            TraceKind::Crash => write!(f, "[{}] {} crash", self.at, self.node),
+        }
+    }
+}
+
+/// A bounded in-memory event trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Default bound on retained records.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled trace retaining at most `capacity` records;
+    /// further records are counted but dropped.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity,
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates an enabled trace with the default capacity.
+    pub fn enabled() -> Self {
+        Trace::bounded(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Whether records are being kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when disabled or full).
+    pub fn push(&mut self, record: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained records, in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records dropped after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records concerning `node`.
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.node == node)
+    }
+
+    /// Renders the retained records as one line per event (for log
+    /// files and debugging sessions).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} further records dropped\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_us: u64, node: u32, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_micros(at_us),
+            node: NodeId(node),
+            peer: NodeId(node),
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(rec(1, 0, TraceKind::Transmit));
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_order() {
+        let mut t = Trace::enabled();
+        t.push(rec(1, 0, TraceKind::Transmit));
+        t.push(rec(2, 1, TraceKind::Receive));
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].kind, TraceKind::Transmit);
+    }
+
+    #[test]
+    fn bounded_trace_counts_drops() {
+        let mut t = Trace::bounded(1);
+        t.push(rec(1, 0, TraceKind::Timer));
+        t.push(rec(2, 0, TraceKind::Timer));
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn for_node_filters() {
+        let mut t = Trace::enabled();
+        t.push(rec(1, 0, TraceKind::Transmit));
+        t.push(rec(2, 1, TraceKind::Transmit));
+        t.push(rec(3, 0, TraceKind::Crash));
+        assert_eq!(t.for_node(NodeId(0)).count(), 2);
+        assert_eq!(t.for_node(NodeId(1)).count(), 1);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_event() {
+        let mut t = Trace::bounded(2);
+        t.push(rec(1, 0, TraceKind::Transmit));
+        t.push(rec(2, 1, TraceKind::Receive));
+        t.push(rec(3, 1, TraceKind::Timer));
+        let text = t.render();
+        assert_eq!(text.lines().count(), 3, "{text}");
+        assert!(text.contains("dropped"));
+        assert!(Trace::disabled().render().is_empty());
+    }
+
+    #[test]
+    fn display_formats_each_kind() {
+        let kinds = [
+            TraceKind::Transmit,
+            TraceKind::Receive,
+            TraceKind::Loss,
+            TraceKind::Timer,
+            TraceKind::Crash,
+        ];
+        for k in kinds {
+            let s = rec(5, 3, k).to_string();
+            assert!(s.contains("n3"), "{s}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Backbone planner: the operations questions an FDS deployment team
+//! would ask before launch, answered from the analysis models —
+//! without running a single protocol message.
+//!
+//! * How robust is the formed architecture? (`ClusterStats`)
+//! * How likely is a false alarm per interval? (Figure 5 at the
+//!   weakest cluster)
+//! * How many heartbeat intervals until the whole field knows about a
+//!   failure, at 99% confidence? (latency model over the real
+//!   backbone)
+//! * What fraction of the field is informed by a single dissemination
+//!   wave? (system model, E7)
+//!
+//! ```sh
+//! cargo run --release --example backbone_planner
+//! ```
+
+use cbfd::analysis::{latency, system::SystemModel};
+use cbfd::cluster::stats::{ClusterStats, DensityStats};
+use cbfd::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let positions = Placement::UniformRect(Rect::square(900.0)).generate(350, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    let view = cbfd::cluster::oracle::form(&topology, &FormationConfig::default());
+
+    println!("deployment: {:?}", DensityStats::of(&topology));
+    let stats = ClusterStats::of(&view);
+    println!("architecture: {stats}");
+    println!(
+        "fully redundant (deputy everywhere, backup on every link): {}",
+        stats.fully_redundant()
+    );
+
+    for p in [0.1, 0.3, 0.5] {
+        println!("\nat message-loss probability p = {p}:");
+        println!(
+            "  false-alarm risk per member-interval (weakest monitoring cluster, N = {}): {:.2e}",
+            stats.min_monitored_size,
+            stats.worst_cluster_false_detection(p)
+        );
+
+        // Backbone radius: the longest shortest route between clusters.
+        let ids: Vec<_> = view.clusters().map(|c| c.id()).collect();
+        let mut radius = 0usize;
+        for a in &ids {
+            for b in &ids {
+                if let Some(route) = view.backbone_route(*a, *b) {
+                    radius = radius.max(route.len() - 1);
+                }
+            }
+        }
+        let q = latency::link_success_per_interval(p, 2, 2, 2);
+        println!(
+            "  backbone radius {radius} hops; whole field informed within {} intervals (99%)",
+            2 + latency::intervals_for_confidence(radius as u32, q, 0.99)
+        );
+
+        // One-wave informed fraction from a mid-field origin.
+        let index: BTreeMap<_, _> = view
+            .clusters()
+            .enumerate()
+            .map(|(i, c)| (c.id(), i))
+            .collect();
+        let model = SystemModel {
+            populations: view.clusters().map(|c| c.len() as u64).collect(),
+            links: view
+                .gateway_links()
+                .map(|(pair, link)| {
+                    let (a, b) = pair.endpoints();
+                    (index[&a], index[&b], link.backups.len() as u32)
+                })
+                .collect(),
+            p,
+            attempts: 2,
+            retx: 2,
+        };
+        let informed = model.mean_informed_fraction(600, 12);
+        println!("  single-wave informed fraction (origin-averaged): {informed:.4}");
+    }
+}

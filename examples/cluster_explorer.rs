@@ -1,0 +1,78 @@
+//! Cluster explorer: form clusters two ways — by the geometric oracle
+//! and by the fully distributed, message-driven protocol — and print
+//! the resulting architecture (heads, deputies, gateways, backups).
+//!
+//! ```sh
+//! cargo run --example cluster_explorer
+//! ```
+
+use cbfd::cluster::{invariants, oracle, protocol};
+use cbfd::prelude::*;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let positions = Placement::UniformRect(Rect::square(500.0)).generate(90, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    let config = FormationConfig::default();
+
+    // Oracle formation: instantaneous, from global knowledge.
+    let oracle_view = oracle::form(&topology, &config);
+
+    // Distributed formation: probe/claim/join/announce iterations over
+    // the simulated (and here slightly lossy) radio channel.
+    let distributed = protocol::run_formation(
+        &topology,
+        RadioConfig::bernoulli(0.05),
+        &config,
+        SimDuration::from_millis(10),
+        12,
+        31,
+    );
+
+    println!(
+        "oracle: {} clusters | distributed (p = 0.05): {} clusters",
+        oracle_view.cluster_count(),
+        distributed.cluster_count()
+    );
+    let agree = topology
+        .node_ids()
+        .filter(|n| oracle_view.cluster_of(*n) == distributed.cluster_of(*n))
+        .count();
+    println!("affiliation agreement: {agree}/{} nodes\n", topology.len());
+
+    println!("oracle architecture:");
+    for cluster in oracle_view.clusters() {
+        let deputies: Vec<String> = cluster.deputies().iter().map(|d| d.to_string()).collect();
+        println!(
+            "  {}: head {}, {} members, deputies [{}]",
+            cluster.id(),
+            cluster.head(),
+            cluster.len(),
+            deputies.join(", ")
+        );
+    }
+    println!("\nbackbone links:");
+    for (pair, link) in oracle_view.gateway_links() {
+        let (a, b) = pair.endpoints();
+        let backups: Vec<String> = link.backups.iter().map(|b| b.to_string()).collect();
+        println!(
+            "  {a} <-> {b}: gateway {}, backups [{}]",
+            link.primary,
+            backups.join(", ")
+        );
+    }
+
+    let violations = invariants::check(&topology, &oracle_view);
+    println!(
+        "\nstructural invariants (F1-F4): {}",
+        if violations.is_empty() {
+            "all hold".to_string()
+        } else {
+            format!("{violations:?}")
+        }
+    );
+    println!(
+        "backbone components: {} (1 means every cluster can learn every failure)",
+        oracle_view.backbone_components().len()
+    );
+}

@@ -1,0 +1,101 @@
+//! Head-to-head: the cluster-based FDS against the flooding, gossip,
+//! and base-station baselines on the same network, same crashes, same
+//! lossy channel (experiment E6 of `DESIGN.md`).
+//!
+//! ```sh
+//! cargo run --release --example detector_comparison
+//! ```
+
+use cbfd::baselines::{central, flood, gossip, swim, CrashAt};
+use cbfd::prelude::*;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let n = 200;
+    let positions = Placement::UniformRect(Rect::square(700.0)).generate(n, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    let epochs = 30;
+    let p = 0.15;
+    let interval = SimDuration::from_secs(1);
+
+    let crashes = [
+        CrashAt {
+            epoch: 2,
+            node: NodeId(50),
+        },
+        CrashAt {
+            epoch: 4,
+            node: NodeId(120),
+        },
+    ];
+    let planned: Vec<PlannedCrash> = crashes
+        .iter()
+        .map(|c| PlannedCrash {
+            epoch: c.epoch,
+            node: c.node,
+        })
+        .collect();
+
+    println!("{n} nodes, p = {p}, {epochs} intervals, crashes at epochs 2 and 4\n");
+    println!(
+        "{:<14} {:>9} {:>13} {:>13} {:>16}",
+        "detector", "false+", "completeness", "latency", "tx/node/interval"
+    );
+
+    // Cluster-based FDS.
+    let experiment = Experiment::new(
+        topology.clone(),
+        FdsConfig::default(),
+        FormationConfig::default(),
+    );
+    let fds = experiment.run(p, epochs, &planned, 11);
+    let fds_latency: u64 = fds.detection_latency.values().copied().max().unwrap_or(0);
+    println!(
+        "{:<14} {:>9} {:>13.3} {:>13} {:>16.2}",
+        "cbfd",
+        fds.false_detections.len(),
+        fds.completeness,
+        fds_latency,
+        fds.metrics.transmissions as f64 / (n as f64 * epochs as f64)
+    );
+
+    // Flat flooding.
+    let fl = flood::run(&topology, p, interval, epochs, &crashes, 11);
+    print_baseline("flooding", n, epochs, &fl);
+
+    // Gossip.
+    let threshold = gossip::suggested_threshold(&topology);
+    let go = gossip::run(&topology, p, interval, epochs, threshold, &crashes, 11);
+    print_baseline("gossip", n, epochs, &go);
+
+    // Base station at node 0.
+    let ce = central::run(&topology, p, interval, epochs, 2, &crashes, 11);
+    print_baseline("base-station", n, epochs, &ce);
+
+    // SWIM with a 4-period suspicion timeout.
+    let sw = swim::run(&topology, p, interval, epochs, 4, &crashes, 11);
+    print_baseline("swim", n, epochs, &sw);
+
+    println!(
+        "\nnote: gossip latency includes its staleness threshold ({threshold} intervals here); \
+         the base-station detector informs only nodes its verdict flood reaches"
+    );
+}
+
+fn print_baseline(name: &str, n: usize, epochs: u64, outcome: &cbfd::baselines::BaselineOutcome) {
+    let latency: u64 = outcome
+        .detection_latency
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    println!(
+        "{:<14} {:>9} {:>13.3} {:>13} {:>16.2}",
+        name,
+        outcome.false_suspicions.len(),
+        outcome.completeness,
+        latency,
+        outcome.tx_per_node_interval(n)
+    );
+    let _ = epochs;
+}

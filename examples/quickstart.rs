@@ -1,0 +1,59 @@
+//! Quickstart: run the cluster-based failure detection service on a
+//! small random field, crash one node, and watch the whole network
+//! learn about it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cbfd::prelude::*;
+
+fn main() {
+    // 1. Drop 60 hosts uniformly on a 400 m × 400 m field; every host
+    //    has the paper's 100 m transmission range.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let positions = Placement::UniformRect(Rect::square(400.0)).generate(60, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+
+    // 2. Form clusters (lowest-ID with deputies and gateways) and set
+    //    up the FDS with its default timing (Thop = 10 ms, φ = 1 s).
+    let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    println!(
+        "formed {} clusters over {} hosts",
+        experiment.view().cluster_count(),
+        experiment.topology().len()
+    );
+
+    // 3. Run 6 heartbeat intervals on a channel that loses every
+    //    message with probability 0.1; node 42 crashes during epoch 1.
+    let victim = NodeId(42);
+    let outcome = experiment.run(
+        0.1,
+        6,
+        &[PlannedCrash {
+            epoch: 1,
+            node: victim,
+        }],
+        7,
+    );
+
+    // 4. Report.
+    match outcome.detection_latency.get(&victim) {
+        Some(latency) => println!("{victim} detected {latency} epoch(s) after crashing"),
+        None => println!("{victim} was NOT detected (try more epochs)"),
+    }
+    println!(
+        "completeness: {:.3} ({} informed pairs missing)",
+        outcome.completeness,
+        outcome.missed.len()
+    );
+    println!(
+        "accuracy: {} false detections",
+        outcome.false_detections.len()
+    );
+    println!(
+        "traffic: {} transmissions, delivery ratio {:.3}",
+        outcome.metrics.transmissions,
+        outcome.metrics.delivery_ratio()
+    );
+}

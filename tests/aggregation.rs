@@ -1,0 +1,177 @@
+//! Data aggregation embedded in the FDS rounds — the "message
+//! sharing" extension of the paper's concluding remarks. Readings ride
+//! on heartbeats and digests; the clusterhead publishes a
+//! duplicate-free cluster aggregate in its health update at **zero
+//! additional transmissions**.
+
+use cbfd::cluster::FormationConfig;
+use cbfd::core::aggregation::{synthetic_reading, Aggregate};
+use cbfd::core::config::FdsConfig;
+use cbfd::core::node::FdsNode;
+use cbfd::core::profile::build_profiles;
+use cbfd::core::FdsMsg;
+use cbfd::net::sim::Simulator;
+use cbfd::prelude::*;
+
+fn single_cluster(n: usize, seed: u64) -> Topology {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let center = Point::new(0.0, 0.0);
+    let mut positions = vec![center];
+    positions.extend(
+        Placement::UniformDisk {
+            center,
+            radius: 100.0,
+        }
+        .generate(n - 1, &mut rng),
+    );
+    Topology::from_positions(positions, 100.0)
+}
+
+/// Runs the raw simulator (not the service harness) so the head's
+/// actor state can be inspected afterwards.
+fn run_cluster(n: usize, p: f64, epochs: u64, config: FdsConfig, seed: u64) -> Simulator<FdsNode> {
+    let topology = single_cluster(n, seed);
+    let view = cbfd::cluster::oracle::form(&topology, &FormationConfig::default());
+    assert_eq!(view.cluster_count(), 1);
+    let profiles = build_profiles(&view);
+    let mut sim = Simulator::new(topology, RadioConfig::bernoulli(p), seed, |id| {
+        FdsNode::new(profiles[id.index()].clone(), config, 1_000.0)
+    });
+    sim.run_until(
+        SimTime::ZERO + config.heartbeat_interval * epochs
+            - cbfd::net::time::SimDuration::from_micros(1),
+    );
+    sim
+}
+
+fn aggregation_config() -> FdsConfig {
+    FdsConfig {
+        aggregation: true,
+        ..FdsConfig::default()
+    }
+}
+
+#[test]
+fn lossless_aggregate_is_exact() {
+    let n = 30;
+    let sim = run_cluster(n, 0.0, 3, aggregation_config(), 1);
+    let head = sim.actor(NodeId(0));
+    assert_eq!(head.aggregates().len(), 3, "one aggregate per epoch");
+    for (epoch, agg) in head.aggregates() {
+        let mut expected = Aggregate::empty();
+        for i in 0..n as u32 {
+            expected.merge(&Aggregate::of(synthetic_reading(NodeId(i), *epoch)));
+        }
+        assert_eq!(agg, &expected, "epoch {epoch}: aggregate must be exact");
+        assert_eq!(agg.count as usize, n, "full coverage on a clean channel");
+    }
+}
+
+#[test]
+fn aggregation_costs_zero_extra_messages() {
+    let with = run_cluster(40, 0.1, 5, aggregation_config(), 2);
+    let without = run_cluster(40, 0.1, 5, FdsConfig::default(), 2);
+    assert_eq!(
+        with.metrics().transmissions,
+        without.metrics().transmissions,
+        "message sharing: the FDS rounds carry the data for free"
+    );
+}
+
+#[test]
+fn digest_redundancy_raises_coverage_under_loss() {
+    // At p = 0.3 the head directly hears ~70% of readings; the digest
+    // round relays most of the rest, so coverage should be well above
+    // the direct-reception baseline.
+    let n = 40;
+    let p = 0.3;
+    let epochs = 10;
+    let sim = run_cluster(n, p, epochs, aggregation_config(), 3);
+    let head = sim.actor(NodeId(0));
+    let mean_coverage: f64 = head
+        .aggregates()
+        .iter()
+        .map(|(_, a)| f64::from(a.count) / n as f64)
+        .sum::<f64>()
+        / head.aggregates().len() as f64;
+    assert!(
+        mean_coverage > 0.9,
+        "digest relaying should push coverage above 90%, got {mean_coverage:.3}"
+    );
+
+    // Ablation: without the digest round, coverage collapses to the
+    // direct-reception rate ≈ 1 − p (plus the head's own reading).
+    let no_digest = FdsConfig {
+        digest_round: false,
+        ..aggregation_config()
+    };
+    let sim = run_cluster(n, p, epochs, no_digest, 3);
+    let head = sim.actor(NodeId(0));
+    let direct_coverage: f64 = head
+        .aggregates()
+        .iter()
+        .map(|(_, a)| f64::from(a.count) / n as f64)
+        .sum::<f64>()
+        / head.aggregates().len() as f64;
+    assert!(
+        (direct_coverage - (1.0 - p)).abs() < 0.12,
+        "without digests coverage ≈ 1 − p, got {direct_coverage:.3}"
+    );
+    assert!(mean_coverage > direct_coverage + 0.1);
+}
+
+#[test]
+fn members_receive_the_published_aggregate() {
+    let sim = run_cluster(20, 0.0, 2, aggregation_config(), 4);
+    // Inspect the broadcast update: every member should have seen an
+    // update carrying an aggregate (observable through stats).
+    for (id, node) in sim.actors() {
+        if id == NodeId(0) {
+            continue;
+        }
+        assert!(
+            node.stats().updates_received > 0,
+            "{id} heard no update at all"
+        );
+    }
+    // And the wire format round-trips the aggregate.
+    let (epoch, agg) = sim.actor(NodeId(0)).aggregates()[0];
+    let update = cbfd::core::message::HealthUpdate {
+        from: NodeId(0),
+        cluster: ClusterId::of(NodeId(0)),
+        epoch,
+        new_failed: vec![],
+        all_failed: vec![],
+        takeover: false,
+        joined: vec![],
+        roster: vec![],
+        aggregate: Some(agg),
+    };
+    let msg = FdsMsg::HealthUpdate(update.clone());
+    let decoded = FdsMsg::decode(msg.encode()).unwrap();
+    assert_eq!(decoded, msg);
+}
+
+#[test]
+fn aggregation_does_not_perturb_detection() {
+    // Same seeds, same channel: enabling aggregation must not change
+    // what gets detected (readings ride along, they do not interfere).
+    let topology = single_cluster(30, 5);
+    let exp_plain = Experiment::new(
+        topology.clone(),
+        FdsConfig::default(),
+        FormationConfig::default(),
+    );
+    let exp_agg = Experiment::new(topology, aggregation_config(), FormationConfig::default());
+    let crash = [PlannedCrash {
+        epoch: 1,
+        node: NodeId(7),
+    }];
+    let a = exp_plain.run(0.2, 6, &crash, 5);
+    let b = exp_agg.run(0.2, 6, &crash, 5);
+    assert_eq!(
+        a.detection_latency.get(&NodeId(7)),
+        b.detection_latency.get(&NodeId(7))
+    );
+    assert_eq!(a.metrics.transmissions, b.metrics.transmissions);
+}

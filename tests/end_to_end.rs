@@ -1,0 +1,183 @@
+//! End-to-end integration: placement → formation (oracle and
+//! distributed) → failure detection service → the paper's properties.
+
+use cbfd::cluster::{invariants, protocol};
+use cbfd::prelude::*;
+
+fn random_topology(seed: u64, n: usize, side: f64) -> Topology {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let positions = Placement::UniformRect(Rect::square(side)).generate(n, &mut rng);
+    Topology::from_positions(positions, 100.0)
+}
+
+#[test]
+fn full_pipeline_with_oracle_formation() {
+    let topology = random_topology(1, 150, 500.0);
+    let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    let victims = [
+        PlannedCrash {
+            epoch: 1,
+            node: NodeId(30),
+        },
+        PlannedCrash {
+            epoch: 2,
+            node: NodeId(99),
+        },
+    ];
+    let outcome = experiment.run(0.05, 8, &victims, 1);
+    assert!(outcome.accurate(), "{:?}", outcome.false_detections);
+    for v in &victims {
+        assert!(
+            outcome.detection_latency.contains_key(&v.node),
+            "{} undetected",
+            v.node
+        );
+    }
+    assert_eq!(outcome.completeness, 1.0, "missed: {:?}", outcome.missed);
+}
+
+#[test]
+fn full_pipeline_with_distributed_formation() {
+    // The clustering itself formed over the lossy radio, then the FDS
+    // runs on the resulting view.
+    let topology = random_topology(2, 100, 450.0);
+    let view = protocol::run_formation(
+        &topology,
+        RadioConfig::bernoulli(0.05),
+        &FormationConfig::default(),
+        SimDuration::from_millis(10),
+        12,
+        2,
+    );
+    assert!(
+        invariants::check(&topology, &view).is_empty(),
+        "distributed formation must be structurally sound"
+    );
+    let experiment = Experiment::with_view(topology, view, FdsConfig::default());
+    let outcome = experiment.run(
+        0.05,
+        8,
+        &[PlannedCrash {
+            epoch: 1,
+            node: NodeId(60),
+        }],
+        2,
+    );
+    assert!(outcome.detection_latency.contains_key(&NodeId(60)));
+    assert!(
+        outcome.completeness > 0.99,
+        "completeness {}",
+        outcome.completeness
+    );
+}
+
+#[test]
+fn dense_single_component_reaches_full_completeness_under_loss() {
+    // Dense field: the backbone is one component, so even at p = 0.2
+    // every crash must eventually reach every operational node.
+    let topology = random_topology(3, 200, 500.0);
+    let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    assert_eq!(
+        experiment.view().backbone_components().len(),
+        1,
+        "field must be dense enough for a connected backbone"
+    );
+    let outcome = experiment.run(
+        0.2,
+        12,
+        &[PlannedCrash {
+            epoch: 2,
+            node: NodeId(111),
+        }],
+        3,
+    );
+    assert!(outcome.detection_latency.contains_key(&NodeId(111)));
+    assert_eq!(outcome.completeness, 1.0, "missed: {:?}", outcome.missed);
+}
+
+#[test]
+fn no_news_is_good_news_suppresses_reports() {
+    // Without failures, no inter-cluster reports should flow at all.
+    let topology = random_topology(4, 120, 500.0);
+    let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    let outcome = experiment.run(0.0, 6, &[], 4);
+    assert_eq!(outcome.reports, 0, "quiet network must send no reports");
+    assert_eq!(outcome.retransmissions, 0);
+    assert_eq!(outcome.peer_forwards, 0, "lossless: nobody misses updates");
+}
+
+#[test]
+fn head_and_member_crash_in_same_cluster() {
+    let topology = random_topology(5, 150, 450.0);
+    let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    let cluster = experiment
+        .view()
+        .clusters()
+        .find(|c| c.len() >= 6 && c.first_deputy().is_some())
+        .expect("dense field has a big cluster")
+        .clone();
+    let head = cluster.head();
+    let member = cluster
+        .non_head_members()
+        .find(|m| cluster.deputy_rank(*m).is_none())
+        .expect("cluster has an ordinary member");
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: head,
+        },
+        PlannedCrash {
+            epoch: 3,
+            node: member,
+        },
+    ];
+    let outcome = experiment.run(0.05, 10, &crashes, 5);
+    assert!(
+        outcome.detection_latency.contains_key(&head),
+        "head crash must be judged by the deputy"
+    );
+    assert!(
+        outcome.detection_latency.contains_key(&member),
+        "the promoted deputy must detect the later member crash"
+    );
+}
+
+#[test]
+fn detection_latency_is_one_epoch_on_clean_channels() {
+    let topology = random_topology(6, 120, 450.0);
+    let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    let victim = experiment
+        .view()
+        .clusters()
+        .flat_map(|c| c.non_head_members().collect::<Vec<_>>())
+        .next()
+        .unwrap();
+    let outcome = experiment.run(
+        0.0,
+        5,
+        &[PlannedCrash {
+            epoch: 1,
+            node: victim,
+        }],
+        6,
+    );
+    // Crash mid-epoch 1 → first silent FDS execution is epoch 2.
+    assert_eq!(outcome.detection_latency[&victim], 1);
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let topology = random_topology(7, 100, 450.0);
+    let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    let crashes = [PlannedCrash {
+        epoch: 1,
+        node: NodeId(40),
+    }];
+    let a = experiment.run(0.3, 6, &crashes, 77);
+    let b = experiment.run(0.3, 6, &crashes, 77);
+    assert_eq!(a.metrics.transmissions, b.metrics.transmissions);
+    assert_eq!(a.false_detections, b.false_detections);
+    assert_eq!(a.missed, b.missed);
+    let c = experiment.run(0.3, 6, &crashes, 78);
+    assert_ne!(a.metrics.deliveries, c.metrics.deliveries);
+}

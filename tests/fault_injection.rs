@@ -1,0 +1,359 @@
+//! Fault-injection scenarios: role-targeted crashes, cascades, and
+//! harsh channels.
+
+use cbfd::cluster::Role;
+use cbfd::core::config::FdsConfig;
+use cbfd::prelude::*;
+
+fn dense_experiment(seed: u64, n: usize, side: f64) -> Experiment {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let positions = Placement::UniformRect(Rect::square(side)).generate(n, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    Experiment::new(topology, FdsConfig::default(), FormationConfig::default())
+}
+
+#[test]
+fn gateway_crash_does_not_break_propagation() {
+    // Kill the primary gateway of some link, then crash a member: the
+    // backup gateways must carry the failure report across.
+    let exp = dense_experiment(1, 180, 500.0);
+    let (pair, link) = exp
+        .view()
+        .gateway_links()
+        .find(|(_, l)| !l.backups.is_empty())
+        .map(|(p, l)| (*p, l.clone()))
+        .expect("dense field has links with backups");
+    let _ = pair;
+    let victim_member = exp
+        .view()
+        .clusters()
+        .flat_map(|c| c.non_head_members().collect::<Vec<_>>())
+        .find(|m| *m != link.primary && exp.view().role_of(*m) == Role::Ordinary)
+        .expect("an ordinary member exists");
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: link.primary,
+        },
+        PlannedCrash {
+            epoch: 3,
+            node: victim_member,
+        },
+    ];
+    let outcome = exp.run(0.05, 10, &crashes, 1);
+    assert!(
+        outcome.detection_latency.contains_key(&victim_member),
+        "member crash must be detected despite the dead gateway"
+    );
+    assert!(
+        outcome.completeness > 0.98,
+        "completeness {} too low; missed {:?}",
+        outcome.completeness,
+        outcome.missed.len()
+    );
+}
+
+#[test]
+fn deputy_crash_then_head_crash_uses_next_deputy() {
+    let exp = dense_experiment(2, 180, 450.0);
+    let cluster = exp
+        .view()
+        .clusters()
+        .find(|c| c.deputies().len() >= 2 && c.len() >= 6)
+        .expect("a cluster with a deep deputy bench")
+        .clone();
+    let first_deputy = cluster.deputies()[0];
+    let head = cluster.head();
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: first_deputy,
+        },
+        PlannedCrash {
+            epoch: 3,
+            node: head,
+        },
+    ];
+    let outcome = exp.run(0.02, 10, &crashes, 2);
+    assert!(
+        outcome.detection_latency.contains_key(&first_deputy),
+        "deputy crash detected"
+    );
+    assert!(
+        outcome.detection_latency.contains_key(&head),
+        "head crash must be judged by the *second* deputy"
+    );
+    assert!(outcome.accurate(), "{:?}", outcome.false_detections);
+}
+
+#[test]
+fn cascade_of_crashes_is_fully_reported() {
+    let exp = dense_experiment(3, 220, 550.0);
+    assert_eq!(exp.view().backbone_components().len(), 1);
+    // One ordinary member from each of eight distinct clusters (role-
+    // targeted cascades — heads, deputies — have their own tests; an
+    // ID-arithmetic cascade can exhaust a single cluster's deputy
+    // bench, which the paper's service legitimately cannot survive).
+    let victims: Vec<PlannedCrash> = exp
+        .view()
+        .clusters()
+        .filter_map(|c| {
+            c.non_head_members()
+                .find(|m| exp.view().role_of(*m) == Role::Ordinary)
+        })
+        .take(8)
+        .enumerate()
+        .map(|(i, node)| PlannedCrash {
+            epoch: 1 + i as u64,
+            node,
+        })
+        .collect();
+    assert_eq!(
+        victims.len(),
+        8,
+        "need eight clusters with ordinary members"
+    );
+    let outcome = exp.run(0.1, 14, &victims, 3);
+    for v in &victims {
+        assert!(
+            outcome.detection_latency.contains_key(&v.node),
+            "{} undetected in cascade",
+            v.node
+        );
+    }
+    assert!(
+        outcome.completeness > 0.99,
+        "completeness {}; missed {:?}",
+        outcome.completeness,
+        outcome.missed.len()
+    );
+}
+
+#[test]
+fn whole_cluster_annihilation_is_detected_by_neighbors() {
+    // Killing an entire small cluster (head + members) means nobody
+    // inside can report; detection of the *members* is impossible for
+    // outsiders under the paper's architecture, but the service must
+    // not produce false detections elsewhere.
+    let exp = dense_experiment(4, 160, 500.0);
+    let cluster = exp
+        .view()
+        .clusters()
+        .filter(|c| c.len() <= 5)
+        .min_by_key(|c| c.len())
+        .expect("a small cluster exists")
+        .clone();
+    let crashes: Vec<PlannedCrash> = cluster
+        .members()
+        .iter()
+        .map(|m| PlannedCrash { epoch: 1, node: *m })
+        .collect();
+    let outcome = exp.run(0.05, 8, &crashes, 4);
+    // Survivors must stay accurate about each other.
+    let survivors_falsely_accused = outcome
+        .false_detections
+        .iter()
+        .filter(|fd| !cluster.contains(fd.suspect))
+        .count();
+    assert_eq!(survivors_falsely_accused, 0);
+}
+
+#[test]
+fn harsh_channel_extremes_do_not_wedge_the_service() {
+    // p = 0.6 is far beyond the paper's range; the run must still
+    // terminate, count sensibly, and keep probabilities in range.
+    let exp = dense_experiment(5, 100, 400.0);
+    let outcome = exp.run(
+        0.6,
+        8,
+        &[PlannedCrash {
+            epoch: 2,
+            node: NodeId(33),
+        }],
+        5,
+    );
+    assert!(outcome.completeness >= 0.0 && outcome.completeness <= 1.0);
+    assert!(outcome.incompleteness_rate() <= 1.0);
+    assert!(outcome.metrics.transmissions > 0);
+}
+
+#[test]
+fn total_loss_channel_detects_everything_and_everyone_falsely() {
+    // p = 1: no message ever arrives, so every head condemns every
+    // member on the first execution. A degenerate sanity bound.
+    let exp = dense_experiment(6, 40, 300.0);
+    let outcome = exp.run(1.0, 2, &[], 6);
+    assert!(!outcome.accurate());
+    let expected_victims: usize = exp
+        .view()
+        .clusters()
+        .map(|c| c.len().saturating_sub(1))
+        .sum();
+    // Every non-head member is falsely condemned by its head at epoch
+    // 0 (deputies may add takeover condemnations on top).
+    assert!(
+        outcome.false_detections.len() >= expected_victims,
+        "{} < {expected_victims}",
+        outcome.false_detections.len()
+    );
+}
+
+#[test]
+fn disabling_cumulative_reports_weakens_catchup() {
+    // With cumulative reports a cluster that missed the original
+    // report learns about the failure from any later report; without
+    // them, catch-up opportunities disappear. Statistically visible as
+    // completeness(with) >= completeness(without) across seeds.
+    let mut with_sum = 0.0;
+    let mut without_sum = 0.0;
+    for seed in 0..6 {
+        let exp_on = dense_experiment(100 + seed, 150, 520.0);
+        let victim = PlannedCrash {
+            epoch: 1,
+            node: NodeId(77),
+        };
+        with_sum += exp_on.run(0.35, 8, &[victim], seed).completeness;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100 + seed);
+        let positions = Placement::UniformRect(Rect::square(520.0)).generate(150, &mut rng);
+        let topology = Topology::from_positions(positions, 100.0);
+        let off = FdsConfig {
+            cumulative_reports: false,
+            ..FdsConfig::default()
+        };
+        let exp_off = Experiment::new(topology, off, FormationConfig::default());
+        without_sum += exp_off.run(0.35, 8, &[victim], seed).completeness;
+    }
+    assert!(
+        with_sum >= without_sum - 1e-9,
+        "cumulative reports must not hurt completeness: {with_sum} vs {without_sum}"
+    );
+}
+
+#[test]
+fn energy_balanced_forwarding_spreads_load() {
+    // The paper prefers peer forwarding with energy-aware waiting
+    // periods "because of energy-balancing considerations". Ablation:
+    // with the energy term removed, the same low-NID neighbours win
+    // every back-off race and burn their batteries; with it, the load
+    // spreads and the peak forwarder count drops.
+    use cbfd::core::node::FdsNode;
+    use cbfd::core::profile::build_profiles;
+    use cbfd::net::sim::Simulator;
+
+    let run = |energy_aware: bool| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let center = Point::new(0.0, 0.0);
+        let mut positions = vec![center];
+        positions.extend(
+            Placement::UniformDisk {
+                center,
+                radius: 100.0,
+            }
+            .generate(39, &mut rng),
+        );
+        let topology = Topology::from_positions(positions, 100.0);
+        let view = cbfd::cluster::oracle::form(&topology, &FormationConfig::default());
+        let profiles = build_profiles(&view);
+        let config = FdsConfig {
+            energy_balanced_forwarding: energy_aware,
+            promiscuous_recovery: false,
+            ..FdsConfig::default()
+        };
+        let mut sim = Simulator::new(topology, RadioConfig::bernoulli(0.35), 41, |id| {
+            FdsNode::new(profiles[id.index()].clone(), config, 1_000.0)
+        });
+        // Drain batteries fast so the energy term has something to
+        // react to within the run.
+        sim.set_energy_model(cbfd::net::energy::EnergyModel {
+            initial: 120.0,
+            tx_cost: 1.0,
+            rx_cost: 0.0,
+            harvest_per_sec: 0.0,
+        });
+        sim.run_until(SimTime::from_secs(60) - SimDuration::from_micros(1));
+        let forwards: Vec<u64> = sim
+            .actors()
+            .map(|(_, n)| n.stats().peer_forwards_sent)
+            .collect();
+        let total: u64 = forwards.iter().sum();
+        let peak: u64 = forwards.iter().copied().max().unwrap_or(0);
+        (total, peak)
+    };
+
+    let (total_aware, peak_aware) = run(true);
+    let (total_blind, peak_blind) = run(false);
+    assert!(
+        total_aware > 0 && total_blind > 0,
+        "loss must trigger forwarding"
+    );
+    // Peak share of the busiest forwarder: energy-aware must not be
+    // worse than energy-blind (it rotates responders as they drain).
+    let share_aware = peak_aware as f64 / total_aware as f64;
+    let share_blind = peak_blind as f64 / total_blind as f64;
+    assert!(
+        share_aware <= share_blind + 0.02,
+        "energy-aware peak share {share_aware:.3} vs blind {share_blind:.3}"
+    );
+}
+
+#[test]
+fn takeover_update_reaches_members_beyond_the_deputy_range() {
+    // Figure 2(a): after the head fails, the promoted deputy cannot
+    // reach member v directly; a relay v' that heard both v and the
+    // deputy forwards the takeover update proactively, using the
+    // deputy's own digest to learn who is out of reach.
+    use cbfd::cluster::{Cluster, ClusterView};
+    use std::collections::BTreeMap;
+
+    // Geometry: head at the origin; deputy at (80, 0); v at (-80, 0)
+    // (160 m from the deputy — out of range); relay at (0, 30) hears
+    // everyone.
+    let positions = vec![
+        Point::new(0.0, 0.0),   // 0: head
+        Point::new(80.0, 0.0),  // 1: deputy
+        Point::new(-80.0, 0.0), // 2: v (outside the deputy's range)
+        Point::new(0.0, 30.0),  // 3: relay
+    ];
+    let topology = Topology::from_positions(positions, 100.0);
+    assert!(
+        !topology.linked(NodeId(1), NodeId(2)),
+        "v must be out of the deputy's range"
+    );
+    assert!(topology.linked(NodeId(3), NodeId(1)) && topology.linked(NodeId(3), NodeId(2)));
+
+    let cluster = Cluster::new(
+        NodeId(0),
+        vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        vec![NodeId(1)], // the deputy we want promoted
+    );
+    let cid = cluster.id();
+    let mut clusters = BTreeMap::new();
+    clusters.insert(cid, cluster);
+    let view = ClusterView::from_parts(clusters, vec![Some(cid); 4], BTreeMap::new());
+    let experiment = Experiment::with_view(topology, view, FdsConfig::default());
+
+    // Kill the head; the deputy takes over; v must still learn of the
+    // head's failure (via the relay) — i.e. completeness holds for v.
+    let outcome = experiment.run(
+        0.0,
+        6,
+        &[PlannedCrash {
+            epoch: 1,
+            node: NodeId(0),
+        }],
+        9,
+    );
+    assert!(
+        outcome.detection_latency.contains_key(&NodeId(0)),
+        "the deputy must judge the dead head"
+    );
+    assert!(
+        !outcome
+            .missed
+            .iter()
+            .any(|m| m.observer == NodeId(2) && m.failed == NodeId(0)),
+        "v beyond the deputy's range must still be informed: {:?}",
+        outcome.missed
+    );
+}

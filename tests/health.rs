@@ -1,0 +1,84 @@
+//! Operator health reports over real runs: completeness means the
+//! operations team gets the same answer no matter which node they ask
+//! (base stations "may be scattered in the field", Section 2.1).
+
+use cbfd::cluster::{oracle, FormationConfig};
+use cbfd::core::config::FdsConfig;
+use cbfd::core::health::HealthReport;
+use cbfd::core::node::FdsNode;
+use cbfd::core::profile::build_profiles;
+use cbfd::net::sim::Simulator;
+use cbfd::prelude::*;
+
+fn run_field(
+    seed: u64,
+    p: f64,
+    epochs: u64,
+    crashes: &[(u64, NodeId)],
+) -> (Simulator<FdsNode>, usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let positions = Placement::UniformRect(Rect::square(450.0)).generate(120, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    let view = oracle::form(&topology, &FormationConfig::default());
+    assert_eq!(view.backbone_components().len(), 1);
+    let profiles = build_profiles(&view);
+    let config = FdsConfig::default();
+    let mut sim = Simulator::new(topology, RadioConfig::bernoulli(p), seed, |id| {
+        FdsNode::new(profiles[id.index()].clone(), config, 1_000.0)
+    });
+    for (epoch, node) in crashes {
+        sim.schedule_crash(
+            *node,
+            SimTime::ZERO + config.heartbeat_interval * *epoch + SimDuration::from_millis(500),
+        );
+    }
+    sim.run_until(SimTime::ZERO + config.heartbeat_interval * epochs - SimDuration::from_micros(1));
+    (sim, 120)
+}
+
+#[test]
+fn every_reporter_gives_the_same_operator_view() {
+    let crashes = [(1, NodeId(17)), (2, NodeId(63)), (3, NodeId(101))];
+    let (sim, deployed) = run_field(5, 0.1, 10, &crashes);
+    let mut reports = Vec::new();
+    for (id, node) in sim.actors() {
+        if !sim.is_alive(id) || node.profile().cluster.is_none() {
+            continue;
+        }
+        reports.push((id, HealthReport::from_view(node.known_failed(), deployed)));
+    }
+    assert!(reports.len() > 100);
+    let reference = reports[0].1;
+    for (id, report) in &reports {
+        assert_eq!(
+            report.believed_failed, reference.believed_failed,
+            "reporter {id} disagrees: {report} vs {reference}"
+        );
+    }
+    assert_eq!(reference.believed_failed, 3);
+    assert_eq!(reference.operational(), deployed - 3);
+}
+
+#[test]
+fn capacity_warnings_fire_consistently() {
+    // Crash 10% of the field; every reporter's 8%-loss warning fires,
+    // nobody's 15% warning does.
+    let crashes: Vec<(u64, NodeId)> = (0..12)
+        .map(|i| (1 + i % 4, NodeId(5 + 9 * i as u32)))
+        .collect();
+    let (sim, deployed) = run_field(7, 0.05, 12, &crashes);
+    for (id, node) in sim.actors() {
+        if !sim.is_alive(id) || node.profile().cluster.is_none() {
+            continue;
+        }
+        let report = HealthReport::from_view(node.known_failed(), deployed);
+        assert!(
+            report.capacity_warning(0.08),
+            "{id}: warning at 8% must fire ({report})"
+        );
+        assert!(
+            !report.capacity_warning(0.15),
+            "{id}: warning at 15% must not fire ({report})"
+        );
+    }
+}

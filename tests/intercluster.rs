@@ -1,0 +1,260 @@
+//! Focused tests of the Section 4.3 inter-cluster forwarding
+//! machinery: implicit acknowledgments, head retransmission, and
+//! backup-gateway takeover.
+
+use cbfd::cluster::view::{ClusterPair, GatewayLink};
+use cbfd::cluster::{Cluster, ClusterView};
+use cbfd::core::config::FdsConfig;
+use cbfd::prelude::*;
+use std::collections::BTreeMap;
+
+/// Two clusters joined by one gateway and one backup gateway, built
+/// explicitly so every role is pinned:
+///
+/// ```text
+///   C(n0): head 0 at (0,0),   members 1 (60,0), 2 (60,30), 5 (-50,0)
+///   C(n3): head 3 at (160,0), members 4 (120,0), 6 (210,0)
+///   gateway: 1 (hears both heads); backup: 2 (hears both heads)
+/// ```
+fn two_cluster_fixture() -> (Topology, ClusterView) {
+    let positions = vec![
+        Point::new(0.0, 0.0),   // 0 head A
+        Point::new(60.0, 0.0),  // 1 gateway
+        Point::new(60.0, 30.0), // 2 backup gateway
+        Point::new(160.0, 0.0), // 3 head B
+        Point::new(120.0, 0.0), // 4 member B
+        Point::new(-50.0, 0.0), // 5 member A (far side)
+        Point::new(210.0, 0.0), // 6 member B (far side)
+    ];
+    let topology = Topology::from_positions(positions, 110.0);
+    // Role preconditions.
+    assert!(topology.linked(NodeId(1), NodeId(0)) && topology.linked(NodeId(1), NodeId(3)));
+    assert!(topology.linked(NodeId(2), NodeId(0)) && topology.linked(NodeId(2), NodeId(3)));
+    assert!(
+        !topology.linked(NodeId(5), NodeId(3)),
+        "5 must need the backbone"
+    );
+
+    let a = Cluster::new(
+        NodeId(0),
+        vec![NodeId(0), NodeId(1), NodeId(2), NodeId(5)],
+        vec![NodeId(2)],
+    );
+    let b = Cluster::new(
+        NodeId(3),
+        vec![NodeId(3), NodeId(4), NodeId(6)],
+        vec![NodeId(4)],
+    );
+    let (ca, cb) = (a.id(), b.id());
+    let mut clusters = BTreeMap::new();
+    clusters.insert(ca, a);
+    clusters.insert(cb, b);
+    let affiliation = vec![
+        Some(ca),
+        Some(ca),
+        Some(ca),
+        Some(cb),
+        Some(cb),
+        Some(ca),
+        Some(cb),
+    ];
+    let mut gateways = BTreeMap::new();
+    gateways.insert(
+        ClusterPair::new(ca, cb),
+        GatewayLink {
+            primary: NodeId(1),
+            backups: vec![NodeId(2)],
+        },
+    );
+    (
+        topology,
+        ClusterView::from_parts(clusters, affiliation, gateways),
+    )
+}
+
+#[test]
+fn lossless_forwarding_needs_no_retransmission() {
+    let (topology, view) = two_cluster_fixture();
+    let exp = Experiment::with_view(topology, view, FdsConfig::default());
+    // Crash the far member of cluster B; its report must reach the far
+    // member of cluster A over the backbone.
+    let outcome = exp.run(
+        0.0,
+        6,
+        &[PlannedCrash {
+            epoch: 1,
+            node: NodeId(6),
+        }],
+        1,
+    );
+    assert_eq!(outcome.completeness, 1.0, "missed: {:?}", outcome.missed);
+    assert_eq!(
+        outcome.retransmissions, 0,
+        "implicit acks must suppress retransmission on a clean channel"
+    );
+    assert!(outcome.reports >= 1, "the gateway must have forwarded");
+}
+
+#[test]
+fn dead_primary_gateway_is_covered_by_the_backup() {
+    let (topology, view) = two_cluster_fixture();
+    let exp = Experiment::with_view(topology, view, FdsConfig::default());
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: NodeId(1),
+        }, // the primary gateway
+        PlannedCrash {
+            epoch: 3,
+            node: NodeId(6),
+        }, // far member of B
+    ];
+    let outcome = exp.run(0.0, 8, &crashes, 2);
+    assert!(
+        outcome.detection_latency.contains_key(&NodeId(6)),
+        "B's head must detect its member"
+    );
+    assert!(
+        !outcome
+            .missed
+            .iter()
+            .any(|m| m.observer == NodeId(5) && m.failed == NodeId(6)),
+        "the backup gateway must carry the report to cluster A: {:?}",
+        outcome.missed
+    );
+}
+
+#[test]
+fn without_bgw_assist_a_dead_gateway_partitions_the_backbone() {
+    let (topology, view) = two_cluster_fixture();
+    let config = FdsConfig {
+        bgw_assist: false,
+        ..FdsConfig::default()
+    };
+    let exp = Experiment::with_view(topology, view, config);
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: NodeId(1),
+        },
+        PlannedCrash {
+            epoch: 3,
+            node: NodeId(6),
+        },
+    ];
+    let outcome = exp.run(0.0, 8, &crashes, 3);
+    assert!(
+        outcome
+            .missed
+            .iter()
+            .any(|m| m.observer == NodeId(5) && m.failed == NodeId(6)),
+        "with the only forwarder dead and assist off, A's far member cannot learn"
+    );
+}
+
+#[test]
+fn heavy_loss_triggers_head_retransmissions() {
+    let (topology, view) = two_cluster_fixture();
+    let exp = Experiment::with_view(topology, view, FdsConfig::default());
+    let mut retransmissions = 0;
+    for seed in 0..10 {
+        let outcome = exp.run(
+            0.5,
+            6,
+            &[PlannedCrash {
+                epoch: 1,
+                node: NodeId(6),
+            }],
+            seed,
+        );
+        retransmissions += outcome.retransmissions;
+    }
+    assert!(
+        retransmissions > 0,
+        "at p = 0.5 some implicit acks must go missing and trigger retransmission"
+    );
+}
+
+#[test]
+fn reports_are_suppressed_once_the_peer_head_knows() {
+    // Run long after the crash: the gateway must not keep re-sending
+    // the same report every epoch once cluster B's head has evidently
+    // adopted it ("no news is good news" + the implicit-ack ledger).
+    let (topology, view) = two_cluster_fixture();
+    let exp = Experiment::with_view(topology, view, FdsConfig::default());
+    let outcome = exp.run(
+        0.0,
+        12,
+        &[PlannedCrash {
+            epoch: 1,
+            node: NodeId(5),
+        }],
+        5,
+    );
+    assert_eq!(outcome.completeness, 1.0);
+    assert!(
+        outcome.reports <= 4,
+        "{} reports for a single failure is chatter, not forwarding",
+        outcome.reports
+    );
+}
+
+#[test]
+fn cumulative_reports_backfill_late_clusters() {
+    // Two failures in cluster A, the second after the first has long
+    // propagated: the second report carries both (cumulative), so even
+    // if B somehow missed the first it converges. Here we just check
+    // the mechanism engages and B's members know both at the end.
+    let (topology, view) = two_cluster_fixture();
+    let exp = Experiment::with_view(topology, view, FdsConfig::default());
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: NodeId(5),
+        },
+        PlannedCrash {
+            epoch: 3,
+            node: NodeId(2),
+        },
+    ];
+    let outcome = exp.run(0.1, 10, &crashes, 7);
+    for failed in [NodeId(5), NodeId(2)] {
+        assert!(
+            !outcome
+                .missed
+                .iter()
+                .any(|m| m.observer == NodeId(6) && m.failed == failed),
+            "B's far member must know about {failed}: {:?}",
+            outcome.missed
+        );
+    }
+}
+
+#[test]
+fn report_storm_is_bounded_under_permanent_partition() {
+    // Kill the *receiving head* so its implicit ack can never come:
+    // the gateway and backup must give up after their bounded retries
+    // instead of flooding the channel forever.
+    let (topology, view) = two_cluster_fixture();
+    let exp = Experiment::with_view(topology, view, FdsConfig::default());
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: NodeId(5),
+        }, // news in cluster A
+        PlannedCrash {
+            epoch: 1,
+            node: NodeId(3),
+        }, // B's head dies too
+    ];
+    // Long run: if retries were unbounded the report count would grow
+    // with the epochs.
+    let short = exp.run(0.0, 6, &crashes, 5);
+    let long = exp.run(0.0, 16, &crashes, 5);
+    assert!(
+        long.reports <= short.reports + 28,
+        "reports must not grow without bound: {} then {}",
+        short.reports,
+        long.reports
+    );
+}

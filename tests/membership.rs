@@ -1,0 +1,112 @@
+//! Group-membership subscription (feature F5): unmarked nodes inside
+//! an established cluster are admitted when the clusterhead hears
+//! their heartbeats, and participate fully from the next epoch.
+
+use cbfd::cluster::{Cluster, ClusterView};
+use cbfd::core::config::FdsConfig;
+use cbfd::prelude::*;
+use std::collections::BTreeMap;
+
+/// Ten nodes in one cluster around a central head, plus node 10 that
+/// is *inside* the cluster disk but was deliberately left out of the
+/// formation (e.g. it landed after the clusters formed).
+fn late_arrival_setup() -> (Topology, ClusterView) {
+    let mut positions: Vec<Point> = vec![Point::new(0.0, 0.0)];
+    for i in 1..10 {
+        let angle = i as f64 * std::f64::consts::TAU / 9.0;
+        positions.push(Point::new(70.0 * angle.cos(), 70.0 * angle.sin()));
+    }
+    positions.push(Point::new(30.0, 10.0)); // the late arrival, NodeId(10)
+    let topology = Topology::from_positions(positions, 100.0);
+
+    let members: Vec<NodeId> = (0..10).map(NodeId).collect();
+    let cluster = Cluster::new(NodeId(0), members, vec![NodeId(1)]);
+    let cid = cluster.id();
+    let mut clusters = BTreeMap::new();
+    clusters.insert(cid, cluster);
+    let mut affiliation = vec![Some(cid); 10];
+    affiliation.push(None); // node 10 unmarked
+    let view = ClusterView::from_parts(clusters, affiliation, BTreeMap::new());
+    (topology, view)
+}
+
+#[test]
+fn unmarked_node_is_admitted_and_counted() {
+    let (topology, view) = late_arrival_setup();
+    let experiment = Experiment::with_view(topology, view, FdsConfig::default());
+    let outcome = experiment.run(0.0, 4, &[], 1);
+    assert_eq!(outcome.joins, 1, "exactly one subscription to honour");
+    assert!(outcome.accurate(), "{:?}", outcome.false_detections);
+}
+
+#[test]
+fn admitted_node_learns_about_later_failures() {
+    let (topology, view) = late_arrival_setup();
+    let experiment = Experiment::with_view(topology, view, FdsConfig::default());
+    // Node 5 crashes *after* node 10 has been admitted; completeness
+    // counts node 10 as an observer once it is affiliated.
+    let outcome = experiment.run(
+        0.0,
+        6,
+        &[PlannedCrash {
+            epoch: 2,
+            node: NodeId(5),
+        }],
+        2,
+    );
+    assert_eq!(outcome.joins, 1);
+    assert!(outcome.detection_latency.contains_key(&NodeId(5)));
+    assert_eq!(
+        outcome.completeness, 1.0,
+        "the admitted node must be informed too: {:?}",
+        outcome.missed
+    );
+}
+
+#[test]
+fn admitted_node_is_monitored_and_its_crash_detected() {
+    let (topology, view) = late_arrival_setup();
+    let experiment = Experiment::with_view(topology, view, FdsConfig::default());
+    // The late arrival joins at epoch 0 and dies at epoch 2: the head
+    // must have started expecting its heartbeats.
+    let outcome = experiment.run(
+        0.0,
+        6,
+        &[PlannedCrash {
+            epoch: 2,
+            node: NodeId(10),
+        }],
+        3,
+    );
+    assert_eq!(outcome.joins, 1);
+    assert!(
+        outcome.detection_latency.contains_key(&NodeId(10)),
+        "the admitted node's crash must be detected"
+    );
+}
+
+#[test]
+fn admission_can_be_disabled() {
+    let (topology, view) = late_arrival_setup();
+    let config = FdsConfig {
+        admit_unmarked: false,
+        ..FdsConfig::default()
+    };
+    let experiment = Experiment::with_view(topology, view, config);
+    let outcome = experiment.run(0.0, 4, &[], 4);
+    assert_eq!(outcome.joins, 0, "admission disabled");
+}
+
+#[test]
+fn admission_survives_message_loss_via_repeated_epochs() {
+    // Open-endedness: even if the subscription heartbeat or the
+    // announcing update is lost, later epochs retry, so the node joins
+    // with overwhelming probability within a handful of intervals.
+    let (topology, view) = late_arrival_setup();
+    let experiment = Experiment::with_view(topology, view, FdsConfig::default());
+    let outcome = experiment.run(0.3, 10, &[], 5);
+    assert!(
+        outcome.joins >= 1,
+        "the subscription must eventually be honoured under loss"
+    );
+}

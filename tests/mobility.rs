@@ -1,0 +1,142 @@
+//! Host migration: the FDS over a moving population, run as
+//! quasi-static phases (move → reconcile clustering → detect), per the
+//! paper's Section 2.1 note that the framework extends to mobile
+//! hosts via stable clustering.
+
+use cbfd::cluster::{invariants, maintenance, oracle};
+use cbfd::core::config::FdsConfig;
+use cbfd::net::mobility::{RandomWaypoint, WaypointConfig};
+use cbfd::prelude::*;
+
+#[test]
+fn reconcile_preserves_invariants_across_motion() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let bounds = Rect::square(500.0);
+    let config = FormationConfig::default();
+    let mut walkers = RandomWaypoint::new(
+        WaypointConfig {
+            bounds,
+            min_speed: 2.0,
+            max_speed: 8.0,
+            pause_secs: 1.0,
+        },
+        120,
+        &mut rng,
+    );
+    let mut topology = Topology::from_positions(walkers.snapshot(), 100.0);
+    let mut view = oracle::form(&topology, &config);
+
+    for phase in 0..10 {
+        walkers.advance(20.0, &mut rng);
+        topology = Topology::from_positions(walkers.snapshot(), 100.0);
+        view = maintenance::reconcile(&topology, &config, &view);
+        let violations = invariants::check(&topology, &view);
+        assert!(violations.is_empty(), "phase {phase}: {violations:?}");
+    }
+}
+
+#[test]
+fn slow_motion_keeps_most_affiliations_stable() {
+    // Cluster stability: at pedestrian speeds over one reconciliation
+    // interval, the overwhelming majority of hosts stay put.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let bounds = Rect::square(500.0);
+    let config = FormationConfig::default();
+    let mut walkers = RandomWaypoint::new(WaypointConfig::slow(bounds), 150, &mut rng);
+    let topo_before = Topology::from_positions(walkers.snapshot(), 100.0);
+    let view_before = oracle::form(&topo_before, &config);
+
+    walkers.advance(10.0, &mut rng); // at most 20 m of drift
+    let topo_after = Topology::from_positions(walkers.snapshot(), 100.0);
+    let view_after = maintenance::reconcile(&topo_after, &config, &view_before);
+
+    let stable = topo_after
+        .node_ids()
+        .filter(|n| view_before.cluster_of(*n) == view_after.cluster_of(*n))
+        .count();
+    assert!(
+        stable as f64 / 150.0 > 0.9,
+        "only {stable}/150 affiliations survived slow motion"
+    );
+}
+
+#[test]
+fn detection_works_across_mobility_phases() {
+    // Run the FDS between moves; a node that crashes in phase 2 must
+    // still be detected by its (possibly reshuffled) cluster.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let bounds = Rect::square(400.0);
+    let formation = FormationConfig::default();
+    let mut walkers = RandomWaypoint::new(WaypointConfig::slow(bounds), 100, &mut rng);
+    let mut view = oracle::form(
+        &Topology::from_positions(walkers.snapshot(), 100.0),
+        &formation,
+    );
+    let victim = NodeId(31);
+    let mut detected = false;
+
+    for phase in 0u64..4 {
+        let topology = Topology::from_positions(walkers.snapshot(), 100.0);
+        view = maintenance::reconcile(&topology, &formation, &view);
+        let experiment = Experiment::with_view(topology, view.clone(), FdsConfig::default());
+        let crashes = if phase == 2 {
+            vec![PlannedCrash {
+                epoch: 0,
+                node: victim,
+            }]
+        } else {
+            Vec::new()
+        };
+        let outcome = experiment.run(0.05, 4, &crashes, 100 + phase);
+        if outcome.detection_latency.contains_key(&victim) {
+            detected = true;
+        }
+        // The fail-stop model persists across phases: once the victim
+        // crashed, drop it from the roaming population going forward.
+        if phase >= 2 {
+            // (The walker keeps moving but the node is dead; for the
+            // purpose of the next phases we simply keep it in the
+            // topology — a dead node is silent, which is what the
+            // protocol sees anyway. Here we only check detection in
+            // the crash phase.)
+            break;
+        }
+        walkers.advance(15.0, &mut rng);
+    }
+    assert!(detected, "the crash must be detected in its phase");
+}
+
+#[test]
+fn fast_motion_reshuffles_clusters_but_stays_sound() {
+    // Vehicular speeds: affiliations churn heavily, yet every
+    // reconciled view remains structurally valid and (in a connected
+    // field) keeps coverage.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let bounds = Rect::square(400.0);
+    let config = FormationConfig::default();
+    let mut walkers = RandomWaypoint::new(
+        WaypointConfig {
+            bounds,
+            min_speed: 20.0,
+            max_speed: 40.0,
+            pause_secs: 0.0,
+        },
+        120,
+        &mut rng,
+    );
+    let mut view = oracle::form(
+        &Topology::from_positions(walkers.snapshot(), 100.0),
+        &config,
+    );
+    for _ in 0..6 {
+        walkers.advance(10.0, &mut rng);
+        let topology = Topology::from_positions(walkers.snapshot(), 100.0);
+        view = maintenance::reconcile(&topology, &config, &view);
+        assert!(invariants::check(&topology, &view).is_empty());
+        for n in topology.node_ids() {
+            if topology.degree(n) > 0 {
+                assert!(view.cluster_of(n).is_some(), "{n} left uncovered");
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Kitchen-sink soak test: every mechanism at once, over a long run.
+//!
+//! 250 nodes; lossy channel; aggregation embedded; several members
+//! duty-cycling with announcements; crashes hitting ordinary members,
+//! a deputy, a gateway, and a head; membership subscription of a late
+//! arrival. The run must terminate, keep its books consistent, detect
+//! every detectable crash, and stay accurate about everything that is
+//! merely asleep.
+
+use cbfd::cluster::{Cluster, ClusterView, Role};
+use cbfd::core::config::FdsConfig;
+use cbfd::core::service::PlannedSleep;
+use cbfd::prelude::*;
+use std::collections::BTreeMap;
+
+#[test]
+fn everything_at_once_long_run() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2_026);
+    let n = 250;
+    let positions = Placement::UniformRect(Rect::square(650.0)).generate(n, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    let config = FdsConfig {
+        aggregation: true,
+        ..FdsConfig::default()
+    };
+    let experiment = Experiment::new(topology, config, FormationConfig::default());
+    let view = experiment.view();
+    assert_eq!(
+        view.backbone_components().len(),
+        1,
+        "need a connected field"
+    );
+
+    // Role-targeted crash plan.
+    let head = view
+        .clusters()
+        .find(|c| c.len() >= 8 && c.deputies().len() >= 2)
+        .map(|c| c.head())
+        .expect("a deep cluster exists");
+    let deputy = view
+        .clusters()
+        .filter(|c| c.head() != head)
+        .find_map(|c| c.first_deputy())
+        .expect("another cluster has a deputy");
+    let gateway = view
+        .gateway_links()
+        .map(|(_, l)| l.primary)
+        .find(|g| *g != deputy && *g != head)
+        .expect("a gateway exists");
+    let ordinary: Vec<NodeId> = view
+        .clusters()
+        .filter_map(|c| {
+            c.non_head_members()
+                .find(|m| view.role_of(*m) == Role::Ordinary)
+        })
+        .filter(|m| *m != deputy && *m != gateway)
+        .take(3)
+        .collect();
+
+    let mut crashes = vec![
+        PlannedCrash {
+            epoch: 2,
+            node: ordinary[0],
+        },
+        PlannedCrash {
+            epoch: 4,
+            node: gateway,
+        },
+        PlannedCrash {
+            epoch: 6,
+            node: deputy,
+        },
+        PlannedCrash {
+            epoch: 8,
+            node: head,
+        },
+        PlannedCrash {
+            epoch: 10,
+            node: ordinary[1],
+        },
+        PlannedCrash {
+            epoch: 12,
+            node: ordinary[2],
+        },
+    ];
+    crashes.sort_by_key(|c| c.epoch);
+
+    // Sleepers: six ordinary members napping through the middle.
+    let sleepers: Vec<PlannedSleep> = view
+        .clusters()
+        .filter_map(|c| {
+            c.non_head_members()
+                .filter(|m| view.role_of(*m) == Role::Ordinary)
+                .find(|m| !crashes.iter().any(|cr| cr.node == *m))
+        })
+        .take(6)
+        .map(|node| PlannedSleep {
+            node,
+            from_epoch: 5,
+            until_epoch: 11,
+        })
+        .collect();
+    assert!(sleepers.len() >= 4);
+
+    let epochs = 20;
+    let outcome = experiment.run_with_sleep(0.15, epochs, &crashes, &sleepers, 2_026);
+
+    // Every crash detected.
+    for c in &crashes {
+        assert!(
+            outcome.detection_latency.contains_key(&c.node),
+            "{} (crashed at epoch {}) undetected",
+            c.node,
+            c.epoch
+        );
+    }
+    // No sleeper condemned.
+    for s in &sleepers {
+        assert!(
+            !outcome
+                .false_detections
+                .iter()
+                .any(|fd| fd.suspect == s.node),
+            "sleeper {} was condemned: {:?}",
+            s.node,
+            outcome.false_detections
+        );
+    }
+    // Books consistent.
+    assert!(
+        outcome.completeness > 0.97,
+        "completeness {}",
+        outcome.completeness
+    );
+    assert!(outcome.incompleteness_rate() < 0.02);
+    assert!(outcome.bytes > outcome.metrics.transmissions * 6);
+    assert!(outcome.metrics.delivery_ratio() > 0.8);
+}
+
+#[test]
+fn late_arrival_during_chaos_is_admitted_and_informed() {
+    // One cluster plus a late arrival; chaos = loss + a crash while the
+    // arrival is still joining.
+    let mut positions: Vec<Point> = vec![Point::new(0.0, 0.0)];
+    for i in 1..12 {
+        let angle = i as f64 * std::f64::consts::TAU / 11.0;
+        positions.push(Point::new(75.0 * angle.cos(), 75.0 * angle.sin()));
+    }
+    positions.push(Point::new(20.0, -15.0)); // the unmarked arrival, id 12
+    let topology = Topology::from_positions(positions, 100.0);
+    let members: Vec<NodeId> = (0..12).map(NodeId).collect();
+    let cluster = Cluster::new(NodeId(0), members, vec![NodeId(1), NodeId(2)]);
+    let cid = cluster.id();
+    let mut clusters = BTreeMap::new();
+    clusters.insert(cid, cluster);
+    let mut affiliation = vec![Some(cid); 12];
+    affiliation.push(None);
+    let view = ClusterView::from_parts(clusters, affiliation, BTreeMap::new());
+    let experiment = Experiment::with_view(topology, view, FdsConfig::default());
+
+    let outcome = experiment.run(
+        0.25,
+        12,
+        &[PlannedCrash {
+            epoch: 1,
+            node: NodeId(7),
+        }],
+        99,
+    );
+    assert!(
+        outcome.joins >= 1,
+        "the arrival must eventually be admitted"
+    );
+    assert!(
+        outcome.detection_latency.contains_key(&NodeId(7)),
+        "the crash must be detected despite the churn"
+    );
+    assert!(
+        !outcome
+            .missed
+            .iter()
+            .any(|m| m.observer == NodeId(12) && m.failed == NodeId(7)),
+        "the admitted arrival must learn about the earlier crash: {:?}",
+        outcome.missed
+    );
+}

@@ -1,0 +1,85 @@
+//! Interference-storm scenario: the channel degrades sharply for a
+//! window and then recovers — a common field condition (jamming,
+//! weather, competing traffic) that stresses the service's
+//! self-stabilization. The FDS has no session state to corrupt: every
+//! epoch re-runs the same three rounds, so once the channel recovers
+//! the properties recover with it.
+
+use cbfd::cluster::{oracle, FormationConfig};
+use cbfd::core::config::FdsConfig;
+use cbfd::core::node::FdsNode;
+use cbfd::core::profile::build_profiles;
+use cbfd::net::sim::Simulator;
+use cbfd::prelude::*;
+
+fn build(seed: u64) -> (Topology, Vec<cbfd::core::profile::NodeProfile>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let positions = Placement::UniformRect(Rect::square(400.0)).generate(100, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    let view = oracle::form(&topology, &FormationConfig::default());
+    let profiles = build_profiles(&view);
+    (topology, profiles)
+}
+
+#[test]
+fn service_recovers_after_an_interference_storm() {
+    let (topology, profiles) = build(1);
+    let config = FdsConfig::default();
+    let phi = config.heartbeat_interval;
+    let mut sim = Simulator::new(topology, RadioConfig::bernoulli(0.05), 1, |id| {
+        FdsNode::new(profiles[id.index()].clone(), config, 1_000.0)
+    });
+
+    // Calm: epochs 0–3.
+    sim.run_until(SimTime::ZERO + phi * 4 - SimDuration::from_micros(1));
+    let calm_detections: usize = sim.actors().map(|(_, n)| n.detections().len()).sum();
+    assert_eq!(calm_detections, 0, "no detections while calm");
+
+    // Storm: epochs 4–6 at 70% loss.
+    sim.set_radio(RadioConfig::bernoulli(0.7));
+    sim.run_until(SimTime::ZERO + phi * 7 - SimDuration::from_micros(1));
+    let storm_detections: usize = sim.actors().map(|(_, n)| n.detections().len()).sum();
+
+    // Recovery: epochs 7–10 back at 5% loss. No *new* false detections
+    // should accumulate once the channel recovers.
+    sim.set_radio(RadioConfig::bernoulli(0.05));
+    sim.run_until(SimTime::ZERO + phi * 11 - SimDuration::from_micros(1));
+    let after: usize = sim.actors().map(|(_, n)| n.detections().len()).sum();
+    assert_eq!(
+        after, storm_detections,
+        "the service must stop misfiring once the storm passes"
+    );
+
+    // And detection still works post-storm.
+    let victim = sim
+        .actors()
+        .find(|(id, n)| n.profile().head != Some(*id) && n.profile().cluster.is_some())
+        .map(|(id, _)| id)
+        .unwrap();
+    sim.crash_now(victim);
+    sim.run_until(SimTime::ZERO + phi * 14 - SimDuration::from_micros(1));
+    let detected = sim
+        .actors()
+        .any(|(_, n)| n.detections().iter().any(|d| d.suspects.contains(&victim)));
+    assert!(detected, "post-storm crashes must still be detected");
+}
+
+#[test]
+fn storm_false_detections_match_the_analysis_regime() {
+    // During a 70%-loss storm the false-detection probability is high
+    // (the paper's formulas still apply, just far off the plotted
+    // range): expect at least some members of smaller clusters to be
+    // condemned over three stormy epochs.
+    let (topology, profiles) = build(2);
+    let config = FdsConfig::default();
+    let phi = config.heartbeat_interval;
+    let mut sim = Simulator::new(topology, RadioConfig::bernoulli(0.7), 2, |id| {
+        FdsNode::new(profiles[id.index()].clone(), config, 1_000.0)
+    });
+    sim.run_until(SimTime::ZERO + phi * 3 - SimDuration::from_micros(1));
+    let detections: usize = sim.actors().map(|(_, n)| n.detections().len()).sum();
+    assert!(
+        detections > 0,
+        "a 70% storm must overwhelm the redundancy occasionally"
+    );
+}
