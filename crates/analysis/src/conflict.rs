@@ -1,7 +1,7 @@
 //! Conflicting failure reports (Section 4.2).
 //!
 //! The paper's worst failure mode: a deputy wrongly judges an
-//! operational clusterhead failed, so "the CH and DCH [may] generate
+//! operational clusterhead failed, so "the CH and DCH \[may\] generate
 //! two conflicting failure reports and broadcast them simultaneously …
 //! the GWs may not notice the discrepancy and thus may forward the
 //! conflicting reports to neighbouring clusters, resulting in

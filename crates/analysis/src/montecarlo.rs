@@ -13,9 +13,27 @@
 //!   count events; only feasible where the target probability is
 //!   large enough to observe (the `p = 0.5`, `N = 50` corner), which
 //!   is exactly how it is used in tests.
+//!
+//! # Parallelism and determinism
+//!
+//! Every estimator shards its trial budget into fixed-size blocks
+//! ([`SHARD_SIZE`] trials each), seeds shard `i` with
+//! `derive_seed(seed, i)`, runs the shards on the
+//! [`cbfd_net::par`] sweep runner, and merges the per-shard
+//! [`Welford`] accumulators sequentially in shard order (Chan et
+//! al.'s pairwise update). Because the shard boundaries, seeds, and
+//! merge order depend only on `(trials, seed)` — never on the worker
+//! count — every estimate is **bit-identical for any worker count**,
+//! including 1.
 
+use cbfd_net::par;
+use cbfd_net::rng::derive_seed;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Trials per shard. A constant (rather than `trials / workers`) so
+/// that shard seeds and merge order are independent of the machine.
+pub const SHARD_SIZE: u64 = 8192;
 
 /// A Monte Carlo estimate with its standard error.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,22 +54,86 @@ impl McResult {
     }
 }
 
+/// A mergeable running-moments accumulator (Welford's online
+/// algorithm plus Chan et al.'s pairwise combination).
+///
+/// Shards accumulate independently; merging in a fixed order yields a
+/// result that does not depend on which thread ran which shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Folds one sample into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Combines two accumulators as if their samples had been pushed
+    /// into one (Chan et al.). Not commutative at the bit level, so
+    /// callers must merge in a fixed order.
+    pub fn merge(self, other: Welford) -> Welford {
+        if other.n == 0 {
+            return self;
+        }
+        if self.n == 0 {
+            return other;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * (other.n as f64 / n as f64);
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64 / n as f64);
+        Welford { n, mean, m2 }
+    }
+
+    /// Finalizes into a mean ± standard-error summary.
+    pub fn result(self) -> McResult {
+        let variance = if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        };
+        McResult {
+            mean: self.mean,
+            std_error: (variance / self.n.max(1) as f64).sqrt(),
+            trials: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
 fn summarize(samples: impl Iterator<Item = f64>) -> McResult {
-    let mut n = 0u64;
-    let mut mean = 0.0f64;
-    let mut m2 = 0.0f64;
+    let mut acc = Welford::default();
     for x in samples {
-        n += 1;
-        let delta = x - mean;
-        mean += delta / n as f64;
-        m2 += delta * (x - mean);
+        acc.push(x);
     }
-    let variance = if n > 1 { m2 / (n - 1) as f64 } else { 0.0 };
-    McResult {
-        mean,
-        std_error: (variance / n.max(1) as f64).sqrt(),
-        trials: n,
-    }
+    acc.result()
+}
+
+/// Runs `trials` evaluations of `sample` sharded across `workers`
+/// threads with the determinism scheme described in the module docs.
+fn estimate<F>(trials: u64, seed: u64, workers: usize, sample: F) -> McResult
+where
+    F: Fn(&mut StdRng) -> f64 + Sync,
+{
+    let shards = par::shard_trials(trials, SHARD_SIZE);
+    let accs = par::par_map(workers, &shards, |_, &(shard, len)| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, shard));
+        let mut acc = Welford::default();
+        for _ in 0..len {
+            acc.push(sample(&mut rng));
+        }
+        acc
+    });
+    accs.into_iter()
+        .fold(Welford::default(), Welford::merge)
+        .result()
 }
 
 /// Samples a point uniformly in the unit disk.
@@ -72,25 +154,46 @@ fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
 /// members are uniform in the unit disk; the loss part
 /// `p²(p(2−p))ᵏ` is evaluated exactly per placement.
 pub fn false_detection(n: u64, p: f64, trials: u64, seed: u64) -> McResult {
+    false_detection_with_workers(n, p, trials, seed, par::default_workers())
+}
+
+/// [`false_detection`] with an explicit worker count (same result for
+/// any count).
+pub fn false_detection_with_workers(
+    n: u64,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> McResult {
     assert!(n >= 2, "a cluster needs the CH and the judged member");
     let v = (1.0, 0.0);
-    let mut rng = StdRng::seed_from_u64(seed);
-    summarize((0..trials).map(|_| {
+    estimate(trials, seed, workers, move |rng| {
         let k = (0..n - 2)
-            .filter(|_| dist2(sample_in_disk(&mut rng), v) <= 1.0)
+            .filter(|_| dist2(sample_in_disk(rng), v) <= 1.0)
             .count() as i32;
         p * p * (p * (2.0 - p)).powi(k)
-    }))
+    })
 }
 
 /// Direct MC for Figure 5: draw every Bernoulli loss and count the
 /// event `C1 ∧ C2`. Only meaningful where the probability is
 /// observable (high `p`, low `N`).
 pub fn false_detection_direct(n: u64, p: f64, trials: u64, seed: u64) -> McResult {
+    false_detection_direct_with_workers(n, p, trials, seed, par::default_workers())
+}
+
+/// [`false_detection_direct`] with an explicit worker count.
+pub fn false_detection_direct_with_workers(
+    n: u64,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> McResult {
     assert!(n >= 2, "a cluster needs the CH and the judged member");
     let v = (1.0, 0.0);
-    let mut rng = StdRng::seed_from_u64(seed);
-    summarize((0..trials).map(|_| {
+    estimate(trials, seed, workers, move |rng| {
         // C1: heartbeat and digest from v both lost to the CH.
         if !(rng.random_bool(p) && rng.random_bool(p)) {
             return 0.0;
@@ -98,27 +201,38 @@ pub fn false_detection_direct(n: u64, p: f64, trials: u64, seed: u64) -> McResul
         // C2: no in-range neighbour both overheard v and delivered
         // its digest to the CH.
         for _ in 0..n - 2 {
-            let w = sample_in_disk(&mut rng);
+            let w = sample_in_disk(rng);
             if dist2(w, v) <= 1.0 && rng.random_bool(1.0 - p) && rng.random_bool(1.0 - p) {
                 return 0.0;
             }
         }
         1.0
-    }))
+    })
 }
 
 /// Conditional MC for Figure 6's `P(False detection on CH)` with the
 /// deputy displaced by `d_over_r` from the centre: members relay only
 /// when they fall inside the deputy's range.
 pub fn ch_false_detection(n: u64, p: f64, d_over_r: f64, trials: u64, seed: u64) -> McResult {
+    ch_false_detection_with_workers(n, p, d_over_r, trials, seed, par::default_workers())
+}
+
+/// [`ch_false_detection`] with an explicit worker count.
+pub fn ch_false_detection_with_workers(
+    n: u64,
+    p: f64,
+    d_over_r: f64,
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> McResult {
     assert!(n >= 2, "a cluster needs the CH and the DCH");
     let dch = (d_over_r, 0.0);
-    let mut rng = StdRng::seed_from_u64(seed);
     let relay_fail_in_range = 1.0 - (1.0 - p) * (1.0 - p);
-    summarize((0..trials).map(|_| {
+    estimate(trials, seed, workers, move |rng| {
         let mut value = p.powi(3);
         for _ in 0..n - 2 {
-            let w = sample_in_disk(&mut rng);
+            let w = sample_in_disk(rng);
             value *= if dist2(w, dch) <= 1.0 {
                 relay_fail_in_range
             } else {
@@ -126,23 +240,33 @@ pub fn ch_false_detection(n: u64, p: f64, d_over_r: f64, trials: u64, seed: u64)
             };
         }
         value
-    }))
+    })
 }
 
 /// Conditional MC for Figure 7's `P̂(Incompleteness)`: the recovering
 /// member on the circumference; per in-range neighbour failure
 /// `1−(1−p)³`.
 pub fn incompleteness(n: u64, p: f64, trials: u64, seed: u64) -> McResult {
+    incompleteness_with_workers(n, p, trials, seed, par::default_workers())
+}
+
+/// [`incompleteness`] with an explicit worker count.
+pub fn incompleteness_with_workers(
+    n: u64,
+    p: f64,
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> McResult {
     assert!(n >= 2, "a cluster needs the CH and the member");
     let v = (1.0, 0.0);
-    let mut rng = StdRng::seed_from_u64(seed);
     let neighbor_fails = 1.0 - (1.0 - p).powi(3);
-    summarize((0..trials).map(|_| {
+    estimate(trials, seed, workers, move |rng| {
         let k = (0..n - 2)
-            .filter(|_| dist2(sample_in_disk(&mut rng), v) <= 1.0)
+            .filter(|_| dist2(sample_in_disk(rng), v) <= 1.0)
             .count() as i32;
         p * neighbor_fails.powi(k)
-    }))
+    })
 }
 
 /// Geometric MC for the DCH-reachability study (E4): deputy at
@@ -150,21 +274,33 @@ pub fn incompleteness(n: u64, p: f64, trials: u64, seed: u64) -> McResult {
 /// `N−3` other members relays iff within range of both, succeeding
 /// with probability `(1−p)²`.
 pub fn dch_reach_miss(n: u64, p: f64, d_dch: f64, d_v: f64, trials: u64, seed: u64) -> McResult {
+    dch_reach_miss_with_workers(n, p, d_dch, d_v, trials, seed, par::default_workers())
+}
+
+/// [`dch_reach_miss`] with an explicit worker count.
+pub fn dch_reach_miss_with_workers(
+    n: u64,
+    p: f64,
+    d_dch: f64,
+    d_v: f64,
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> McResult {
     assert!(n >= 3, "needs the CH, the DCH, and the member");
     let dch = (d_dch, 0.0);
     let v = (-d_v, 0.0);
     let relay_success = (1.0 - p) * (1.0 - p);
-    let mut rng = StdRng::seed_from_u64(seed);
-    summarize((0..trials).map(|_| {
+    estimate(trials, seed, workers, move |rng| {
         let mut miss = 1.0;
         for _ in 0..n - 3 {
-            let w = sample_in_disk(&mut rng);
+            let w = sample_in_disk(rng);
             if dist2(w, dch) <= 1.0 && dist2(w, v) <= 1.0 {
                 miss *= 1.0 - relay_success;
             }
         }
         miss
-    }))
+    })
 }
 
 #[cfg(test)]
@@ -266,5 +402,49 @@ mod tests {
         assert_eq!(r.mean, 2.0);
         assert_eq!(r.std_error, 0.0);
         assert_eq!(r.trials, 3);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_stream_statistically() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.1).collect();
+        let mut whole = Welford::default();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::default();
+        let mut right = Welford::default();
+        for &x in &xs[..397] {
+            left.push(x);
+        }
+        for &x in &xs[397..] {
+            right.push(x);
+        }
+        let merged = left.merge(right).result();
+        let whole = whole.result();
+        assert_eq!(merged.trials, whole.trials);
+        assert!((merged.mean - whole.mean).abs() < 1e-12);
+        assert!((merged.std_error - whole.std_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_is_identity() {
+        let mut acc = Welford::default();
+        acc.push(3.0);
+        acc.push(5.0);
+        assert_eq!(acc.merge(Welford::default()), acc);
+        assert_eq!(Welford::default().merge(acc), acc);
+    }
+
+    #[test]
+    fn estimates_are_worker_count_invariant() {
+        // 3 shards' worth of trials so the merge path is exercised.
+        let trials = SHARD_SIZE * 2 + 1_000;
+        let base = false_detection_with_workers(50, 0.3, trials, 9, 1);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(
+                base,
+                false_detection_with_workers(50, 0.3, trials, 9, workers)
+            );
+        }
     }
 }

@@ -1,0 +1,59 @@
+//! Parallel-runner benchmark: times the Figure 5 Monte Carlo sweep at
+//! several worker counts and writes `BENCH_parallel.json`.
+//!
+//! The numbers are honest wall-clock timings on whatever machine runs
+//! this — on a single-core container the speedup is necessarily ~1×,
+//! so the report always records `available_parallelism` alongside the
+//! timings. The run also re-asserts the determinism contract: every
+//! worker count must reproduce the workers=1 rows exactly.
+//!
+//! Usage: `cargo run --release -p cbfd-bench --bin bench_parallel`
+//! (trials can be overridden with `BENCH_PARALLEL_TRIALS`).
+
+use cbfd_bench::{fig5_rows, Fig5Row};
+use std::time::Instant;
+
+fn main() {
+    let trials: u64 = std::env::var("BENCH_PARALLEL_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cbfd_bench::MC_TRIALS);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut counts = vec![1usize, 2, 4, cores];
+    counts.sort_unstable();
+    counts.dedup();
+
+    println!("fig5 MC sweep, {trials} trials/cell, {cores} core(s) available");
+
+    let mut baseline: Option<(f64, Vec<Fig5Row>)> = None;
+    let mut entries = Vec::new();
+    for &workers in &counts {
+        let started = Instant::now();
+        let rows = fig5_rows(trials, 42, workers);
+        let secs = started.elapsed().as_secs_f64();
+
+        let (base_secs, base_rows) = baseline.get_or_insert((secs, rows.clone()));
+        assert_eq!(
+            *base_rows, rows,
+            "determinism violated: workers={workers} diverged from workers=1"
+        );
+        let speedup = *base_secs / secs;
+        println!("  workers={workers:>2}  {secs:8.3} s  speedup {speedup:5.2}x");
+        entries.push(format!(
+            "    {{ \"workers\": {workers}, \"seconds\": {secs:.4}, \"speedup\": {speedup:.3} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig5_mc_sweep\",\n  \"trials_per_cell\": {trials},\n  \
+         \"grid_cells\": {cells},\n  \"available_parallelism\": {cores},\n  \
+         \"deterministic_across_worker_counts\": true,\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+        cells = cbfd_bench::mc_grid().len(),
+        runs = entries.join(",\n"),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

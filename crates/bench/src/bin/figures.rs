@@ -4,31 +4,33 @@
 //! ```sh
 //! cargo run --release -p cbfd-bench --bin figures           # everything
 //! cargo run --release -p cbfd-bench --bin figures -- fig5   # one figure
+//! CBFD_WORKERS=4 cargo run --release -p cbfd-bench --bin figures
 //! ```
 //!
 //! Each figure prints an aligned table — closed-form analysis,
 //! conditional Monte Carlo, and (where observable) the protocol-level
 //! simulation — and writes a CSV under `results/`.
+//!
+//! All sweeps run on the deterministic parallel runner
+//! (`cbfd_net::par`): the worker count comes from `CBFD_WORKERS` (or
+//! the machine's parallelism) and **does not affect any output value**.
 
-use cbfd_analysis::{
-    ch_false_detection, dch_reach, false_detection, incompleteness, intercluster, montecarlo,
-    series,
+use cbfd_analysis::{ch_false_detection, false_detection, incompleteness, intercluster, series};
+use cbfd_bench::{
+    dch_rows, detector_rows, fig5_protocol_rate, fig5_rows, fig6_mc, fig7_protocol, fig7_rows,
+    sleep_rows, MC_TRIALS,
 };
-use cbfd_baselines::{central, flood, gossip, swim, CrashAt};
 use cbfd_cluster::FormationConfig;
 use cbfd_core::config::FdsConfig;
 use cbfd_core::service::{Experiment, PlannedCrash};
-use cbfd_net::geometry::{Point, Rect};
-use cbfd_net::id::NodeId;
+use cbfd_net::geometry::Rect;
+use cbfd_net::par;
 use cbfd_net::placement::Placement;
-use cbfd_net::time::SimDuration;
 use cbfd_net::topology::Topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
 use std::path::Path;
-
-const MC_TRIALS: u64 = 50_000;
 
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +38,7 @@ fn main() {
     let want = |name: &str| all || which.iter().any(|w| w == name);
 
     fs::create_dir_all("results").expect("create results dir");
+    println!("(parallel sweeps: {} workers)\n", par::default_workers());
 
     if want("fig5") {
         fig5();
@@ -77,22 +80,6 @@ fn write_csv(path: &str, contents: &str) {
     println!("  -> results/{path}\n");
 }
 
-/// One cluster exactly as the analysis assumes: head at the centre of
-/// a 100 m disk, members uniform inside it.
-fn analysis_cluster(n: usize, seed: u64) -> Topology {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let center = Point::new(0.0, 0.0);
-    let mut positions = vec![center];
-    positions.extend(
-        Placement::UniformDisk {
-            center,
-            radius: 100.0,
-        }
-        .generate(n - 1, &mut rng),
-    );
-    Topology::from_positions(positions, 100.0)
-}
-
 // ---------------------------------------------------------------- fig5
 
 fn fig5() {
@@ -101,38 +88,30 @@ fn fig5() {
         "{:>4} {:>6} {:>14} {:>14} {:>14}",
         "N", "p", "analytic", "paper-sum", "cond-MC"
     );
+    let workers = par::default_workers();
     let mut csv = String::from("n,p,analytic,paper_sum,mc\n");
-    for &n in &series::POPULATIONS {
-        for p in series::loss_grid() {
-            let analytic = false_detection::worst_case(n, p);
-            let sum =
-                false_detection::paper_sum(n, p, cbfd_analysis::geometry::worst_case_an_fraction());
-            let mc = montecarlo::false_detection(n, p, MC_TRIALS, 42).mean;
-            println!("{n:>4} {p:>6.2} {analytic:>14.3e} {sum:>14.3e} {mc:>14.3e}");
-            csv.push_str(&format!("{n},{p:.2},{analytic:e},{sum:e},{mc:e}\n"));
+    let mut last_n = 0;
+    for row in fig5_rows(MC_TRIALS, 42, workers) {
+        if last_n != 0 && row.n != last_n {
+            println!();
         }
-        println!();
+        last_n = row.n;
+        println!(
+            "{:>4} {:>6.2} {:>14.3e} {:>14.3e} {:>14.3e}",
+            row.n, row.p, row.analytic, row.paper_sum, row.mc
+        );
+        csv.push_str(&format!(
+            "{},{:.2},{:e},{:e},{:e}\n",
+            row.n, row.p, row.analytic, row.paper_sum, row.mc
+        ));
     }
+    println!();
 
     // Protocol-level corroboration at the observable corner (the
-    // placements vary per run, so each gets its own experiment; the
-    // seeds within an experiment run in parallel).
+    // placements vary per chunk; the seeds within a chunk run in
+    // parallel).
     let (n, p, runs) = (50usize, 0.5, 300u64);
-    let mut events = 0u64;
-    for chunk_start in (0..runs).step_by(30) {
-        let exp = Experiment::new(
-            analysis_cluster(n, 40_000 + chunk_start),
-            FdsConfig::default(),
-            FormationConfig::default(),
-        );
-        let seeds: Vec<u64> = (chunk_start..(chunk_start + 30).min(runs)).collect();
-        events += exp
-            .run_many(p, 1, &[], &seeds)
-            .iter()
-            .map(|o| o.false_detections.len() as u64)
-            .sum::<u64>();
-    }
-    let sim_rate = events as f64 / (runs * (n as u64 - 1)) as f64;
+    let sim_rate = fig5_protocol_rate(n, p, runs, workers);
     println!(
         "protocol simulation at N={n}, p={p}: {sim_rate:.3e} per member-epoch \
          (average-case analysis {:.3e}, worst-case bound {:.3e})",
@@ -160,7 +139,7 @@ fn fig6() {
         }
         println!();
     }
-    let mc = montecarlo::ch_false_detection(50, 0.5, 0.5, MC_TRIALS, 43);
+    let mc = fig6_mc(MC_TRIALS, 43, par::default_workers());
     println!(
         "conditional MC at N=50, p=0.5, d=0.5R: {:.3e} +/- {:.1e} (lens model {:.3e})",
         mc.mean,
@@ -178,36 +157,29 @@ fn fig7() {
         "{:>4} {:>6} {:>14} {:>14} {:>14}",
         "N", "p", "analytic", "cond-MC", "no-peer-fwd"
     );
+    let workers = par::default_workers();
     let mut csv = String::from("n,p,analytic,mc,ablation_no_peer_forwarding\n");
-    for &n in &series::POPULATIONS {
-        for p in series::loss_grid() {
-            let analytic = incompleteness::worst_case(n, p);
-            let mc = montecarlo::incompleteness(n, p, MC_TRIALS, 44).mean;
-            let ablation = incompleteness::without_peer_forwarding(p);
-            println!("{n:>4} {p:>6.2} {analytic:>14.3e} {mc:>14.3e} {ablation:>14.3e}");
-            csv.push_str(&format!("{n},{p:.2},{analytic:e},{mc:e},{ablation:e}\n"));
+    let mut last_n = 0;
+    for row in fig7_rows(MC_TRIALS, 44, workers) {
+        if last_n != 0 && row.n != last_n {
+            println!();
         }
-        println!();
-    }
-
-    // Protocol-level corroboration (strict per-requester recovery).
-    let (n, p) = (50usize, 0.4);
-    let strict = FdsConfig {
-        promiscuous_recovery: false,
-        ..FdsConfig::default()
-    };
-    let mut misses = 0;
-    let mut member_epochs = 0;
-    for seed in 0..6u64 {
-        let exp = Experiment::new(
-            analysis_cluster(n, 50_000 + seed),
-            strict,
-            FormationConfig::default(),
+        last_n = row.n;
+        println!(
+            "{:>4} {:>6.2} {:>14.3e} {:>14.3e} {:>14.3e}",
+            row.n, row.p, row.analytic, row.mc, row.ablation
         );
-        let outcome = exp.run(p, 50, &[], seed);
-        misses += outcome.update_misses;
-        member_epochs += outcome.member_epochs;
+        csv.push_str(&format!(
+            "{},{:.2},{:e},{:e},{:e}\n",
+            row.n, row.p, row.analytic, row.mc, row.ablation
+        ));
     }
+    println!();
+
+    // Protocol-level corroboration (strict per-requester recovery);
+    // the six placements/seeds run in parallel.
+    let (n, p) = (50usize, 0.4);
+    let (misses, member_epochs) = fig7_protocol(n, p, 6, workers);
     println!(
         "protocol simulation at N={n}, p={p}: {:.3e} per member-epoch \
          (average-case analysis {:.3e}, worst-case bound {:.3e})",
@@ -228,16 +200,22 @@ fn dch() {
         "N", "d/R", "lens model", "geom-MC"
     );
     let mut csv = String::from("n,d_over_r,lens_model,mc\n");
-    for &n in &series::POPULATIONS {
-        for i in 0..=10 {
-            let d = i as f64 / 10.0;
-            let model = dch_reach::worst_case_miss(n, 0.25, d);
-            let mc = montecarlo::dch_reach_miss(n, 0.25, d, 1.0, MC_TRIALS, 45).mean;
-            println!("{n:>4} {d:>6.1} {model:>14.3e} {mc:>14.3e}");
-            csv.push_str(&format!("{n},{d:.1},{model:e},{mc:e}\n"));
+    let mut last_n = 0;
+    for row in dch_rows(MC_TRIALS, 45, par::default_workers()) {
+        if last_n != 0 && row.n != last_n {
+            println!();
         }
-        println!();
+        last_n = row.n;
+        println!(
+            "{:>4} {:>6.1} {:>14.3e} {:>14.3e}",
+            row.n, row.d_over_r, row.model, row.mc
+        );
+        csv.push_str(&format!(
+            "{},{:.1},{:e},{:e}\n",
+            row.n, row.d_over_r, row.model, row.mc
+        ));
     }
+    println!();
     write_csv("e4_dch_reachability.csv", &csv);
 }
 
@@ -342,8 +320,6 @@ fn system() {
 // ---------------------------------------------------------------- sleep
 
 fn sleep_study() {
-    use cbfd_core::service::PlannedSleep;
-
     println!("== E8: sleep-mode false detections, announced vs unannounced ==");
     println!("(80 nodes, 12 duty-cycled sleepers, epochs 3..7 of 10)");
     println!("{:>6} {:>14} {:>14}", "p", "unannounced", "announced");
@@ -351,38 +327,15 @@ fn sleep_study() {
         "p,unannounced_false_detections,announced_false_detections
 ",
     );
-    for p in [0.0, 0.1, 0.2, 0.3] {
-        let mut counts = [0u64, 0u64];
-        for (mode, announced) in [(0usize, false), (1, true)] {
-            for seed in 0..5u64 {
-                let mut rng = StdRng::seed_from_u64(60_000 + seed);
-                let positions = Placement::UniformRect(Rect::square(350.0)).generate(80, &mut rng);
-                let topology = Topology::from_positions(positions, 100.0);
-                let config = FdsConfig {
-                    sleep_announcements: announced,
-                    ..FdsConfig::default()
-                };
-                let exp = Experiment::new(topology, config, FormationConfig::default());
-                let sleepers: Vec<PlannedSleep> = exp
-                    .view()
-                    .clusters()
-                    .filter_map(|c| c.non_head_members().last())
-                    .take(12)
-                    .map(|node| PlannedSleep {
-                        node,
-                        from_epoch: 3,
-                        until_epoch: 7,
-                    })
-                    .collect();
-                let outcome = exp.run_with_sleep(p, 10, &[], &sleepers, seed);
-                counts[mode] += outcome.false_detections.len() as u64;
-            }
-        }
-        println!("{p:>6.2} {:>14} {:>14}", counts[0], counts[1]);
+    for row in sleep_rows(5, par::default_workers()) {
+        println!(
+            "{:>6.2} {:>14} {:>14}",
+            row.p, row.unannounced, row.announced
+        );
         csv.push_str(&format!(
-            "{p:.2},{},{}
+            "{:.2},{},{}
 ",
-            counts[0], counts[1]
+            row.p, row.unannounced, row.announced
         ));
     }
     write_csv("e8_sleep_study.csv", &csv);
@@ -559,105 +512,28 @@ fn conflict_study() {
 
 fn cost() {
     println!("== E6: detector comparison (200 nodes, p = 0.15, 30 intervals) ==");
-    let mut rng = StdRng::seed_from_u64(5);
-    let n = 200;
-    let positions = Placement::UniformRect(Rect::square(700.0)).generate(n, &mut rng);
-    let topology = Topology::from_positions(positions, 100.0);
-    let epochs = 30;
-    let p = 0.15;
-    let interval = SimDuration::from_secs(1);
-    let crashes = [
-        CrashAt {
-            epoch: 2,
-            node: NodeId(50),
-        },
-        CrashAt {
-            epoch: 4,
-            node: NodeId(120),
-        },
-    ];
-    let planned: Vec<PlannedCrash> = crashes
-        .iter()
-        .map(|c| PlannedCrash {
-            epoch: c.epoch,
-            node: c.node,
-        })
-        .collect();
-
     let mut csv =
         String::from("detector,false_positives,completeness,max_latency,tx_per_node_interval\n");
     println!(
         "{:<14} {:>9} {:>13} {:>12} {:>17}",
         "detector", "false+", "completeness", "max latency", "tx/node/interval"
     );
-
-    let exp = Experiment::new(
-        topology.clone(),
-        FdsConfig::default(),
-        FormationConfig::default(),
-    );
-    let fds = exp.run(p, epochs, &planned, 11);
-    let lat = fds.detection_latency.values().copied().max().unwrap_or(0);
-    let tx = fds.metrics.transmissions as f64 / (n as f64 * epochs as f64);
-    println!(
-        "{:<14} {:>9} {:>13.3} {:>12} {:>17.2}",
-        "cbfd",
-        fds.false_detections.len(),
-        fds.completeness,
-        lat,
-        tx
-    );
-    csv.push_str(&format!(
-        "cbfd,{},{:.4},{lat},{tx:.3}\n",
-        fds.false_detections.len(),
-        fds.completeness
-    ));
-
-    for (name, outcome) in [
-        (
-            "flooding",
-            flood::run(&topology, p, interval, epochs, &crashes, 11),
-        ),
-        (
-            "gossip",
-            gossip::run(
-                &topology,
-                p,
-                interval,
-                epochs,
-                gossip::suggested_threshold(&topology),
-                &crashes,
-                11,
-            ),
-        ),
-        (
-            "base-station",
-            central::run(&topology, p, interval, epochs, 2, &crashes, 11),
-        ),
-        (
-            "swim",
-            swim::run(&topology, p, interval, epochs, 4, &crashes, 11),
-        ),
-    ] {
-        let lat = outcome
-            .detection_latency
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(0);
-        let tx = outcome.tx_per_node_interval(n);
+    for row in detector_rows(par::default_workers()) {
         println!(
             "{:<14} {:>9} {:>13.3} {:>12} {:>17.2}",
-            name,
-            outcome.false_suspicions.len(),
-            outcome.completeness,
-            lat,
-            tx
+            row.name,
+            row.false_positives,
+            row.completeness,
+            row.max_latency,
+            row.tx_per_node_interval
         );
         csv.push_str(&format!(
-            "{name},{},{:.4},{lat},{tx:.3}\n",
-            outcome.false_suspicions.len(),
-            outcome.completeness
+            "{},{},{:.4},{},{:.3}\n",
+            row.name,
+            row.false_positives,
+            row.completeness,
+            row.max_latency,
+            row.tx_per_node_interval
         ));
     }
     write_csv("e6_detector_comparison.csv", &csv);

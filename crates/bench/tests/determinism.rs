@@ -1,0 +1,86 @@
+//! Thread-count invariance for every sweep in the bench library.
+//!
+//! Each sweep takes its worker count explicitly, so these tests never
+//! touch `CBFD_WORKERS`. The contract (see `cbfd_net::par`) is
+//! byte-identical output for any worker count, including 1 — the
+//! assertions below are plain `==` on the row structs, not tolerances.
+
+use cbfd_analysis::montecarlo::SHARD_SIZE;
+use cbfd_bench::*;
+use cbfd_net::par;
+
+/// Small trial budgets keep the suite fast; invariance does not
+/// depend on the budget (shard boundaries are fixed), only on hitting
+/// the multi-shard merge path at least once, which `fig6` does.
+const GRID_TRIALS: u64 = 500;
+
+fn worker_counts() -> [usize; 3] {
+    [1, 2, par::default_workers().max(4)]
+}
+
+#[test]
+fn fig5_rows_are_worker_count_invariant() {
+    let [w1, w2, wmax] = worker_counts();
+    let base = fig5_rows(GRID_TRIALS, 42, w1);
+    assert_eq!(base, fig5_rows(GRID_TRIALS, 42, w2));
+    assert_eq!(base, fig5_rows(GRID_TRIALS, 42, wmax));
+}
+
+#[test]
+fn fig6_mc_is_worker_count_invariant_across_shards() {
+    let [w1, w2, wmax] = worker_counts();
+    let trials = SHARD_SIZE * 2 + 77; // three shards, last one partial
+    let base = fig6_mc(trials, 43, w1);
+    assert_eq!(base, fig6_mc(trials, 43, w2));
+    assert_eq!(base, fig6_mc(trials, 43, wmax));
+}
+
+#[test]
+fn fig7_rows_are_worker_count_invariant() {
+    let [w1, w2, wmax] = worker_counts();
+    let base = fig7_rows(GRID_TRIALS, 44, w1);
+    assert_eq!(base, fig7_rows(GRID_TRIALS, 44, w2));
+    assert_eq!(base, fig7_rows(GRID_TRIALS, 44, wmax));
+}
+
+#[test]
+fn dch_rows_are_worker_count_invariant() {
+    let [w1, w2, wmax] = worker_counts();
+    let base = dch_rows(GRID_TRIALS, 45, w1);
+    assert_eq!(base, dch_rows(GRID_TRIALS, 45, w2));
+    assert_eq!(base, dch_rows(GRID_TRIALS, 45, wmax));
+}
+
+#[test]
+fn protocol_rates_are_worker_count_invariant() {
+    let [w1, w2, wmax] = worker_counts();
+    let base5 = fig5_protocol_rate(50, 0.2, 30, w1);
+    assert_eq!(
+        base5.to_bits(),
+        fig5_protocol_rate(50, 0.2, 30, w2).to_bits()
+    );
+    assert_eq!(
+        base5.to_bits(),
+        fig5_protocol_rate(50, 0.2, 30, wmax).to_bits()
+    );
+
+    let base7 = fig7_protocol(50, 0.3, 3, w1);
+    assert_eq!(base7, fig7_protocol(50, 0.3, 3, w2));
+    assert_eq!(base7, fig7_protocol(50, 0.3, 3, wmax));
+}
+
+#[test]
+fn sleep_rows_are_worker_count_invariant() {
+    let [w1, w2, wmax] = worker_counts();
+    let base = sleep_rows(2, w1);
+    assert_eq!(base, sleep_rows(2, w2));
+    assert_eq!(base, sleep_rows(2, wmax));
+}
+
+#[test]
+fn detector_rows_are_worker_count_invariant() {
+    let [w1, w2, _] = worker_counts();
+    // Two counts only: each call runs five full 200-node experiments.
+    let base = detector_rows(w1);
+    assert_eq!(base, detector_rows(w2));
+}

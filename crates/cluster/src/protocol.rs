@@ -473,8 +473,10 @@ mod tests {
 
     #[test]
     fn degenerate_iterations_cost_no_messages() {
-        let topo = random_topology(5, 40, 300.0);
-        let mut sim = Simulator::new(topo.clone(), RadioConfig::lossless(), 5, |id| {
+        // Seed chosen so formation converges within two iterations
+        // under the vendored generator.
+        let topo = random_topology(4, 40, 300.0);
+        let mut sim = Simulator::new(topo.clone(), RadioConfig::lossless(), 4, |id| {
             FormationNode::new(id, T_HOP)
         });
         // Two iterations to converge...

@@ -150,7 +150,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn dense_view() -> (Topology, ClusterView) {
-        let mut rng = StdRng::seed_from_u64(8);
+        // Seed chosen for a well-connected, fully backed-up field
+        // under the vendored generator.
+        let mut rng = StdRng::seed_from_u64(4);
         let pts = Placement::UniformRect(Rect::square(400.0)).generate(150, &mut rng);
         let topology = Topology::from_positions(pts, 100.0);
         let view = oracle::form(&topology, &FormationConfig::default());

@@ -57,6 +57,7 @@ pub mod id;
 pub mod loss;
 pub mod metrics;
 pub mod mobility;
+pub mod par;
 pub mod placement;
 pub mod radio;
 pub mod rng;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::geometry::Point;
     pub use crate::id::NodeId;
     pub use crate::loss::LossModel;
+    pub use crate::par::{self, par_map};
     pub use crate::placement::{self, Placement};
     pub use crate::radio::RadioConfig;
     pub use crate::sim::Simulator;

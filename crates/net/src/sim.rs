@@ -72,6 +72,12 @@ pub struct Simulator<A: Actor> {
     started: bool,
     /// Last instant solar harvesting was credited.
     last_harvest: SimTime,
+    /// Recycled neighbour-list buffer for [`Simulator::transmit`]
+    /// (avoids an allocation per transmission on the hot path).
+    scratch_neighbors: Vec<NodeId>,
+    /// Recycled command buffer threaded through [`Ctx`] so actor
+    /// callbacks append into the same allocation every event.
+    scratch_commands: Vec<Command<A::Msg>>,
 }
 
 impl<A: Actor> Simulator<A> {
@@ -100,6 +106,8 @@ impl<A: Actor> Simulator<A> {
             next_timer_id: 0,
             started: false,
             last_harvest: SimTime::ZERO,
+            scratch_neighbors: Vec::new(),
+            scratch_commands: Vec::new(),
             topology,
             radio,
         }
@@ -263,6 +271,7 @@ impl<A: Actor> Simulator<A> {
             }
             let mut ctx =
                 Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
+            ctx.commands = std::mem::take(&mut self.scratch_commands);
             self.actors[i].on_start(&mut ctx);
             let commands = ctx.commands;
             self.apply_commands(node, commands);
@@ -303,6 +312,7 @@ impl<A: Actor> Simulator<A> {
             kind: TraceKind::Receive,
         });
         let mut ctx = Ctx::new(self.now, to, &mut self.rng).with_energy(self.energy.remaining(to));
+        ctx.commands = std::mem::take(&mut self.scratch_commands);
         self.actors[to.index()].on_message(&mut ctx, from, msg);
         let commands = ctx.commands;
         self.apply_commands(to, commands);
@@ -331,6 +341,7 @@ impl<A: Actor> Simulator<A> {
         });
         let mut ctx =
             Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
+        ctx.commands = std::mem::take(&mut self.scratch_commands);
         self.actors[node.index()].on_timer(&mut ctx, TimerToken(token));
         let commands = ctx.commands;
         self.apply_commands(node, commands);
@@ -349,8 +360,8 @@ impl<A: Actor> Simulator<A> {
         });
     }
 
-    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command<A::Msg>>) {
-        for command in commands {
+    fn apply_commands(&mut self, node: NodeId, mut commands: Vec<Command<A::Msg>>) {
+        for command in commands.drain(..) {
             match command {
                 Command::Broadcast(msg) => self.transmit(node, msg),
                 Command::SetTimer { fire_at, token } => {
@@ -376,10 +387,17 @@ impl<A: Actor> Simulator<A> {
                 }
             }
         }
+        // Hand the (now empty) allocation back for the next event.
+        self.scratch_commands = commands;
     }
 
     fn transmit(&mut self, from: NodeId, msg: A::Msg) {
-        let neighbors = self.topology.neighbors(from).to_vec();
+        // The borrow checker won't let us iterate `topology.neighbors`
+        // while mutating the queue/rng, so the list is copied — into a
+        // recycled buffer rather than a fresh allocation per transmit.
+        let mut neighbors = std::mem::take(&mut self.scratch_neighbors);
+        neighbors.clear();
+        neighbors.extend_from_slice(self.topology.neighbors(from));
         self.metrics.record_transmission(from, neighbors.len());
         self.energy.charge_tx(from);
         self.trace.push(TraceRecord {
@@ -389,7 +407,9 @@ impl<A: Actor> Simulator<A> {
             kind: TraceKind::Transmit,
         });
         let from_pos = self.topology.position(from);
-        for to in neighbors {
+        let mut msg = Some(msg);
+        let last = neighbors.len().wrapping_sub(1);
+        for (i, &to) in neighbors.iter().enumerate() {
             let to_pos = self.topology.position(to);
             let lost = self
                 .radio
@@ -406,15 +426,24 @@ impl<A: Actor> Simulator<A> {
                 continue;
             }
             let delay = self.radio.draw_delay(&mut self.rng);
+            // The final copy moves the message instead of cloning it.
+            let payload = if i == last {
+                msg.take().expect("message still owned for final copy")
+            } else {
+                msg.as_ref()
+                    .expect("message owned until final copy")
+                    .clone()
+            };
             self.queue.schedule(
                 self.now + delay,
                 EventKind::Deliver {
                     to,
                     from,
-                    msg: msg.clone(),
+                    msg: payload,
                 },
             );
         }
+        self.scratch_neighbors = neighbors;
     }
 }
 

@@ -201,7 +201,9 @@ fn system_model_lower_bounds_protocol_completeness() {
     use cbfd::analysis::system::SystemModel;
     use std::collections::BTreeMap;
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    // Seed chosen so the sampled field is fully connected (one
+    // backbone component) under the vendored generator.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let positions = Placement::UniformRect(Rect::square(600.0)).generate(180, &mut rng);
     let topology = Topology::from_positions(positions, 100.0);
     let experiment = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());

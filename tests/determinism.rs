@@ -1,0 +1,80 @@
+//! Thread-count-invariance regression tests.
+//!
+//! Every parallel entry point must produce **byte-identical** results
+//! for any worker count — workers ∈ {1, 2, max} here — because work
+//! is sharded by fixed boundaries with per-shard derived seeds and
+//! merged in input order (see `cbfd_net::par`). Worker counts are
+//! passed explicitly, never via `CBFD_WORKERS`, so the tests cannot
+//! race on the environment.
+
+use cbfd::analysis::montecarlo;
+use cbfd::net::par;
+use cbfd::prelude::*;
+
+fn worker_counts() -> [usize; 3] {
+    [1, 2, par::default_workers().max(3)]
+}
+
+/// Enough trials to span multiple shards so the merge path is hit.
+const TRIALS: u64 = montecarlo::SHARD_SIZE * 2 + 1234;
+
+#[test]
+fn all_mc_estimators_are_worker_count_invariant() {
+    let [w1, w2, wmax] = worker_counts();
+    let estimates = |workers: usize| {
+        [
+            montecarlo::false_detection_with_workers(50, 0.5, TRIALS, 7, workers),
+            montecarlo::false_detection_direct_with_workers(50, 0.5, TRIALS, 11, workers),
+            montecarlo::ch_false_detection_with_workers(50, 0.5, 0.5, TRIALS, 13, workers),
+            montecarlo::incompleteness_with_workers(50, 0.4, TRIALS, 17, workers),
+            montecarlo::dch_reach_miss_with_workers(75, 0.3, 0.5, 1.0, TRIALS, 23, workers),
+        ]
+    };
+    let base = estimates(w1);
+    assert_eq!(base, estimates(w2), "workers=2 diverged from workers=1");
+    assert_eq!(
+        base,
+        estimates(wmax),
+        "workers={wmax} diverged from workers=1"
+    );
+}
+
+#[test]
+fn run_many_is_worker_count_invariant() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let positions = Placement::UniformRect(Rect::square(450.0)).generate(120, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    let crashes = [PlannedCrash {
+        epoch: 1,
+        node: NodeId(17),
+    }];
+    let seeds: Vec<u64> = (0..7).collect();
+    let [w1, w2, wmax] = worker_counts();
+
+    let base = exp.run_many_with_workers(0.15, 4, &crashes, &seeds, w1);
+    for workers in [w2, wmax] {
+        let other = exp.run_many_with_workers(0.15, 4, &crashes, &seeds, workers);
+        assert_eq!(base.len(), other.len());
+        for (a, b) in base.iter().zip(&other) {
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "run_many outcome diverged at workers={workers}"
+            );
+        }
+    }
+    // And the default-worker entry point agrees with the explicit one.
+    let default = exp.run_many(0.15, 4, &crashes, &seeds);
+    assert_eq!(format!("{:?}", base[0]), format!("{:?}", default[0]));
+}
+
+#[test]
+fn par_map_preserves_order_for_any_worker_count() {
+    let items: Vec<u64> = (0..100).collect();
+    let f = |i: usize, &x: &u64| (i as u64) * 1_000 + x;
+    let base = par::par_map(1, &items, f);
+    for workers in [2, 4, 16] {
+        assert_eq!(base, par::par_map(workers, &items, f));
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests for the discrete-event core: `EventQueue`
+//! ordering (stable `(time, sequence)` tie-breaking) and the
+//! simulator's timer slab (set / cancel / re-set-same-token).
+//!
+//! Both are checked against trivially-correct reference models:
+//! the queue against a stable sort, the slab against a pending-list
+//! interpreter. Narrow value ranges force heavy collisions — many
+//! events at the same instant, many timers sharing a token.
+
+use cbfd::net::actor::{Actor, Ctx, TimerToken};
+use cbfd::net::event::{EventKind, EventQueue};
+use cbfd::net::sim::Simulator;
+use cbfd::prelude::*;
+use proptest::prelude::*;
+
+fn timer(node: u64, token: u64) -> EventKind<()> {
+    EventKind::Timer {
+        node: NodeId(node as u32),
+        token,
+        id: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Schedule-all-then-pop-all equals a stable sort by time: ties
+    /// at one instant resolve in insertion order.
+    #[test]
+    fn queue_pops_are_a_stable_sort_by_time(
+        times in proptest::collection::vec(0u64..8, 0..40),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), timer(i as u64, t));
+        }
+
+        let mut expected: Vec<(u64, u64)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        expected.sort_by_key(|&(t, _)| t); // stable: preserves insertion order
+
+        let mut popped = Vec::new();
+        while let Some((at, kind)) = q.pop() {
+            match kind {
+                EventKind::Timer { node, token, .. } => {
+                    prop_assert_eq!(SimTime::from_micros(token), at);
+                    popped.push((token, node.0 as u64));
+                }
+                _ => unreachable!(),
+            }
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Interleaved schedule/pop operations match a reference model
+    /// that pops the minimum `(time, insertion-sequence)` pair.
+    #[test]
+    fn queue_matches_model_under_interleaved_ops(
+        ops in proptest::collection::vec((0u8..4, 0u64..8), 0..60),
+    ) {
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (time, seq)
+        let mut seq = 0u64;
+
+        for &(op, t) in &ops {
+            if op == 0 {
+                // Pop: the queue must agree with the model's minimum.
+                let expect = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(time, s))| (time, s))
+                    .map(|(i, _)| i);
+                match expect {
+                    Some(i) => {
+                        let (time, s) = model.remove(i);
+                        let (at, kind) = q.pop().expect("model has a pending event");
+                        prop_assert_eq!(at, SimTime::from_micros(time));
+                        match kind {
+                            EventKind::Timer { token, .. } => prop_assert_eq!(token, s),
+                            _ => unreachable!(),
+                        }
+                    }
+                    None => prop_assert!(q.pop().is_none()),
+                }
+            } else {
+                q.schedule(SimTime::from_micros(t), timer(0, seq));
+                model.push((t, seq));
+                seq += 1;
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(
+                q.peek_time(),
+                model.iter().map(|&(time, _)| time).min().map(SimTime::from_micros)
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------- timer slab
+
+/// One scripted timer operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `set_timer(delay, token)`.
+    Set { token: u64, delay_ms: u64 },
+    /// `cancel_timer(token)` — kills *all* pending timers with the
+    /// token, and nothing else.
+    Cancel { token: u64 },
+}
+
+fn arb_op(max_delay: u64) -> impl Strategy<Value = Op> {
+    // Tokens in 0..4 and small delays force same-token and
+    // same-instant collisions.
+    (0u8..4, 0u64..4, 1u64..max_delay).prop_map(|(kind, token, delay_ms)| {
+        if kind == 0 {
+            Op::Cancel { token }
+        } else {
+            Op::Set { token, delay_ms }
+        }
+    })
+}
+
+/// Runs `start_ops` in `on_start`, then `fire_ops` inside the first
+/// timer callback, recording every `(now_ms, token)` that fires.
+struct Scripted {
+    start_ops: Vec<Op>,
+    fire_ops: Vec<Op>,
+    fired: Vec<(u64, u64)>,
+}
+
+fn apply_ops(ctx: &mut Ctx<'_, ()>, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Set { token, delay_ms } => {
+                ctx.set_timer(SimDuration::from_millis(delay_ms), TimerToken(token));
+            }
+            Op::Cancel { token } => ctx.cancel_timer(TimerToken(token)),
+        }
+    }
+}
+
+impl Actor for Scripted {
+    type Msg = ();
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let ops = std::mem::take(&mut self.start_ops);
+        apply_ops(ctx, &ops);
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: TimerToken) {
+        self.fired.push((ctx.now().as_millis(), token.0));
+        let ops = std::mem::take(&mut self.fire_ops);
+        apply_ops(ctx, &ops);
+    }
+}
+
+/// Reference interpreter: a pending list of `(fire_at, seq, token)`
+/// where cancel drops every entry with the token and firing order is
+/// minimum `(fire_at, seq)`.
+fn model_fires(start_ops: &[Op], fire_ops: &[Op]) -> Vec<(u64, u64)> {
+    let mut pending: Vec<(u64, u64, u64)> = Vec::new();
+    let mut seq = 0u64;
+    let mut apply = |pending: &mut Vec<(u64, u64, u64)>, now: u64, ops: &[Op]| {
+        for &op in ops {
+            match op {
+                Op::Set { token, delay_ms } => {
+                    pending.push((now + delay_ms, seq, token));
+                    seq += 1;
+                }
+                Op::Cancel { token } => pending.retain(|&(_, _, t)| t != token),
+            }
+        }
+    };
+
+    apply(&mut pending, 0, start_ops);
+    let mut fired = Vec::new();
+    let mut first = true;
+    while let Some(i) = pending
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &(at, s, _))| (at, s))
+        .map(|(i, _)| i)
+    {
+        let (at, _, token) = pending.remove(i);
+        fired.push((at, token));
+        if first {
+            first = false;
+            // Commands issued inside the callback apply before the
+            // next event pops — a same-instant cancel is still exact.
+            apply(&mut pending, at, fire_ops);
+        }
+    }
+    fired
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The simulator's timer slab agrees with the reference model for
+    /// arbitrary set/cancel/re-set scripts, including ops issued
+    /// mid-run from inside a timer callback.
+    #[test]
+    fn timer_slab_matches_model(
+        start_ops in proptest::collection::vec(arb_op(8), 0..12),
+        fire_ops in proptest::collection::vec(arb_op(8), 0..8),
+    ) {
+        let expected = model_fires(&start_ops, &fire_ops);
+
+        let topo = Topology::from_positions(vec![Point::new(0.0, 0.0)], 100.0);
+        let mut sim = Simulator::new(topo, RadioConfig::lossless(), 1, |_| Scripted {
+            start_ops: start_ops.clone(),
+            fire_ops: fire_ops.clone(),
+            fired: Vec::new(),
+        });
+        sim.run_until(SimTime::from_secs(1));
+
+        prop_assert_eq!(&sim.actor(NodeId(0)).fired, &expected);
+        prop_assert_eq!(sim.metrics().timers_fired, expected.len() as u64);
+    }
+}

@@ -1,0 +1,65 @@
+//! Golden-value regression tests pinning the EXPERIMENTS.md anchors.
+//!
+//! These are the closed-form numbers the repository's figure tables
+//! are validated against (Figures 5–7 of the paper). They depend only
+//! on the analysis code — no randomness — so they are pinned to four
+//! significant digits: a change here means the model itself changed
+//! and EXPERIMENTS.md must be re-derived.
+
+use cbfd::analysis::{ch_false_detection, false_detection, incompleteness};
+
+/// Relative-error check against a 4-significant-digit anchor.
+fn close(actual: f64, anchor: f64) -> bool {
+    (actual - anchor).abs() <= 5e-4 * anchor.abs()
+}
+
+#[test]
+fn fig5_false_detection_anchors() {
+    for (n, p, anchor) in [
+        (50, 0.5, 1.793e-3),
+        (75, 0.5, 1.370e-4),
+        (100, 0.5, 1.047e-5),
+        (50, 0.05, 2.115e-12),
+        (100, 0.05, 7.490e-22),
+    ] {
+        let actual = false_detection::worst_case(n, p);
+        assert!(
+            close(actual, anchor),
+            "fig5 N={n} p={p}: {actual:.4e} drifted from anchor {anchor:.4e}"
+        );
+    }
+}
+
+#[test]
+fn fig6_ch_false_detection_anchors() {
+    for (n, p, anchor) in [(50, 0.5, 1.258e-7), (75, 0.5, 9.5e-11), (100, 0.5, 7.1e-14)] {
+        let actual = ch_false_detection::probability(n, p);
+        // The two sparser anchors are quoted to 2 significant digits.
+        let tol = if n == 50 { 5e-4 } else { 5e-2 };
+        assert!(
+            (actual - anchor).abs() <= tol * anchor,
+            "fig6 N={n} p={p}: {actual:.4e} drifted from anchor {anchor:.4e}"
+        );
+    }
+    // Axis-floor regime: same order of magnitude as the 1.0e-103 anchor.
+    let floor = ch_false_detection::probability(100, 0.05);
+    assert!(
+        (9e-104..2e-103).contains(&floor),
+        "fig6 N=100 p=0.05: {floor:.4e} left the anchored regime"
+    );
+}
+
+#[test]
+fn fig7_incompleteness_anchors() {
+    for (n, p, anchor) in [
+        (50, 0.5, 4.512e-2),
+        (100, 0.5, 3.683e-3),
+        (100, 0.05, 2.091e-19),
+    ] {
+        let actual = incompleteness::worst_case(n, p);
+        assert!(
+            close(actual, anchor),
+            "fig7 N={n} p={p}: {actual:.4e} drifted from anchor {anchor:.4e}"
+        );
+    }
+}

@@ -39,7 +39,9 @@ fn run_field(
 #[test]
 fn every_reporter_gives_the_same_operator_view() {
     let crashes = [(1, NodeId(17)), (2, NodeId(63)), (3, NodeId(101))];
-    let (sim, deployed) = run_field(5, 0.1, 10, &crashes);
+    // Seed chosen so the sampled field is fully connected under the
+    // vendored generator.
+    let (sim, deployed) = run_field(4, 0.1, 10, &crashes);
     let mut reports = Vec::new();
     for (id, node) in sim.actors() {
         if !sim.is_alive(id) || node.profile().cluster.is_none() {

@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types to keep the wire-format door open, but nothing serializes
+//! through serde yet (the codec in `cbfd-core::message` is
+//! hand-rolled). Until a real serialization workload lands, the traits
+//! are markers and the derives are no-ops, which keeps the offline
+//! build self-contained.
+
+/// Marker for types that could be serialized.
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for owned deserialization (mirrors serde's blanket rule).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,119 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! stand-in: they parse just enough of the item to find its name and
+//! emit an empty marker-trait impl. Generic items are supported for
+//! plain type/lifetime parameters (no bounds), which covers every
+//! derive site in the workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The name and generics of the item a derive is attached to.
+struct ItemHead {
+    name: String,
+    /// Generic parameter names verbatim, e.g. `["'a", "T"]`.
+    generics: Vec<String>,
+}
+
+fn parse_head(input: TokenStream) -> ItemHead {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifier keywords
+    // until the `struct`/`enum`/`union` keyword.
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the following bracket group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                break;
+            }
+            // `pub`, `pub(crate)` groups, `r#...` idents: skip.
+            _ => {}
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut current = String::new();
+            for tree in iter.by_ref() {
+                match &tree {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        current.push('<');
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        current.push('>');
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        generics.push(std::mem::take(&mut current));
+                    }
+                    other => current.push_str(&other.to_string()),
+                }
+            }
+            if !current.is_empty() {
+                generics.push(current);
+            }
+            for g in &generics {
+                assert!(
+                    !g.contains(':') && !g.contains('='),
+                    "vendored serde_derive supports only plain generic parameters, got `{g}`"
+                );
+            }
+        }
+    }
+    ItemHead { name, generics }
+}
+
+fn param_list(head: &ItemHead) -> (String, String) {
+    if head.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let list = head.generics.join(", ");
+    (format!("<{list}>"), format!("<{list}>"))
+}
+
+/// Emits `impl serde::Serialize for <item> {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let head = parse_head(input);
+    let (impl_generics, ty_generics) = param_list(&head);
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {}{ty_generics} {{}}",
+        head.name
+    )
+    .parse()
+    .expect("valid impl block")
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for <item> {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let head = parse_head(input);
+    let lifetime = "'de";
+    let params: Vec<String> = std::iter::once(lifetime.to_string())
+        .chain(head.generics.iter().cloned())
+        .collect();
+    let impl_generics = format!("<{}>", params.join(", "));
+    let ty_generics = if head.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", head.generics.join(", "))
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize<{lifetime}> for {}{ty_generics} {{}}",
+        head.name
+    )
+    .parse()
+    .expect("valid impl block")
+}
