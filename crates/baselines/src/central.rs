@@ -141,33 +141,36 @@ impl Actor for CentralNode {
         self.tick(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, CentralMsg>, _from: NodeId, msg: CentralMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, CentralMsg>, _from: NodeId, msg: &CentralMsg) {
         match msg {
             CentralMsg::Heartbeat {
                 origin,
                 seq,
                 next_hop,
             } => {
-                if next_hop != self.me {
+                if *next_hop != self.me {
                     return;
                 }
                 if self.me == self.base {
-                    let newest = self.newest.entry(origin).or_insert(0);
-                    *newest = (*newest).max(seq);
+                    let newest = self.newest.entry(*origin).or_insert(0);
+                    *newest = (*newest).max(*seq);
                 } else if let Some(parent) = self.parent {
                     ctx.broadcast(CentralMsg::Heartbeat {
-                        origin,
-                        seq,
+                        origin: *origin,
+                        seq: *seq,
                         next_hop: parent,
                     });
                 }
             }
             CentralMsg::Verdict { seq, failed } => {
-                if self.me == self.base || !self.relayed_verdicts.insert(seq) {
+                if self.me == self.base || !self.relayed_verdicts.insert(*seq) {
                     return;
                 }
                 self.believed_failed = failed.iter().copied().collect();
-                ctx.broadcast(CentralMsg::Verdict { seq, failed });
+                ctx.broadcast(CentralMsg::Verdict {
+                    seq: *seq,
+                    failed: failed.clone(),
+                });
             }
         }
     }

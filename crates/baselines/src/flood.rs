@@ -92,14 +92,14 @@ impl Actor for FloodNode {
         self.tick(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, FloodMsg>, _from: NodeId, msg: FloodMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FloodMsg>, _from: NodeId, msg: &FloodMsg) {
         if msg.origin == self.me {
             return;
         }
         let prev = self.newest.get(&msg.origin).copied();
         if prev.is_none_or(|p| msg.seq > p) {
             self.newest.insert(msg.origin, msg.seq);
-            ctx.broadcast(msg); // flood: forward the first copy of newer news
+            ctx.broadcast(*msg); // flood: forward the first copy of newer news
         }
     }
 

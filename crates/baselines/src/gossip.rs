@@ -93,8 +93,8 @@ impl Actor for GossipNode {
         self.tick(ctx);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, GossipMsg>, _from: NodeId, msg: GossipMsg) {
-        for (node, counter) in msg.table {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, GossipMsg>, _from: NodeId, msg: &GossipMsg) {
+        for &(node, counter) in &msg.table {
             if node == self.me {
                 continue;
             }

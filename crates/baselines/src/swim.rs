@@ -269,55 +269,55 @@ impl Actor for SwimNode {
         self.tick(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, SwimMsg>, _from: NodeId, msg: SwimMsg) {
-        for g in msg.gossip().to_vec() {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SwimMsg>, _from: NodeId, msg: &SwimMsg) {
+        for &g in msg.gossip() {
             if g.node != self.me {
                 self.note(g);
             }
         }
         match msg {
             SwimMsg::Ping { from, to, seq, .. } => {
-                if to == self.me {
+                if *to == self.me {
                     ctx.broadcast(SwimMsg::Ack {
                         from: self.me,
-                        to: from,
-                        seq,
+                        to: *from,
+                        seq: *seq,
                         gossip: self.piggyback(),
                     });
                 }
                 // Hearing any transmission from a suspected member
                 // refutes the suspicion (it is evidently alive).
                 let epoch = self.epoch;
-                if self.suspected_since.contains_key(&from) {
+                if self.suspected_since.contains_key(from) {
                     self.note(Gossip {
-                        node: from,
+                        node: *from,
                         state: MemberState::Alive,
                         epoch,
                     });
                 }
             }
             SwimMsg::Ack { from, to, seq, .. } => {
-                if to == self.me {
-                    if self.outstanding == Some((from, seq)) {
+                if *to == self.me {
+                    if self.outstanding == Some((*from, *seq)) {
                         self.outstanding = None;
                     }
-                    if self.indirect_outstanding == Some((from, seq)) {
+                    if self.indirect_outstanding == Some((*from, *seq)) {
                         self.indirect_outstanding = None;
                     }
                     let epoch = self.epoch;
                     self.note(Gossip {
-                        node: from,
+                        node: *from,
                         state: MemberState::Alive,
                         epoch,
                     });
                 } else if let Some((target, seq_out)) = self.indirect_outstanding {
                     // Overheard ack of our helper's probe: promiscuous
                     // receiving gives the indirect phase a shortcut.
-                    if from == target && seq == seq_out {
+                    if *from == target && *seq == seq_out {
                         self.indirect_outstanding = None;
                         let epoch = self.epoch;
                         self.note(Gossip {
-                            node: from,
+                            node: *from,
                             state: MemberState::Alive,
                             epoch,
                         });
@@ -331,14 +331,14 @@ impl Actor for SwimNode {
                 seq,
                 ..
             } => {
-                if to == self.me {
+                if *to == self.me {
                     // Probe on the requester's behalf; the target's
                     // ack names the original prober so it can clear
                     // its own timeout (and we overhear it too).
                     ctx.broadcast(SwimMsg::Ping {
-                        from,
-                        to: target,
-                        seq,
+                        from: *from,
+                        to: *target,
+                        seq: *seq,
                         gossip: self.piggyback(),
                     });
                 }

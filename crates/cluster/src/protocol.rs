@@ -169,23 +169,23 @@ impl Actor for FormationNode {
         self.begin_iteration(ctx);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, FormationMsg>, _from: NodeId, msg: FormationMsg) {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, FormationMsg>, _from: NodeId, msg: &FormationMsg) {
         match msg {
             FormationMsg::Probe { id } => {
-                if self.smallest_probe.is_none_or(|s| id < s) {
-                    self.smallest_probe = Some(id);
+                if self.smallest_probe.is_none_or(|s| *id < s) {
+                    self.smallest_probe = Some(*id);
                 }
                 if self.state == State::Head {
                     self.reclaim = true;
                 }
             }
             FormationMsg::Claim { head } => {
-                self.claims.push(head);
+                self.claims.push(*head);
             }
             FormationMsg::Join { head, member } => {
-                if self.state == State::Head && head == self.me {
-                    if !self.members.contains(&member) {
-                        self.members.push(member);
+                if self.state == State::Head && *head == self.me {
+                    if !self.members.contains(member) {
+                        self.members.push(*member);
                     }
                     // Re-announce even for an already-known member: its
                     // previous confirmation may have been lost.
@@ -198,11 +198,11 @@ impl Actor for FormationNode {
                 if members.contains(&self.me) {
                     match self.state {
                         State::Unmarked | State::Claiming | State::PendingMember { .. } => {
-                            self.state = State::Member { head };
-                            self.members = members;
+                            self.state = State::Member { head: *head };
+                            self.members = members.clone();
                         }
-                        State::Member { head: mine } if mine == head => {
-                            self.members = members;
+                        State::Member { head: mine } if mine == *head => {
+                            self.members = members.clone();
                         }
                         _ => {}
                     }

@@ -886,7 +886,7 @@ impl Actor for FdsNode {
         self.begin_epoch(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, FdsMsg>, _from: NodeId, msg: FdsMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FdsMsg>, _from: NodeId, msg: &FdsMsg) {
         if self.asleep {
             return; // radio off
         }
@@ -896,8 +896,9 @@ impl Actor for FdsNode {
                 marked,
                 reading,
             } => {
+                let from = *from;
                 self.evidence.record_heartbeat(from);
-                if let Some(r) = reading {
+                if let Some(r) = *reading {
                     self.readings.insert(from, r);
                 }
                 if !marked
@@ -914,10 +915,11 @@ impl Actor for FdsNode {
                         self.readings.entry(*node).or_insert(*reading);
                     }
                 }
-                self.evidence.record_digest(d);
+                self.evidence.record_digest(d.clone());
             }
-            FdsMsg::HealthUpdate(u) => self.handle_update(ctx, u, false),
+            FdsMsg::HealthUpdate(u) => self.handle_update(ctx, u.clone(), false),
             FdsMsg::ForwardRequest { from, epoch } => {
+                let (from, epoch) = (*from, *epoch);
                 // Peers answer, not the acting head: the paper prefers
                 // peer forwarding over CH/DCH retransmission for
                 // energy balance (Section 4.2).
@@ -958,14 +960,14 @@ impl Actor for FdsNode {
                 // adopted even when addressed to someone else (free
                 // redundancy); strict mode limits recovery to the
                 // addressee, matching the Figure 7 model exactly.
-                let addressed_to_me = to == self.profile.id;
+                let addressed_to_me = *to == self.profile.id;
                 if self.my_cluster() == Some(update.cluster)
                     && (addressed_to_me || self.config.promiscuous_recovery)
                 {
                     let epoch = update.epoch;
                     let had_update = self.update_this_epoch.is_some();
                     let had_request = self.request_outstanding;
-                    self.handle_update(ctx, update, true);
+                    self.handle_update(ctx, update.clone(), true);
                     // Acknowledge proactive relays too (the Figure 2
                     // case: we never requested, a peer relayed on the
                     // deputy's behalf) so other standby relayers quit.
@@ -988,10 +990,11 @@ impl Actor for FdsNode {
                 }
             }
             FdsMsg::PeerAck { from, epoch } => {
-                self.quit.insert((from, epoch));
+                self.quit.insert((*from, *epoch));
             }
-            FdsMsg::Report(r) => self.handle_report(ctx, r),
+            FdsMsg::Report(r) => self.handle_report(ctx, r.clone()),
             FdsMsg::SleepNotice { from, until_epoch } => {
+                let (from, until_epoch) = (*from, *until_epoch);
                 self.known_sleepers.insert(from, until_epoch);
                 // Relay each notice once: the inherent message
                 // redundancy gives the head a second chance to hear

@@ -154,10 +154,10 @@ impl<M> fmt::Debug for Ctx<'_, M> {
 ///
 /// impl Actor for Flooder {
 ///     type Msg = u32;
-///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: &u32) {
 ///         if !self.seen {
 ///             self.seen = true;
-///             ctx.broadcast(msg);
+///             ctx.broadcast(*msg);
 ///         }
 ///     }
 /// }
@@ -172,7 +172,13 @@ pub trait Actor {
     }
 
     /// Invoked when a transmission from `from` reaches this node.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+    ///
+    /// The message is passed by reference: the simulator stores each
+    /// broadcast payload once and every in-range receiver reads the
+    /// same copy, so a dense-cluster fan-out costs no deep clones.
+    /// Clone (parts of) the message only where the protocol actually
+    /// retains it.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: &Self::Msg);
 
     /// Invoked when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: TimerToken) {
@@ -230,7 +236,7 @@ mod tests {
         struct Quiet;
         impl Actor for Quiet {
             type Msg = ();
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
         }
         let mut rng = StdRng::seed_from_u64(0);
         let mut ctx = Ctx::new(SimTime::ZERO, NodeId(0), &mut rng);

@@ -1,0 +1,504 @@
+//! Differential test: the overhauled engine (calendar queue + timer
+//! slab + payload arena) against a from-scratch reference simulator
+//! that reproduces the *old* engine's semantics — `BinaryHeap` event
+//! queue, per-receiver payload clones, and the
+//! `live_timers`/`cancelled`-set timer bookkeeping.
+//!
+//! Both engines consume the RNG stream in exactly the same order, so
+//! for any seed they must produce byte-identical traces (delivery /
+//! timer / crash sequences), metrics, energy ledgers, and actor state.
+//! A divergence in any workload is a determinism regression in the
+//! overhaul.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::actor::{Actor, Command, Ctx, TimerToken};
+use crate::energy::{EnergyBook, EnergyModel};
+use crate::geometry::Point;
+use crate::id::NodeId;
+use crate::metrics::SimMetrics;
+use crate::radio::RadioConfig;
+use crate::rng::derive_seed;
+use crate::sim::Simulator;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceKind, TraceRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Reference engine: the pre-overhaul simulator, re-implemented verbatim.
+// ---------------------------------------------------------------------------
+
+enum RefKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, token: u64, id: u64 },
+    Crash { node: NodeId },
+}
+
+struct RefScheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: RefKind<M>,
+}
+
+impl<M> PartialEq for RefScheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for RefScheduled<M> {}
+impl<M> PartialOrd for RefScheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for RefScheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want earliest (then
+        // lowest seq, i.e. insertion order) first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The old engine: binary heap, cloned payloads, tombstone-set timers.
+struct ReferenceSimulator<A: Actor> {
+    topology: Topology,
+    radio: RadioConfig,
+    actors: Vec<A>,
+    alive: Vec<bool>,
+    heap: BinaryHeap<RefScheduled<A::Msg>>,
+    next_seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    metrics: SimMetrics,
+    energy: EnergyBook,
+    trace: Trace,
+    live_timers: Vec<HashMap<u64, Vec<u64>>>,
+    cancelled: HashSet<u64>,
+    next_timer_id: u64,
+    started: bool,
+    last_harvest: SimTime,
+}
+
+impl<A: Actor> ReferenceSimulator<A>
+where
+    A::Msg: Clone,
+{
+    fn new(
+        topology: Topology,
+        radio: RadioConfig,
+        seed: u64,
+        mut make_actor: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        let n = topology.len();
+        let actors = topology.node_ids().map(&mut make_actor).collect();
+        ReferenceSimulator {
+            actors,
+            alive: vec![true; n],
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(derive_seed(seed, 0)),
+            metrics: SimMetrics::new(n),
+            energy: EnergyBook::new(n, EnergyModel::default()),
+            trace: Trace::enabled(),
+            live_timers: vec![HashMap::new(); n],
+            cancelled: HashSet::new(),
+            next_timer_id: 0,
+            started: false,
+            last_harvest: SimTime::ZERO,
+            topology,
+            radio,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: RefKind<A::Msg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(RefScheduled { at, seq, kind });
+    }
+
+    fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.schedule(at, RefKind::Crash { node });
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            let node = NodeId(i as u32);
+            if !self.alive[i] {
+                continue;
+            }
+            let mut ctx =
+                Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
+            self.actors[i].on_start(&mut ctx);
+            let commands = ctx.commands;
+            self.apply_commands(node, commands);
+        }
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while self.heap.peek().is_some_and(|s| s.at <= deadline) {
+            let Some(RefScheduled { at, kind, .. }) = self.heap.pop() else {
+                unreachable!()
+            };
+            self.now = at;
+            if self.energy.model().harvest_per_sec > 0.0 && self.now > self.last_harvest {
+                let elapsed = self.now.since(self.last_harvest).as_micros() as f64 / 1e6;
+                self.energy.harvest(elapsed);
+                self.last_harvest = self.now;
+            }
+            match kind {
+                RefKind::Deliver { to, from, msg } => self.apply_delivery(to, from, msg),
+                RefKind::Timer { node, token, id } => self.apply_timer(node, token, id),
+                RefKind::Crash { node } => self.apply_crash(node),
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    fn apply_delivery(&mut self, to: NodeId, from: NodeId, msg: A::Msg) {
+        if !self.alive[to.index()] {
+            self.metrics.record_dropped_dead();
+            return;
+        }
+        self.metrics.record_delivery();
+        self.energy.charge_rx(to);
+        self.trace.push(TraceRecord {
+            at: self.now,
+            node: to,
+            peer: from,
+            kind: TraceKind::Receive,
+        });
+        let mut ctx = Ctx::new(self.now, to, &mut self.rng).with_energy(self.energy.remaining(to));
+        self.actors[to.index()].on_message(&mut ctx, from, &msg);
+        let commands = ctx.commands;
+        self.apply_commands(to, commands);
+    }
+
+    fn apply_timer(&mut self, node: NodeId, token: u64, id: u64) {
+        if self.cancelled.remove(&id) {
+            return; // cancelled: skipped without touching metrics
+        }
+        if let Some(ids) = self.live_timers[node.index()].get_mut(&token) {
+            if let Some(pos) = ids.iter().position(|&i| i == id) {
+                ids.swap_remove(pos);
+            }
+            if ids.is_empty() {
+                self.live_timers[node.index()].remove(&token);
+            }
+        }
+        if !self.alive[node.index()] {
+            return;
+        }
+        self.metrics.record_timer();
+        self.trace.push(TraceRecord {
+            at: self.now,
+            node,
+            peer: node,
+            kind: TraceKind::Timer,
+        });
+        let mut ctx =
+            Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
+        self.actors[node.index()].on_timer(&mut ctx, TimerToken(token));
+        let commands = ctx.commands;
+        self.apply_commands(node, commands);
+    }
+
+    fn apply_crash(&mut self, node: NodeId) {
+        if !self.alive[node.index()] {
+            return;
+        }
+        self.alive[node.index()] = false;
+        self.trace.push(TraceRecord {
+            at: self.now,
+            node,
+            peer: node,
+            kind: TraceKind::Crash,
+        });
+    }
+
+    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command<A::Msg>>) {
+        for command in commands {
+            match command {
+                Command::Broadcast(msg) => self.transmit(node, msg),
+                Command::SetTimer { fire_at, token } => {
+                    let id = self.next_timer_id;
+                    self.next_timer_id += 1;
+                    self.live_timers[node.index()]
+                        .entry(token.0)
+                        .or_default()
+                        .push(id);
+                    self.schedule(
+                        fire_at,
+                        RefKind::Timer {
+                            node,
+                            token: token.0,
+                            id,
+                        },
+                    );
+                }
+                Command::CancelTimer { token } => {
+                    if let Some(ids) = self.live_timers[node.index()].remove(&token.0) {
+                        self.cancelled.extend(ids);
+                    }
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, msg: A::Msg) {
+        let neighbors = self.topology.neighbors(from).to_vec();
+        self.metrics.record_transmission(from, neighbors.len());
+        self.energy.charge_tx(from);
+        self.trace.push(TraceRecord {
+            at: self.now,
+            node: from,
+            peer: from,
+            kind: TraceKind::Transmit,
+        });
+        let from_pos = self.topology.position(from);
+        for &to in &neighbors {
+            let to_pos = self.topology.position(to);
+            let lost = self
+                .radio
+                .loss_mut()
+                .is_lost(from, to, from_pos, to_pos, &mut self.rng);
+            if lost {
+                self.metrics.record_loss();
+                self.trace.push(TraceRecord {
+                    at: self.now,
+                    node: to,
+                    peer: from,
+                    kind: TraceKind::Loss,
+                });
+                continue;
+            }
+            let delay = self.radio.draw_delay(&mut self.rng);
+            // The old engine's cost centre: one deep clone per receiver.
+            self.schedule(
+                self.now + delay,
+                RefKind::Deliver {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz actor: rng-driven rebroadcasts, timer churn, non-Copy payloads.
+// ---------------------------------------------------------------------------
+
+/// Message: `[ttl, origin, hop, hop, ...]` — deliberately a `Vec` so
+/// the reference engine's per-receiver clones are real deep copies.
+type FuzzMsg = Vec<u32>;
+
+/// Exercises every engine path: broadcast fan-out, timer set/cancel
+/// churn (including same-token stacking), far-future timers that land
+/// in the calendar queue's overflow heap, and rng draws inside
+/// callbacks (so any divergence in callback *order* desynchronises the
+/// streams and snowballs).
+struct Fuzz {
+    me: NodeId,
+    log: Vec<(u64, u32, u64)>,
+}
+
+impl Fuzz {
+    fn new(me: NodeId) -> Self {
+        Fuzz {
+            me,
+            log: Vec::new(),
+        }
+    }
+}
+
+const FUZZ_TTL: u32 = 3;
+
+impl Actor for Fuzz {
+    type Msg = FuzzMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, FuzzMsg>) {
+        let id = u64::from(self.me.0);
+        // Near-term timer (calendar ring) and a far-future one that
+        // overflows the 2^17-slot ring horizon (~131 ms).
+        ctx.set_timer(SimDuration::from_micros(500 + id * 37), TimerToken(id % 3));
+        ctx.set_timer(
+            SimDuration::from_millis(150 + (id % 5) * 40),
+            TimerToken((id + 1) % 3),
+        );
+        if self.me.0.is_multiple_of(3) {
+            ctx.broadcast(vec![FUZZ_TTL, self.me.0]);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, FuzzMsg>, from: NodeId, msg: &FuzzMsg) {
+        self.log
+            .push((ctx.now().as_micros(), from.0, u64::from(msg[0])));
+        let ttl = msg[0];
+        let draw = ctx.rng().next_u64();
+        match draw % 4 {
+            0 if ttl > 0 => {
+                let mut fwd = msg.clone();
+                fwd[0] = ttl - 1;
+                fwd.push(self.me.0);
+                ctx.broadcast(fwd);
+            }
+            1 => ctx.set_timer(
+                SimDuration::from_micros(draw % 3_000 + 1),
+                TimerToken(draw % 3),
+            ),
+            2 => ctx.cancel_timer(TimerToken(draw % 3)),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, FuzzMsg>, token: TimerToken) {
+        self.log.push((ctx.now().as_micros(), u32::MAX, token.0));
+        let draw = ctx.rng().next_u64();
+        match draw % 3 {
+            0 => ctx.broadcast(vec![1, self.me.0]),
+            1 => ctx.set_timer(
+                SimDuration::from_micros(draw % 50_000 + 10),
+                TimerToken(draw % 3),
+            ),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential check itself.
+// ---------------------------------------------------------------------------
+
+/// One randomized workload: geometry, channel, crash schedule.
+struct Workload {
+    topology: Topology,
+    loss_p: f64,
+    jitter_us: u64,
+    crashes: Vec<(NodeId, SimTime)>,
+    seed: u64,
+}
+
+fn build_workload(case: u64) -> Workload {
+    let mut wrng = StdRng::seed_from_u64(0xD1FF ^ (case.wrapping_mul(0x9E37_79B9)));
+    let n = 2 + (wrng.next_u64() % 24) as usize; // 2..=25 nodes
+    let side = 100.0 + (wrng.next_u64() % 400) as f64;
+    let positions: Vec<Point> = (0..n)
+        .map(|_| {
+            let x = wrng.random_range(0.0..side);
+            let y = wrng.random_range(0.0..side);
+            Point::new(x, y)
+        })
+        .collect();
+    let topology = Topology::from_positions(positions, 120.0);
+    let loss_p = [0.0, 0.1, 0.3, 0.6][(wrng.next_u64() % 4) as usize];
+    let jitter_us = [0u64, 200, 1_500][(wrng.next_u64() % 3) as usize];
+    let crashes = (0..n / 4)
+        .map(|_| {
+            let node = NodeId((wrng.next_u64() % n as u64) as u32);
+            let at = SimTime::from_micros(wrng.next_u64() % 300_000);
+            (node, at)
+        })
+        .collect();
+    Workload {
+        topology,
+        loss_p,
+        jitter_us,
+        crashes,
+        seed: case.wrapping_mul(31) + 7,
+    }
+}
+
+fn radio_for(w: &Workload) -> RadioConfig {
+    RadioConfig::bernoulli(w.loss_p).with_jitter(SimDuration::from_micros(w.jitter_us))
+}
+
+/// Runs one workload through both engines and asserts every observable
+/// matches: trace (the full delivery/timer/crash sequence), metrics,
+/// energy ledger, liveness, clock, and per-actor logs.
+fn check_workload(case: u64) {
+    let w = build_workload(case);
+    let deadline = SimTime::from_millis(400);
+
+    let mut new_engine = Simulator::new(w.topology.clone(), radio_for(&w), w.seed, Fuzz::new);
+    new_engine.enable_trace();
+    let mut reference =
+        ReferenceSimulator::new(w.topology.clone(), radio_for(&w), w.seed, Fuzz::new);
+    for &(node, at) in &w.crashes {
+        new_engine.schedule_crash(node, at);
+        reference.schedule_crash(node, at);
+    }
+    new_engine.run_until(deadline);
+    reference.run_until(deadline);
+
+    assert_eq!(
+        new_engine.trace().records(),
+        reference.trace.records(),
+        "trace diverged in workload {case}"
+    );
+    assert_eq!(
+        new_engine.metrics(),
+        &reference.metrics,
+        "metrics diverged in workload {case}"
+    );
+    assert_eq!(
+        new_engine.energy(),
+        &reference.energy,
+        "energy ledger diverged in workload {case}"
+    );
+    assert_eq!(
+        new_engine.now(),
+        reference.now,
+        "clock diverged in workload {case}"
+    );
+    for i in 0..w.topology.len() {
+        let node = NodeId(i as u32);
+        assert_eq!(
+            new_engine.is_alive(node),
+            reference.alive[i],
+            "liveness of {node:?} diverged in workload {case}"
+        );
+        assert_eq!(
+            new_engine.actor(node).log,
+            reference.actors[i].log,
+            "actor log of {node:?} diverged in workload {case}"
+        );
+    }
+}
+
+#[test]
+fn new_engine_matches_old_semantics_on_randomized_workloads() {
+    for case in 0..128 {
+        check_workload(case);
+    }
+}
+
+#[test]
+fn engines_agree_on_a_dense_lossless_storm() {
+    // Every node in range of every other, zero loss: maximal fan-out
+    // through the payload arena, deterministic delay (no jitter draw).
+    let positions: Vec<Point> = (0..16)
+        .map(|i| Point::new(f64::from(i % 4) * 10.0, f64::from(i / 4) * 10.0))
+        .collect();
+    let topology = Topology::from_positions(positions, 500.0);
+    let radio = || RadioConfig::lossless();
+    let mut new_engine = Simulator::new(topology.clone(), radio(), 42, Fuzz::new);
+    new_engine.enable_trace();
+    let mut reference = ReferenceSimulator::new(topology, radio(), 42, Fuzz::new);
+    let deadline = SimTime::from_millis(400);
+    new_engine.run_until(deadline);
+    reference.run_until(deadline);
+    assert_eq!(new_engine.trace().records(), reference.trace.records());
+    assert_eq!(new_engine.metrics(), &reference.metrics);
+    assert!(new_engine.metrics().deliveries > 0, "storm actually ran");
+}

@@ -1,8 +1,42 @@
-//! The discrete-event queue.
+//! The discrete-event queue: a hierarchical calendar queue.
+//!
+//! # Ordering contract
 //!
 //! Events are ordered by `(time, sequence)`: ties at the same virtual
-//! instant are broken by insertion order, which makes every simulation
-//! run fully deterministic for a given seed.
+//! instant are broken by **insertion order**, which makes every
+//! simulation run fully deterministic for a given seed. This contract
+//! is load-bearing — the thread-count-invariance and golden-value
+//! suites pin byte-identical outputs to it — and is enforced by the
+//! property tests in `tests/event_properties.rs` against a
+//! `BinaryHeap` reference model.
+//!
+//! # Structure
+//!
+//! The queue is a two-tier **calendar queue** tuned for the paper's
+//! broadcast-dominated workload, where almost every scheduled event is
+//! a message delivery a few hundred microseconds to a few milliseconds
+//! in the future:
+//!
+//! * a **ring of [`SLOT_COUNT`] one-microsecond buckets** covering the
+//!   near future `[base, base + SLOT_COUNT)`. Because each bucket holds
+//!   exactly one virtual instant, a bucket is a plain FIFO list —
+//!   insertion order *is* sequence order — so schedule and pop are
+//!   amortized O(1). Buckets are singly-linked lists threaded through a
+//!   recycled entry pool (no per-event allocation in steady state), and
+//!   a two-level **hierarchical bitmap** (one bit per bucket, one
+//!   summary bit per 64 buckets) finds the next occupied bucket with a
+//!   handful of word scans instead of walking empty buckets;
+//! * a **`BinaryHeap` overflow tier** for events beyond the ring's
+//!   horizon (far-future timers such as multi-second heartbeat
+//!   intervals) and for the rare event scheduled before `base` (the
+//!   public API permits scheduling in the "past" relative to the last
+//!   pop; the simulator itself never does).
+//!
+//! `pop` is a two-way merge of the ring's earliest bucket and the heap
+//! top by `(time, sequence)`, so an event's tier never affects its
+//! order. The ring's `base` only advances (to each popped event's
+//! time); entries keep their bucket across advances because bucket
+//! indices are computed relative to `(base, cursor)`.
 
 use crate::id::NodeId;
 use crate::time::SimTime;
@@ -27,9 +61,9 @@ pub enum EventKind<M> {
         node: NodeId,
         /// Actor-defined discriminator.
         token: u64,
-        /// Simulator-assigned unique instance id (distinguishes
-        /// multiple pending timers with the same token so that
-        /// cancellation is exact).
+        /// Simulator-assigned instance stamp (the simulator packs a
+        /// timer-slab slot and generation in here so that cancellation
+        /// is exact; opaque at this layer).
         id: u64,
     },
     /// Fail-stop crash of `node`.
@@ -69,7 +103,31 @@ impl<M> PartialOrd for Scheduled<M> {
     }
 }
 
+/// Number of one-microsecond buckets in the calendar ring (131 ms of
+/// horizon): wide enough for every radio delivery delay, the FDS
+/// `Thop`-scale round timers, *and* the ~100 ms epoch/heartbeat
+/// intervals of every protocol in the workspace; only seconds-scale
+/// timers overflow to the heap tier. Costs ~1 MiB per queue, which a
+/// simulation instance amortizes over its whole run.
+pub const SLOT_COUNT: usize = 1 << 17;
+
+/// Sentinel for "no entry" in the intrusive bucket lists.
+const NIL: u32 = u32::MAX;
+
+/// One pooled event in a ring bucket. `kind` is `None` only while the
+/// entry sits on the free list.
+#[derive(Debug)]
+struct Entry<M> {
+    at: SimTime,
+    seq: u64,
+    kind: Option<EventKind<M>>,
+    next: u32,
+}
+
 /// A deterministic priority queue of simulation events.
+///
+/// See the [module docs](self) for the ordering contract and the
+/// calendar-queue internals.
 ///
 /// # Examples
 ///
@@ -87,7 +145,22 @@ impl<M> PartialOrd for Scheduled<M> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Scheduled<M>>,
+    /// Bucket list heads/tails, indexed by ring slot.
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    /// One bit per slot: bucket non-empty.
+    occupied: Vec<u64>,
+    /// One bit per `occupied` word: word non-zero.
+    summary: Vec<u64>,
+    /// Entry pool; freed entries are chained through `next`.
+    pool: Vec<Entry<M>>,
+    free_head: u32,
+    /// Absolute time (µs) of the slot at `cursor`.
+    base: u64,
+    cursor: usize,
+    ring_len: usize,
+    /// Far-future (and behind-`base`) events.
+    overflow: BinaryHeap<Scheduled<M>>,
     next_seq: u64,
 }
 
@@ -95,36 +168,220 @@ impl<M> EventQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heads: vec![NIL; SLOT_COUNT],
+            tails: vec![NIL; SLOT_COUNT],
+            occupied: vec![0; SLOT_COUNT / 64],
+            summary: vec![0; SLOT_COUNT / 64 / 64],
+            pool: Vec::new(),
+            free_head: NIL,
+            base: 0,
+            cursor: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
             next_seq: 0,
         }
     }
 
     /// Schedules `kind` to fire at `at`.
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, kind });
+        let t = at.as_micros();
+        if t >= self.base && t - self.base < SLOT_COUNT as u64 {
+            let slot = (self.cursor + (t - self.base) as usize) & (SLOT_COUNT - 1);
+            let idx = self.alloc_entry(at, seq, kind);
+            if self.tails[slot] == NIL {
+                self.heads[slot] = idx;
+                self.set_bit(slot);
+            } else {
+                self.pool[self.tails[slot] as usize].next = idx;
+            }
+            self.tails[slot] = idx;
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Scheduled { at, seq, kind });
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, EventKind<M>)> {
-        self.heap.pop().map(|s| (s.at, s.kind))
+        self.pop_at_or_before(SimTime::from_micros(u64::MAX))
+    }
+
+    /// Removes and returns the earliest event iff it fires at or
+    /// before `deadline`; a single scan replaces the peek-then-pop
+    /// pattern on the simulator's main loop.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, EventKind<M>)> {
+        let ring = self.first_occupied_slot().map(|slot| {
+            let head = self.heads[slot] as usize;
+            (self.pool[head].at, self.pool[head].seq, slot)
+        });
+        let heap = self.overflow.peek().map(|s| (s.at, s.seq));
+        match (ring, heap) {
+            (None, None) => None,
+            (Some((at, _, slot)), None) => (at <= deadline).then(|| (at, self.pop_ring(slot))),
+            (None, Some((at, _))) => {
+                if at <= deadline {
+                    self.pop_overflow()
+                } else {
+                    None
+                }
+            }
+            (Some((rat, rseq, slot)), Some((hat, hseq))) => {
+                if (rat, rseq) <= (hat, hseq) {
+                    (rat <= deadline).then(|| (rat, self.pop_ring(slot)))
+                } else if hat <= deadline {
+                    self.pop_overflow()
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        let ring = self
+            .first_occupied_slot()
+            .map(|slot| self.pool[self.heads[slot] as usize].at);
+        let heap = self.overflow.peek().map(|s| s.at);
+        match (ring, heap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// Returns true iff no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    // ----------------------------------------------------- internals
+
+    #[inline]
+    fn alloc_entry(&mut self, at: SimTime, seq: u64, kind: EventKind<M>) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let e = &mut self.pool[idx as usize];
+            self.free_head = e.next;
+            e.at = at;
+            e.seq = seq;
+            e.kind = Some(kind);
+            e.next = NIL;
+            idx
+        } else {
+            let idx = self.pool.len() as u32;
+            self.pool.push(Entry {
+                at,
+                seq,
+                kind: Some(kind),
+                next: NIL,
+            });
+            idx
+        }
+    }
+
+    #[inline]
+    fn pop_ring(&mut self, slot: usize) -> EventKind<M> {
+        let idx = self.heads[slot];
+        let e = &mut self.pool[idx as usize];
+        let at = e.at;
+        let next = e.next;
+        let kind = e.kind.take().expect("live ring entry has a kind");
+        e.next = self.free_head;
+        self.free_head = idx;
+        self.heads[slot] = next;
+        if next == NIL {
+            self.tails[slot] = NIL;
+            self.clear_bit(slot);
+        }
+        self.ring_len -= 1;
+        self.advance_to(at.as_micros(), slot);
+        kind
+    }
+
+    fn pop_overflow(&mut self) -> Option<(SimTime, EventKind<M>)> {
+        let s = self.overflow.pop()?;
+        let t = s.at.as_micros();
+        if t > self.base {
+            let d = t - self.base;
+            let slot = ((self.cursor as u64 + d) % SLOT_COUNT as u64) as usize;
+            self.advance_to(t, slot);
+        }
+        Some((s.at, s.kind))
+    }
+
+    /// Moves the ring origin forward to time `t` at ring `slot`.
+    /// Entries keep their buckets: an event at absolute time `x` lives
+    /// in slot `(cursor + (x - base)) mod SLOT_COUNT`, which is
+    /// invariant under simultaneous `(base, cursor)` advancement.
+    #[inline]
+    fn advance_to(&mut self, t: u64, slot: usize) {
+        self.base = t;
+        self.cursor = slot;
+    }
+
+    #[inline]
+    fn set_bit(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.occupied[w] |= 1u64 << (slot & 63);
+        self.summary[w >> 6] |= 1u64 << (w & 63);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, slot: usize) {
+        let w = slot >> 6;
+        self.occupied[w] &= !(1u64 << (slot & 63));
+        if self.occupied[w] == 0 {
+            self.summary[w >> 6] &= !(1u64 << (w & 63));
+        }
+    }
+
+    /// The ring slot holding the earliest pending ring event, i.e. the
+    /// first occupied slot at or after `cursor` in circular order.
+    #[inline]
+    fn first_occupied_slot(&self) -> Option<usize> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        // No bits in [cursor, SLOT_COUNT) means the earliest slot
+        // wrapped around and sits in [0, cursor).
+        self.scan_from(self.cursor).or_else(|| self.scan_from(0))
+    }
+
+    /// First occupied slot in `[from, SLOT_COUNT)`, via the bitmap
+    /// hierarchy: one masked word probe, then summary-guided scan.
+    #[inline]
+    fn scan_from(&self, from: usize) -> Option<usize> {
+        let w0 = from >> 6;
+        let bits = self.occupied[w0] & (!0u64 << (from & 63));
+        if bits != 0 {
+            return Some((w0 << 6) + bits.trailing_zeros() as usize);
+        }
+        let next_word = w0 + 1;
+        if next_word >= self.occupied.len() {
+            return None;
+        }
+        let mut sw = next_word >> 6;
+        let mut sbits = self.summary[sw] & (!0u64 << (next_word & 63));
+        loop {
+            if sbits != 0 {
+                let w = (sw << 6) + sbits.trailing_zeros() as usize;
+                let b = self.occupied[w];
+                return Some((w << 6) + b.trailing_zeros() as usize);
+            }
+            sw += 1;
+            if sw >= self.summary.len() {
+                return None;
+            }
+            sbits = self.summary[sw];
+        }
     }
 }
 
@@ -215,5 +472,107 @@ mod tests {
             }
             _ => panic!("expected deliver"),
         }
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_merge_back() {
+        let mut q = EventQueue::new();
+        // Beyond the ring horizon → heap tier.
+        let far = SimTime::from_micros(SLOT_COUNT as u64 * 3 + 17);
+        q.schedule(far, timer(1));
+        // Near-future → ring tier.
+        q.schedule(SimTime::from_micros(5), timer(0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(5));
+        // The overflow event now pops through the merge.
+        let (at, kind) = q.pop().unwrap();
+        assert_eq!(at, far);
+        assert_eq!(kind, timer(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_across_tiers_respect_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(SLOT_COUNT as u64 + 100);
+        // First insertion lands in the heap (beyond horizon)...
+        q.schedule(t, timer(0));
+        // ...advance the ring past the horizon boundary...
+        q.schedule(SimTime::from_micros(200), timer(99));
+        q.pop();
+        // ...so the same instant now lands in the ring.
+        q.schedule(t, timer(1));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![0, 1],
+            "heap-tier tie must pop first (lower seq)"
+        );
+    }
+
+    #[test]
+    fn scheduling_before_the_last_pop_still_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1_000), timer(0));
+        q.pop();
+        // "Past" relative to the ring base: takes the overflow path.
+        q.schedule(SimTime::from_micros(3), timer(1));
+        q.schedule(SimTime::from_micros(1_500), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn pool_entries_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            for i in 0..10 {
+                q.schedule(SimTime::from_micros(round * 20 + i), timer(i));
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(
+            q.pool.len() <= 10,
+            "pool grew to {} entries for 10 concurrent events",
+            q.pool.len()
+        );
+    }
+
+    #[test]
+    fn wrapping_the_ring_preserves_order() {
+        // Events spread over several horizons: popping them drains the
+        // ring and the overflow tier through the two-way merge while
+        // the cursor wraps repeatedly.
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        let mut x = 12345u64;
+        for i in 0..2_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = x % (SLOT_COUNT as u64 * 5);
+            q.schedule(SimTime::from_micros(t), timer(i));
+            expected.push((t, i));
+        }
+        expected.sort_by_key(|&(t, _)| t); // stable → seq order on ties
+        let mut got = Vec::new();
+        while let Some((at, kind)) = q.pop() {
+            match kind {
+                EventKind::Timer { token, .. } => got.push((at.as_micros(), token)),
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(got, expected);
     }
 }

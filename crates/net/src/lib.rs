@@ -34,7 +34,7 @@
 //!     fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
 //!         ctx.broadcast(());
 //!     }
-//!     fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: NodeId, _msg: ()) {
+//!     fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: NodeId, _msg: &()) {
 //!         self.heard += 1;
 //!     }
 //! }
@@ -65,6 +65,9 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod trace;
+
+#[cfg(test)]
+mod differential;
 
 /// Convenient glob-import of the most commonly used substrate types.
 pub mod prelude {

@@ -20,7 +20,123 @@ use crate::topology::Topology;
 use crate::trace::{Trace, TraceKind, TraceRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet};
+
+/// Handle to a broadcast payload stored once in the [`PayloadArena`];
+/// `Deliver` events carry this instead of a cloned `A::Msg`, so a
+/// transmission fans out to any number of neighbours without deep
+/// copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PayloadId(u32);
+
+/// Ref-counted slab holding each broadcast payload exactly once.
+///
+/// Lifetime rule: `transmit` inserts the payload and sets the
+/// reference count to the number of `Deliver` events scheduled; every
+/// delivery (including copies addressed to crashed nodes) releases one
+/// reference, and the slot is recycled when the count reaches zero.
+/// A transmission whose every copy is lost frees the slot immediately.
+#[derive(Debug)]
+struct PayloadArena<M> {
+    slots: Vec<(u32, Option<M>)>,
+    free: Vec<u32>,
+}
+
+impl<M> PayloadArena<M> {
+    fn new() -> Self {
+        PayloadArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `msg` with a reference count of zero (set after fan-out).
+    fn insert(&mut self, msg: M) -> PayloadId {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = (0, Some(msg));
+            PayloadId(idx)
+        } else {
+            self.slots.push((0, Some(msg)));
+            PayloadId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    fn set_refs(&mut self, id: PayloadId, refs: u32) {
+        if refs == 0 {
+            self.slots[id.0 as usize].1 = None;
+            self.free.push(id.0);
+        } else {
+            self.slots[id.0 as usize].0 = refs;
+        }
+    }
+
+    fn get(&self, id: PayloadId) -> &M {
+        self.slots[id.0 as usize]
+            .1
+            .as_ref()
+            .expect("payload alive while references remain")
+    }
+
+    /// Drops one reference; recycles the slot on the last one.
+    fn release(&mut self, id: PayloadId) {
+        let slot = &mut self.slots[id.0 as usize];
+        slot.0 -= 1;
+        if slot.0 == 0 {
+            slot.1 = None;
+            self.free.push(id.0);
+        }
+    }
+}
+
+/// Generation-stamped timer slab: each pending timer owns a slot, the
+/// queued event carries `(slot, generation)` packed into the event's
+/// `id`, cancellation bumps the generation in O(1), and a stale firing
+/// is rejected by a single compare — no tombstone set to grow without
+/// bound on cancel-heavy runs.
+#[derive(Debug, Default)]
+struct TimerSlab {
+    generations: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Claims a slot, returning the packed `(slot, generation)` stamp.
+    fn alloc(&mut self) -> u64 {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.generations.push(0);
+            (self.generations.len() - 1) as u32
+        });
+        pack_timer(slot, self.generations[slot as usize])
+    }
+
+    /// Invalidates `slot` (cancellation) and recycles it. The stale
+    /// event still in the queue is rejected by its generation on pop;
+    /// generations wrap at 2^32 reuses of one slot, far beyond any
+    /// run's cancel count.
+    fn invalidate(&mut self, slot: u32) {
+        self.generations[slot as usize] = self.generations[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Consumes a firing: true iff `stamp` is current for its slot, in
+    /// which case the slot is invalidated (the event is spent) and
+    /// recycled.
+    fn try_fire(&mut self, stamp: u64) -> bool {
+        let (slot, generation) = unpack_timer(stamp);
+        if self.generations[slot as usize] != generation {
+            return false;
+        }
+        self.invalidate(slot);
+        true
+    }
+}
+
+fn pack_timer(slot: u32, generation: u32) -> u64 {
+    (u64::from(slot) << 32) | u64::from(generation)
+}
+
+fn unpack_timer(stamp: u64) -> (u32, u32) {
+    ((stamp >> 32) as u32, stamp as u32)
+}
 
 /// A complete simulation of one wireless network.
 ///
@@ -40,7 +156,7 @@ use std::collections::{HashMap, HashSet};
 ///             ctx.broadcast(7);
 ///         }
 ///     }
-///     fn on_message(&mut self, _ctx: &mut Ctx<'_, u8>, _from: NodeId, _msg: u8) {
+///     fn on_message(&mut self, _ctx: &mut Ctx<'_, u8>, _from: NodeId, _msg: &u8) {
 ///         self.heard += 1;
 ///     }
 /// }
@@ -58,17 +174,20 @@ pub struct Simulator<A: Actor> {
     radio: RadioConfig,
     actors: Vec<A>,
     alive: Vec<bool>,
-    queue: EventQueue<A::Msg>,
+    queue: EventQueue<PayloadId>,
+    /// Broadcast payloads, stored once per transmission.
+    payloads: PayloadArena<A::Msg>,
     now: SimTime,
     rng: StdRng,
     metrics: SimMetrics,
     energy: EnergyBook,
     trace: Trace,
-    /// Per node: live timer ids keyed by token.
-    live_timers: Vec<HashMap<u64, Vec<u64>>>,
-    /// Timer ids whose firing must be suppressed.
-    cancelled_timers: HashSet<u64>,
-    next_timer_id: u64,
+    /// Generation stamps validating timer firings.
+    timers: TimerSlab,
+    /// Per node: `(token, slot)` of every pending timer, so that
+    /// cancel-by-token finds its slots (lists stay tiny — a handful of
+    /// pending timers per node).
+    node_timers: Vec<Vec<(u64, u32)>>,
     started: bool,
     /// Last instant solar harvesting was credited.
     last_harvest: SimTime,
@@ -96,14 +215,14 @@ impl<A: Actor> Simulator<A> {
             actors,
             alive: vec![true; n],
             queue: EventQueue::new(),
+            payloads: PayloadArena::new(),
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(derive_seed(seed, 0)),
             metrics: SimMetrics::new(n),
             energy: EnergyBook::new(n, EnergyModel::default()),
             trace: Trace::disabled(),
-            live_timers: vec![HashMap::new(); n],
-            cancelled_timers: HashSet::new(),
-            next_timer_id: 0,
+            timers: TimerSlab::default(),
+            node_timers: vec![Vec::new(); n],
             started: false,
             last_harvest: SimTime::ZERO,
             scratch_neighbors: Vec::new(),
@@ -196,12 +315,16 @@ impl<A: Actor> Simulator<A> {
         self.alive[node.index()]
     }
 
-    /// Node IDs that are still operational.
+    /// Iterates over the node IDs that are still operational, without
+    /// allocating.
+    pub fn alive_nodes_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.node_ids().filter(|n| self.alive[n.index()])
+    }
+
+    /// Node IDs that are still operational, collected into a fresh
+    /// `Vec`; prefer [`Simulator::alive_nodes_iter`] on hot paths.
     pub fn alive_nodes(&self) -> Vec<NodeId> {
-        self.topology
-            .node_ids()
-            .filter(|n| self.alive[n.index()])
-            .collect()
+        self.alive_nodes_iter().collect()
     }
 
     /// Schedules a fail-stop crash of `node` at time `at`.
@@ -219,16 +342,16 @@ impl<A: Actor> Simulator<A> {
         self.apply_crash(node);
     }
 
-    /// Runs until the event queue is exhausted or `deadline` is
-    /// reached; afterwards `now()` equals `deadline` (or the time of
-    /// the last event if that is later — it never is).
+    /// Runs until the event queue is exhausted or until the next
+    /// pending event lies beyond `deadline` (events at exactly
+    /// `deadline` are still processed). Afterwards `now()` equals
+    /// `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        // One queue scan per event: the deadline-aware pop replaces
+        // the peek-then-pop pattern on this hot loop.
+        while let Some((at, kind)) = self.queue.pop_at_or_before(deadline) {
+            self.dispatch(at, kind);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -282,6 +405,10 @@ impl<A: Actor> Simulator<A> {
         let Some((at, kind)) = self.queue.pop() else {
             return;
         };
+        self.dispatch(at, kind);
+    }
+
+    fn dispatch(&mut self, at: SimTime, kind: EventKind<PayloadId>) {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         // Solar harvesting (Section 2.1: hosts are "equipped with
@@ -298,47 +425,52 @@ impl<A: Actor> Simulator<A> {
         }
     }
 
-    fn apply_delivery(&mut self, to: NodeId, from: NodeId, msg: A::Msg) {
+    fn apply_delivery(&mut self, to: NodeId, from: NodeId, payload: PayloadId) {
         if !self.alive[to.index()] {
             self.metrics.record_dropped_dead();
+            self.payloads.release(payload);
             return;
         }
         self.metrics.record_delivery();
         self.energy.charge_rx(to);
-        self.trace.push(TraceRecord {
-            at: self.now,
-            node: to,
-            peer: from,
-            kind: TraceKind::Receive,
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceRecord {
+                at: self.now,
+                node: to,
+                peer: from,
+                kind: TraceKind::Receive,
+            });
+        }
         let mut ctx = Ctx::new(self.now, to, &mut self.rng).with_energy(self.energy.remaining(to));
         ctx.commands = std::mem::take(&mut self.scratch_commands);
-        self.actors[to.index()].on_message(&mut ctx, from, msg);
+        self.actors[to.index()].on_message(&mut ctx, from, self.payloads.get(payload));
         let commands = ctx.commands;
+        self.payloads.release(payload);
         self.apply_commands(to, commands);
     }
 
-    fn apply_timer(&mut self, node: NodeId, token: u64, id: u64) {
-        if self.cancelled_timers.remove(&id) {
-            return;
+    fn apply_timer(&mut self, node: NodeId, token: u64, stamp: u64) {
+        if !self.timers.try_fire(stamp) {
+            return; // cancelled: a newer generation owns the slot
         }
-        // Retire the id from the live map.
-        if let Some(ids) = self.live_timers[node.index()].get_mut(&token) {
-            ids.retain(|&i| i != id);
-            if ids.is_empty() {
-                self.live_timers[node.index()].remove(&token);
-            }
+        // Retire the pending entry (the event is spent either way).
+        let (slot, _) = unpack_timer(stamp);
+        let pending = &mut self.node_timers[node.index()];
+        if let Some(at) = pending.iter().position(|&(_, s)| s == slot) {
+            pending.swap_remove(at);
         }
         if !self.alive[node.index()] {
             return;
         }
         self.metrics.record_timer();
-        self.trace.push(TraceRecord {
-            at: self.now,
-            node,
-            peer: node,
-            kind: TraceKind::Timer,
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceRecord {
+                at: self.now,
+                node,
+                peer: node,
+                kind: TraceKind::Timer,
+            });
+        }
         let mut ctx =
             Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
         ctx.commands = std::mem::take(&mut self.scratch_commands);
@@ -352,12 +484,14 @@ impl<A: Actor> Simulator<A> {
             return;
         }
         self.alive[node.index()] = false;
-        self.trace.push(TraceRecord {
-            at: self.now,
-            node,
-            peer: node,
-            kind: TraceKind::Crash,
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceRecord {
+                at: self.now,
+                node,
+                peer: node,
+                kind: TraceKind::Crash,
+            });
+        }
     }
 
     fn apply_commands(&mut self, node: NodeId, mut commands: Vec<Command<A::Msg>>) {
@@ -365,25 +499,28 @@ impl<A: Actor> Simulator<A> {
             match command {
                 Command::Broadcast(msg) => self.transmit(node, msg),
                 Command::SetTimer { fire_at, token } => {
-                    let id = self.next_timer_id;
-                    self.next_timer_id += 1;
-                    self.live_timers[node.index()]
-                        .entry(token.0)
-                        .or_default()
-                        .push(id);
+                    let stamp = self.timers.alloc();
+                    let (slot, _) = unpack_timer(stamp);
+                    self.node_timers[node.index()].push((token.0, slot));
                     self.queue.schedule(
                         fire_at,
                         EventKind::Timer {
                             node,
                             token: token.0,
-                            id,
+                            id: stamp,
                         },
                     );
                 }
                 Command::CancelTimer { token } => {
-                    if let Some(ids) = self.live_timers[node.index()].remove(&token.0) {
-                        self.cancelled_timers.extend(ids);
-                    }
+                    let timers = &mut self.timers;
+                    self.node_timers[node.index()].retain(|&(t, slot)| {
+                        if t == token.0 {
+                            timers.invalidate(slot);
+                            false
+                        } else {
+                            true
+                        }
+                    });
                 }
             }
         }
@@ -400,16 +537,20 @@ impl<A: Actor> Simulator<A> {
         neighbors.extend_from_slice(self.topology.neighbors(from));
         self.metrics.record_transmission(from, neighbors.len());
         self.energy.charge_tx(from);
-        self.trace.push(TraceRecord {
-            at: self.now,
-            node: from,
-            peer: from,
-            kind: TraceKind::Transmit,
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceRecord {
+                at: self.now,
+                node: from,
+                peer: from,
+                kind: TraceKind::Transmit,
+            });
+        }
         let from_pos = self.topology.position(from);
-        let mut msg = Some(msg);
-        let last = neighbors.len().wrapping_sub(1);
-        for (i, &to) in neighbors.iter().enumerate() {
+        // The payload is stored once; every scheduled copy carries a
+        // handle, so fan-out degree never clones the message.
+        let payload = self.payloads.insert(msg);
+        let mut refs = 0u32;
+        for &to in neighbors.iter() {
             let to_pos = self.topology.position(to);
             let lost = self
                 .radio
@@ -417,23 +558,18 @@ impl<A: Actor> Simulator<A> {
                 .is_lost(from, to, from_pos, to_pos, &mut self.rng);
             if lost {
                 self.metrics.record_loss();
-                self.trace.push(TraceRecord {
-                    at: self.now,
-                    node: to,
-                    peer: from,
-                    kind: TraceKind::Loss,
-                });
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceRecord {
+                        at: self.now,
+                        node: to,
+                        peer: from,
+                        kind: TraceKind::Loss,
+                    });
+                }
                 continue;
             }
             let delay = self.radio.draw_delay(&mut self.rng);
-            // The final copy moves the message instead of cloning it.
-            let payload = if i == last {
-                msg.take().expect("message still owned for final copy")
-            } else {
-                msg.as_ref()
-                    .expect("message owned until final copy")
-                    .clone()
-            };
+            refs += 1;
             self.queue.schedule(
                 self.now + delay,
                 EventKind::Deliver {
@@ -443,6 +579,8 @@ impl<A: Actor> Simulator<A> {
                 },
             );
         }
+        // Zero surviving copies drop the payload immediately.
+        self.payloads.set_refs(payload, refs);
         self.scratch_neighbors = neighbors;
     }
 }
@@ -479,8 +617,8 @@ mod tests {
                 ctx.broadcast(i);
             }
         }
-        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
-            self.heard.push((from, msg));
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, from: NodeId, msg: &u32) {
+            self.heard.push((from, *msg));
         }
         fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32>, token: TimerToken) {
             self.timer_fires.push(token);
@@ -560,7 +698,7 @@ mod tests {
                     ctx.set_timer(SimDuration::from_millis(20), TimerToken(2));
                 }
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _t: TimerToken) {
                 ctx.broadcast(0);
             }
@@ -582,7 +720,7 @@ mod tests {
                 ctx.set_timer(SimDuration::from_millis(2), TimerToken(2));
                 ctx.set_timer(SimDuration::from_millis(1), TimerToken(1));
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: TimerToken) {
                 assert_eq!(token.0, ctx.now().as_millis(), "token must match schedule");
             }
@@ -602,7 +740,7 @@ mod tests {
                 ctx.set_timer(SimDuration::from_millis(5), TimerToken(1));
                 ctx.set_timer(SimDuration::from_millis(1), TimerToken(2));
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: TimerToken) {
                 if token == TimerToken(2) {
                     ctx.cancel_timer(TimerToken(1));
@@ -630,7 +768,7 @@ mod tests {
                 ctx.cancel_timer(TimerToken(7));
                 ctx.set_timer(SimDuration::from_millis(1), TimerToken(7));
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
             fn on_timer(&mut self, _: &mut Ctx<'_, ()>, token: TimerToken) {
                 assert_eq!(token, TimerToken(7));
                 self.fired += 1;
@@ -710,7 +848,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
                 ctx.set_timer(SimDuration::from_millis(100), TimerToken(0));
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: TimerToken) {
                 ctx.broadcast(());
                 ctx.set_timer(SimDuration::from_millis(100), TimerToken(0));
@@ -751,7 +889,7 @@ mod tests {
                     ctx.set_timer(SimDuration::from_millis(15), TimerToken(1));
                 }
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: TimerToken) {
                 ctx.broadcast(());
             }
@@ -767,6 +905,87 @@ mod tests {
             "storm must drop the second ping"
         );
         assert_eq!(sim.metrics().losses, 1);
+    }
+
+    #[test]
+    fn timer_slab_stamps_are_spent_on_fire() {
+        let mut slab = TimerSlab::default();
+        let stamp = slab.alloc();
+        assert!(slab.try_fire(stamp), "fresh stamp fires");
+        assert!(!slab.try_fire(stamp), "a stamp can only be spent once");
+    }
+
+    #[test]
+    fn timer_slab_invalidate_rejects_the_stale_stamp() {
+        let mut slab = TimerSlab::default();
+        let stamp = slab.alloc();
+        let (slot, generation) = unpack_timer(stamp);
+        slab.invalidate(slot);
+        assert!(!slab.try_fire(stamp), "cancelled stamp must not fire");
+        // The slot is recycled with a bumped generation: the new stamp
+        // fires, the old one stays dead.
+        let reused = slab.alloc();
+        let (slot2, generation2) = unpack_timer(reused);
+        assert_eq!(slot, slot2, "freelist reuses the slot");
+        assert_ne!(generation, generation2, "reuse bumps the generation");
+        assert!(!slab.try_fire(stamp));
+        assert!(slab.try_fire(reused));
+    }
+
+    #[test]
+    fn timer_slab_stays_bounded_under_cancel_churn() {
+        // The old engine grew its `cancelled` tombstone set by one
+        // entry per cancel, forever. The slab must recycle instead.
+        let mut slab = TimerSlab::default();
+        for _ in 0..10_000 {
+            let stamp = slab.alloc();
+            let (slot, _) = unpack_timer(stamp);
+            slab.invalidate(slot);
+        }
+        assert_eq!(slab.generations.len(), 1, "one slot, recycled 10k times");
+        let survivor = slab.alloc();
+        assert!(
+            slab.try_fire(survivor),
+            "generation wrap-around is harmless"
+        );
+    }
+
+    #[test]
+    fn payload_arena_recycles_every_slot() {
+        // Lossless fan-out: each payload is stored once, released per
+        // delivery, and the slot is free once the last copy lands.
+        let mut sim = Simulator::new(triangle_topology(), RadioConfig::lossless(), 1, |_| {
+            Chatter {
+                pings: 4,
+                ..Chatter::default()
+            }
+        });
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.metrics().deliveries, 24, "4 pings × 3 nodes × 2 peers");
+        assert!(
+            sim.payloads
+                .slots
+                .iter()
+                .all(|(refs, m)| *refs == 0 && m.is_none()),
+            "all payload slots released after quiescence"
+        );
+        assert_eq!(sim.payloads.free.len(), sim.payloads.slots.len());
+    }
+
+    #[test]
+    fn payload_arena_frees_fully_lost_transmissions_immediately() {
+        let mut sim = Simulator::new(pair_topology(), RadioConfig::bernoulli(1.0), 1, |_| {
+            Chatter {
+                pings: 1,
+                ..Chatter::default()
+            }
+        });
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.metrics().losses, 2);
+        assert!(
+            sim.payloads.slots.iter().all(|(_, m)| m.is_none()),
+            "zero-survivor payloads are dropped at transmit time"
+        );
     }
 
     #[test]

@@ -90,6 +90,11 @@ impl Trace {
     }
 
     /// Appends a record (no-op when disabled or full).
+    ///
+    /// Inlined so the disabled check folds into the caller's
+    /// `is_enabled()` guard — a disabled trace costs one predictable
+    /// branch per event, never a call.
+    #[inline]
     pub fn push(&mut self, record: TraceRecord) {
         if !self.enabled {
             return;

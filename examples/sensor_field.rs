@@ -101,8 +101,7 @@ fn main() {
     // Ask an arbitrary surviving sensor — completeness means the
     // answer is the same anywhere.
     let reporter = sim
-        .alive_nodes()
-        .into_iter()
+        .alive_nodes_iter()
         .find(|r| sim.actor(*r).profile().cluster.is_some())
         .expect("somebody survived");
     let report = HealthReport::from_view(sim.actor(reporter).known_failed(), n);

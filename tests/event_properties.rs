@@ -58,41 +58,75 @@ proptest! {
     fn queue_matches_model_under_interleaved_ops(
         ops in proptest::collection::vec((0u8..4, 0u64..8), 0..60),
     ) {
-        let mut q = EventQueue::new();
-        let mut model: Vec<(u64, u64)> = Vec::new(); // (time, seq)
-        let mut seq = 0u64;
+        run_interleaved_against_model(&ops);
+    }
 
-        for &(op, t) in &ops {
-            if op == 0 {
-                // Pop: the queue must agree with the model's minimum.
-                let expect = model
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &(time, s))| (time, s))
-                    .map(|(i, _)| i);
-                match expect {
-                    Some(i) => {
-                        let (time, s) = model.remove(i);
-                        let (at, kind) = q.pop().expect("model has a pending event");
-                        prop_assert_eq!(at, SimTime::from_micros(time));
-                        match kind {
-                            EventKind::Timer { token, .. } => prop_assert_eq!(token, s),
-                            _ => unreachable!(),
-                        }
+    /// Same interleaved model, but with timestamps straddling the
+    /// calendar ring's 2^17-microsecond horizon: events land in the
+    /// overflow heap tier and must merge back in exact `(time, seq)`
+    /// order, including ring-vs-heap ties at one instant and
+    /// behind-the-cursor schedules after a far-future pop.
+    #[test]
+    fn queue_matches_model_across_the_overflow_horizon(
+        ops in proptest::collection::vec(
+            (
+                0u8..4,
+                prop_oneof![
+                    0u64..16,                              // near-term ring
+                    cbfd::net::event::SLOT_COUNT as u64 - 8
+                        ..cbfd::net::event::SLOT_COUNT as u64 + 8, // straddle
+                    1_000_000u64..1_000_016,               // deep overflow
+                ],
+            ),
+            0..60,
+        ),
+    ) {
+        run_interleaved_against_model(&ops);
+    }
+}
+
+/// Drives an `EventQueue` and a minimum-`(time, seq)` reference model
+/// through the same op script, checking `pop`, `len`, and `peek_time`
+/// after every step. `op == 0` pops; anything else schedules at `t`.
+fn run_interleaved_against_model(ops: &[(u8, u64)]) {
+    let mut q = EventQueue::new();
+    let mut model: Vec<(u64, u64)> = Vec::new(); // (time, seq)
+    let mut seq = 0u64;
+
+    for &(op, t) in ops {
+        if op == 0 {
+            // Pop: the queue must agree with the model's minimum.
+            let expect = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(time, s))| (time, s))
+                .map(|(i, _)| i);
+            match expect {
+                Some(i) => {
+                    let (time, s) = model.remove(i);
+                    let (at, kind) = q.pop().expect("model has a pending event");
+                    prop_assert_eq!(at, SimTime::from_micros(time));
+                    match kind {
+                        EventKind::Timer { token, .. } => prop_assert_eq!(token, s),
+                        _ => unreachable!(),
                     }
-                    None => prop_assert!(q.pop().is_none()),
                 }
-            } else {
-                q.schedule(SimTime::from_micros(t), timer(0, seq));
-                model.push((t, seq));
-                seq += 1;
+                None => prop_assert!(q.pop().is_none()),
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(
-                q.peek_time(),
-                model.iter().map(|&(time, _)| time).min().map(SimTime::from_micros)
-            );
+        } else {
+            q.schedule(SimTime::from_micros(t), timer(0, seq));
+            model.push((t, seq));
+            seq += 1;
         }
+        prop_assert_eq!(q.len(), model.len());
+        prop_assert_eq!(
+            q.peek_time(),
+            model
+                .iter()
+                .map(|&(time, _)| time)
+                .min()
+                .map(SimTime::from_micros)
+        );
     }
 }
 
@@ -145,7 +179,7 @@ impl Actor for Scripted {
         let ops = std::mem::take(&mut self.start_ops);
         apply_ops(ctx, &ops);
     }
-    fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+    fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: TimerToken) {
         self.fired.push((ctx.now().as_millis(), token.0));
         let ops = std::mem::take(&mut self.fire_ops);

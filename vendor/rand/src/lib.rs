@@ -51,13 +51,25 @@ fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// `draw % span`, computed in `u64` when `span` fits (`u128` division
+/// lowers to a libcall; the result is identical either way because the
+/// dividend is always a `u64`).
+#[inline]
+fn narrow_mod(draw: u64, span: u128) -> u128 {
+    if let Ok(s) = u64::try_from(span) {
+        u128::from(draw % s)
+    } else {
+        u128::from(draw) % span
+    }
+}
+
 macro_rules! int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
             fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "empty range");
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
-                let draw = ((rng.next_u64() as u128) % span) as $t;
+                let draw = narrow_mod(rng.next_u64(), span) as $t;
                 self.start.wrapping_add(draw)
             }
         }
@@ -66,7 +78,7 @@ macro_rules! int_sample_range {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty range");
                 let span = (end as u128).wrapping_sub(start as u128) + 1;
-                let draw = ((rng.next_u64() as u128) % span) as $t;
+                let draw = narrow_mod(rng.next_u64(), span) as $t;
                 start.wrapping_add(draw)
             }
         }
