@@ -1,0 +1,287 @@
+//! Online invariant monitor: consumes the simulator's effective-event
+//! stream (see [`SimEvent`]) and continuously evaluates engine and
+//! cluster invariants plus oracle residuals while a chaos plan runs.
+//!
+//! Two classes of observation are kept strictly apart:
+//!
+//! * **hard violations** ([`HardViolation`]) — conditions that must
+//!   never occur regardless of the fault schedule: simulation time
+//!   regressing, activity attributed to a crashed node (the observer
+//!   API only reports *effective* events, so any such sighting is an
+//!   engine bug), or a structural cluster invariant (F1–F4) failing
+//!   over the surviving nodes. Campaigns gate CI on these.
+//! * **residuals** ([`ResidualSample`]) — the paper's probabilistic
+//!   accuracy/completeness properties, sampled as the run progresses.
+//!   Chaos schedules deliberately exceed the paper's channel and
+//!   failure assumptions (partitions, bursts, replay), so non-zero
+//!   residuals are *recorded*, not gated: mid-run incompleteness is
+//!   expected while dissemination is in flight, and a "false"
+//!   suspicion under a partition is the detector working as specified
+//!   on violated assumptions.
+//!
+//! Cheap O(1) checks (time monotonicity, dead-node activity) run on
+//! every observed event; the expensive sweeps (structural invariants,
+//! residual evaluation) run every `stride` events and immediately
+//! after every crash, since crashes are the only events that change
+//! the monitored dead set.
+
+use cbfd_cluster::invariants::{self, InvariantViolation};
+use cbfd_cluster::ClusterView;
+use cbfd_core::node::FdsNode;
+use cbfd_net::id::NodeId;
+use cbfd_net::sim::{SimEvent, Simulator};
+use cbfd_net::time::SimTime;
+use cbfd_net::topology::Topology;
+use std::fmt;
+
+/// A condition that must never occur, whatever faults are injected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HardViolation {
+    /// An observed event carried a timestamp earlier than its
+    /// predecessor's.
+    TimeRegression {
+        /// The regressed timestamp.
+        at: SimTime,
+        /// The timestamp it regressed from.
+        previous: SimTime,
+    },
+    /// A crashed node delivered a message or fired a timer.
+    DeadNodeActivity {
+        /// When the impossible event was observed.
+        at: SimTime,
+        /// The crashed-yet-active node.
+        node: NodeId,
+        /// Human-readable description of the observed event.
+        event: String,
+    },
+    /// A structural cluster invariant (F1–F4) failed over the
+    /// surviving nodes.
+    Structural {
+        /// When the sweep caught the violation.
+        at: SimTime,
+        /// The violated guarantee, with node/role/cluster context.
+        violation: InvariantViolation,
+    },
+}
+
+impl HardViolation {
+    /// When the violation was observed.
+    pub fn at(&self) -> SimTime {
+        match self {
+            HardViolation::TimeRegression { at, .. }
+            | HardViolation::DeadNodeActivity { at, .. }
+            | HardViolation::Structural { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for HardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardViolation::TimeRegression { at, previous } => {
+                write!(f, "t={at}: time regressed from {previous}")
+            }
+            HardViolation::DeadNodeActivity { at, node, event } => {
+                write!(f, "t={at}: dead node {node} showed activity: {event}")
+            }
+            HardViolation::Structural { at, violation } => {
+                write!(f, "t={at}: {violation}")
+            }
+        }
+    }
+}
+
+/// One residual evaluation of the paper's probabilistic properties at
+/// a point in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Events observed so far.
+    pub events: u64,
+    /// Authority suspicions whose suspect is not (currently) crashed.
+    pub false_suspicions: u64,
+    /// Fraction of (live affiliated observer, crashed node) pairs
+    /// already informed; `1.0` with no crashes yet.
+    pub completeness: f64,
+}
+
+/// The online monitor. Feed it every observed event via
+/// [`Monitor::observe`]; read the verdict afterwards.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    topology: Topology,
+    view: ClusterView,
+    stride: u64,
+    events_seen: u64,
+    sweeps_run: u64,
+    last_time: SimTime,
+    dead: Vec<NodeId>,
+    is_dead: Vec<bool>,
+    violations: Vec<HardViolation>,
+    first_inaccuracy: Option<ResidualSample>,
+    last_residual: Option<ResidualSample>,
+}
+
+impl Monitor {
+    /// Creates a monitor for one run over a fixed clustering.
+    /// `stride` is the period (in observed events) of the expensive
+    /// sweeps; `0` disables them, leaving only the O(1) per-event
+    /// checks.
+    pub fn new(topology: Topology, view: ClusterView, stride: u64) -> Self {
+        let n = topology.len();
+        Monitor {
+            topology,
+            view,
+            stride,
+            events_seen: 0,
+            sweeps_run: 0,
+            last_time: SimTime::ZERO,
+            dead: Vec::new(),
+            is_dead: vec![false; n],
+            violations: Vec::new(),
+            first_inaccuracy: None,
+            last_residual: None,
+        }
+    }
+
+    /// Consumes one observed event. Intended as the observer callback
+    /// of [`cbfd_core::service::Experiment::run_plan`].
+    pub fn observe(&mut self, sim: &Simulator<FdsNode>, event: SimEvent) {
+        let at = sim.now();
+        self.events_seen += 1;
+        if at < self.last_time {
+            self.violations.push(HardViolation::TimeRegression {
+                at,
+                previous: self.last_time,
+            });
+        }
+        self.last_time = at;
+
+        let mut crash = false;
+        match event {
+            SimEvent::Deliver { to, from } => {
+                // `from` may legitimately have crashed after
+                // transmitting; only the receiver must be alive.
+                if self.is_dead.get(to.index()).copied().unwrap_or(false) {
+                    self.violations.push(HardViolation::DeadNodeActivity {
+                        at,
+                        node: to,
+                        event: format!("delivery from {from}"),
+                    });
+                }
+            }
+            SimEvent::Timer { node, .. } => {
+                if self.is_dead.get(node.index()).copied().unwrap_or(false) {
+                    self.violations.push(HardViolation::DeadNodeActivity {
+                        at,
+                        node,
+                        event: "timer fired".to_string(),
+                    });
+                }
+            }
+            SimEvent::Crash { node } => {
+                if self.is_dead.get(node.index()).copied().unwrap_or(false) {
+                    self.violations.push(HardViolation::DeadNodeActivity {
+                        at,
+                        node,
+                        event: "crashed twice".to_string(),
+                    });
+                } else if node.index() < self.is_dead.len() {
+                    self.is_dead[node.index()] = true;
+                    self.dead.push(node);
+                }
+                crash = true;
+            }
+        }
+
+        // Crashes change the monitored dead set, so always sweep on
+        // them; otherwise honour the stride.
+        if crash || (self.stride > 0 && self.events_seen.is_multiple_of(self.stride)) {
+            self.sweep(sim, at);
+        }
+    }
+
+    /// Runs the expensive checks: structural invariants over the
+    /// survivors plus a residual sample.
+    fn sweep(&mut self, sim: &Simulator<FdsNode>, at: SimTime) {
+        self.sweeps_run += 1;
+        for violation in invariants::check_excluding(&self.topology, &self.view, &self.dead) {
+            self.violations
+                .push(HardViolation::Structural { at, violation });
+        }
+
+        let mut false_suspicions = 0u64;
+        let mut informed = 0u64;
+        let mut pairs = 0u64;
+        for (id, node) in sim.actors() {
+            for d in node.detections() {
+                for suspect in &d.suspects {
+                    if !self.is_dead.get(suspect.index()).copied().unwrap_or(false) {
+                        false_suspicions += 1;
+                    }
+                }
+            }
+            if sim.is_alive(id) && node.profile().cluster.is_some() {
+                for f in &self.dead {
+                    if *f != id {
+                        pairs += 1;
+                        if node.known_failed().contains(*f) {
+                            informed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let sample = ResidualSample {
+            at,
+            events: self.events_seen,
+            false_suspicions,
+            completeness: if pairs == 0 {
+                1.0
+            } else {
+                informed as f64 / pairs as f64
+            },
+        };
+        if false_suspicions > 0 && self.first_inaccuracy.is_none() {
+            self.first_inaccuracy = Some(sample.clone());
+        }
+        self.last_residual = Some(sample);
+    }
+
+    /// Hard violations observed so far, in observation order.
+    pub fn violations(&self) -> &[HardViolation] {
+        &self.violations
+    }
+
+    /// The earliest hard violation, if any.
+    pub fn first_violation(&self) -> Option<&HardViolation> {
+        self.violations.first()
+    }
+
+    /// Events fed through [`Monitor::observe`].
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Expensive sweeps executed.
+    pub fn sweeps_run(&self) -> u64 {
+        self.sweeps_run
+    }
+
+    /// The first residual sample with a non-zero false-suspicion
+    /// count, if any (the onset of accuracy erosion).
+    pub fn first_inaccuracy(&self) -> Option<&ResidualSample> {
+        self.first_inaccuracy.as_ref()
+    }
+
+    /// The most recent residual sample.
+    pub fn last_residual(&self) -> Option<&ResidualSample> {
+        self.last_residual.as_ref()
+    }
+
+    /// Nodes the monitor has seen crash, in crash order.
+    pub fn dead(&self) -> &[NodeId] {
+        &self.dead
+    }
+}

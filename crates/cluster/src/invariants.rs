@@ -5,7 +5,7 @@
 //! and property tests run it on their outputs.
 
 use crate::view::ClusterView;
-use cbfd_net::id::NodeId;
+use cbfd_net::id::{ClusterId, NodeId};
 use cbfd_net::topology::Topology;
 use std::fmt;
 
@@ -36,12 +36,16 @@ pub enum InvariantViolation {
     GatewayOutOfRange {
         /// The offending (backup) gateway.
         gateway: NodeId,
+        /// The heads of the two clusters the gateway should bridge.
+        heads: (NodeId, NodeId),
     },
     /// A deputy is not a non-head member of its cluster (violates the
     /// F2 election contract).
     BadDeputy {
         /// The offending deputy.
         deputy: NodeId,
+        /// The head of the cluster that elected it.
+        head: NodeId,
     },
     /// A non-isolated node was left out of every cluster even though
     /// formation completed.
@@ -55,22 +59,44 @@ impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InvariantViolation::MemberOutOfHeadRange { member, head } => {
-                write!(f, "member {member} cannot hear its head {head}")
+                write!(
+                    f,
+                    "member {member} of cluster {} cannot hear its head {head} (F2 one-hop guarantee)",
+                    ClusterId::of(*head)
+                )
             }
             InvariantViolation::InconsistentAffiliation { node } => {
-                write!(f, "affiliation of {node} disagrees with cluster membership")
+                write!(
+                    f,
+                    "affiliation of {node} disagrees with cluster membership (F3)"
+                )
             }
             InvariantViolation::MultipleAffiliation { node } => {
                 write!(f, "{node} is a member of more than one cluster (F3)")
             }
-            InvariantViolation::GatewayOutOfRange { gateway } => {
-                write!(f, "gateway {gateway} cannot hear both heads (F1)")
+            InvariantViolation::GatewayOutOfRange {
+                gateway,
+                heads: (a, b),
+            } => {
+                write!(
+                    f,
+                    "gateway {gateway} between clusters {}/{} cannot hear both heads {a} and {b} (F1 overlap)",
+                    ClusterId::of(*a),
+                    ClusterId::of(*b)
+                )
             }
-            InvariantViolation::BadDeputy { deputy } => {
-                write!(f, "deputy {deputy} is not a valid member (F2)")
+            InvariantViolation::BadDeputy { deputy, head } => {
+                write!(
+                    f,
+                    "deputy {deputy} of cluster {} is not a non-head member under {head} (F2)",
+                    ClusterId::of(*head)
+                )
             }
             InvariantViolation::UncoveredNode { node } => {
-                write!(f, "non-isolated node {node} is unaffiliated")
+                write!(
+                    f,
+                    "non-isolated node {node} is unaffiliated with any cluster (F4 coverage)"
+                )
             }
         }
     }
@@ -123,7 +149,10 @@ pub fn check_excluding(
         }
         for deputy in cluster.deputies() {
             if *deputy == head || !cluster.contains(*deputy) {
-                violations.push(InvariantViolation::BadDeputy { deputy: *deputy });
+                violations.push(InvariantViolation::BadDeputy {
+                    deputy: *deputy,
+                    head,
+                });
             }
         }
     }
@@ -154,7 +183,10 @@ pub fn check_excluding(
         };
         for gw in link.all() {
             if !topology.linked(gw, ca.head()) || !topology.linked(gw, cb.head()) {
-                violations.push(InvariantViolation::GatewayOutOfRange { gateway: gw });
+                violations.push(InvariantViolation::GatewayOutOfRange {
+                    gateway: gw,
+                    heads: (ca.head(), cb.head()),
+                });
             }
         }
     }
@@ -281,15 +313,38 @@ mod tests {
         let violations = check(&topo, &view);
         assert!(violations
             .iter()
-            .any(|v| matches!(v, InvariantViolation::GatewayOutOfRange { gateway } if *gateway == NodeId(1))));
+            .any(|v| matches!(v, InvariantViolation::GatewayOutOfRange { gateway, .. } if *gateway == NodeId(1))));
     }
 
     #[test]
-    fn violations_display_mentions_node() {
+    fn violations_display_mentions_node_role_and_cluster() {
         let v = InvariantViolation::UncoveredNode { node: NodeId(5) };
         assert!(v.to_string().contains("n5"));
-        let v = InvariantViolation::GatewayOutOfRange { gateway: NodeId(3) };
-        assert!(v.to_string().contains("F1"));
+        let v = InvariantViolation::GatewayOutOfRange {
+            gateway: NodeId(3),
+            heads: (NodeId(1), NodeId(2)),
+        };
+        let s = v.to_string();
+        assert!(s.contains("F1") && s.contains("gateway n3"), "{s}");
+        assert!(
+            s.contains(&ClusterId::of(NodeId(1)).to_string()),
+            "cluster context: {s}"
+        );
+        let v = InvariantViolation::BadDeputy {
+            deputy: NodeId(4),
+            head: NodeId(7),
+        };
+        let s = v.to_string();
+        assert!(s.contains("deputy n4") && s.contains("n7"), "{s}");
+        let v = InvariantViolation::MemberOutOfHeadRange {
+            member: NodeId(9),
+            head: NodeId(2),
+        };
+        let s = v.to_string();
+        assert!(
+            s.contains("n9") && s.contains(&ClusterId::of(NodeId(2)).to_string()),
+            "{s}"
+        );
     }
 
     #[test]

@@ -12,11 +12,12 @@ use crate::config::FdsConfig;
 use crate::node::FdsNode;
 use crate::profile::{build_profiles, NodeProfile};
 use cbfd_cluster::{oracle, ClusterView, FormationConfig};
+use cbfd_net::chaos::{self, FaultPlan, FaultPrimitive};
 use cbfd_net::energy::EnergyModel;
 use cbfd_net::id::NodeId;
 use cbfd_net::metrics::SimMetrics;
 use cbfd_net::radio::RadioConfig;
-use cbfd_net::sim::Simulator;
+use cbfd_net::sim::{SimEvent, Simulator};
 use cbfd_net::time::{SimDuration, SimTime};
 use cbfd_net::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -286,6 +287,66 @@ impl Experiment {
         cbfd_net::par::par_map(workers, seeds, |_, &seed| {
             self.run(p, epochs, crashes, seed)
         })
+    }
+
+    /// Translates classic [`PlannedCrash`] scenarios into an
+    /// equivalent [`FaultPlan`]: the crashes land at exactly the same
+    /// instants [`Experiment::run`] uses (mid-interval of their epoch)
+    /// over the same i.i.d. channel, so [`Experiment::run_plan`] on
+    /// the result reproduces the [`Experiment::run`] event stream
+    /// byte for byte.
+    pub fn plan_from_crashes(&self, p: f64, epochs: u64, crashes: &[PlannedCrash]) -> FaultPlan {
+        let phi = self.fds.heartbeat_interval;
+        let mut plan = FaultPlan::empty(p, SimTime::ZERO + phi * epochs);
+        for c in crashes {
+            plan.primitives.push(FaultPrimitive::Crash {
+                at: SimTime::ZERO + phi * c.epoch + SimDuration::from_micros(phi.as_micros() / 2),
+                node: c.node,
+            });
+        }
+        plan
+    }
+
+    /// Runs the service for `epochs` heartbeat intervals under a
+    /// chaos [`FaultPlan`], reporting every effective event to
+    /// `observe` (e.g. an online invariant monitor) as it happens.
+    ///
+    /// Unlike [`Experiment::run`], malformed plans never panic:
+    /// primitives naming out-of-range nodes or instants beyond the
+    /// run are skipped, and past instants saturate to the current
+    /// time — machine-generated schedules cannot abort a campaign.
+    /// Ground-truth crash epochs for the outcome evaluation are
+    /// derived from each victim's first crash instant.
+    pub fn run_plan(
+        &self,
+        plan: &FaultPlan,
+        epochs: u64,
+        seed: u64,
+        observe: &mut dyn FnMut(&Simulator<FdsNode>, SimEvent),
+    ) -> FdsOutcome {
+        let phi = self.fds.heartbeat_interval;
+        let profiles = self.profiles.clone();
+        let fds = self.fds;
+        let capacity = self.energy.initial;
+        let mut sim = Simulator::new(
+            self.topology.clone(),
+            RadioConfig::bernoulli(plan.baseline_p),
+            seed,
+            |id| FdsNode::new(profiles[id.index()].clone(), fds, capacity),
+        );
+        sim.set_energy_model(self.energy);
+
+        let deadline = SimTime::ZERO + phi * epochs - SimDuration::from_micros(1);
+        let mut crash_epochs: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for (at, node) in plan.crash_schedule() {
+            if node.index() < self.topology.len() && at <= deadline {
+                let epoch = (at.since(SimTime::ZERO).as_micros() / phi.as_micros()).min(epochs - 1);
+                crash_epochs.entry(node).or_insert(epoch);
+            }
+        }
+
+        chaos::run_plan(&mut sim, plan, deadline, observe);
+        self.evaluate(&sim, epochs, &crash_epochs)
     }
 
     /// The most general run entry point.
@@ -638,6 +699,60 @@ mod tests {
             outcome.completeness,
             outcome.missed
         );
+    }
+
+    #[test]
+    fn run_plan_reproduces_classic_run() {
+        // A crash-only FaultPlan over the same i.i.d. channel must
+        // replay the classic entry point's event stream byte for byte.
+        let exp = dense_experiment(3, 60, 300.0);
+        let victim = exp
+            .view()
+            .clusters()
+            .flat_map(|c| c.non_head_members().collect::<Vec<_>>())
+            .next()
+            .unwrap();
+        let crashes = [PlannedCrash {
+            epoch: 1,
+            node: victim,
+        }];
+        let classic = exp.run(0.15, 6, &crashes, 9);
+        let plan = exp.plan_from_crashes(0.15, 6, &crashes);
+        let mut crash_events = 0u64;
+        let chaotic = exp.run_plan(&plan, 6, 9, &mut |_, ev| {
+            if matches!(ev, SimEvent::Crash { .. }) {
+                crash_events += 1;
+            }
+        });
+        assert_eq!(crash_events, 1);
+        assert_eq!(classic.metrics, chaotic.metrics);
+        assert_eq!(classic.false_detections, chaotic.false_detections);
+        assert_eq!(classic.missed, chaotic.missed);
+        assert_eq!(classic.completeness, chaotic.completeness);
+        assert_eq!(classic.detection_latency, chaotic.detection_latency);
+        assert_eq!(classic.crashed, chaotic.crashed);
+        assert_eq!(classic.bytes, chaotic.bytes);
+    }
+
+    #[test]
+    fn run_plan_tolerates_malformed_plans() {
+        // Out-of-range victims, past instants and beyond-run crashes
+        // must not panic — the campaign has to survive any generated
+        // schedule.
+        let exp = line_experiment(6, 50.0);
+        let phi = FdsConfig::default().heartbeat_interval;
+        let mut plan = FaultPlan::empty(0.1, SimTime::ZERO + phi * 3);
+        plan.primitives.push(FaultPrimitive::Crash {
+            at: SimTime::ZERO,
+            node: NodeId(999),
+        });
+        plan.primitives.push(FaultPrimitive::Crash {
+            at: SimTime::ZERO + phi * 50,
+            node: NodeId(1),
+        });
+        let outcome = exp.run_plan(&plan, 3, 1, &mut |_, _| {});
+        assert!(outcome.crashed.is_empty(), "both crashes were skipped");
+        assert!(outcome.metrics.transmissions > 0);
     }
 
     #[test]

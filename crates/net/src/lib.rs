@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod chaos;
 pub mod energy;
 pub mod event;
 pub mod geometry;

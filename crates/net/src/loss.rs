@@ -328,6 +328,103 @@ mod tests {
     }
 
     #[test]
+    fn gilbert_elliott_burst_lengths_are_geometric() {
+        // With p_good = 0 and p_bad = 1 every loss run is exactly one
+        // visit to the bad state, and transition-then-draw makes the
+        // run length geometric: P(L = k) = (1 − p_bg)^(k−1) · p_bg,
+        // so E[L] = 1/p_bg and P(L = 1) = p_bg.
+        let p_bg = 0.25;
+        let mut m = GilbertElliott::new(0.0, 1.0, 0.2, p_bg);
+        let mut r = rng();
+        let a = Point::ORIGIN;
+        let mut bursts: Vec<u64> = Vec::new();
+        let mut current = 0u64;
+        for _ in 0..200_000 {
+            if m.is_lost(NodeId(0), NodeId(1), a, a, &mut r) {
+                current += 1;
+            } else if current > 0 {
+                bursts.push(current);
+                current = 0;
+            }
+        }
+        assert!(bursts.len() > 5_000, "need many bursts: {}", bursts.len());
+        let mean = bursts.iter().sum::<u64>() as f64 / bursts.len() as f64;
+        assert!(
+            (mean - 1.0 / p_bg).abs() < 0.15,
+            "mean burst {mean}, expected {}",
+            1.0 / p_bg
+        );
+        let singletons = bursts.iter().filter(|&&b| b == 1).count() as f64 / bursts.len() as f64;
+        assert!(
+            (singletons - p_bg).abs() < 0.02,
+            "P(L=1) = {singletons}, expected {p_bg}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_link_states_are_isolated() {
+        // Freeze the chains (no transitions) and force one link bad by
+        // hand: its copies are always lost while every other directed
+        // link — including the reverse one — stays lossless.
+        let mut m = GilbertElliott::new(0.0, 1.0, 0.0, 0.0);
+        m.bad.insert((NodeId(0), NodeId(1)), true);
+        let mut r = rng();
+        let a = Point::ORIGIN;
+        for _ in 0..100 {
+            assert!(m.is_lost(NodeId(0), NodeId(1), a, a, &mut r));
+            assert!(!m.is_lost(NodeId(1), NodeId(0), a, a, &mut r));
+            assert!(!m.is_lost(NodeId(0), NodeId(2), a, a, &mut r));
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_is_seed_deterministic() {
+        let sequence = |seed: u64| {
+            let mut m = GilbertElliott::new(0.05, 0.8, 0.1, 0.3);
+            let mut r = StdRng::seed_from_u64(seed);
+            let a = Point::ORIGIN;
+            (0..1_000)
+                .map(|i| {
+                    m.is_lost(
+                        NodeId(i % 3),
+                        NodeId(3 + i % 2),
+                        a,
+                        Point::new(10.0, 0.0),
+                        &mut r,
+                    )
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(sequence(7), sequence(7), "same seed, same draws");
+        assert_ne!(sequence(7), sequence(8), "different seed, different draws");
+    }
+
+    #[test]
+    fn distance_scaled_is_seed_deterministic() {
+        let sequence = |seed: u64| {
+            let mut m = DistanceScaled::new(0.1, 0.9, 100.0);
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..1_000)
+                .map(|i| {
+                    m.is_lost(
+                        NodeId(0),
+                        NodeId(1),
+                        Point::ORIGIN,
+                        Point::new((i % 100) as f64, 0.0),
+                        &mut r,
+                    )
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(sequence(21), sequence(21), "same seed, same draws");
+        assert_ne!(
+            sequence(21),
+            sequence(22),
+            "different seed, different draws"
+        );
+    }
+
+    #[test]
     fn gilbert_elliott_per_link_state_is_independent() {
         // Degenerate chain that, once bad, stays bad and always loses.
         let mut m = GilbertElliott::new(0.0, 1.0, 1.0, 0.0);

@@ -20,7 +20,10 @@
 //! * [`analysis`] — the closed-form measures of Section 5
 //!   (Figures 5–7) plus Monte Carlo validation;
 //! * [`baselines`] — flooding, gossip, and base-station detectors for
-//!   comparison.
+//!   comparison;
+//! * [`chaos`] — randomized fault-schedule campaigns with online
+//!   invariant monitoring and shrinking (the plan schema itself lives
+//!   in [`net::chaos`]).
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@
 
 pub use cbfd_analysis as analysis;
 pub use cbfd_baselines as baselines;
+pub use cbfd_chaos as chaos;
 pub use cbfd_cluster as cluster;
 pub use cbfd_core as core;
 pub use cbfd_net as net;

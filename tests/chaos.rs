@@ -1,0 +1,169 @@
+//! FaultPlan-form chaos scenarios: the cascade and harsh-channel
+//! fault-injection tests, migrated from `tests/fault_injection.rs`
+//! onto the declarative chaos schedule (same networks, same seeds,
+//! same assertions), now with the online invariant monitor attached —
+//! plus end-to-end determinism checks for the fuzzing pipeline.
+
+use cbfd::chaos::Monitor;
+use cbfd::cluster::Role;
+use cbfd::core::config::FdsConfig;
+use cbfd::net::chaos::{FaultPlan, FaultPrimitive};
+use cbfd::prelude::*;
+
+fn dense_experiment(seed: u64, n: usize, side: f64) -> Experiment {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let positions = Placement::UniformRect(Rect::square(side)).generate(n, &mut rng);
+    let topology = Topology::from_positions(positions, 100.0);
+    Experiment::new(topology, FdsConfig::default(), FormationConfig::default())
+}
+
+/// Runs `plan` with a stride-`64` monitor attached and asserts no hard
+/// invariant violation occurred.
+fn run_monitored(
+    exp: &Experiment,
+    plan: &FaultPlan,
+    epochs: u64,
+    seed: u64,
+) -> cbfd::core::service::FdsOutcome {
+    let mut monitor = Monitor::new(exp.topology().clone(), exp.view().clone(), 64);
+    let outcome = exp.run_plan(plan, epochs, seed, &mut |sim, ev| monitor.observe(sim, ev));
+    assert!(
+        monitor.violations().is_empty(),
+        "hard invariant violations: {:?}",
+        monitor
+            .violations()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+    outcome
+}
+
+#[test]
+fn cascade_of_crashes_is_fully_reported() {
+    // Migrated from tests/fault_injection.rs: one ordinary member from
+    // each of eight distinct clusters, crashing one epoch apart — now a
+    // single `Cascade` primitive landing at the same mid-interval
+    // instants `Experiment::run` used for epochs 1..=8.
+    let exp = dense_experiment(3, 220, 550.0);
+    assert_eq!(exp.view().backbone_components().len(), 1);
+    let victims: Vec<NodeId> = exp
+        .view()
+        .clusters()
+        .filter_map(|c| {
+            c.non_head_members()
+                .find(|m| exp.view().role_of(*m) == Role::Ordinary)
+        })
+        .take(8)
+        .collect();
+    assert_eq!(
+        victims.len(),
+        8,
+        "need eight clusters with ordinary members"
+    );
+
+    let phi = FdsConfig::default().heartbeat_interval;
+    let plan = FaultPlan {
+        baseline_p: 0.1,
+        horizon: SimTime::ZERO + phi * 14,
+        primitives: vec![FaultPrimitive::Cascade {
+            start: SimTime::ZERO + phi + SimDuration::from_micros(phi.as_micros() / 2),
+            interval: phi,
+            nodes: victims.clone(),
+        }],
+    };
+    let outcome = run_monitored(&exp, &plan, 14, 3);
+    for v in &victims {
+        assert!(
+            outcome.detection_latency.contains_key(v),
+            "{v} undetected in cascade"
+        );
+    }
+    assert!(
+        outcome.completeness > 0.99,
+        "completeness {}; missed {:?}",
+        outcome.completeness,
+        outcome.missed.len()
+    );
+}
+
+#[test]
+fn harsh_channel_extremes_do_not_wedge_the_service() {
+    // Migrated from tests/fault_injection.rs: p = 0.6 is far beyond
+    // the paper's range; the run must still terminate, count sensibly,
+    // and keep probabilities in range. The harsh channel is the plan's
+    // baseline; the single crash keeps its classic epoch-2 instant.
+    let exp = dense_experiment(5, 100, 400.0);
+    let plan = exp.plan_from_crashes(
+        0.6,
+        8,
+        &[PlannedCrash {
+            epoch: 2,
+            node: NodeId(33),
+        }],
+    );
+    let outcome = run_monitored(&exp, &plan, 8, 5);
+    assert!(outcome.completeness >= 0.0 && outcome.completeness <= 1.0);
+    assert!(outcome.incompleteness_rate() <= 1.0);
+    assert!(outcome.metrics.transmissions > 0);
+}
+
+#[test]
+fn migrated_cascade_matches_the_classic_entry_point() {
+    // The FaultPlan form is not merely similar: a crash-only plan at
+    // the classic instants replays `Experiment::run` byte for byte.
+    let exp = dense_experiment(3, 60, 300.0);
+    let crashes = [
+        PlannedCrash {
+            epoch: 1,
+            node: NodeId(7),
+        },
+        PlannedCrash {
+            epoch: 2,
+            node: NodeId(11),
+        },
+    ];
+    let classic = exp.run(0.1, 6, &crashes, 17);
+    let plan = exp.plan_from_crashes(0.1, 6, &crashes);
+    let chaotic = exp.run_plan(&plan, 6, 17, &mut |_, _| {});
+    assert_eq!(classic.metrics, chaotic.metrics);
+    assert_eq!(classic.false_detections, chaotic.false_detections);
+    assert_eq!(classic.completeness, chaotic.completeness);
+    assert_eq!(classic.detection_latency, chaotic.detection_latency);
+}
+
+#[test]
+fn fuzzer_artifacts_shrink_and_replay_deterministically() {
+    // End-to-end over the real FDS: take a generated plan that hurts
+    // completeness, shrink it against that oracle, and check the
+    // shrunk artifact round-trips through text and replays to the
+    // same outcome every time.
+    use cbfd::net::chaos::{shrink, PlanConfig};
+
+    let exp = dense_experiment(8, 60, 350.0);
+    let phi = FdsConfig::default().heartbeat_interval;
+    let config = PlanConfig {
+        nodes: 60,
+        horizon: SimTime::ZERO + phi * 4,
+        baseline_p: 0.1,
+        max_primitives: 6,
+        max_cascade: 6,
+    };
+    let hurts = |plan: &FaultPlan| {
+        let outcome = exp.run_plan(plan, 4, 8, &mut |_, _| {});
+        outcome.completeness < 0.999 || !outcome.false_detections.is_empty()
+    };
+    let plan = (0..64u64)
+        .map(|s| FaultPlan::generate(s, &config))
+        .find(|p| hurts(p))
+        .expect("some chaotic plan degrades the paper properties");
+
+    let shrunk = shrink(&plan, hurts, 64);
+    assert!(hurts(&shrunk.plan), "shrunk plan still reproduces");
+    assert!(shrunk.plan.primitives.len() <= plan.primitives.len());
+    // Deterministic shrinking and a faithful artifact round trip.
+    assert_eq!(shrink(&plan, hurts, 64), shrunk);
+    let reparsed = FaultPlan::from_text(&shrunk.plan.to_text()).expect("artifact parses");
+    assert_eq!(reparsed, shrunk.plan);
+    assert!(hurts(&reparsed), "replayed artifact reproduces");
+}

@@ -86,48 +86,10 @@ fn deputy_crash_then_head_crash_uses_next_deputy() {
     assert!(outcome.accurate(), "{:?}", outcome.false_detections);
 }
 
-#[test]
-fn cascade_of_crashes_is_fully_reported() {
-    let exp = dense_experiment(3, 220, 550.0);
-    assert_eq!(exp.view().backbone_components().len(), 1);
-    // One ordinary member from each of eight distinct clusters (role-
-    // targeted cascades — heads, deputies — have their own tests; an
-    // ID-arithmetic cascade can exhaust a single cluster's deputy
-    // bench, which the paper's service legitimately cannot survive).
-    let victims: Vec<PlannedCrash> = exp
-        .view()
-        .clusters()
-        .filter_map(|c| {
-            c.non_head_members()
-                .find(|m| exp.view().role_of(*m) == Role::Ordinary)
-        })
-        .take(8)
-        .enumerate()
-        .map(|(i, node)| PlannedCrash {
-            epoch: 1 + i as u64,
-            node,
-        })
-        .collect();
-    assert_eq!(
-        victims.len(),
-        8,
-        "need eight clusters with ordinary members"
-    );
-    let outcome = exp.run(0.1, 14, &victims, 3);
-    for v in &victims {
-        assert!(
-            outcome.detection_latency.contains_key(&v.node),
-            "{} undetected in cascade",
-            v.node
-        );
-    }
-    assert!(
-        outcome.completeness > 0.99,
-        "completeness {}; missed {:?}",
-        outcome.completeness,
-        outcome.missed.len()
-    );
-}
+// `cascade_of_crashes_is_fully_reported` and
+// `harsh_channel_extremes_do_not_wedge_the_service` migrated to
+// tests/chaos.rs in FaultPlan form (same networks, seeds and
+// assertions, plus the online invariant monitor).
 
 #[test]
 fn whole_cluster_annihilation_is_detected_by_neighbors() {
@@ -156,25 +118,6 @@ fn whole_cluster_annihilation_is_detected_by_neighbors() {
         .filter(|fd| !cluster.contains(fd.suspect))
         .count();
     assert_eq!(survivors_falsely_accused, 0);
-}
-
-#[test]
-fn harsh_channel_extremes_do_not_wedge_the_service() {
-    // p = 0.6 is far beyond the paper's range; the run must still
-    // terminate, count sensibly, and keep probabilities in range.
-    let exp = dense_experiment(5, 100, 400.0);
-    let outcome = exp.run(
-        0.6,
-        8,
-        &[PlannedCrash {
-            epoch: 2,
-            node: NodeId(33),
-        }],
-        5,
-    );
-    assert!(outcome.completeness >= 0.0 && outcome.completeness <= 1.0);
-    assert!(outcome.incompleteness_rate() <= 1.0);
-    assert!(outcome.metrics.transmissions > 0);
 }
 
 #[test]
