@@ -1,6 +1,6 @@
 //! Event-engine microbenchmark: events/sec and per-event allocation
 //! counts for the broadcast-dominated workload of the paper's target
-//! regime (dense clusters, Vec-heavy digest payloads).
+//! regime (dense clusters, inline 32-word digest payloads).
 //!
 //! Each scenario places `n` nodes uniformly in a square sized for a
 //! target mean degree, then runs a beaconing actor that broadcasts a
@@ -55,18 +55,18 @@ thread_local! {
     static PAYLOAD_CLONES: Cell<u64> = const { Cell::new(0) };
 }
 
-/// A Vec-heavy payload shaped like the FDS digest messages.
+/// A payload shaped like the FDS digest messages since the
+/// roster-bitmap layout: 32 words inline, no heap indirection, so a
+/// broadcast allocates nothing beyond the engine's own bookkeeping.
 #[derive(Debug)]
 struct Digest {
-    words: Vec<u64>,
+    words: [u64; 32],
 }
 
 impl Clone for Digest {
     fn clone(&self) -> Self {
         PAYLOAD_CLONES.with(|c| c.set(c.get() + 1));
-        Digest {
-            words: self.words.clone(),
-        }
+        Digest { words: self.words }
     }
 }
 
@@ -102,7 +102,7 @@ impl Actor for Beacon {
         if token == EPOCH {
             self.heard_this_epoch = false;
             ctx.broadcast(Digest {
-                words: vec![self.me.0 as u64; 32],
+                words: [self.me.0 as u64; 32],
             });
             ctx.set_timer(SimDuration::from_millis(EPOCH_MS / 2), ROUND_TIMEOUT);
             ctx.set_timer(SimDuration::from_millis(EPOCH_MS), EPOCH);
@@ -116,6 +116,11 @@ struct Scenario {
     target_degree: f64,
     loss_p: f64,
     epochs: u64,
+    /// Sources given a chaos-style per-link lag on their first
+    /// neighbour link. Any non-zero count makes every transmission in
+    /// the network consult the link-lag structure, so this measures
+    /// the lookup's cost on the hot path, not the lag itself.
+    lagged_sources: usize,
 }
 
 struct Measurement {
@@ -124,6 +129,7 @@ struct Measurement {
     mean_degree: f64,
     loss_p: f64,
     epochs: u64,
+    lagged_sources: usize,
     events: u64,
     seconds: f64,
     events_per_sec: f64,
@@ -144,6 +150,15 @@ fn run_scenario(s: &Scenario) -> Measurement {
     let pts = Placement::UniformRect(Rect::square(side)).generate(s.n, &mut rng);
     let topology = Topology::from_positions(pts, RANGE);
     let mean_degree = topology.mean_degree();
+    let lag_links: Vec<(NodeId, NodeId)> = match s.n.checked_div(s.lagged_sources) {
+        Some(stride) => topology
+            .node_ids()
+            .step_by(stride.max(1))
+            .take(s.lagged_sources)
+            .filter_map(|id| topology.neighbors(id).first().map(|&to| (id, to)))
+            .collect(),
+        None => Vec::new(),
+    };
 
     let mut sim = Simulator::new(
         topology,
@@ -154,6 +169,9 @@ fn run_scenario(s: &Scenario) -> Measurement {
             heard_this_epoch: false,
         },
     );
+    for &(lag_from, lag_to) in &lag_links {
+        sim.set_link_lag(lag_from, lag_to, SimDuration::from_millis(3));
+    }
     // A sprinkle of crashes keeps the dead-receiver path warm.
     for k in 0..(s.n / 100).max(1) {
         sim.schedule_crash(
@@ -178,6 +196,7 @@ fn run_scenario(s: &Scenario) -> Measurement {
         mean_degree,
         loss_p: s.loss_p,
         epochs: s.epochs,
+        lagged_sources: s.lagged_sources,
         events,
         seconds,
         events_per_sec: events as f64 / seconds,
@@ -211,24 +230,38 @@ fn main() {
             target_degree: 20.0,
             loss_p: 0.1,
             epochs: 20,
+            lagged_sources: 0,
         },
         Scenario {
             n: 1_000,
             target_degree: 50.0,
             loss_p: 0.1,
             epochs: 10,
+            lagged_sources: 0,
         },
         Scenario {
             n: 4_000,
             target_degree: 20.0,
             loss_p: 0.1,
             epochs: 8,
+            lagged_sources: 0,
+        },
+        // Same cell as above with per-link lags installed on 1% of
+        // sources: isolates the cost of the link-lag lookup every
+        // surviving copy must make once any lag exists.
+        Scenario {
+            n: 4_000,
+            target_degree: 20.0,
+            loss_p: 0.1,
+            epochs: 8,
+            lagged_sources: 40,
         },
         Scenario {
             n: 10_000,
             target_degree: 10.0,
             loss_p: 0.1,
             epochs: 5,
+            lagged_sources: 0,
         },
     ];
 
@@ -237,11 +270,16 @@ fn main() {
     let results: Vec<Measurement> = scenarios.iter().map(run_scenario).collect();
     for m in &results {
         println!(
-            "N={:<6} degree {:5.1} (target {:4.1})  {:>9} events  {:8.3} s  {:>10.0} ev/s  \
+            "N={:<6} degree {:5.1} (target {:4.1}){}  {:>9} events  {:8.3} s  {:>10.0} ev/s  \
              {:5.2} allocs/ev  {} payload clones",
             m.n,
             m.mean_degree,
             m.target_degree,
+            if m.lagged_sources > 0 {
+                " lagged"
+            } else {
+                "       "
+            },
             m.events,
             m.seconds,
             m.events_per_sec,
@@ -250,13 +288,14 @@ fn main() {
         );
         rows.push(format!(
             "    {{ \"n\": {}, \"target_degree\": {}, \"mean_degree\": {:.2}, \"loss_p\": {}, \
-             \"epochs\": {}, \"events\": {}, \"seconds\": {:.4}, \"events_per_sec\": {:.0}, \
-             \"allocs_per_event\": {:.3}, \"payload_clones\": {} }}",
+             \"epochs\": {}, \"lagged_sources\": {}, \"events\": {}, \"seconds\": {:.4}, \
+             \"events_per_sec\": {:.0}, \"allocs_per_event\": {:.3}, \"payload_clones\": {} }}",
             m.n,
             m.target_degree,
             m.mean_degree,
             m.loss_p,
             m.epochs,
+            m.lagged_sources,
             m.events,
             m.seconds,
             m.events_per_sec,
@@ -290,7 +329,7 @@ fn main() {
     let committed = baseline.unwrap_or(smoke.events_per_sec);
     let json = format!(
         "{{\n  \"benchmark\": \"event_engine\",\n  \
-         \"workload\": \"staggered digest beacons, 32-word Vec payloads, cancel-heavy timers\",\n  \
+         \"workload\": \"staggered digest beacons, 32-word inline payloads, cancel-heavy timers\",\n  \
          \"smoke_baseline_events_per_sec\": {committed:.0},\n  \
          \"smoke_scenario\": \"n=1000 target_degree=20\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),

@@ -23,7 +23,10 @@
 //! every observed event; the expensive sweeps (structural invariants,
 //! residual evaluation) run every `stride` events and immediately
 //! after every crash, since crashes are the only events that change
-//! the monitored dead set.
+//! the monitored dead set. The structural F1–F4 portion depends only
+//! on the fixed topology/clustering and that dead set, so it is
+//! additionally guarded by a dirty flag: deliveries and timers between
+//! crashes re-sample residuals but skip the structural sweep entirely.
 
 use cbfd_cluster::invariants::{self, InvariantViolation};
 use cbfd_cluster::ClusterView;
@@ -118,6 +121,12 @@ pub struct Monitor {
     last_time: SimTime,
     dead: Vec<NodeId>,
     is_dead: Vec<bool>,
+    /// True when the dead set has changed since the last structural
+    /// F1–F4 sweep. The structural verdict is a pure function of
+    /// (topology, view, dead), and the first two never change, so a
+    /// clean flag lets [`Monitor::sweep`] skip that check and re-run
+    /// only the residual sampling.
+    structural_dirty: bool,
     violations: Vec<HardViolation>,
     first_inaccuracy: Option<ResidualSample>,
     last_residual: Option<ResidualSample>,
@@ -139,6 +148,9 @@ impl Monitor {
             last_time: SimTime::ZERO,
             dead: Vec::new(),
             is_dead: vec![false; n],
+            // Dirty from the start: the initial clustering itself must
+            // pass F1–F4 on the first sweep.
+            structural_dirty: true,
             violations: Vec::new(),
             first_inaccuracy: None,
             last_residual: None,
@@ -190,6 +202,7 @@ impl Monitor {
                 } else if node.index() < self.is_dead.len() {
                     self.is_dead[node.index()] = true;
                     self.dead.push(node);
+                    self.structural_dirty = true;
                 }
                 crash = true;
             }
@@ -206,9 +219,12 @@ impl Monitor {
     /// survivors plus a residual sample.
     fn sweep(&mut self, sim: &Simulator<FdsNode>, at: SimTime) {
         self.sweeps_run += 1;
-        for violation in invariants::check_excluding(&self.topology, &self.view, &self.dead) {
-            self.violations
-                .push(HardViolation::Structural { at, violation });
+        if self.structural_dirty {
+            self.structural_dirty = false;
+            for violation in invariants::check_excluding(&self.topology, &self.view, &self.dead) {
+                self.violations
+                    .push(HardViolation::Structural { at, violation });
+            }
         }
 
         let mut false_suspicions = 0u64;

@@ -129,6 +129,106 @@ pub fn aggregate_readings(readings: &BTreeMap<NodeId, i32>) -> Aggregate {
     agg
 }
 
+/// The per-epoch reading store of a clusterhead, laid out by roster
+/// position: a dense `Vec<Option<i32>>` slot per roster member plus a
+/// small spill map for readings overheard from nodes outside the
+/// roster (cross-cluster heartbeats, not-yet-admitted joiners). One
+/// node owns exactly one slot at any time, so the duplicate
+/// elimination of [`aggregate_readings`] is preserved without a map
+/// probe per reading on the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadingTable {
+    by_pos: Vec<Option<i32>>,
+    extra: BTreeMap<NodeId, i32>,
+}
+
+impl ReadingTable {
+    /// An empty table; size it with [`ReadingTable::reset`].
+    pub fn new() -> Self {
+        ReadingTable::default()
+    }
+
+    /// Clears every reading and resizes for a roster of `len`
+    /// members, reusing the dense storage.
+    pub fn reset(&mut self, len: usize) {
+        self.by_pos.clear();
+        self.by_pos.resize(len, None);
+        self.extra.clear();
+    }
+
+    /// Extends the dense storage to a grown roster, keeping recorded
+    /// readings.
+    pub fn grow(&mut self, len: usize) {
+        if self.by_pos.len() < len {
+            self.by_pos.resize(len, None);
+        }
+    }
+
+    /// Records a reading, overwriting any earlier one for the same
+    /// node (heartbeat readings are authoritative). `pos` is the
+    /// node's roster position when it has one.
+    pub fn set(&mut self, pos: Option<usize>, node: NodeId, reading: i32) {
+        match pos {
+            Some(p) => {
+                self.by_pos[p] = Some(reading);
+                // The node may have been recorded before it was
+                // admitted to the roster; its spill entry must not
+                // survive as a duplicate.
+                if !self.extra.is_empty() {
+                    self.extra.remove(&node);
+                }
+            }
+            None => {
+                self.extra.insert(node, reading);
+            }
+        }
+    }
+
+    /// Records a reading only if none exists for the node yet (digest
+    /// readings are second-hand and never override).
+    pub fn set_if_absent(&mut self, pos: Option<usize>, node: NodeId, reading: i32) {
+        let present = match pos {
+            Some(p) => self.by_pos[p].is_some() || self.extra.contains_key(&node),
+            None => self.extra.contains_key(&node),
+        };
+        if !present {
+            self.set(pos, node, reading);
+        }
+    }
+
+    /// Emits every recorded reading as `(node, reading)` pairs for the
+    /// digest payload: dense roster slots first (`roster_order` maps
+    /// positions back to ids), then the spill entries. Every node
+    /// appears at most once, so consumers' first-wins/overwrite
+    /// semantics are unaffected by the order.
+    pub fn pairs(&self, roster_order: &[NodeId]) -> Vec<(NodeId, i32)> {
+        let mut out = Vec::with_capacity(self.extra.len());
+        for (pos, reading) in self.by_pos.iter().enumerate() {
+            if let Some(r) = reading {
+                out.push((roster_order[pos], *r));
+            }
+        }
+        for (node, r) in &self.extra {
+            out.push((*node, *r));
+        }
+        out
+    }
+
+    /// The duplicate-free aggregate over every recorded reading.
+    /// [`Aggregate::merge`] is commutative, so the dense-then-spill
+    /// order yields the same result as the historical id-ordered map.
+    pub fn aggregate(&self) -> Aggregate {
+        let mut agg = Aggregate::empty();
+        for reading in self.by_pos.iter().flatten() {
+            agg.merge(&Aggregate::of(*reading));
+        }
+        for reading in self.extra.values() {
+            agg.merge(&Aggregate::of(*reading));
+        }
+        agg
+    }
+}
+
 /// The synthetic sensor field used by examples and tests: a smooth
 /// spatially varying signal sampled per node and epoch (deterministic,
 /// so expected aggregates are computable exactly).
@@ -196,6 +296,42 @@ mod tests {
         let agg = aggregate_readings(&readings);
         assert_eq!(agg.count, 2, "per-node dedup");
         assert_eq!(agg.sum, 30);
+    }
+
+    #[test]
+    fn reading_table_matches_map_semantics() {
+        // Heartbeats overwrite, digests are first-wins, dense and
+        // spill storage never double count — mirroring the historical
+        // BTreeMap<NodeId, i32> behaviour.
+        let mut t = ReadingTable::new();
+        t.reset(3);
+        t.set(Some(0), NodeId(10), 5);
+        t.set(Some(0), NodeId(10), 7); // heartbeat overwrite
+        t.set_if_absent(Some(0), NodeId(10), 99); // digest loses
+        t.set_if_absent(Some(1), NodeId(11), 4);
+        t.set(None, NodeId(50), 1); // non-roster overheard reading
+        t.set_if_absent(None, NodeId(50), 88); // still first-wins
+        let agg = t.aggregate();
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.sum, 7 + 4 + 1);
+    }
+
+    #[test]
+    fn reading_table_admission_does_not_duplicate() {
+        // A reading recorded before admission (spill) must collapse
+        // into the dense slot once the node gets a position.
+        let mut t = ReadingTable::new();
+        t.reset(2);
+        t.set_if_absent(None, NodeId(9), 3);
+        t.grow(3);
+        t.set_if_absent(Some(2), NodeId(9), 5); // spill entry wins: absent? no
+        assert_eq!(t.aggregate().count, 1);
+        assert_eq!(t.aggregate().sum, 3, "first reading survives");
+        t.set(Some(2), NodeId(9), 8); // heartbeat overwrites and migrates
+        assert_eq!(t.aggregate().count, 1);
+        assert_eq!(t.aggregate().sum, 8);
+        t.reset(3);
+        assert!(t.aggregate().is_empty());
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! Roster-indexed bitsets for the digest/health hot path.
+//!
+//! A [`RosterBitmap`] represents a subset of a cluster roster as one
+//! bit per *roster position* instead of one explicit [`NodeId`] per
+//! member. Positions index the node's **announcement-ordered roster**
+//! (`FdsNode::roster_order`): the formation roster in sorted order,
+//! with every later admission batch appended at the end. Because the
+//! roster only ever grows and admissions append, version `v` of a
+//! cluster's roster is a strict prefix of version `v + 1` — positions
+//! of existing members never move, so a bitmap authored against an
+//! older or newer roster version of the *same cluster* stays readable
+//! over the common prefix.
+//!
+//! Two guards keep membership churn from aliasing bits:
+//!
+//! * every bitmap carries the **roster version** it was built against
+//!   (the "roster epoch" tag); strict operations such as
+//!   [`RosterBitmap::union_with`] reject mismatching versions, while
+//!   the churn-tolerant [`RosterBitmap::or_prefix`] is explicitly
+//!   documented as relying on the append-only prefix contract;
+//! * digests additionally carry their author's cluster on the wire,
+//!   and receivers never interpret heard-bits from a foreign cluster
+//!   (see `DESIGN.md` §12 for the aliasing hazard this closes).
+//!
+//! Storage is `[u64; 4]` inline (clusters up to 256 members — far
+//! beyond the unit-disk cluster sizes the paper works with), spilling
+//! to a boxed slice beyond that. All operations keep the invariant
+//! that bits at positions `>= len` are zero, so word-wise rule
+//! evaluation needs no tail masking.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Words stored inline before spilling to the heap.
+pub const INLINE_WORDS: usize = 4;
+
+/// Positions representable without a heap allocation.
+pub const INLINE_BITS: usize = INLINE_WORDS * 64;
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Words {
+    /// Rosters of up to [`INLINE_BITS`] members: no heap at all.
+    Inline([u64; INLINE_WORDS]),
+    /// Larger rosters spill to a boxed slice.
+    Spilled(Box<[u64]>),
+}
+
+/// Error returned by strict bitmap operations when the two operands
+/// were built against different roster versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionMismatch {
+    /// The version of the bitmap the operation was called on.
+    pub ours: u32,
+    /// The version of the other operand.
+    pub theirs: u32,
+}
+
+impl fmt::Display for VersionMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "roster version mismatch: {} vs {}",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for VersionMismatch {}
+
+/// A set of roster positions, tagged with the roster version it was
+/// built against.
+///
+/// # Examples
+///
+/// ```
+/// use cbfd_core::bitmap::RosterBitmap;
+///
+/// let mut heard = RosterBitmap::new(3, 10);
+/// heard.set(1);
+/// heard.set(7);
+/// assert!(heard.contains(1) && heard.contains(7));
+/// assert!(!heard.contains(2));
+/// assert!(!heard.contains(99), "out of range is simply absent");
+/// assert_eq!(heard.iter().collect::<Vec<_>>(), vec![1, 7]);
+/// assert_eq!(heard.version(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RosterBitmap {
+    version: u32,
+    len: u32,
+    words: Words,
+}
+
+/// Equality is semantic — version, length, and set positions — not
+/// storage representation: a spilled bitmap that [`RosterBitmap::reset`]
+/// shrank back into inline range equals a freshly inline one.
+impl PartialEq for RosterBitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.version == other.version && self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for RosterBitmap {}
+
+fn word_count(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+impl RosterBitmap {
+    /// An empty bitmap over `len` roster positions at roster version
+    /// `version`.
+    pub fn new(version: u32, len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "roster too large");
+        let words = if len <= INLINE_BITS {
+            Words::Inline([0; INLINE_WORDS])
+        } else {
+            Words::Spilled(vec![0; word_count(len)].into_boxed_slice())
+        };
+        RosterBitmap {
+            version,
+            len: len as u32,
+            words,
+        }
+    }
+
+    /// Builds a bitmap from raw backing words (e.g. a decoded wire
+    /// payload). Bits beyond `len` in the last word are masked off
+    /// rather than trusted — malformed input cannot violate the
+    /// tail-zero invariant; surplus words are ignored and missing
+    /// words read as zero.
+    pub fn from_words(version: u32, len: usize, words: impl IntoIterator<Item = u64>) -> Self {
+        let mut b = RosterBitmap::new(version, len);
+        if len == 0 {
+            return b;
+        }
+        let n = word_count(len);
+        let dst = b.words_mut();
+        for (i, w) in words.into_iter().take(n).enumerate() {
+            dst[i] = w;
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            dst[n - 1] &= (1u64 << tail) - 1;
+        }
+        b
+    }
+
+    /// The roster version this bitmap was built against.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of roster positions covered.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no position is set.
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|w| *w == 0)
+    }
+
+    /// The backing words (exactly `len.div_ceil(64)` of them; bits at
+    /// positions `>= len` are always zero).
+    pub fn words(&self) -> &[u64] {
+        let n = word_count(self.len as usize);
+        match &self.words {
+            Words::Inline(a) => &a[..n],
+            Words::Spilled(b) => &b[..n],
+        }
+    }
+
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = word_count(self.len as usize);
+        match &mut self.words {
+            Words::Inline(a) => &mut a[..n],
+            Words::Spilled(b) => &mut b[..n],
+        }
+    }
+
+    /// Clears every bit and re-tags the bitmap for a (possibly
+    /// different) roster, reusing the spilled allocation when its
+    /// capacity suffices — the per-epoch reset of round state.
+    pub fn reset(&mut self, version: u32, len: usize) {
+        assert!(len <= u32::MAX as usize, "roster too large");
+        let needed = word_count(len);
+        match &mut self.words {
+            Words::Inline(a) if len <= INLINE_BITS => a.fill(0),
+            Words::Spilled(b) if b.len() >= needed => b.fill(0),
+            w => {
+                *w = if len <= INLINE_BITS {
+                    Words::Inline([0; INLINE_WORDS])
+                } else {
+                    Words::Spilled(vec![0; needed].into_boxed_slice())
+                };
+            }
+        }
+        self.version = version;
+        self.len = len as u32;
+    }
+
+    /// Extends the bitmap to a grown roster (same cluster, newer
+    /// version), preserving every set bit — positions are prefix-stable
+    /// under the append-only roster contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is smaller than the current length (rosters
+    /// never shrink within an epoch).
+    pub fn grow(&mut self, version: u32, len: usize) {
+        assert!(len >= self.len as usize, "rosters never shrink mid-epoch");
+        let needed = word_count(len);
+        let have = match &self.words {
+            Words::Inline(_) => INLINE_WORDS,
+            Words::Spilled(b) => b.len(),
+        };
+        if needed > have {
+            let mut bigger = vec![0u64; needed].into_boxed_slice();
+            bigger[..self.words().len()].copy_from_slice(self.words());
+            self.words = Words::Spilled(bigger);
+        }
+        self.version = version;
+        self.len = len as u32;
+    }
+
+    /// Overwrites this bitmap with a copy of `other`, reusing existing
+    /// storage where possible (the replace-on-duplicate semantics of
+    /// digest recording, without a fresh allocation per digest).
+    pub fn assign(&mut self, other: &RosterBitmap) {
+        self.reset(other.version, other.len as usize);
+        self.words_mut().copy_from_slice(other.words());
+    }
+
+    /// Sets the bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`: callers map node IDs to positions
+    /// through the roster index, so an out-of-range set is a logic
+    /// error, never data.
+    pub fn set(&mut self, pos: usize) {
+        assert!(pos < self.len as usize, "position {pos} out of roster");
+        self.words_mut()[pos / 64] |= 1u64 << (pos % 64);
+    }
+
+    /// Clears the bit at `pos` (out-of-range positions are already
+    /// clear, so this is a no-op for them).
+    pub fn clear(&mut self, pos: usize) {
+        if pos < self.len as usize {
+            self.words_mut()[pos / 64] &= !(1u64 << (pos % 64));
+        }
+    }
+
+    /// Sets every bit in `0..len` (the start of an expected-members
+    /// mask).
+    pub fn set_all(&mut self) {
+        let len = self.len as usize;
+        if len == 0 {
+            return;
+        }
+        let words = self.words_mut();
+        words.fill(u64::MAX);
+        let tail = len % 64;
+        if tail != 0 {
+            *words.last_mut().expect("len > 0") = (1u64 << tail) - 1;
+        }
+    }
+
+    /// Whether the bit at `pos` is set. Positions beyond `len` are
+    /// reported absent (not an error): a stale bitmap simply has no
+    /// opinion on members admitted after it was built.
+    pub fn contains(&self, pos: usize) -> bool {
+        if pos >= self.len as usize {
+            return false;
+        }
+        self.words()[pos / 64] & (1u64 << (pos % 64)) != 0
+    }
+
+    /// The word at index `i`, or zero beyond the bitmap's extent —
+    /// lets word-wise rule evaluation mix bitmaps of different
+    /// lengths without branching at every bit.
+    pub fn word_or_zero(&self, i: usize) -> u64 {
+        self.words().get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of set positions.
+    pub fn count(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Strict in-place union: both bitmaps must carry the same roster
+    /// version and length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VersionMismatch`] (and leaves `self` untouched) when
+    /// the versions differ; a caller that *means* to mix versions must
+    /// say so by using [`RosterBitmap::or_prefix`].
+    pub fn union_with(&mut self, other: &RosterBitmap) -> Result<(), VersionMismatch> {
+        if self.version != other.version {
+            return Err(VersionMismatch {
+                ours: self.version,
+                theirs: other.version,
+            });
+        }
+        self.or_prefix(other);
+        Ok(())
+    }
+
+    /// Churn-tolerant union: ORs in `other`'s bits over the common
+    /// prefix `0..min(self.len, other.len)`, ignoring versions.
+    ///
+    /// Sound only under the append-only roster contract of this
+    /// module: positions of existing members never move between
+    /// versions of the same cluster's roster, so the common prefix
+    /// means the same members in both operands.
+    pub fn or_prefix(&mut self, other: &RosterBitmap) {
+        let my_len = self.len as usize;
+        let common = my_len.min(other.len as usize);
+        if common == 0 {
+            return;
+        }
+        let words = self.words_mut();
+        let other_words = other.words();
+        let full = common / 64;
+        for i in 0..full {
+            words[i] |= other_words[i];
+        }
+        let tail = common % 64;
+        if tail != 0 {
+            words[full] |= other_words[full] & ((1u64 << tail) - 1);
+        }
+    }
+
+    /// Iterates set positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &word)| BitIter { word, base: i * 64 })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut b = RosterBitmap::new(0, 70);
+        assert!(!b.contains(69));
+        b.set(69);
+        b.set(0);
+        assert!(b.contains(69) && b.contains(0));
+        assert_eq!(b.count(), 2);
+        b.clear(69);
+        assert!(!b.contains(69));
+        b.clear(500); // out of range: no-op
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of roster")]
+    fn set_out_of_range_panics() {
+        RosterBitmap::new(0, 8).set(8);
+    }
+
+    #[test]
+    fn spills_beyond_inline_words() {
+        let small = RosterBitmap::new(0, INLINE_BITS);
+        assert!(matches!(small.words, Words::Inline(_)));
+        let mut big = RosterBitmap::new(0, INLINE_BITS + 1);
+        assert!(matches!(big.words, Words::Spilled(_)));
+        big.set(INLINE_BITS);
+        assert!(big.contains(INLINE_BITS));
+        assert_eq!(big.words().len(), INLINE_WORDS + 1);
+    }
+
+    #[test]
+    fn set_all_masks_the_tail() {
+        let mut b = RosterBitmap::new(0, 67);
+        b.set_all();
+        assert_eq!(b.count(), 67);
+        assert!(b.contains(66));
+        assert!(!b.contains(67));
+        assert_eq!(b.words()[1], 0b111);
+    }
+
+    #[test]
+    fn reset_reuses_and_retags() {
+        let mut b = RosterBitmap::new(1, 300);
+        b.set(299);
+        b.reset(2, 10);
+        assert_eq!(b.version(), 2);
+        assert_eq!(b.len(), 10);
+        assert!(b.is_empty());
+        // Shrinking kept the spilled box; the words view narrows.
+        assert_eq!(b.words().len(), 1);
+    }
+
+    #[test]
+    fn grow_preserves_bits_across_the_spill_boundary() {
+        let mut b = RosterBitmap::new(0, INLINE_BITS);
+        b.set(0);
+        b.set(INLINE_BITS - 1);
+        b.grow(1, INLINE_BITS + 40);
+        assert_eq!(b.version(), 1);
+        assert!(b.contains(0) && b.contains(INLINE_BITS - 1));
+        b.set(INLINE_BITS + 39);
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn strict_union_rejects_version_mismatch() {
+        let mut a = RosterBitmap::new(1, 8);
+        let b = RosterBitmap::new(2, 8);
+        assert_eq!(
+            a.union_with(&b),
+            Err(VersionMismatch { ours: 1, theirs: 2 })
+        );
+        let mut c = RosterBitmap::new(2, 8);
+        c.set(3);
+        let mut a2 = RosterBitmap::new(2, 8);
+        assert_eq!(a2.union_with(&c), Ok(()));
+        assert!(a2.contains(3));
+    }
+
+    #[test]
+    fn or_prefix_unions_the_common_prefix_only() {
+        let mut mine = RosterBitmap::new(5, 10);
+        let mut theirs = RosterBitmap::new(4, 70);
+        theirs.set(3);
+        theirs.set(9);
+        theirs.set(42); // beyond my roster: ignored
+        mine.or_prefix(&theirs);
+        assert!(mine.contains(3) && mine.contains(9));
+        assert_eq!(mine.count(), 2);
+
+        // And the other direction: their shorter bitmap can't touch my
+        // newer positions.
+        let mut longer = RosterBitmap::new(5, 70);
+        let mut shorter = RosterBitmap::new(4, 5);
+        shorter.set(4);
+        longer.or_prefix(&shorter);
+        assert_eq!(longer.iter().collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn iter_ascends_across_words() {
+        let mut b = RosterBitmap::new(0, 200);
+        for p in [0, 63, 64, 127, 199] {
+            b.set(p);
+        }
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 199]);
+    }
+
+    #[test]
+    fn assign_copies_and_reuses() {
+        let mut src = RosterBitmap::new(7, 20);
+        src.set(11);
+        let mut dst = RosterBitmap::new(0, 400);
+        dst.assign(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.version(), 7);
+    }
+
+    #[test]
+    fn from_words_masks_untrusted_tail_bits() {
+        let b = RosterBitmap::from_words(3, 5, [0xFFu64, 0xFF]);
+        assert_eq!(b.count(), 5, "bits 5..64 and the surplus word dropped");
+        assert_eq!(b.words(), &[0b1_1111]);
+        assert_eq!(b.version(), 3);
+        let short = RosterBitmap::from_words(0, 130, [u64::MAX]);
+        assert_eq!(short.count(), 64, "missing words read as zero");
+        assert_eq!(short.words().len(), 3);
+    }
+
+    #[test]
+    fn empty_bitmap_is_well_behaved() {
+        let mut b = RosterBitmap::new(0, 0);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert!(!b.contains(0));
+        assert_eq!(b.iter().count(), 0);
+        b.set_all();
+        assert!(b.is_empty());
+        assert_eq!(b.word_or_zero(0), 0);
+    }
+}

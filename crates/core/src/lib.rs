@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregation;
+pub mod bitmap;
 pub mod config;
 pub mod health;
 pub mod message;
@@ -75,6 +76,7 @@ pub mod node;
 pub mod peer_forward;
 pub mod profile;
 pub mod properties;
+pub mod reference;
 pub mod rules;
 pub mod service;
 pub mod view;

@@ -7,20 +7,27 @@
 //! message counts.
 
 use crate::aggregation::Aggregate;
+use crate::bitmap::RosterBitmap;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cbfd_net::id::{ClusterId, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// The digest a node sends in `fds.R-2`: the set of cluster members it
-/// heard (or overheard) heartbeats from during `fds.R-1`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// heard (or overheard) heartbeats from during `fds.R-1`, as a bitmap
+/// over the author's announcement-ordered cluster roster (see
+/// [`crate::bitmap`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Digest {
     /// The digest's author.
     pub from: NodeId,
-    /// Members whose heartbeats the author heard this epoch.
-    pub heard: BTreeSet<NodeId>,
+    /// The author's cluster. Heard-bits are positions in *that*
+    /// cluster's roster, so receivers affiliated elsewhere must not
+    /// interpret them (the cross-cluster aliasing guard).
+    pub cluster: ClusterId,
+    /// Roster positions whose heartbeats the author heard this epoch,
+    /// tagged with the author's roster version.
+    pub heard: RosterBitmap,
     /// The `(node, reading)` pairs the author overheard, when data
     /// aggregation is embedded in the FDS (message sharing); the head
     /// deduplicates by node ID.
@@ -28,11 +35,13 @@ pub struct Digest {
 }
 
 impl Digest {
-    /// Creates a digest authored by `from` over the heard set.
-    pub fn new(from: NodeId, heard: impl IntoIterator<Item = NodeId>) -> Self {
+    /// Creates a digest authored by `from`, a member of `cluster`,
+    /// over the heard-positions bitmap.
+    pub fn new(from: NodeId, cluster: ClusterId, heard: RosterBitmap) -> Self {
         Digest {
             from,
-            heard: heard.into_iter().collect(),
+            cluster,
+            heard,
             readings: Vec::new(),
         }
     }
@@ -43,9 +52,11 @@ impl Digest {
         self
     }
 
-    /// Whether the digest reflects awareness of `node`'s heartbeat.
-    pub fn reflects(&self, node: NodeId) -> bool {
-        self.heard.contains(&node)
+    /// Whether the digest reflects awareness of a heartbeat from the
+    /// member at roster position `pos` (positions beyond the digest's
+    /// roster are simply not reflected).
+    pub fn reflects(&self, pos: usize) -> bool {
+        self.heard.contains(pos)
     }
 }
 
@@ -67,10 +78,16 @@ pub struct HealthUpdate {
     /// Set when a deputy clusterhead announces a clusterhead failure
     /// and takes over.
     pub takeover: bool,
+    /// The authority's roster version (bumped on every admission
+    /// batch). Members adopt it together with `roster`, so subsequent
+    /// digest bitmaps carry the version they were built against.
+    pub roster_version: u32,
     /// Unmarked nodes admitted to the cluster this epoch (their
     /// heartbeats served as membership subscriptions — feature F5).
     pub joined: Vec<NodeId>,
-    /// The full roster after admissions; empty unless `joined` is
+    /// The full roster after admissions, in **announcement order**
+    /// (formation roster sorted, each admission batch appended — the
+    /// order digest bitmap positions index); empty unless `joined` is
     /// non-empty (it then serves as a cluster organization
     /// re-announcement).
     pub roster: Vec<NodeId>,
@@ -166,7 +183,7 @@ impl fmt::Display for FdsMsg {
             FdsMsg::Heartbeat { from, marked, .. } => {
                 write!(f, "heartbeat({from}, marked={marked})")
             }
-            FdsMsg::Digest(d) => write!(f, "digest({}, |heard|={})", d.from, d.heard.len()),
+            FdsMsg::Digest(d) => write!(f, "digest({}, |heard|={})", d.from, d.heard.count()),
             FdsMsg::HealthUpdate(u) => write!(
                 f,
                 "update({}, epoch={}, new={}, takeover={})",
@@ -229,15 +246,17 @@ const TAG_PEER_ACK: u8 = 6;
 const TAG_REPORT: u8 = 7;
 const TAG_SLEEP: u8 = 8;
 
-fn put_ids(buf: &mut BytesMut, ids: impl IntoIterator<Item = NodeId>) {
-    let ids: Vec<NodeId> = ids.into_iter().collect();
+fn put_ids(buf: &mut BytesMut, ids: &[NodeId]) {
     buf.put_u16(ids.len() as u16);
     for id in ids {
         buf.put_u32(id.0);
     }
 }
 
-fn get_ids(buf: &mut Bytes) -> Result<Vec<NodeId>, DecodeError> {
+/// Decodes a length-prefixed id list into `out` (cleared first) — the
+/// caller owns the scratch, so repeated decodes reuse one allocation.
+fn get_ids_into(buf: &mut Bytes, out: &mut Vec<NodeId>) -> Result<(), DecodeError> {
+    out.clear();
     if buf.remaining() < 2 {
         return Err(DecodeError::Truncated);
     }
@@ -245,7 +264,17 @@ fn get_ids(buf: &mut Bytes) -> Result<Vec<NodeId>, DecodeError> {
     if buf.remaining() < n * 4 {
         return Err(DecodeError::Truncated);
     }
-    Ok((0..n).map(|_| NodeId(buf.get_u32())).collect())
+    out.reserve(n);
+    for _ in 0..n {
+        out.push(NodeId(buf.get_u32()));
+    }
+    Ok(())
+}
+
+fn get_ids(buf: &mut Bytes) -> Result<Vec<NodeId>, DecodeError> {
+    let mut ids = Vec::new();
+    get_ids_into(buf, &mut ids)?;
+    Ok(ids)
 }
 
 fn put_update(buf: &mut BytesMut, u: &HealthUpdate) {
@@ -253,10 +282,11 @@ fn put_update(buf: &mut BytesMut, u: &HealthUpdate) {
     buf.put_u32(u.cluster.head().0);
     buf.put_u64(u.epoch);
     buf.put_u8(u.takeover as u8);
-    put_ids(buf, u.new_failed.iter().copied());
-    put_ids(buf, u.all_failed.iter().copied());
-    put_ids(buf, u.joined.iter().copied());
-    put_ids(buf, u.roster.iter().copied());
+    buf.put_u32(u.roster_version);
+    put_ids(buf, &u.new_failed);
+    put_ids(buf, &u.all_failed);
+    put_ids(buf, &u.joined);
+    put_ids(buf, &u.roster);
     match &u.aggregate {
         Some(a) => {
             buf.put_u8(1);
@@ -270,13 +300,14 @@ fn put_update(buf: &mut BytesMut, u: &HealthUpdate) {
 }
 
 fn get_update(buf: &mut Bytes) -> Result<HealthUpdate, DecodeError> {
-    if buf.remaining() < 4 + 4 + 8 + 1 {
+    if buf.remaining() < 4 + 4 + 8 + 1 + 4 {
         return Err(DecodeError::Truncated);
     }
     let from = NodeId(buf.get_u32());
     let cluster = ClusterId::of(NodeId(buf.get_u32()));
     let epoch = buf.get_u64();
     let takeover = buf.get_u8() != 0;
+    let roster_version = buf.get_u32();
     let new_failed = get_ids(buf)?;
     let all_failed = get_ids(buf)?;
     let joined = get_ids(buf)?;
@@ -305,10 +336,28 @@ fn get_update(buf: &mut Bytes) -> Result<HealthUpdate, DecodeError> {
         new_failed,
         all_failed,
         takeover,
+        roster_version,
         joined,
         roster,
         aggregate,
     })
+}
+
+fn ids_len(n: usize) -> usize {
+    2 + 4 * n
+}
+
+fn update_len(u: &HealthUpdate) -> usize {
+    4 + 4
+        + 8
+        + 1
+        + 4
+        + ids_len(u.new_failed.len())
+        + ids_len(u.all_failed.len())
+        + ids_len(u.joined.len())
+        + ids_len(u.roster.len())
+        + 1
+        + if u.aggregate.is_some() { 20 } else { 0 }
 }
 
 impl FdsMsg {
@@ -335,7 +384,12 @@ impl FdsMsg {
             FdsMsg::Digest(d) => {
                 buf.put_u8(TAG_DIGEST);
                 buf.put_u32(d.from.0);
-                put_ids(&mut buf, d.heard.iter().copied());
+                buf.put_u32(d.cluster.head().0);
+                buf.put_u32(d.heard.version());
+                buf.put_u16(d.heard.len() as u16);
+                for word in d.heard.words() {
+                    buf.put_u64(*word);
+                }
                 buf.put_u16(d.readings.len() as u16);
                 for (node, reading) in &d.readings {
                     buf.put_u32(node.0);
@@ -365,8 +419,11 @@ impl FdsMsg {
                 buf.put_u8(TAG_REPORT);
                 buf.put_u32(r.via.0);
                 buf.put_u32(r.to_cluster.head().0);
-                put_ids(&mut buf, r.failed.iter().copied());
-                put_ids(&mut buf, r.known_by.iter().map(|c| c.head()));
+                put_ids(&mut buf, &r.failed);
+                buf.put_u16(r.known_by.len() as u16);
+                for c in &r.known_by {
+                    buf.put_u32(c.head().0);
+                }
             }
             FdsMsg::SleepNotice { from, until_epoch } => {
                 buf.put_u8(TAG_SLEEP);
@@ -411,11 +468,21 @@ impl FdsMsg {
                 })
             }
             TAG_DIGEST => {
-                if buf.remaining() < 4 {
+                if buf.remaining() < 4 + 4 + 4 + 2 {
                     return Err(DecodeError::Truncated);
                 }
                 let from = NodeId(buf.get_u32());
-                let heard = get_ids(&mut buf)?;
+                let cluster = ClusterId::of(NodeId(buf.get_u32()));
+                let version = buf.get_u32();
+                let bits = buf.get_u16() as usize;
+                let words = bits.div_ceil(64);
+                // Length check before building the bitmap: a lying
+                // bit-length can't force an allocation.
+                if buf.remaining() < words * 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let heard =
+                    RosterBitmap::from_words(version, bits, (0..words).map(|_| buf.get_u64()));
                 if buf.remaining() < 2 {
                     return Err(DecodeError::Truncated);
                 }
@@ -427,7 +494,7 @@ impl FdsMsg {
                     .map(|_| (NodeId(buf.get_u32()), buf.get_i32()))
                     .collect();
                 Ok(FdsMsg::Digest(
-                    Digest::new(from, heard).with_readings(readings),
+                    Digest::new(from, cluster, heard).with_readings(readings),
                 ))
             }
             TAG_UPDATE => Ok(FdsMsg::HealthUpdate(get_update(&mut buf)?)),
@@ -485,9 +552,38 @@ impl FdsMsg {
         }
     }
 
-    /// Wire size in bytes.
+    /// Wire size in bytes, computed arithmetically — no encode, no
+    /// allocation — so per-transmit byte accounting is free.
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        match self {
+            FdsMsg::Heartbeat { reading, .. } => 7 + if reading.is_some() { 4 } else { 0 },
+            FdsMsg::Digest(d) => {
+                1 + 4 + 4 + 4 + 2 + 8 * d.heard.words().len() + 2 + 8 * d.readings.len()
+            }
+            FdsMsg::HealthUpdate(u) => 1 + update_len(u),
+            FdsMsg::ForwardRequest { .. } => 13,
+            FdsMsg::PeerForward { update, .. } => 1 + 4 + update_len(update),
+            FdsMsg::PeerAck { .. } => 13,
+            FdsMsg::Report(r) => 1 + 4 + 4 + ids_len(r.failed.len()) + ids_len(r.known_by.len()),
+            FdsMsg::SleepNotice { .. } => 13,
+        }
+    }
+
+    /// Wire size in bytes under the pre-bitmap id-list layout (digests
+    /// carried `u16` count + `u32` per heard node; updates had no
+    /// roster-version field). Experiments record both layouts so the
+    /// energy model can compare them; nothing is actually encoded this
+    /// way any more.
+    pub fn legacy_encoded_len(&self) -> usize {
+        fn legacy_update_len(u: &HealthUpdate) -> usize {
+            update_len(u) - 4
+        }
+        match self {
+            FdsMsg::Digest(d) => 1 + 4 + ids_len(d.heard.count()) + 2 + 8 * d.readings.len(),
+            FdsMsg::HealthUpdate(u) => 1 + legacy_update_len(u),
+            FdsMsg::PeerForward { update, .. } => 1 + 4 + legacy_update_len(update),
+            other => other.encoded_len(),
+        }
     }
 }
 
@@ -503,6 +599,7 @@ mod tests {
             new_failed: vec![NodeId(5)],
             all_failed: vec![NodeId(5), NodeId(7)],
             takeover: true,
+            roster_version: 6,
             joined: vec![NodeId(11)],
             roster: vec![NodeId(3), NodeId(9), NodeId(11)],
             aggregate: Some(Aggregate::of(37)),
@@ -510,6 +607,9 @@ mod tests {
     }
 
     fn all_messages() -> Vec<FdsMsg> {
+        let mut heard = RosterBitmap::new(1, 4);
+        heard.set(0);
+        heard.set(2);
         vec![
             FdsMsg::Heartbeat {
                 from: NodeId(1),
@@ -517,7 +617,8 @@ mod tests {
                 reading: Some(-7),
             },
             FdsMsg::Digest(
-                Digest::new(NodeId(2), [NodeId(1), NodeId(3)]).with_readings(vec![(NodeId(1), 55)]),
+                Digest::new(NodeId(2), ClusterId::of(NodeId(3)), heard)
+                    .with_readings(vec![(NodeId(1), 55)]),
             ),
             FdsMsg::HealthUpdate(update()),
             FdsMsg::ForwardRequest {
@@ -588,10 +689,65 @@ mod tests {
     }
 
     #[test]
-    fn digest_reflects_heard_nodes() {
-        let d = Digest::new(NodeId(0), [NodeId(4)]);
-        assert!(d.reflects(NodeId(4)));
-        assert!(!d.reflects(NodeId(5)));
+    fn digest_reflects_heard_positions() {
+        let mut heard = RosterBitmap::new(0, 6);
+        heard.set(4);
+        let d = Digest::new(NodeId(0), ClusterId::of(NodeId(0)), heard);
+        assert!(d.reflects(4));
+        assert!(!d.reflects(5));
+        assert!(!d.reflects(99), "beyond the roster is not reflected");
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for msg in all_messages() {
+            assert_eq!(msg.encoded_len(), msg.encode().len(), "{msg}");
+        }
+        // And for shapes the fixture list doesn't cover: empty bitmap,
+        // no aggregate, no reading.
+        let extra = [
+            FdsMsg::Heartbeat {
+                from: NodeId(1),
+                marked: false,
+                reading: None,
+            },
+            FdsMsg::Digest(Digest::new(
+                NodeId(2),
+                ClusterId::of(NodeId(3)),
+                RosterBitmap::new(0, 0),
+            )),
+            FdsMsg::Digest(Digest::new(
+                NodeId(2),
+                ClusterId::of(NodeId(3)),
+                RosterBitmap::new(9, 65),
+            )),
+            FdsMsg::HealthUpdate(HealthUpdate {
+                aggregate: None,
+                ..update()
+            }),
+        ];
+        for msg in extra {
+            assert_eq!(msg.encoded_len(), msg.encode().len(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn legacy_len_counts_ids_not_words() {
+        let mut heard = RosterBitmap::new(0, 100);
+        for pos in 0..40 {
+            heard.set(pos);
+        }
+        let d = FdsMsg::Digest(Digest::new(NodeId(2), ClusterId::of(NodeId(3)), heard));
+        // New layout: header 15 + 2 words of bits. Old layout: 4 bytes
+        // per heard id.
+        assert_eq!(d.encoded_len(), 1 + 4 + 4 + 4 + 2 + 16 + 2);
+        assert_eq!(d.legacy_encoded_len(), 1 + 4 + 2 + 160 + 2);
+        // Sleep notices are identical in both layouts.
+        let s = FdsMsg::SleepNotice {
+            from: NodeId(3),
+            until_epoch: 7,
+        };
+        assert_eq!(s.legacy_encoded_len(), s.encoded_len());
     }
 
     #[test]
@@ -643,10 +799,24 @@ mod wire_compat {
 
     #[test]
     fn digest_golden_bytes() {
-        let msg = FdsMsg::Digest(Digest::new(NodeId(7), [NodeId(1), NodeId(2)]));
+        // Author 7 in cluster headed by 3, roster version 1, 5-member
+        // roster, positions {1, 2} heard: one big-endian bitmap word
+        // 0b110 = 6.
+        let mut heard = RosterBitmap::new(1, 5);
+        heard.set(1);
+        heard.set(2);
+        let msg = FdsMsg::Digest(Digest::new(NodeId(7), ClusterId::of(NodeId(3)), heard));
         assert_eq!(
             msg.encode().as_ref(),
-            &[2, 0, 0, 0, 7, 0, 2, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0]
+            &[
+                2, // tag
+                0, 0, 0, 7, // from
+                0, 0, 0, 3, // cluster head
+                0, 0, 0, 1, // roster version
+                0, 5, // roster bit-length
+                0, 0, 0, 0, 0, 0, 0, 6, // bitmap word
+                0, 0, // no readings
+            ]
         );
     }
 

@@ -1,74 +1,247 @@
-//! The per-host FDS protocol actor.
+//! The frozen pre-bitmap FDS implementation, kept as a differential
+//! oracle.
 //!
-//! [`FdsNode`] implements the full service of Section 4 on one host:
+//! [`RefFdsNode`] is the protocol actor exactly as it existed before
+//! the roster-indexed [`crate::bitmap::RosterBitmap`] data-layout
+//! pass: digests carry `BTreeSet<NodeId>` heard-sets, round evidence
+//! is a pair of id-keyed collections, per-epoch state is rebuilt from
+//! scratch, and wire sizes are accounted with the historical id-list
+//! digest layout. It is **not** part of the service — its sole
+//! consumers are the differential test suite (which runs the same
+//! seeded workload through both implementations and asserts identical
+//! verdicts, traces, and metrics) and the protocol benchmark (which
+//! uses it as the set-based baseline).
 //!
-//! * the three rounds — heartbeat exchange (`fds.R-1`), digest
-//!   exchange (`fds.R-2`), and the health-status-update broadcast
-//!   (`fds.R-3`) — executed at the epoch of every heartbeat interval;
-//! * the member and clusterhead failure-detection rules;
-//! * deputy takeover after a detected clusterhead failure;
-//! * peer forwarding with energy-balanced waiting periods for members
-//!   that missed the update;
-//! * inter-cluster report forwarding with implicit acknowledgments and
-//!   rank-`k` backup-gateway timeouts (Section 4.3).
-//!
-//! The actor consumes only node-local knowledge (its
-//! [`NodeProfile`]) plus what it hears on the air.
+//! Nothing here should be "improved": fidelity to the old semantics is
+//! the whole point. Bug-for-bug equivalence with the optimized
+//! [`crate::node::FdsNode`] is what the differential suite certifies.
 
-use crate::aggregation::{synthetic_reading, Aggregate, ReadingTable};
-use crate::bitmap::RosterBitmap;
+use crate::aggregation::{aggregate_readings, synthetic_reading, Aggregate};
 use crate::config::FdsConfig;
-use crate::message::{Digest, FailureReport, FdsMsg, HealthUpdate};
+use crate::message::FailureReport;
+use crate::node::{DetectionEvent, NodeStats};
 use crate::peer_forward::waiting_period;
 use crate::profile::NodeProfile;
-use crate::rules::{ch_failed, detect_failures_into, RoundEvidence};
 use crate::view::FailureView;
 use cbfd_net::actor::{Actor, Ctx, TimerToken};
 use cbfd_net::id::{ClusterId, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// Energy quantization levels for the peer-forwarding waiting period.
+/// Energy quantization levels for the peer-forwarding waiting period
+/// (mirrors the constant in [`crate::node`]).
 const ENERGY_LEVELS: u32 = 4;
 
-/// One detection decision made by this node while acting as an
-/// authority (clusterhead or judging deputy).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DetectionEvent {
-    /// The FDS epoch of the decision.
-    pub epoch: u64,
-    /// The nodes newly declared failed.
-    pub suspects: Vec<NodeId>,
-    /// Whether this was a deputy's clusterhead-failure judgement (and
-    /// takeover).
-    pub takeover: bool,
+/// The set-based `fds.R-2` digest of the pre-bitmap implementation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RefDigest {
+    /// The digest's author.
+    pub from: NodeId,
+    /// Members whose heartbeats the author heard this epoch.
+    pub heard: BTreeSet<NodeId>,
+    /// The `(node, reading)` pairs the author overheard, when data
+    /// aggregation is embedded.
+    pub readings: Vec<(NodeId, i32)>,
 }
 
-/// Traffic/behaviour counters of one node, for experiment read-out.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct NodeStats {
-    /// Health updates received (from the authority, any epoch).
-    pub updates_received: u64,
-    /// Peer-forwarding requests this node broadcast.
-    pub requests_sent: u64,
-    /// Peer forwards this node performed for others.
-    pub peer_forwards_sent: u64,
-    /// Inter-cluster reports this node forwarded.
-    pub reports_sent: u64,
-    /// Update retransmissions this node performed while acting head.
-    pub retransmissions: u64,
-    /// Epochs in which this node missed the update entirely (even
-    /// after peer forwarding) — the incompleteness events.
-    pub updates_missed: u64,
-    /// Unmarked nodes this node admitted while acting head (membership
-    /// subscriptions honoured, feature F5).
-    pub joins_admitted: u64,
-    /// Total wire bytes this node transmitted (per the message codec).
-    pub bytes_sent: u64,
-    /// What [`NodeStats::bytes_sent`] would have been under the
-    /// pre-bitmap id-list wire layout — recorded per transmit so
-    /// experiments can compare the two layouts' energy cost.
-    pub bytes_sent_id_list: u64,
+impl RefDigest {
+    /// Creates a digest authored by `from` over the heard set.
+    pub fn new(from: NodeId, heard: impl IntoIterator<Item = NodeId>) -> Self {
+        RefDigest {
+            from,
+            heard: heard.into_iter().collect(),
+            readings: Vec::new(),
+        }
+    }
+
+    /// Attaches overheard sensor readings.
+    pub fn with_readings(mut self, readings: Vec<(NodeId, i32)>) -> Self {
+        self.readings = readings;
+        self
+    }
+
+    /// Whether the digest reflects awareness of `node`'s heartbeat.
+    pub fn reflects(&self, node: NodeId) -> bool {
+        self.heard.contains(&node)
+    }
+}
+
+/// The `fds.R-3` health update of the pre-bitmap implementation (no
+/// roster-version field; rosters were plain sorted id lists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefUpdate {
+    /// The broadcasting authority (CH, or DCH on takeover).
+    pub from: NodeId,
+    /// The cluster this update concerns.
+    pub cluster: ClusterId,
+    /// The FDS epoch the update belongs to.
+    pub epoch: u64,
+    /// Failures detected **this** epoch in this cluster.
+    pub new_failed: Vec<NodeId>,
+    /// Every failure known to the authority.
+    pub all_failed: Vec<NodeId>,
+    /// Set when a deputy announces a clusterhead failure and takes
+    /// over.
+    pub takeover: bool,
+    /// Unmarked nodes admitted this epoch (feature F5).
+    pub joined: Vec<NodeId>,
+    /// The full roster after admissions; empty unless `joined` is
+    /// non-empty.
+    pub roster: Vec<NodeId>,
+    /// The cluster aggregate, when data aggregation is embedded.
+    pub aggregate: Option<Aggregate>,
+}
+
+impl RefUpdate {
+    /// Whether the update indicates newly detected failures.
+    pub fn has_news(&self) -> bool {
+        !self.new_failed.is_empty()
+    }
+}
+
+/// The message set of the pre-bitmap implementation. Structurally
+/// identical to [`crate::message::FdsMsg`] except that digests carry
+/// id sets and updates carry no roster version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefMsg {
+    /// `fds.R-1` heartbeat.
+    Heartbeat {
+        /// The heartbeating node.
+        from: NodeId,
+        /// The one-bit mark indicator.
+        marked: bool,
+        /// The sender's sensor reading, when aggregation is embedded.
+        reading: Option<i32>,
+    },
+    /// `fds.R-2` digest of heard heartbeats.
+    Digest(RefDigest),
+    /// `fds.R-3` cluster health-status update.
+    HealthUpdate(RefUpdate),
+    /// A member that missed the update requests peer forwarding.
+    ForwardRequest {
+        /// The requesting node.
+        from: NodeId,
+        /// The epoch whose update is missing.
+        epoch: u64,
+    },
+    /// A peer forwards the health update to a requester.
+    PeerForward {
+        /// The intended recipient.
+        to: NodeId,
+        /// The forwarded update.
+        update: RefUpdate,
+    },
+    /// The requester acknowledges a successful peer forward.
+    PeerAck {
+        /// The satisfied requester.
+        from: NodeId,
+        /// The epoch that was recovered.
+        epoch: u64,
+    },
+    /// Inter-cluster failure report.
+    Report(FailureReport),
+    /// A member announces a sleep window.
+    SleepNotice {
+        /// The node going to sleep.
+        from: NodeId,
+        /// First epoch at which it will be awake again.
+        until_epoch: u64,
+    },
+}
+
+/// `u16` count prefix plus one `u32` per id — the historical id-list
+/// encoding.
+fn ids_len(n: usize) -> usize {
+    2 + 4 * n
+}
+
+fn update_len(u: &RefUpdate) -> usize {
+    4 + 4
+        + 8
+        + 1
+        + ids_len(u.new_failed.len())
+        + ids_len(u.all_failed.len())
+        + ids_len(u.joined.len())
+        + ids_len(u.roster.len())
+        + 1
+        + if u.aggregate.is_some() { 20 } else { 0 }
+}
+
+impl RefMsg {
+    /// Wire size in bytes under the historical id-list codec — the
+    /// figure the optimized implementation tracks as
+    /// [`NodeStats::bytes_sent_id_list`], so the two runs'
+    /// byte ledgers can be cross-checked exactly.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            RefMsg::Heartbeat { reading, .. } => 1 + 4 + 1 + 1 + reading.map_or(0, |_| 4),
+            RefMsg::Digest(d) => 1 + 4 + ids_len(d.heard.len()) + 2 + 8 * d.readings.len(),
+            RefMsg::HealthUpdate(u) => 1 + update_len(u),
+            RefMsg::ForwardRequest { .. } | RefMsg::PeerAck { .. } | RefMsg::SleepNotice { .. } => {
+                1 + 4 + 8
+            }
+            RefMsg::PeerForward { update, .. } => 1 + 4 + update_len(update),
+            RefMsg::Report(r) => 1 + 4 + 4 + ids_len(r.failed.len()) + ids_len(r.known_by.len()),
+        }
+    }
+}
+
+/// The id-keyed round evidence of the pre-bitmap implementation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefEvidence {
+    /// Heartbeats heard directly during `fds.R-1`.
+    pub heartbeats: BTreeSet<NodeId>,
+    /// Digests received during `fds.R-2`, by author (replace
+    /// semantics).
+    pub digests: BTreeMap<NodeId, RefDigest>,
+    /// Whether a health update was received during `fds.R-3`.
+    pub update_received: bool,
+}
+
+impl RefEvidence {
+    /// Creates empty evidence.
+    pub fn new() -> Self {
+        RefEvidence::default()
+    }
+
+    /// Records a heartbeat from `from`.
+    pub fn record_heartbeat(&mut self, from: NodeId) {
+        self.heartbeats.insert(from);
+    }
+
+    /// Records a digest, replacing any earlier digest by the same
+    /// author.
+    pub fn record_digest(&mut self, digest: RefDigest) {
+        self.digests.insert(digest.from, digest);
+    }
+
+    /// Whether any direct evidence of `node` exists.
+    pub fn direct_evidence(&self, node: NodeId) -> bool {
+        self.heartbeats.contains(&node) || self.digests.contains_key(&node)
+    }
+
+    /// Whether any received digest reflects `node`'s heartbeat.
+    pub fn reflected_in_digests(&self, node: NodeId) -> bool {
+        self.digests.values().any(|d| d.reflects(node))
+    }
+}
+
+/// The member failure rule over id sets (pre-bitmap semantics):
+/// every expected node with neither direct evidence nor a reflection
+/// is condemned. Returns the suspects in roster order (sorted — the
+/// roster is sorted).
+pub fn ref_detect_failures(expected: &[NodeId], evidence: &RefEvidence) -> Vec<NodeId> {
+    expected
+        .iter()
+        .copied()
+        .filter(|v| !evidence.direct_evidence(*v) && !evidence.reflected_in_digests(*v))
+        .collect()
+}
+
+/// The CH failure rule over id sets (pre-bitmap semantics).
+pub fn ref_ch_failed(head: NodeId, evidence: &RefEvidence) -> bool {
+    !evidence.direct_evidence(head)
+        && !evidence.reflected_in_digests(head)
+        && !evidence.update_received
 }
 
 #[derive(Debug, Clone)]
@@ -77,8 +250,6 @@ enum TimerPayload {
     R2,
     R3,
     Post,
-    /// Close of the peer-forwarding recovery window: count a miss if
-    /// the update still has not arrived.
     RecoveryDeadline {
         epoch: u64,
     },
@@ -86,15 +257,11 @@ enum TimerPayload {
         requester: NodeId,
         epoch: u64,
     },
-    /// A gateway/backup re-checks whether `failed` still needs
-    /// forwarding toward `target`.
     GwForward {
         target: ClusterId,
         failed: Vec<NodeId>,
         attempt: u32,
     },
-    /// The acting head re-checks whether its news was forwarded on the
-    /// link toward `peer` (implicit-ack timeout `2·Thop`).
     ChRetx {
         peer: ClusterId,
         failed: Vec<NodeId>,
@@ -102,61 +269,30 @@ enum TimerPayload {
     },
 }
 
-/// The FDS actor for one host.
+/// The pre-bitmap FDS actor: one host of the old implementation,
+/// byte-for-byte faithful to its decision logic. See the module docs
+/// for why it exists.
 #[derive(Debug)]
-pub struct FdsNode {
+pub struct RefFdsNode {
     profile: NodeProfile,
     config: FdsConfig,
-    /// Full-charge reference for the energy fraction used by the
-    /// waiting-period policy.
     energy_capacity: f64,
 
     epoch: u64,
     acting_head: Option<NodeId>,
-    /// The cluster roster in **announcement order**: the formation
-    /// roster (sorted) with every later admission batch appended at
-    /// the end. Rosters only grow and only by appending, so version
-    /// `v` is a strict prefix of version `v + 1` — the contract that
-    /// keeps [`RosterBitmap`] positions stable. `profile.roster`
-    /// remains the sorted public view of the same set.
-    roster_order: Vec<NodeId>,
-    /// Bumped on every admission batch; tags all bitmaps this node
-    /// builds.
-    roster_version: u32,
-    /// Node → position in `roster_order`.
-    pos_index: HashMap<NodeId, u32>,
-    evidence: RoundEvidence,
-    /// Scratch for the R-3 expected-members mask, reused every epoch.
-    expected_scratch: RosterBitmap,
-    /// Scratch for detection output, reused every epoch.
-    suspects_scratch: Vec<NodeId>,
-    update_this_epoch: Option<HealthUpdate>,
+    evidence: RefEvidence,
+    update_this_epoch: Option<RefUpdate>,
     request_outstanding: bool,
     known_failed: FailureView,
-    /// What each cluster's head has evidently learned (from overheard
-    /// health updates of that cluster) — the implicit-ack ledger.
     known_by_cluster: BTreeMap<ClusterId, BTreeSet<NodeId>>,
-    /// Failures seen in overheard reports per target cluster (the
-    /// head's layer-one implicit ack: "my gateway did forward").
     forward_seen: BTreeMap<ClusterId, BTreeSet<NodeId>>,
-    /// Peer-forward requests already satisfied (quit on overheard ack).
     quit: BTreeSet<(NodeId, u64)>,
-    /// Unmarked nodes heard this epoch (candidate subscriptions, only
-    /// tracked by the acting head).
     join_pending: BTreeSet<NodeId>,
-    /// This node's own sleep windows, as `(first_epoch, until_epoch)`
-    /// half-open intervals (sorted, non-overlapping).
     sleep_plan: Vec<(u64, u64)>,
-    /// Whether the radio is currently off.
     asleep: bool,
-    /// Peers known to be sleeping, with their wake epochs.
     known_sleepers: BTreeMap<NodeId, u64>,
-    /// Sleep notices already relayed (one relay per notice).
     relayed_notices: BTreeSet<(NodeId, u64)>,
-    /// Sensor readings collected this epoch (aggregation embedding),
-    /// deduplicated by reporting node, roster-position indexed.
-    readings: ReadingTable,
-    /// The head's published cluster aggregates, by epoch.
+    readings: BTreeMap<NodeId, i32>,
     aggregates: Vec<(u64, Aggregate)>,
 
     detections: Vec<DetectionEvent>,
@@ -166,34 +302,17 @@ pub struct FdsNode {
     timers: HashMap<u64, TimerPayload>,
 }
 
-impl FdsNode {
+impl RefFdsNode {
     /// Creates the actor from its node-local knowledge.
-    ///
-    /// `energy_capacity` is the full-charge reference used to turn the
-    /// simulator's remaining-energy figure into the fraction consumed
-    /// by the waiting-period policy.
     pub fn new(profile: NodeProfile, config: FdsConfig, energy_capacity: f64) -> Self {
         let acting_head = profile.head;
-        // The formation roster is sorted; it is announcement-order
-        // version 0.
-        let roster_order = profile.roster.clone();
-        let pos_index = roster_order
-            .iter()
-            .enumerate()
-            .map(|(p, n)| (*n, p as u32))
-            .collect();
-        FdsNode {
+        RefFdsNode {
             profile,
             config,
             energy_capacity,
             epoch: 0,
             acting_head,
-            roster_order,
-            roster_version: 0,
-            pos_index,
-            evidence: RoundEvidence::new(),
-            expected_scratch: RosterBitmap::new(0, 0),
-            suspects_scratch: Vec::new(),
+            evidence: RefEvidence::new(),
             update_this_epoch: None,
             request_outstanding: false,
             known_failed: FailureView::new(),
@@ -205,7 +324,7 @@ impl FdsNode {
             asleep: false,
             known_sleepers: BTreeMap::new(),
             relayed_notices: BTreeSet::new(),
-            readings: ReadingTable::new(),
+            readings: BTreeMap::new(),
             aggregates: Vec::new(),
             detections: Vec::new(),
             stats: NodeStats::default(),
@@ -214,7 +333,7 @@ impl FdsNode {
         }
     }
 
-    /// The node's failure view (what it believes has failed).
+    /// The node's failure view.
     pub fn known_failed(&self) -> &FailureView {
         &self.known_failed
     }
@@ -224,12 +343,13 @@ impl FdsNode {
         &self.detections
     }
 
-    /// Behaviour counters.
+    /// Behaviour counters. Both byte fields hold the id-list figure
+    /// (the only layout this implementation knows).
     pub fn stats(&self) -> &NodeStats {
         &self.stats
     }
 
-    /// The head this node currently obeys (changes on takeover).
+    /// The head this node currently obeys.
     pub fn acting_head(&self) -> Option<NodeId> {
         self.acting_head
     }
@@ -244,9 +364,13 @@ impl FdsNode {
         &self.profile
     }
 
-    /// Installs this node's sleep schedule: half-open epoch intervals
-    /// `[first, until)` during which the radio is off. Intervals must
-    /// be sorted and non-overlapping.
+    /// Cluster aggregates published while acting head.
+    pub fn aggregates(&self) -> &[(u64, Aggregate)] {
+        &self.aggregates
+    }
+
+    /// Installs this node's sleep schedule (same contract as
+    /// [`crate::node::FdsNode::set_sleep_plan`]).
     ///
     /// # Panics
     ///
@@ -264,18 +388,6 @@ impl FdsNode {
         self.sleep_plan = plan;
     }
 
-    /// Whether the radio is currently off.
-    pub fn is_asleep(&self) -> bool {
-        self.asleep
-    }
-
-    /// Cluster aggregates this node published while acting head (one
-    /// per epoch; requires `FdsConfig::aggregation`).
-    pub fn aggregates(&self) -> &[(u64, Aggregate)] {
-        &self.aggregates
-    }
-
-    /// The sleep window covering `epoch`, if any.
     fn sleep_window(&self, epoch: u64) -> Option<(u64, u64)> {
         self.sleep_plan
             .iter()
@@ -291,69 +403,18 @@ impl FdsNode {
         self.profile.cluster
     }
 
-    /// The roster position of `node`, if it is a member.
-    fn pos_of(&self, node: NodeId) -> Option<usize> {
-        self.pos_index.get(&node).map(|p| *p as usize)
-    }
-
-    /// Adopts an announced roster wholesale (joining a cluster, or a
-    /// re-announcement after admissions elsewhere in the cluster).
-    /// Stale announcements — older version or shorter order — are
-    /// ignored: positions must never move backwards. Mid-epoch
-    /// evidence survives because the old order is a prefix of the new.
-    fn adopt_roster_order(&mut self, order: Vec<NodeId>, version: u32) {
-        if version < self.roster_version || order.len() < self.roster_order.len() {
-            return;
-        }
-        for (p, n) in order.iter().enumerate().skip(self.roster_order.len()) {
-            self.pos_index.insert(*n, p as u32);
-        }
-        // A same-length adoption may still rename positions (first
-        // adoption of a formation roster we already mirror is a
-        // no-op; anything else re-indexes defensively).
-        if order[..self.roster_order.len()] != self.roster_order[..] {
-            self.pos_index.clear();
-            for (p, n) in order.iter().enumerate() {
-                self.pos_index.insert(*n, p as u32);
-            }
-        }
-        self.roster_order = order;
-        self.roster_version = version;
-        self.profile.roster = self.roster_order.clone();
-        self.profile.roster.sort_unstable();
-        self.evidence
-            .grow(self.roster_version, self.roster_order.len());
-        self.readings.grow(self.roster_order.len());
-    }
-
-    /// Head-side admission: appends this epoch's joiners (sorted) to
-    /// the announcement order and bumps the roster version.
-    fn append_joined(&mut self, joined: &[NodeId]) {
-        for n in joined {
-            if self.pos_of(*n).is_none() {
-                self.pos_index.insert(*n, self.roster_order.len() as u32);
-                self.roster_order.push(*n);
-            }
-        }
-        self.roster_version += 1;
-        self.profile.roster = self.roster_order.clone();
-        self.profile.roster.sort_unstable();
-        self.evidence
-            .grow(self.roster_version, self.roster_order.len());
-        self.readings.grow(self.roster_order.len());
-    }
-
-    /// Broadcasts `msg`, accounting its wire size under both the
-    /// bitmap layout (real) and the historical id-list layout.
-    fn transmit(&mut self, ctx: &mut Ctx<'_, FdsMsg>, msg: FdsMsg) {
-        self.stats.bytes_sent += msg.encoded_len() as u64;
-        self.stats.bytes_sent_id_list += msg.legacy_encoded_len() as u64;
+    /// Broadcasts `msg`, accounting its historical wire size in both
+    /// byte ledgers (this implementation has only the id-list layout).
+    fn transmit(&mut self, ctx: &mut Ctx<'_, RefMsg>, msg: RefMsg) {
+        let len = msg.encoded_len() as u64;
+        self.stats.bytes_sent += len;
+        self.stats.bytes_sent_id_list += len;
         ctx.broadcast(msg);
     }
 
     fn schedule(
         &mut self,
-        ctx: &mut Ctx<'_, FdsMsg>,
+        ctx: &mut Ctx<'_, RefMsg>,
         delay: cbfd_net::time::SimDuration,
         payload: TimerPayload,
     ) {
@@ -363,24 +424,20 @@ impl FdsNode {
         ctx.set_timer(delay, TimerToken(token));
     }
 
-    fn begin_epoch(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
-        self.evidence
-            .reset(self.roster_version, self.roster_order.len());
+    fn begin_epoch(&mut self, ctx: &mut Ctx<'_, RefMsg>) {
+        self.evidence = RefEvidence::new();
         self.update_this_epoch = None;
         self.request_outstanding = false;
         self.join_pending.clear();
-        self.readings.reset(self.roster_order.len());
+        self.readings.clear();
 
-        // Sleep/wakeup power management (concluding-remarks
-        // extension): during a sleep window the radio is off — no
-        // heartbeat, no rounds; only the epoch clock keeps running.
         if let Some((from, until)) = self.sleep_window(self.epoch) {
             if !self.asleep {
                 self.asleep = true;
                 if self.config.sleep_announcements {
                     self.transmit(
                         ctx,
-                        FdsMsg::SleepNotice {
+                        RefMsg::SleepNotice {
                             from: self.profile.id,
                             until_epoch: until,
                         },
@@ -397,20 +454,16 @@ impl FdsNode {
         }
         self.asleep = false;
 
-        // fds.R-1: everyone (marked or not — feature F5) heartbeats;
-        // with aggregation embedded, the heartbeat carries the sensor
-        // reading (message sharing: zero extra transmissions).
         let reading = if self.config.aggregation {
             let r = synthetic_reading(self.profile.id, self.epoch);
-            self.readings
-                .set(self.pos_of(self.profile.id), self.profile.id, r);
+            self.readings.insert(self.profile.id, r);
             Some(r)
         } else {
             None
         };
         self.transmit(
             ctx,
-            FdsMsg::Heartbeat {
+            RefMsg::Heartbeat {
                 from: self.profile.id,
                 marked: self.profile.cluster.is_some(),
                 reading,
@@ -428,11 +481,6 @@ impl FdsNode {
         );
     }
 
-    /// Expected-alive members, excluding this node itself, known
-    /// failures, and announced sleepers that have not woken yet.
-    /// (The protocol path builds the equivalent bitmap mask in
-    /// [`FdsNode::expected_mask`]; this id-list view serves tests.)
-    #[cfg(test)]
     fn expected_members(&self) -> Vec<NodeId> {
         self.profile
             .roster
@@ -447,34 +495,6 @@ impl FdsNode {
             .collect()
     }
 
-    /// Builds the expected-members mask into the reusable scratch
-    /// bitmap: every roster position minus self, known failures, and
-    /// announced sleepers that have not woken yet.
-    fn expected_mask(&mut self) {
-        self.expected_scratch
-            .reset(self.roster_version, self.roster_order.len());
-        self.expected_scratch.set_all();
-        if let Some(me) = self.pos_of(self.profile.id) {
-            self.expected_scratch.clear(me);
-        }
-        for f in self.known_failed.nodes() {
-            if let Some(p) = self.pos_of(f) {
-                self.expected_scratch.clear(p);
-            }
-        }
-        for (sleeper, until) in &self.known_sleepers {
-            if *until > self.epoch {
-                if let Some(p) = self.pos_index.get(sleeper) {
-                    self.expected_scratch.clear(*p as usize);
-                }
-            }
-        }
-    }
-
-    /// The deputy currently entitled to judge the acting head: the
-    /// highest-ranked deputy that is neither failed, promoted, nor
-    /// (announcedly) asleep — a sleeping deputy's duty falls to the
-    /// next rank for the duration of its window.
     fn judging_deputy(&self) -> Option<NodeId> {
         self.profile.deputies.iter().copied().find(|d| {
             Some(*d) != self.acting_head
@@ -486,12 +506,9 @@ impl FdsNode {
         })
     }
 
-    /// Broadcasts a health update as the (possibly just promoted)
-    /// acting head, and arms the implicit-ack watchdogs for links that
-    /// must carry the news.
     fn announce_update(
         &mut self,
-        ctx: &mut Ctx<'_, FdsMsg>,
+        ctx: &mut Ctx<'_, RefMsg>,
         new_failed: Vec<NodeId>,
         takeover: bool,
     ) {
@@ -503,7 +520,6 @@ impl FdsNode {
         } else {
             new_failed.clone()
         };
-        // Honour this epoch's membership subscriptions (F5).
         let joined: Vec<NodeId> = if self.config.admit_unmarked && !takeover {
             self.join_pending.iter().copied().collect()
         } else {
@@ -512,41 +528,37 @@ impl FdsNode {
         let mut roster = Vec::new();
         if !joined.is_empty() {
             self.stats.joins_admitted += joined.len() as u64;
-            // Admission batch: append in sorted order (join_pending is
-            // a BTreeSet) and bump the roster version — existing
-            // positions never move.
-            self.append_joined(&joined);
-            roster = self.roster_order.clone();
+            self.profile.roster.extend(joined.iter().copied());
+            self.profile.roster.sort_unstable();
+            self.profile.roster.dedup();
+            roster = self.profile.roster.clone();
             self.join_pending.clear();
         }
         let aggregate = if self.config.aggregation && !takeover {
-            let agg = self.readings.aggregate();
+            let agg = aggregate_readings(&self.readings);
             self.aggregates.push((self.epoch, agg));
             Some(agg)
         } else {
             None
         };
-        let update = HealthUpdate {
+        let update = RefUpdate {
             from: self.profile.id,
             cluster,
             epoch: self.epoch,
             new_failed: new_failed.clone(),
             all_failed,
             takeover,
-            roster_version: self.roster_version,
             joined,
             roster,
             aggregate,
         };
-        // The head's own broadcast is evidence of what this cluster
-        // knows (gateways overhear it the same way).
         self.known_by_cluster
             .entry(cluster)
             .or_default()
             .extend(update.all_failed.iter().copied());
         self.update_this_epoch = Some(update.clone());
         self.evidence.update_received = true;
-        self.transmit(ctx, FdsMsg::HealthUpdate(update));
+        self.transmit(ctx, RefMsg::HealthUpdate(update));
 
         if !new_failed.is_empty() {
             for link in self.profile.cluster_links.clone() {
@@ -563,8 +575,6 @@ impl FdsNode {
         }
     }
 
-    /// Adopts failure knowledge (never about self) and returns what
-    /// was new.
     fn adopt_failures(&mut self, failed: impl IntoIterator<Item = NodeId>) -> Vec<NodeId> {
         let me = self.profile.id;
         let epoch = self.epoch;
@@ -572,11 +582,9 @@ impl FdsNode {
             .extend(failed.into_iter().filter(|f| *f != me), epoch)
     }
 
-    /// Gateway logic: schedule forwarding of everything `target`'s
-    /// head has evidently not yet announced.
     fn gw_consider_forward(
         &mut self,
-        ctx: &mut Ctx<'_, FdsMsg>,
+        ctx: &mut Ctx<'_, RefMsg>,
         rank: u8,
         backups: u8,
         target: ClusterId,
@@ -596,8 +604,6 @@ impl FdsNode {
             return;
         }
         if rank == 0 {
-            // The primary forwards immediately, then re-checks after
-            // (n+1)·2Thop.
             self.send_report(ctx, target, pending.clone());
             self.schedule(
                 ctx,
@@ -609,7 +615,6 @@ impl FdsNode {
                 },
             );
         } else if self.config.bgw_assist {
-            // Backup of rank k stands by for k·2Thop.
             self.schedule(
                 ctx,
                 self.config.t_hop * 2 * u64::from(rank),
@@ -622,10 +627,8 @@ impl FdsNode {
         }
     }
 
-    fn send_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, target: ClusterId, failed: Vec<NodeId>) {
+    fn send_report(&mut self, ctx: &mut Ctx<'_, RefMsg>, target: ClusterId, failed: Vec<NodeId>) {
         self.stats.reports_sent += 1;
-        // Piggyback which clusters evidently already announced all of
-        // `failed`, so receivers extend their implicit-ack ledgers.
         let known_by: Vec<ClusterId> = self
             .known_by_cluster
             .iter()
@@ -634,7 +637,7 @@ impl FdsNode {
             .collect();
         self.transmit(
             ctx,
-            FdsMsg::Report(FailureReport {
+            RefMsg::Report(FailureReport {
                 via: self.profile.id,
                 to_cluster: target,
                 failed,
@@ -643,10 +646,7 @@ impl FdsNode {
         );
     }
 
-    /// Runs gateway forwarding for every duty, in both directions:
-    /// toward the duty's peer cluster and (for news learned *from*
-    /// that peer) toward this node's own cluster.
-    fn gw_run_duties(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+    fn gw_run_duties(&mut self, ctx: &mut Ctx<'_, RefMsg>) {
         let duties = self.profile.duties.clone();
         let own = self.my_cluster();
         for duty in duties {
@@ -657,9 +657,8 @@ impl FdsNode {
         }
     }
 
-    fn handle_update(&mut self, ctx: &mut Ctx<'_, FdsMsg>, u: &HealthUpdate, via_peer: bool) {
+    fn handle_update(&mut self, ctx: &mut Ctx<'_, RefMsg>, u: RefUpdate, via_peer: bool) {
         self.stats.updates_received += 1;
-        // Any overheard update is evidence of what its cluster knows.
         self.known_by_cluster.entry(u.cluster).or_default().extend(
             u.all_failed
                 .iter()
@@ -667,18 +666,14 @@ impl FdsNode {
                 .chain(u.new_failed.iter().copied()),
         );
 
-        // An unaffiliated node that finds itself admitted adopts the
-        // announcing cluster (its earlier heartbeat was its
-        // subscription).
         if self.my_cluster().is_none() && u.joined.contains(&self.profile.id) {
             self.profile.cluster = Some(u.cluster);
             self.profile.head = Some(u.from);
-            let order = if u.roster.is_empty() {
+            self.profile.roster = if u.roster.is_empty() {
                 vec![u.from, self.profile.id]
             } else {
                 u.roster.clone()
             };
-            self.adopt_roster_order(order, u.roster_version);
             self.acting_head = Some(u.from);
         }
 
@@ -690,9 +685,8 @@ impl FdsNode {
                 .chain(u.new_failed.iter().copied()),
         );
 
-        // Roster re-announcements keep every member's view current.
         if mine && !u.roster.is_empty() && self.profile.roster.contains(&u.from) {
-            self.adopt_roster_order(u.roster.clone(), u.roster_version);
+            self.profile.roster = u.roster.clone();
         }
 
         if mine && self.profile.roster.contains(&u.from) {
@@ -704,22 +698,8 @@ impl FdsNode {
                 if u.epoch == self.epoch {
                     self.evidence.update_received = true;
                 }
-                // Proactive relay (Figure 2(a)): the promoted deputy
-                // may be unable to reach some members directly. Its
-                // digest — overheard in fds.R-2 — reveals whom it
-                // heard; any member *we* heard but the deputy did not
-                // may be out of its range, so we relay the takeover
-                // update to them unprompted (quitting on their ack via
-                // the usual slot machinery).
                 if self.config.peer_forwarding && u.epoch == self.epoch && !via_peer {
-                    let dch_heard = self
-                        .pos_of(u.from)
-                        .and_then(|p| self.evidence.digest_heard(p));
-                    if let Some(dch_heard) = dch_heard {
-                        // Iterate the *sorted* roster: all slot delays
-                        // of one relayer are equal, so insertion order
-                        // decides trace order and must match the
-                        // historical sorted iteration.
+                    if let Some(dch_digest) = self.evidence.digests.get(&u.from).cloned() {
                         let unreachable: Vec<NodeId> = self
                             .profile
                             .roster
@@ -729,10 +709,8 @@ impl FdsNode {
                                 *v != self.profile.id
                                     && *v != u.from
                                     && !self.known_failed.contains(*v)
-                                    && self.pos_of(*v).is_some_and(|p| {
-                                        !dch_heard.contains(p)
-                                            && self.evidence.heartbeats().contains(p)
-                                    })
+                                    && !dch_digest.reflects(*v)
+                                    && self.evidence.heartbeats.contains(v)
                             })
                             .collect();
                         for v in unreachable {
@@ -766,7 +744,7 @@ impl FdsNode {
                     self.request_outstanding = false;
                     self.transmit(
                         ctx,
-                        FdsMsg::PeerAck {
+                        RefMsg::PeerAck {
                             from: self.profile.id,
                             epoch: u.epoch,
                         },
@@ -780,15 +758,11 @@ impl FdsNode {
         }
     }
 
-    fn handle_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, r: FailureReport) {
-        // Layer-one implicit ack for the acting head: some forwarder
-        // carried these failures toward that cluster.
+    fn handle_report(&mut self, ctx: &mut Ctx<'_, RefMsg>, r: FailureReport) {
         self.forward_seen
             .entry(r.to_cluster)
             .or_default()
             .extend(r.failed.iter().copied());
-        // Piggybacked ledger: the forwarder vouches that these
-        // clusters' heads already announced every listed failure.
         for c in &r.known_by {
             self.known_by_cluster
                 .entry(*c)
@@ -798,27 +772,18 @@ impl FdsNode {
 
         if self.my_cluster() == Some(r.to_cluster) && self.is_acting_head() {
             let news = self.adopt_failures(r.failed.iter().copied());
-            // Re-broadcast as the implicit acknowledgment (and the
-            // intra-cluster dissemination of the news, if any).
             self.announce_update(ctx, news, false);
         }
     }
 
-    fn handle_post(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+    fn handle_post(&mut self, ctx: &mut Ctx<'_, RefMsg>) {
         if self.is_acting_head() {
             return;
         }
         let Some(head) = self.acting_head else {
             return;
         };
-        // Deputy judgement of the clusterhead. The head always has a
-        // roster position; a headless evidence check degenerates to
-        // "no R-3 update heard".
-        let head_gone = match self.pos_of(head) {
-            Some(p) => ch_failed(p, &self.evidence),
-            None => !self.evidence.update_received,
-        };
-        if self.judging_deputy() == Some(self.profile.id) && head_gone {
+        if self.judging_deputy() == Some(self.profile.id) && ref_ch_failed(head, &self.evidence) {
             self.adopt_failures([head]);
             self.detections.push(DetectionEvent {
                 epoch: self.epoch,
@@ -829,14 +794,13 @@ impl FdsNode {
             self.announce_update(ctx, vec![head], true);
             return;
         }
-        // Members that missed the update ask their peers.
         if self.update_this_epoch.is_none() {
             if self.config.peer_forwarding && self.profile.roster.len() > 1 {
                 self.request_outstanding = true;
                 self.stats.requests_sent += 1;
                 self.transmit(
                     ctx,
-                    FdsMsg::ForwardRequest {
+                    RefMsg::ForwardRequest {
                         from: self.profile.id,
                         epoch: self.epoch,
                     },
@@ -853,7 +817,7 @@ impl FdsNode {
         }
     }
 
-    fn handle_timer(&mut self, ctx: &mut Ctx<'_, FdsMsg>, payload: TimerPayload) {
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, RefMsg>, payload: TimerPayload) {
         match payload {
             TimerPayload::EpochStart => {
                 self.epoch += 1;
@@ -861,40 +825,26 @@ impl FdsNode {
             }
             TimerPayload::R2 => {
                 if self.config.digest_round {
-                    // R2 only runs clustered (scheduled in
-                    // begin_epoch), and recorded heartbeats are
-                    // roster-positions already: the digest is a plain
-                    // copy of the heartbeat bitmap.
-                    let Some(cluster) = self.my_cluster() else {
-                        return;
-                    };
-                    let mut digest =
-                        Digest::new(self.profile.id, cluster, self.evidence.heartbeats().clone());
+                    let roster: BTreeSet<NodeId> = self.profile.roster.iter().copied().collect();
+                    let heard: Vec<NodeId> = self
+                        .evidence
+                        .heartbeats
+                        .iter()
+                        .copied()
+                        .filter(|h| roster.contains(h))
+                        .collect();
+                    let mut digest = RefDigest::new(self.profile.id, heard);
                     if self.config.aggregation {
-                        digest = digest.with_readings(self.readings.pairs(&self.roster_order));
+                        digest = digest
+                            .with_readings(self.readings.iter().map(|(n, r)| (*n, *r)).collect());
                     }
-                    self.transmit(ctx, FdsMsg::Digest(digest));
+                    self.transmit(ctx, RefMsg::Digest(digest));
                 }
             }
             TimerPayload::R3 => {
                 if self.is_acting_head() {
-                    self.expected_mask();
-                    let mut suspects = std::mem::take(&mut self.suspects_scratch);
-                    detect_failures_into(
-                        &self.expected_scratch,
-                        &self.evidence,
-                        &self.roster_order,
-                        &mut suspects,
-                    );
-                    // Suspects come out in roster-position order; the
-                    // protocol's historical contract is sorted ids.
-                    suspects.sort_unstable();
-                    let new_failed: Vec<NodeId> = if suspects.is_empty() {
-                        Vec::new() // alloc-free common case
-                    } else {
-                        suspects.clone()
-                    };
-                    self.suspects_scratch = suspects;
+                    let expected = self.expected_members();
+                    let new_failed = ref_detect_failures(&expected, &self.evidence);
                     if !new_failed.is_empty() {
                         self.detections.push(DetectionEvent {
                             epoch: self.epoch,
@@ -922,7 +872,7 @@ impl FdsNode {
                         self.stats.peer_forwards_sent += 1;
                         self.transmit(
                             ctx,
-                            FdsMsg::PeerForward {
+                            RefMsg::PeerForward {
                                 to: requester,
                                 update,
                             },
@@ -949,7 +899,6 @@ impl FdsNode {
                     return;
                 }
                 self.send_report(ctx, target, still_pending.clone());
-                // Stand by again for one full cycle of the link.
                 let backups = self
                     .profile
                     .duties
@@ -993,8 +942,6 @@ impl FdsNode {
                 if missing.is_empty() || attempt >= self.config.max_retransmits {
                     return;
                 }
-                // Retransmit the update so the link's forwarders get a
-                // second chance to hear it.
                 self.stats.retransmissions += 1;
                 let Some(cluster) = self.my_cluster() else {
                     return;
@@ -1002,14 +949,13 @@ impl FdsNode {
                 let all_failed: Vec<NodeId> = self.known_failed.nodes().collect();
                 self.transmit(
                     ctx,
-                    FdsMsg::HealthUpdate(HealthUpdate {
+                    RefMsg::HealthUpdate(RefUpdate {
                         from: self.profile.id,
                         cluster,
                         epoch: self.epoch,
                         new_failed: missing.clone(),
                         all_failed,
                         takeover: false,
-                        roster_version: self.roster_version,
                         joined: Vec::new(),
                         roster: Vec::new(),
                         aggregate: None,
@@ -1029,33 +975,27 @@ impl FdsNode {
     }
 }
 
-impl Actor for FdsNode {
-    type Msg = FdsMsg;
+impl Actor for RefFdsNode {
+    type Msg = RefMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RefMsg>) {
         self.begin_epoch(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, FdsMsg>, _from: NodeId, msg: &FdsMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RefMsg>, _from: NodeId, msg: &RefMsg) {
         if self.asleep {
             return; // radio off
         }
         match msg {
-            FdsMsg::Heartbeat {
+            RefMsg::Heartbeat {
                 from,
                 marked,
                 reading,
             } => {
                 let from = *from;
-                // Only roster members have a position; non-member
-                // heartbeats never feed the detection rule anyway
-                // (every consumer of the evidence is roster-restricted)
-                // but do still feed admission and readings below.
-                if let Some(pos) = self.pos_of(from) {
-                    self.evidence.record_heartbeat(pos);
-                }
+                self.evidence.record_heartbeat(from);
                 if let Some(r) = *reading {
-                    self.readings.set(self.pos_of(from), from, r);
+                    self.readings.insert(from, r);
                 }
                 if !marked
                     && self.config.admit_unmarked
@@ -1065,30 +1005,17 @@ impl Actor for FdsNode {
                     self.join_pending.insert(from);
                 }
             }
-            FdsMsg::Digest(d) => {
+            RefMsg::Digest(d) => {
                 if self.config.aggregation {
                     for (node, reading) in &d.readings {
-                        self.readings
-                            .set_if_absent(self.pos_of(*node), *node, *reading);
+                        self.readings.entry(*node).or_insert(*reading);
                     }
                 }
-                if let Some(author_pos) = self.pos_of(d.from) {
-                    // The author-liveness bit counts whenever the
-                    // author is on our roster; the heard-bits are
-                    // positions in the *author's* cluster roster, so
-                    // they are only interpretable when that is our
-                    // cluster too (cross-cluster aliasing guard, see
-                    // DESIGN.md §12).
-                    let heard = (self.my_cluster() == Some(d.cluster)).then_some(&d.heard);
-                    self.evidence.record_digest(author_pos, heard);
-                }
+                self.evidence.record_digest(d.clone());
             }
-            FdsMsg::HealthUpdate(u) => self.handle_update(ctx, u, false),
-            FdsMsg::ForwardRequest { from, epoch } => {
+            RefMsg::HealthUpdate(u) => self.handle_update(ctx, u.clone(), false),
+            RefMsg::ForwardRequest { from, epoch } => {
                 let (from, epoch) = (*from, *epoch);
-                // Peers answer, not the acting head: the paper prefers
-                // peer forwarding over CH/DCH retransmission for
-                // energy balance (Section 4.2).
                 if self.config.peer_forwarding
                     && epoch == self.epoch
                     && from != self.profile.id
@@ -1097,7 +1024,6 @@ impl Actor for FdsNode {
                     && self.update_this_epoch.is_some()
                 {
                     let fraction = if !self.config.energy_balanced_forwarding {
-                        // Ablation: energy-blind back-off (NID only).
                         1.0
                     } else if self.energy_capacity > 0.0 {
                         (ctx.remaining_energy() / self.energy_capacity).clamp(0.0, 1.0)
@@ -1121,11 +1047,7 @@ impl Actor for FdsNode {
                     );
                 }
             }
-            FdsMsg::PeerForward { to, update } => {
-                // Promiscuous receiving: by default the update is
-                // adopted even when addressed to someone else (free
-                // redundancy); strict mode limits recovery to the
-                // addressee, matching the Figure 7 model exactly.
+            RefMsg::PeerForward { to, update } => {
                 let addressed_to_me = *to == self.profile.id;
                 if self.my_cluster() == Some(update.cluster)
                     && (addressed_to_me || self.config.promiscuous_recovery)
@@ -1133,12 +1055,7 @@ impl Actor for FdsNode {
                     let epoch = update.epoch;
                     let had_update = self.update_this_epoch.is_some();
                     let had_request = self.request_outstanding;
-                    self.handle_update(ctx, update, true);
-                    // Acknowledge proactive relays too (the Figure 2
-                    // case: we never requested, a peer relayed on the
-                    // deputy's behalf) so other standby relayers quit.
-                    // handle_update already acked if a request was
-                    // outstanding.
+                    self.handle_update(ctx, update.clone(), true);
                     if addressed_to_me
                         && !had_update
                         && !had_request
@@ -1147,7 +1064,7 @@ impl Actor for FdsNode {
                     {
                         self.transmit(
                             ctx,
-                            FdsMsg::PeerAck {
+                            RefMsg::PeerAck {
                                 from: self.profile.id,
                                 epoch,
                             },
@@ -1155,27 +1072,24 @@ impl Actor for FdsNode {
                     }
                 }
             }
-            FdsMsg::PeerAck { from, epoch } => {
+            RefMsg::PeerAck { from, epoch } => {
                 self.quit.insert((*from, *epoch));
             }
-            FdsMsg::Report(r) => self.handle_report(ctx, r.clone()),
-            FdsMsg::SleepNotice { from, until_epoch } => {
+            RefMsg::Report(r) => self.handle_report(ctx, r.clone()),
+            RefMsg::SleepNotice { from, until_epoch } => {
                 let (from, until_epoch) = (*from, *until_epoch);
                 self.known_sleepers.insert(from, until_epoch);
-                // Relay each notice once: the inherent message
-                // redundancy gives the head a second chance to hear
-                // it, reducing sleep-caused false detections.
                 if self.config.sleep_announcements
                     && self.relayed_notices.insert((from, until_epoch))
                     && from != self.profile.id
                 {
-                    self.transmit(ctx, FdsMsg::SleepNotice { from, until_epoch });
+                    self.transmit(ctx, RefMsg::SleepNotice { from, until_epoch });
                 }
             }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, FdsMsg>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RefMsg>, token: TimerToken) {
         if let Some(payload) = self.timers.remove(&token.0) {
             self.handle_timer(ctx, payload);
         }
@@ -1185,105 +1099,38 @@ impl Actor for FdsNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbfd_net::id::ClusterId;
 
-    fn profile_for(id: u32, head: u32, roster: &[u32], deputies: &[u32]) -> NodeProfile {
-        NodeProfile {
-            id: NodeId(id),
-            cluster: Some(ClusterId::of(NodeId(head))),
-            head: Some(NodeId(head)),
-            roster: roster.iter().map(|r| NodeId(*r)).collect(),
-            deputies: deputies.iter().map(|d| NodeId(*d)).collect(),
-            duties: Vec::new(),
-            cluster_links: Vec::new(),
-        }
+    fn n(id: u32) -> NodeId {
+        NodeId(id)
     }
 
     #[test]
-    fn expected_members_excludes_self_and_failed() {
-        let mut node = FdsNode::new(
-            profile_for(0, 0, &[0, 1, 2, 3], &[]),
-            FdsConfig::default(),
-            1_000.0,
-        );
-        node.known_failed.insert(NodeId(2), 0);
-        assert_eq!(node.expected_members(), vec![NodeId(1), NodeId(3)]);
+    fn ref_rules_keep_old_semantics() {
+        let mut ev = RefEvidence::new();
+        ev.record_heartbeat(n(3));
+        ev.record_digest(RefDigest::new(n(3), [n(5)]));
+        let failed = ref_detect_failures(&[n(1), n(3), n(5), n(7)], &ev);
+        assert_eq!(failed, vec![n(1), n(7)]);
+        assert!(ref_ch_failed(n(0), &RefEvidence::new()));
+        assert!(!ref_ch_failed(n(3), &ev));
     }
 
     #[test]
-    fn judging_deputy_skips_failed_and_promoted() {
-        let mut node = FdsNode::new(
-            profile_for(3, 0, &[0, 1, 2, 3], &[1, 2, 3]),
-            FdsConfig::default(),
-            1_000.0,
-        );
-        assert_eq!(node.judging_deputy(), Some(NodeId(1)));
-        node.known_failed.insert(NodeId(1), 0);
-        assert_eq!(node.judging_deputy(), Some(NodeId(2)));
-        // After 2 takes over, the judge becomes 3.
-        node.acting_head = Some(NodeId(2));
-        assert_eq!(node.judging_deputy(), Some(NodeId(3)));
-    }
-
-    #[test]
-    fn adopt_failures_never_marks_self() {
-        let mut node = FdsNode::new(
-            profile_for(5, 0, &[0, 5], &[]),
-            FdsConfig::default(),
-            1_000.0,
-        );
-        let news = node.adopt_failures([NodeId(5), NodeId(7)]);
-        assert_eq!(news, vec![NodeId(7)]);
-        assert!(!node.known_failed().contains(NodeId(5)));
-    }
-
-    #[test]
-    fn sleep_plan_validation() {
-        let mut node = FdsNode::new(
-            profile_for(0, 0, &[0, 1], &[]),
-            FdsConfig::default(),
-            1_000.0,
-        );
-        node.set_sleep_plan(vec![(1, 3), (5, 8)]);
-        assert!(!node.is_asleep());
-        assert_eq!(node.sleep_window(2), Some((1, 3)));
-        assert_eq!(node.sleep_window(3), None);
-        assert_eq!(node.sleep_window(6), Some((5, 8)));
-    }
-
-    #[test]
-    #[should_panic(expected = "empty sleep window")]
-    fn empty_sleep_window_rejected() {
-        let mut node = FdsNode::new(
-            profile_for(0, 0, &[0, 1], &[]),
-            FdsConfig::default(),
-            1_000.0,
-        );
-        node.set_sleep_plan(vec![(3, 3)]);
-    }
-
-    #[test]
-    #[should_panic(expected = "sorted and disjoint")]
-    fn overlapping_sleep_windows_rejected() {
-        let mut node = FdsNode::new(
-            profile_for(0, 0, &[0, 1], &[]),
-            FdsConfig::default(),
-            1_000.0,
-        );
-        node.set_sleep_plan(vec![(1, 5), (4, 8)]);
-    }
-
-    #[test]
-    fn initial_state_mirrors_profile() {
-        let node = FdsNode::new(
-            profile_for(1, 0, &[0, 1], &[1]),
-            FdsConfig::default(),
-            1_000.0,
-        );
-        assert_eq!(node.acting_head(), Some(NodeId(0)));
-        assert_eq!(node.epoch(), 0);
-        assert!(node.known_failed().is_empty());
-        assert!(node.detections().is_empty());
-        assert_eq!(*node.stats(), NodeStats::default());
+    fn ref_wire_sizes_match_the_id_list_codec() {
+        // Cross-check against the live codec's legacy accounting: a
+        // digest of k heard ids must cost 1+4+2+4k+2 bytes.
+        let digest = RefMsg::Digest(RefDigest::new(n(2), [n(1), n(3), n(4)]));
+        assert_eq!(digest.encoded_len(), 1 + 4 + 2 + 12 + 2);
+        let hb = RefMsg::Heartbeat {
+            from: n(1),
+            marked: true,
+            reading: None,
+        };
+        assert_eq!(hb.encoded_len(), 7);
+        let ack = RefMsg::PeerAck {
+            from: n(1),
+            epoch: 9,
+        };
+        assert_eq!(ack.encoded_len(), 13);
     }
 }

@@ -1,54 +1,151 @@
-//! The failure-detection rules (Section 4.2), as pure functions.
+//! The failure-detection rules (Section 4.2), as pure functions over
+//! roster-position bitmaps.
 //!
 //! Keeping the rules side-effect-free lets the same code drive the
 //! protocol actor, the unit tests, and the Monte Carlo condition
-//! simulations in `cbfd-analysis`.
+//! simulations in `cbfd-analysis`. All evidence is indexed by
+//! **roster position** (see [`crate::bitmap`]), which turns the rule —
+//! no heartbeat ∧ no own digest ∧ reflected in no digest — into a
+//! handful of word-wise boolean operations instead of per-node set
+//! probes.
 
-use crate::message::Digest;
+use crate::bitmap::RosterBitmap;
 use cbfd_net::id::NodeId;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything a judging authority (CH or DCH) collected during one FDS
-/// execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// execution, stored roster-indexed and reused across epochs (see
+/// [`RoundEvidence::reset`]) instead of rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundEvidence {
-    /// Heartbeats heard directly during `fds.R-1`.
-    pub heartbeats: BTreeSet<NodeId>,
-    /// Digests received (or overheard) during `fds.R-2`, by author.
-    pub digests: BTreeMap<NodeId, Digest>,
+    /// Heartbeats heard directly during `fds.R-1`, by roster position.
+    heartbeats: RosterBitmap,
+    /// Positions whose member authored a digest we received (or
+    /// overheard) during `fds.R-2`.
+    digest_authors: RosterBitmap,
+    /// Per author position, the heard-bitmap its latest digest carried
+    /// (replace semantics: a later digest by the same author
+    /// overwrites the earlier one). Slots are only meaningful where
+    /// `has_heard` is set; unused slots keep their storage across
+    /// epochs.
+    digest_heard: Vec<RosterBitmap>,
+    /// Whether `digest_heard[pos]` holds the author's bitmap. Unset
+    /// for digests whose heard-bits we refused to interpret (foreign
+    /// cluster) — the author-liveness bit still counts.
+    has_heard: Vec<bool>,
     /// Whether a health-status update was received during `fds.R-3`
     /// (only relevant to the CH-failure rule).
     pub update_received: bool,
 }
 
+impl Default for RoundEvidence {
+    fn default() -> Self {
+        RoundEvidence::new()
+    }
+}
+
 impl RoundEvidence {
-    /// Creates empty evidence (start of an epoch).
+    /// Creates empty evidence over a zero-length roster; callers size
+    /// it with [`RoundEvidence::reset`] at the start of each epoch.
     pub fn new() -> Self {
-        RoundEvidence::default()
+        RoundEvidence {
+            heartbeats: RosterBitmap::new(0, 0),
+            digest_authors: RosterBitmap::new(0, 0),
+            digest_heard: Vec::new(),
+            has_heard: Vec::new(),
+            update_received: false,
+        }
     }
 
-    /// Records a heartbeat from `from`.
-    pub fn record_heartbeat(&mut self, from: NodeId) {
-        self.heartbeats.insert(from);
+    /// Clears the evidence for a new epoch over a roster of `len`
+    /// members at roster version `version`, reusing all prior
+    /// allocations.
+    pub fn reset(&mut self, version: u32, len: usize) {
+        self.heartbeats.reset(version, len);
+        self.digest_authors.reset(version, len);
+        if self.digest_heard.len() < len {
+            self.digest_heard
+                .resize_with(len, || RosterBitmap::new(0, 0));
+        }
+        self.has_heard.clear();
+        self.has_heard.resize(len, false);
+        self.update_received = false;
     }
 
-    /// Records a digest (replacing any earlier digest by the same
-    /// author this epoch).
-    pub fn record_digest(&mut self, digest: Digest) {
-        self.digests.insert(digest.from, digest);
+    /// Extends the evidence to a grown roster mid-epoch (admissions
+    /// adopted at `fds.R-3`), preserving everything recorded so far —
+    /// positions are prefix-stable.
+    pub fn grow(&mut self, version: u32, len: usize) {
+        self.heartbeats.grow(version, len);
+        self.digest_authors.grow(version, len);
+        if self.digest_heard.len() < len {
+            self.digest_heard
+                .resize_with(len, || RosterBitmap::new(0, 0));
+        }
+        if self.has_heard.len() < len {
+            self.has_heard.resize(len, false);
+        }
     }
 
-    /// Whether any *direct* evidence of `node` exists: its heartbeat
-    /// was heard or its own digest arrived.
-    pub fn direct_evidence(&self, node: NodeId) -> bool {
-        self.heartbeats.contains(&node) || self.digests.contains_key(&node)
+    /// The roster length this evidence is currently sized for.
+    pub fn len(&self) -> usize {
+        self.heartbeats.len()
+    }
+
+    /// Whether the evidence covers a zero-length roster.
+    pub fn is_empty(&self) -> bool {
+        self.heartbeats.len() == 0
+    }
+
+    /// Records a heartbeat from the member at roster position `pos`.
+    pub fn record_heartbeat(&mut self, pos: usize) {
+        self.heartbeats.set(pos);
+    }
+
+    /// Records a digest authored by the member at position
+    /// `author_pos`, replacing any earlier digest by the same author
+    /// this epoch. `heard` is the digest's bitmap when its positions
+    /// are interpretable (author in *our* cluster), `None` when only
+    /// the author-liveness bit may be taken (foreign cluster).
+    pub fn record_digest(&mut self, author_pos: usize, heard: Option<&RosterBitmap>) {
+        self.digest_authors.set(author_pos);
+        match heard {
+            Some(bits) => {
+                self.digest_heard[author_pos].assign(bits);
+                self.has_heard[author_pos] = true;
+            }
+            None => self.has_heard[author_pos] = false,
+        }
+    }
+
+    /// Whether any *direct* evidence of the member at `pos` exists:
+    /// its heartbeat was heard or its own digest arrived.
+    pub fn direct_evidence(&self, pos: usize) -> bool {
+        self.heartbeats.contains(pos) || self.digest_authors.contains(pos)
     }
 
     /// Whether any received digest reflects a member's awareness of
-    /// `node`'s heartbeat (the spatial/message redundancy of the
-    /// rule).
-    pub fn reflected_in_digests(&self, node: NodeId) -> bool {
-        self.digests.values().any(|d| d.reflects(node))
+    /// the heartbeat of the member at `pos` (the spatial/message
+    /// redundancy of the rule).
+    pub fn reflected_in_digests(&self, pos: usize) -> bool {
+        self.digest_authors
+            .iter()
+            .any(|a| self.has_heard[a] && self.digest_heard[a].contains(pos))
+    }
+
+    /// The heartbeats heard this epoch — a node's own `fds.R-2` digest
+    /// is exactly a copy of this bitmap.
+    pub fn heartbeats(&self) -> &RosterBitmap {
+        &self.heartbeats
+    }
+
+    /// The heard-bitmap of the digest authored by the member at `pos`,
+    /// when one was received and interpretable.
+    pub fn digest_heard(&self, pos: usize) -> Option<&RosterBitmap> {
+        if self.digest_authors.contains(pos) && self.has_heard.get(pos).copied().unwrap_or(false) {
+            Some(&self.digest_heard[pos])
+        } else {
+            None
+        }
     }
 }
 
@@ -59,31 +156,75 @@ impl RoundEvidence {
 /// > `v` in fds.R-2, and 2) none of the digests that the CH receives
 /// > reflect a member's awareness of the heartbeat of `v`.
 ///
-/// `expected` is the set of members the authority expects to hear from
-/// (the cluster roster minus already-known failures and the authority
-/// itself). Returns the newly detected failures, sorted.
+/// `expected` is the bitmap of positions the authority expects to hear
+/// from (the roster minus already-known failures, announced sleepers,
+/// and the authority itself). Suspect ids are appended to `out`
+/// (cleared first) in ascending roster position; `roster_order` maps
+/// positions back to ids. Since the roster's announcement order is a
+/// sorted formation roster plus appended admission batches, callers
+/// wanting the historical sorted-id order sort `out` afterwards.
+///
+/// The whole rule runs word-wise: one `expected & !(heartbeat ∨ own
+/// digest ∨ reflected)` per 64 members.
+pub fn detect_failures_into(
+    expected: &RosterBitmap,
+    evidence: &RoundEvidence,
+    roster_order: &[NodeId],
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    let words = expected.words().len();
+    for i in 0..words {
+        let mut alive =
+            evidence.heartbeats.word_or_zero(i) | evidence.digest_authors.word_or_zero(i);
+        for a in evidence.digest_authors.iter() {
+            if evidence.has_heard[a] {
+                alive |= evidence.digest_heard[a].word_or_zero(i);
+            }
+        }
+        let mut suspects = expected.word_or_zero(i) & !alive;
+        while suspects != 0 {
+            let bit = suspects.trailing_zeros() as usize;
+            suspects &= suspects - 1;
+            out.push(roster_order[i * 64 + bit]);
+        }
+    }
+}
+
+/// Convenience wrapper over [`detect_failures_into`] returning a fresh
+/// vector, sorted by node id.
 ///
 /// # Examples
 ///
 /// ```
+/// use cbfd_core::bitmap::RosterBitmap;
 /// use cbfd_core::rules::{detect_failures, RoundEvidence};
-/// use cbfd_core::message::Digest;
 /// use cbfd_net::id::NodeId;
 ///
+/// // Roster {1, 2, 3} at positions 0..3; all three expected.
+/// let roster = [NodeId(1), NodeId(2), NodeId(3)];
+/// let mut expected = RosterBitmap::new(0, 3);
+/// expected.set_all();
+///
 /// let mut ev = RoundEvidence::new();
-/// ev.record_heartbeat(NodeId(1));
-/// // Node 2 is silent, but node 1's digest overheard it:
-/// ev.record_digest(Digest::new(NodeId(1), [NodeId(2)]));
-/// // Node 3 is silent and unreflected: detected.
-/// let failed = detect_failures(&[NodeId(1), NodeId(2), NodeId(3)], &ev);
-/// assert_eq!(failed, vec![NodeId(3)]);
+/// ev.reset(0, 3);
+/// ev.record_heartbeat(0);
+/// // Node 2 (position 1) is silent, but node 1's digest overheard it:
+/// let mut heard = RosterBitmap::new(0, 3);
+/// heard.set(1);
+/// ev.record_digest(0, Some(&heard));
+/// // Node 3 (position 2) is silent and unreflected: detected.
+/// assert_eq!(detect_failures(&expected, &ev, &roster), vec![NodeId(3)]);
 /// ```
-pub fn detect_failures(expected: &[NodeId], evidence: &RoundEvidence) -> Vec<NodeId> {
-    expected
-        .iter()
-        .copied()
-        .filter(|v| !evidence.direct_evidence(*v) && !evidence.reflected_in_digests(*v))
-        .collect()
+pub fn detect_failures(
+    expected: &RosterBitmap,
+    evidence: &RoundEvidence,
+    roster_order: &[NodeId],
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    detect_failures_into(expected, evidence, roster_order, &mut out);
+    out.sort_unstable();
+    out
 }
 
 /// The CH-failure rule applied by the highest-ranked deputy:
@@ -94,9 +235,11 @@ pub fn detect_failures(expected: &[NodeId], evidence: &RoundEvidence) -> Vec<Nod
 /// > receives reflect a member's awareness of the heartbeat of the CH,
 /// > and 3) the DCH does not receive the health status update from the
 /// > CH in fds.R-3.
-pub fn ch_failed(head: NodeId, evidence: &RoundEvidence) -> bool {
-    !evidence.direct_evidence(head)
-        && !evidence.reflected_in_digests(head)
+///
+/// `head_pos` is the clusterhead's roster position.
+pub fn ch_failed(head_pos: usize, evidence: &RoundEvidence) -> bool {
+    !evidence.direct_evidence(head_pos)
+        && !evidence.reflected_in_digests(head_pos)
         && !evidence.update_received
 }
 
@@ -108,79 +251,153 @@ mod tests {
         NodeId(id)
     }
 
+    /// Evidence over a roster of `len` positions mapped to ids
+    /// `1, 2, …, len`.
+    fn roster(len: usize) -> (Vec<NodeId>, RosterBitmap, RoundEvidence) {
+        let order: Vec<NodeId> = (1..=len as u32).map(NodeId).collect();
+        let mut expected = RosterBitmap::new(0, len);
+        expected.set_all();
+        let mut ev = RoundEvidence::new();
+        ev.reset(0, len);
+        (order, expected, ev)
+    }
+
+    fn bits(len: usize, set: &[usize]) -> RosterBitmap {
+        let mut b = RosterBitmap::new(0, len);
+        for p in set {
+            b.set(*p);
+        }
+        b
+    }
+
     #[test]
     fn silent_unreflected_node_is_detected() {
-        let ev = RoundEvidence::new();
-        assert_eq!(detect_failures(&[n(1)], &ev), vec![n(1)]);
+        let (order, expected, ev) = roster(1);
+        assert_eq!(detect_failures(&expected, &ev, &order), vec![n(1)]);
     }
 
     #[test]
     fn heartbeat_clears_suspicion() {
-        let mut ev = RoundEvidence::new();
-        ev.record_heartbeat(n(1));
-        assert!(detect_failures(&[n(1)], &ev).is_empty());
+        let (order, expected, mut ev) = roster(1);
+        ev.record_heartbeat(0);
+        assert!(detect_failures(&expected, &ev, &order).is_empty());
     }
 
     #[test]
     fn own_digest_clears_suspicion_time_redundancy() {
         // Heartbeat lost in R-1, but the node's digest arrives in R-2:
         // the rule's time redundancy keeps it alive.
-        let mut ev = RoundEvidence::new();
-        ev.record_digest(Digest::new(n(1), []));
-        assert!(detect_failures(&[n(1)], &ev).is_empty());
+        let (order, expected, mut ev) = roster(1);
+        ev.record_digest(0, Some(&bits(1, &[])));
+        assert!(detect_failures(&expected, &ev, &order).is_empty());
     }
 
     #[test]
     fn reflection_clears_suspicion_spatial_redundancy() {
-        // Both the heartbeat and the digest of node 1 are lost, but a
-        // neighbour overheard the heartbeat: message redundancy.
-        let mut ev = RoundEvidence::new();
-        ev.record_digest(Digest::new(n(2), [n(1)]));
-        assert!(detect_failures(&[n(1)], &ev).is_empty());
+        // Both the heartbeat and the digest of position 0 are lost,
+        // but a neighbour overheard the heartbeat: message redundancy.
+        let (order, expected, mut ev) = roster(2);
+        ev.record_digest(1, Some(&bits(2, &[0])));
+        let failed = detect_failures(&expected, &ev, &order);
+        assert!(!failed.contains(&n(1)), "reflected node survives");
+    }
+
+    #[test]
+    fn author_only_digest_proves_only_the_author() {
+        // A digest whose heard-bits we could not interpret (foreign
+        // cluster): the author is alive, nobody else benefits.
+        let (order, expected, mut ev) = roster(2);
+        ev.record_digest(1, None);
+        assert_eq!(detect_failures(&expected, &ev, &order), vec![n(1)]);
     }
 
     #[test]
     fn detection_is_per_node_and_sorted() {
+        // Roster {1, 3, 5, 7}: 3 heartbeats and digests-reflects-5, so
+        // 1 and 7 are the suspects.
+        let order = [n(1), n(3), n(5), n(7)];
+        let mut expected = RosterBitmap::new(0, 4);
+        expected.set_all();
         let mut ev = RoundEvidence::new();
-        ev.record_heartbeat(n(3));
-        ev.record_digest(Digest::new(n(3), [n(5)]));
-        let failed = detect_failures(&[n(1), n(3), n(5), n(7)], &ev);
-        assert_eq!(failed, vec![n(1), n(7)]);
+        ev.reset(0, 4);
+        ev.record_heartbeat(1);
+        ev.record_digest(1, Some(&bits(4, &[2])));
+        assert_eq!(detect_failures(&expected, &ev, &order), vec![n(1), n(7)]);
     }
 
     #[test]
     fn later_digest_replaces_earlier() {
-        let mut ev = RoundEvidence::new();
-        ev.record_digest(Digest::new(n(2), [n(1)]));
-        ev.record_digest(Digest::new(n(2), []));
-        // The replacement digest no longer reflects node 1; only the
-        // author's own liveness survives.
-        assert_eq!(detect_failures(&[n(1), n(2)], &ev), vec![n(1)]);
+        let (order, expected, mut ev) = roster(2);
+        ev.record_digest(1, Some(&bits(2, &[0])));
+        ev.record_digest(1, Some(&bits(2, &[])));
+        // The replacement digest no longer reflects position 0; only
+        // the author's own liveness survives.
+        assert_eq!(detect_failures(&expected, &ev, &order), vec![n(1)]);
     }
 
     #[test]
     fn ch_rule_requires_all_three_conditions() {
-        let head = n(0);
+        let head_pos = 0;
         // All evidence missing: failed.
-        assert!(ch_failed(head, &RoundEvidence::new()));
+        let (_, _, ev) = roster(2);
+        assert!(ch_failed(head_pos, &ev));
         // Heartbeat heard: alive.
-        let mut ev = RoundEvidence::new();
-        ev.record_heartbeat(head);
-        assert!(!ch_failed(head, &ev));
+        let (_, _, mut ev) = roster(2);
+        ev.record_heartbeat(head_pos);
+        assert!(!ch_failed(head_pos, &ev));
         // Only a reflection: alive.
-        let mut ev = RoundEvidence::new();
-        ev.record_digest(Digest::new(n(4), [head]));
-        assert!(!ch_failed(head, &ev));
+        let (_, _, mut ev) = roster(2);
+        ev.record_digest(1, Some(&bits(2, &[head_pos])));
+        assert!(!ch_failed(head_pos, &ev));
         // Only the R-3 update: alive.
-        let ev = RoundEvidence {
-            update_received: true,
-            ..RoundEvidence::new()
-        };
-        assert!(!ch_failed(head, &ev));
+        let (_, _, mut ev) = roster(2);
+        ev.update_received = true;
+        assert!(!ch_failed(head_pos, &ev));
     }
 
     #[test]
     fn empty_expected_set_detects_nothing() {
-        assert!(detect_failures(&[], &RoundEvidence::new()).is_empty());
+        let (order, mut expected, ev) = roster(3);
+        expected.reset(0, 3); // all bits cleared: nobody expected
+        assert!(detect_failures(&expected, &ev, &order).is_empty());
+    }
+
+    #[test]
+    fn word_wise_rule_agrees_with_per_position_probes_on_wide_rosters() {
+        // A roster spanning several words exercises the word loop's
+        // index arithmetic.
+        let len = 150;
+        let order: Vec<NodeId> = (1..=len as u32).map(NodeId).collect();
+        let mut expected = RosterBitmap::new(0, len);
+        expected.set_all();
+        let mut ev = RoundEvidence::new();
+        ev.reset(0, len);
+        for p in (0..len).step_by(3) {
+            ev.record_heartbeat(p);
+        }
+        ev.record_digest(70, Some(&bits(len, &[1, 64, 149])));
+        let fast = detect_failures(&expected, &ev, &order);
+        let slow: Vec<NodeId> = (0..len)
+            .filter(|p| {
+                expected.contains(*p) && !ev.direct_evidence(*p) && !ev.reflected_in_digests(*p)
+            })
+            .map(|p| order[p])
+            .collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn reset_and_grow_keep_state_consistent() {
+        let mut ev = RoundEvidence::new();
+        ev.reset(1, 3);
+        ev.record_heartbeat(2);
+        ev.record_digest(0, Some(&bits(3, &[2])));
+        ev.grow(2, 5);
+        assert!(ev.direct_evidence(2), "heartbeat survives growth");
+        assert!(ev.reflected_in_digests(2), "reflection survives growth");
+        assert!(!ev.direct_evidence(4), "new positions start silent");
+        ev.reset(2, 5);
+        assert!(!ev.direct_evidence(2), "reset clears everything");
+        assert!(ev.digest_heard(0).is_none());
     }
 }

@@ -84,6 +84,10 @@ pub struct FdsOutcome {
     pub joins: u64,
     /// Total wire bytes transmitted (per the message codec).
     pub bytes: u64,
+    /// What [`FdsOutcome::bytes`] would have been under the historical
+    /// id-list wire layout (digests as explicit node-id lists) — the
+    /// before/after comparison the bitmap layout is judged by.
+    pub bytes_id_list: u64,
     /// Standard deviation of remaining energy (energy balance).
     pub energy_imbalance: f64,
 }
@@ -424,6 +428,7 @@ impl Experiment {
         let mut member_epochs = 0;
         let mut joins = 0;
         let mut bytes = 0;
+        let mut bytes_id_list = 0;
 
         for (id, node) in sim.actors() {
             let s = node.stats();
@@ -433,6 +438,7 @@ impl Experiment {
             retransmissions += s.retransmissions;
             joins += s.joins_admitted;
             bytes += s.bytes_sent;
+            bytes_id_list += s.bytes_sent_id_list;
             if node.profile().cluster.is_some() && node.profile().head != Some(id) {
                 // A member can miss an update in any epoch it survives.
                 let survived = crash_epochs.get(&id).copied().unwrap_or(epochs);
@@ -506,6 +512,7 @@ impl Experiment {
             retransmissions,
             joins,
             bytes,
+            bytes_id_list,
             energy_imbalance: sim.energy().imbalance(),
         }
     }

@@ -20,7 +20,6 @@ use crate::topology::Topology;
 use crate::trace::{Trace, TraceKind, TraceRecord};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::BTreeMap;
 
 /// A summary of one *effective* simulation event, handed to the
 /// observer of [`Simulator::run_until_observed`] after the event has
@@ -230,8 +229,12 @@ pub struct Simulator<A: Actor> {
     /// Optional network partition: group id per node. Copies between
     /// different groups are dropped at transmit time.
     partition: Option<Vec<u32>>,
-    /// Extra per-directed-link delivery delay (chaos interposer).
-    link_lag: BTreeMap<(NodeId, NodeId), SimDuration>,
+    /// Extra per-directed-link delivery delay (chaos interposer),
+    /// sorted by `(from, to)`. A sorted vec instead of a tree map so
+    /// [`Simulator::transmit`] can prefetch the source's contiguous
+    /// run once per transmission and probe only that (usually empty)
+    /// slice per surviving copy.
+    link_lag: Vec<(NodeId, NodeId, SimDuration)>,
     /// Probability that a surviving copy is duplicated (chaos
     /// interposer); `0.0` keeps the transmit path draw-for-draw
     /// identical to a simulator without the feature.
@@ -273,7 +276,7 @@ impl<A: Actor> Simulator<A> {
             started: false,
             last_harvest: SimTime::ZERO,
             partition: None,
-            link_lag: BTreeMap::new(),
+            link_lag: Vec::new(),
             dup_probability: 0.0,
             dup_lag: SimDuration::ZERO,
             scratch_neighbors: Vec::new(),
@@ -424,12 +427,23 @@ impl<A: Actor> Simulator<A> {
     /// directed link `from → to` (per-link lag injection). Replaces
     /// any previous lag on that link.
     pub fn set_link_lag(&mut self, from: NodeId, to: NodeId, extra: SimDuration) {
-        self.link_lag.insert((from, to), extra);
+        match self
+            .link_lag
+            .binary_search_by_key(&(from, to), |&(f, t, _)| (f, t))
+        {
+            Ok(i) => self.link_lag[i].2 = extra,
+            Err(i) => self.link_lag.insert(i, (from, to, extra)),
+        }
     }
 
     /// Removes the lag on the directed link `from → to`, if any.
     pub fn remove_link_lag(&mut self, from: NodeId, to: NodeId) {
-        self.link_lag.remove(&(from, to));
+        if let Ok(i) = self
+            .link_lag
+            .binary_search_by_key(&(from, to), |&(f, t, _)| (f, t))
+        {
+            self.link_lag.remove(i);
+        }
     }
 
     /// Removes all per-link lags.
@@ -696,6 +710,16 @@ impl<A: Actor> Simulator<A> {
             });
         }
         let from_pos = self.topology.position(from);
+        // Lag entries for this source, found once per transmission;
+        // the per-copy probe below then touches only this slice, which
+        // is empty for every source without an injected lag.
+        let src_lags: &[(NodeId, NodeId, SimDuration)] = if self.link_lag.is_empty() {
+            &[]
+        } else {
+            let lo = self.link_lag.partition_point(|&(f, _, _)| f < from);
+            let hi = lo + self.link_lag[lo..].partition_point(|&(f, _, _)| f == from);
+            &self.link_lag[lo..hi]
+        };
         // The payload is stored once; every scheduled copy carries a
         // handle, so fan-out degree never clones the message.
         let payload = self.payloads.insert(msg);
@@ -727,9 +751,9 @@ impl<A: Actor> Simulator<A> {
                 continue;
             }
             let mut delay = self.radio.draw_delay(&mut self.rng);
-            if !self.link_lag.is_empty() {
-                if let Some(extra) = self.link_lag.get(&(from, to)) {
-                    delay = delay + *extra;
+            if !src_lags.is_empty() {
+                if let Ok(i) = src_lags.binary_search_by_key(&to, |&(_, t, _)| t) {
+                    delay = delay + src_lags[i].2;
                 }
             }
             refs += 1;

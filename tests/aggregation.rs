@@ -145,6 +145,7 @@ fn members_receive_the_published_aggregate() {
         takeover: false,
         joined: vec![],
         roster: vec![],
+        roster_version: 0,
         aggregate: Some(agg),
     };
     let msg = FdsMsg::HealthUpdate(update.clone());

@@ -4,6 +4,7 @@
 use cbfd::analysis::{false_detection, geometry, incompleteness};
 use cbfd::cluster::{invariants, oracle, FormationConfig};
 use cbfd::core::aggregation::Aggregate;
+use cbfd::core::bitmap::RosterBitmap;
 use cbfd::core::message::{Digest, FailureReport, FdsMsg, HealthUpdate};
 use cbfd::core::rules::{detect_failures, RoundEvidence};
 use cbfd::prelude::*;
@@ -132,10 +133,22 @@ fn arb_update() -> impl Strategy<Value = HealthUpdate> {
         any::<bool>(),
         arb_node_ids(),
         arb_node_ids(),
+        0u32..1_000,
         proptest::option::of((0u32..1000, any::<i32>(), -1000i32..1000, -1000i32..1000)),
     )
         .prop_map(
-            |(from, cluster, epoch, new_failed, all_failed, takeover, joined, roster, agg)| {
+            |(
+                from,
+                cluster,
+                epoch,
+                new_failed,
+                all_failed,
+                takeover,
+                joined,
+                roster,
+                roster_version,
+                agg,
+            )| {
                 HealthUpdate {
                     from: NodeId(from),
                     cluster: ClusterId::of(NodeId(cluster)),
@@ -145,6 +158,7 @@ fn arb_update() -> impl Strategy<Value = HealthUpdate> {
                     takeover,
                     joined,
                     roster,
+                    roster_version,
                     aggregate: agg.map(|(count, sum, min, max)| Aggregate {
                         count,
                         sum: i64::from(sum),
@@ -154,6 +168,25 @@ fn arb_update() -> impl Strategy<Value = HealthUpdate> {
                 }
             },
         )
+}
+
+/// A bitmap over an arbitrary roster size (spanning the inline→spilled
+/// boundary) with an arbitrary subset of positions set.
+fn arb_bitmap() -> impl Strategy<Value = RosterBitmap> {
+    (
+        0u32..100,
+        0usize..320,
+        proptest::collection::vec(any::<bool>(), 320usize),
+    )
+        .prop_map(|(version, len, bits)| {
+            let mut b = RosterBitmap::new(version, len);
+            for (pos, set) in bits.iter().take(len).enumerate() {
+                if *set {
+                    b.set(pos);
+                }
+            }
+            b
+        })
 }
 
 fn arb_msg() -> impl Strategy<Value = FdsMsg> {
@@ -167,11 +200,12 @@ fn arb_msg() -> impl Strategy<Value = FdsMsg> {
         ),
         (
             0u32..500,
-            arb_node_ids(),
+            0u32..500,
+            arb_bitmap(),
             proptest::collection::vec((0u32..500, any::<i32>()), 0..20)
         )
-            .prop_map(|(n, heard, readings)| FdsMsg::Digest(
-                Digest::new(NodeId(n), heard).with_readings(
+            .prop_map(|(n, head, heard, readings)| FdsMsg::Digest(
+                Digest::new(NodeId(n), ClusterId::of(NodeId(head)), heard).with_readings(
                     readings
                         .into_iter()
                         .map(|(id, r)| (NodeId(id), r))
@@ -217,26 +251,127 @@ proptest! {
 
     #[test]
     fn detection_rule_never_condemns_heard_nodes(
-        expected in arb_node_ids(),
-        heartbeats in arb_node_ids(),
-        digest_authors in arb_node_ids(),
+        len in 1usize..200,
+        expected_bits in proptest::collection::vec(any::<bool>(), 200),
+        heartbeat_bits in proptest::collection::vec(any::<bool>(), 200),
+        author_bits in proptest::collection::vec(any::<bool>(), 200),
     ) {
+        let roster_order: Vec<NodeId> = (0..len as u32).map(NodeId).collect();
         let mut evidence = RoundEvidence::new();
-        for h in &heartbeats {
-            evidence.record_heartbeat(*h);
+        evidence.reset(1, len);
+        let mut expected = RosterBitmap::new(1, len);
+        let mut heartbeats = RosterBitmap::new(1, len);
+        for pos in 0..len {
+            if expected_bits[pos] {
+                expected.set(pos);
+            }
+            if heartbeat_bits[pos] {
+                evidence.record_heartbeat(pos);
+                heartbeats.set(pos);
+            }
         }
-        for a in &digest_authors {
-            evidence.record_digest(Digest::new(*a, heartbeats.clone()));
+        // Every digest reflects exactly the heartbeat set, like a
+        // member that overheard all of R-1.
+        for (pos, &authored) in author_bits.iter().enumerate().take(len) {
+            if authored {
+                evidence.record_digest(pos, Some(&heartbeats));
+            }
         }
-        let failed = detect_failures(&expected, &evidence);
+        let failed = detect_failures(&expected, &evidence, &roster_order);
         for f in &failed {
-            prop_assert!(!heartbeats.contains(f), "{f} was heard yet condemned");
-            prop_assert!(!digest_authors.contains(f), "{f} sent a digest yet condemned");
+            let pos = f.0 as usize;
+            prop_assert!(!heartbeat_bits[pos], "{f} was heard yet condemned");
+            prop_assert!(!author_bits[pos], "{f} sent a digest yet condemned");
         }
-        // And every expected node with zero evidence is condemned.
-        for e in &expected {
-            let evidenced = heartbeats.contains(e) || digest_authors.contains(e);
-            prop_assert_eq!(failed.contains(e), !evidenced);
+        // And every expected node with zero evidence is condemned
+        // (reflection adds nothing here: digests only repeat the
+        // heartbeat set).
+        for pos in 0..len {
+            let evidenced = heartbeat_bits[pos] || author_bits[pos];
+            prop_assert_eq!(
+                failed.contains(&NodeId(pos as u32)),
+                expected_bits[pos] && !evidenced,
+                "position {}", pos
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_set_clear_iter_match_btreeset_model(
+        len in 1usize..320,
+        ops in proptest::collection::vec((0usize..320, any::<bool>()), 0..80),
+    ) {
+        use std::collections::BTreeSet;
+        let mut bitmap = RosterBitmap::new(7, len);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (idx, insert) in &ops {
+            let pos = idx % len;
+            if *insert {
+                bitmap.set(pos);
+                model.insert(pos);
+            } else {
+                bitmap.clear(pos);
+                model.remove(&pos);
+            }
+            prop_assert_eq!(bitmap.contains(pos), model.contains(&pos));
+        }
+        prop_assert_eq!(bitmap.count(), model.len());
+        prop_assert_eq!(bitmap.is_empty(), model.is_empty());
+        let collected: Vec<usize> = bitmap.iter().collect();
+        let expected: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected, "iter yields positions in order");
+    }
+
+    #[test]
+    fn bitmap_union_matches_btreeset_union(a in arb_bitmap(), b in arb_bitmap()) {
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<usize> = a.iter().collect();
+        let sb: BTreeSet<usize> = b.iter().collect();
+        let mut unioned = a.clone();
+        if a.version() == b.version() && a.len() == b.len() {
+            unioned.union_with(&b).expect("same version unions");
+            let expected: BTreeSet<usize> = sa.union(&sb).copied().collect();
+            let got: BTreeSet<usize> = unioned.iter().collect();
+            prop_assert_eq!(got, expected);
+        } else if a.version() != b.version() {
+            let err = unioned.union_with(&b).expect_err("version mismatch rejected");
+            prop_assert_eq!(err.ours, a.version());
+            prop_assert_eq!(err.theirs, b.version());
+            prop_assert_eq!(&unioned, &a, "rejected union leaves the bitmap untouched");
+        }
+        // or_prefix is the lenient path: common prefix only, never more.
+        let mut prefixed = a.clone();
+        prefixed.or_prefix(&b);
+        let common = a.len().min(b.len());
+        let expected: BTreeSet<usize> = sa
+            .iter()
+            .copied()
+            .chain(sb.iter().copied().filter(|p| *p < common))
+            .collect();
+        let got: BTreeSet<usize> = prefixed.iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bitmap_spill_boundary_is_seamless(extra in 0usize..130) {
+        // Straddle the inline→boxed boundary (256 bits): grow a bitmap
+        // across it and verify bits survive and positions stay stable.
+        let len = 200 + extra;
+        let mut grown = RosterBitmap::new(3, 200);
+        for pos in (0..200).step_by(7) {
+            grown.set(pos);
+        }
+        grown.grow(3, len);
+        prop_assert_eq!(grown.len(), len);
+        let mut fresh = RosterBitmap::new(3, len);
+        for pos in (0..200).step_by(7) {
+            fresh.set(pos);
+        }
+        prop_assert_eq!(&grown, &fresh, "growth across the spill boundary preserves bits");
+        if len > 200 {
+            grown.set(len - 1);
+            prop_assert!(grown.contains(len - 1));
+            prop_assert_eq!(grown.count(), fresh.count() + 1);
         }
     }
 }
