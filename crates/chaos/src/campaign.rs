@@ -50,6 +50,15 @@ pub struct CampaignConfig {
     pub max_shrink_tests: u32,
     /// Worker threads (the report is identical for any value).
     pub workers: usize,
+    /// Whether generated plans include the v2 churn primitives
+    /// (joins, graceful leaves, rejoins).
+    pub churn: bool,
+    /// When non-zero, every plan forks off one shared warmed-up
+    /// checkpoint taken after this many quiet epochs (seeded from the
+    /// master seed) instead of cold-starting — the fault schedules
+    /// then diverge from identical mid-run state. The run deadline is
+    /// `epochs` total, so it must exceed the warmup.
+    pub fork_warm_epochs: u64,
 }
 
 impl Default for CampaignConfig {
@@ -65,6 +74,8 @@ impl Default for CampaignConfig {
             max_primitives: 6,
             max_shrink_tests: 200,
             workers: par::default_workers(),
+            churn: false,
+            fork_warm_epochs: 0,
         }
     }
 }
@@ -148,6 +159,11 @@ impl CampaignReport {
         out.push_str(&format!("  \"master_seed\": {},\n", c.master_seed));
         out.push_str(&format!("  \"stride\": {},\n", c.stride));
         out.push_str(&format!("  \"baseline_p\": {},\n", c.baseline_p));
+        out.push_str(&format!("  \"churn\": {},\n", c.churn));
+        out.push_str(&format!(
+            "  \"fork_warm_epochs\": {},\n",
+            c.fork_warm_epochs
+        ));
         out.push_str(&format!("  \"clusters\": {},\n", self.clusters));
         out.push_str(&format!("  \"failing_plans\": {},\n", self.failing()));
         out.push_str("  \"results\": [\n");
@@ -249,14 +265,38 @@ pub fn plan_config(config: &CampaignConfig) -> PlanConfig {
         baseline_p: config.baseline_p,
         max_primitives: config.max_primitives,
         max_cascade: 8,
+        churn: config.churn,
     }
 }
 
+/// Takes the shared warm snapshot a forked campaign branches from: a
+/// quiet run (no faults) of `fork_warm_epochs` heartbeat intervals
+/// seeded from the master seed, checkpointed mid-flight.
+pub fn warm_checkpoint(exp: &Experiment, config: &CampaignConfig) -> Vec<u8> {
+    let phi = FdsConfig::default().heartbeat_interval;
+    let mut sim = exp.build_sim(
+        cbfd_net::radio::RadioConfig::bernoulli(config.baseline_p),
+        config.master_seed,
+    );
+    sim.run_until(SimTime::ZERO + phi * config.fork_warm_epochs);
+    sim.checkpoint().expect("warm checkpoint serializes")
+}
+
 /// Runs one plan under the monitor, returning its outcome (without
-/// the shrink pass).
-fn run_one(exp: &Experiment, config: &CampaignConfig, index: usize, seed: u64) -> PlanOutcome {
+/// the shrink pass). When `warm` is provided, the run forks off that
+/// checkpoint instead of cold-starting.
+fn run_one(
+    exp: &Experiment,
+    config: &CampaignConfig,
+    warm: Option<&[u8]>,
+    index: usize,
+    seed: u64,
+) -> PlanOutcome {
     let plan = FaultPlan::generate(seed, &plan_config(config));
-    let (outcome, monitor) = run_monitored(exp, &plan, config.epochs, seed, config.stride);
+    let (outcome, monitor) = match warm {
+        Some(bytes) => run_monitored_forked(exp, bytes, &plan, config.epochs, config.stride),
+        None => run_monitored(exp, &plan, config.epochs, seed, config.stride),
+    };
     PlanOutcome {
         index,
         seed,
@@ -291,14 +331,35 @@ pub fn run_monitored(
     (outcome, monitor)
 }
 
+/// Like [`run_monitored`], but restores the simulator from a
+/// checkpoint (see [`warm_checkpoint`]) and lets `plan` diverge from
+/// there. The monitor starts clean, which is sound because the warm
+/// prefix is quiet: no crashes or churn happen before the fork point.
+pub fn run_monitored_forked(
+    exp: &Experiment,
+    checkpoint: &[u8],
+    plan: &FaultPlan,
+    epochs: u64,
+    stride: u64,
+) -> (cbfd_core::service::FdsOutcome, Monitor) {
+    let mut sim = cbfd_net::sim::Simulator::restore(checkpoint).expect("warm checkpoint restores");
+    let mut monitor = Monitor::new(exp.topology().clone(), exp.view().clone(), stride);
+    let outcome = exp.run_plan_on(&mut sim, plan, epochs, &mut |sim, ev| {
+        monitor.observe(sim, ev)
+    });
+    (outcome, monitor)
+}
+
 /// Runs the whole campaign: parallel plan execution (worker-count
 /// invariant), then a sequential shrink pass over any failing plans.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let exp = build_experiment(config);
+    let warm: Option<Vec<u8>> =
+        (config.fork_warm_epochs > 0).then(|| warm_checkpoint(&exp, config));
     let indices: Vec<usize> = (0..config.plans).collect();
     let mut outcomes = par::par_map(config.workers, &indices, |_, &i| {
         let seed = derive_seed(config.master_seed, i as u64 + 1);
-        run_one(&exp, config, i, seed)
+        run_one(&exp, config, warm.as_deref(), i, seed)
     });
 
     // Shrink failing plans sequentially, in plan order, so the report
@@ -307,20 +368,14 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         if outcome.hard_violations.is_empty() {
             continue;
         }
-        let plan = FaultPlan::from_text(&outcome.plan_text).expect("own artifact parses");
-        let fails = |candidate: &FaultPlan| {
-            let (_, monitor) =
-                run_monitored(&exp, candidate, config.epochs, outcome.seed, config.stride);
-            !monitor.violations().is_empty()
+        let rerun = |plan: &FaultPlan| match warm.as_deref() {
+            Some(bytes) => run_monitored_forked(&exp, bytes, plan, config.epochs, config.stride),
+            None => run_monitored(&exp, plan, config.epochs, outcome.seed, config.stride),
         };
+        let plan = FaultPlan::from_text(&outcome.plan_text).expect("own artifact parses");
+        let fails = |candidate: &FaultPlan| !rerun(candidate).1.violations().is_empty();
         let result = shrink(&plan, fails, config.max_shrink_tests);
-        let (_, monitor) = run_monitored(
-            &exp,
-            &result.plan,
-            config.epochs,
-            outcome.seed,
-            config.stride,
-        );
+        let (_, monitor) = rerun(&result.plan);
         outcome.shrunk = Some(ShrunkReproducer {
             plan_text: result.plan.to_text(),
             primitives: result.plan.primitives.len(),

@@ -131,6 +131,67 @@ mod tests {
     }
 
     #[test]
+    fn churn_campaign_is_clean_and_reproducible() {
+        let config = CampaignConfig {
+            churn: true,
+            plans: 6,
+            ..small_config()
+        };
+        let ra = run_campaign(&config);
+        let rb = run_campaign(&config);
+        assert_eq!(ra.to_json(), rb.to_json(), "same seed, same bytes");
+        assert_eq!(ra.failing(), 0, "{}", ra.to_json());
+        // The plan pool actually exercises the v2 primitives.
+        assert!(
+            ra.outcomes
+                .iter()
+                .any(|o| o.plan_text.starts_with("cbfd-fault-plan v2")),
+            "no churn plan sampled"
+        );
+    }
+
+    #[test]
+    fn forked_campaign_is_clean_and_worker_count_invariant() {
+        let base = CampaignConfig {
+            churn: true,
+            fork_warm_epochs: 2,
+            epochs: 4,
+            ..small_config()
+        };
+        let mut a = base.clone();
+        a.workers = 1;
+        let mut b = base;
+        b.workers = 3;
+        let ra = run_campaign(&a);
+        let rb = run_campaign(&b);
+        assert_eq!(ra.outcomes, rb.outcomes);
+        assert_eq!(ra.failing(), 0, "{}", ra.to_json());
+        assert!(ra.outcomes.iter().all(|o| o.events_observed > 0));
+    }
+
+    #[test]
+    fn monitor_tracks_voluntary_leavers_separately() {
+        let config = small_config();
+        let exp = build_experiment(&config);
+        let plan = FaultPlan::empty(0.0, plan_config(&config).horizon);
+        let mut monitor = Monitor::new(exp.topology().clone(), exp.view().clone(), 0);
+        let _ = exp.run_plan(&plan, 1, 1, &mut |sim, _| {
+            if monitor.events_seen() == 0 {
+                monitor.observe(sim, SimEvent::Leave { node: NodeId(2) });
+                monitor.observe(sim, SimEvent::Rejoin { node: NodeId(2) });
+                monitor.observe(sim, SimEvent::Leave { node: NodeId(3) });
+            }
+        });
+        assert!(
+            monitor.violations().is_empty(),
+            "graceful churn is not a violation: {:?}",
+            monitor.violations()
+        );
+        assert_eq!(monitor.departed(), &[NodeId(3)], "rejoiner was cleared");
+        assert!(monitor.dead().is_empty());
+    }
+
+    #[test]
     fn clean_runs_report_no_violations_and_full_residuals() {
         let config = small_config();
         let exp = build_experiment(&config);

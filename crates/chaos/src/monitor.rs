@@ -121,6 +121,13 @@ pub struct Monitor {
     last_time: SimTime,
     dead: Vec<NodeId>,
     is_dead: Vec<bool>,
+    /// Voluntary leavers (graceful [`SimEvent::Leave`], not rejoined).
+    /// Excluded from the structural sweep and the completeness
+    /// obligation like the dead, but their suspicions are *not*
+    /// counted as false: a leaver whose notice was lost looks exactly
+    /// like a crash to the detector.
+    departed: Vec<NodeId>,
+    is_departed: Vec<bool>,
     /// True when the dead set has changed since the last structural
     /// F1–F4 sweep. The structural verdict is a pure function of
     /// (topology, view, dead), and the first two never change, so a
@@ -148,6 +155,8 @@ impl Monitor {
             last_time: SimTime::ZERO,
             dead: Vec::new(),
             is_dead: vec![false; n],
+            departed: Vec::new(),
+            is_departed: vec![false; n],
             // Dirty from the start: the initial clustering itself must
             // pass F1–F4 on the first sweep.
             structural_dirty: true,
@@ -206,10 +215,45 @@ impl Monitor {
                 }
                 crash = true;
             }
+            SimEvent::Join { .. } => {
+                // A dormant node powered up: it was part of the
+                // clustering all along, so the monitored sets don't
+                // change.
+            }
+            SimEvent::Leave { node } => {
+                if self.is_dead.get(node.index()).copied().unwrap_or(false) {
+                    self.violations.push(HardViolation::DeadNodeActivity {
+                        at,
+                        node,
+                        event: "left after crashing".to_string(),
+                    });
+                } else if node.index() < self.is_departed.len() && !self.is_departed[node.index()] {
+                    self.is_departed[node.index()] = true;
+                    self.departed.push(node);
+                    self.structural_dirty = true;
+                    crash = true; // changes the excluded set: sweep now
+                }
+            }
+            SimEvent::Rejoin { node } => {
+                if node.index() < self.is_dead.len() {
+                    if self.is_dead[node.index()] {
+                        self.is_dead[node.index()] = false;
+                        self.dead.retain(|d| *d != node);
+                        self.structural_dirty = true;
+                        crash = true;
+                    }
+                    if self.is_departed[node.index()] {
+                        self.is_departed[node.index()] = false;
+                        self.departed.retain(|d| *d != node);
+                        self.structural_dirty = true;
+                        crash = true;
+                    }
+                }
+            }
         }
 
-        // Crashes change the monitored dead set, so always sweep on
-        // them; otherwise honour the stride.
+        // Events that change the monitored dead/departed sets always
+        // sweep; otherwise honour the stride.
         if crash || (self.stride > 0 && self.events_seen.is_multiple_of(self.stride)) {
             self.sweep(sim, at);
         }
@@ -221,7 +265,11 @@ impl Monitor {
         self.sweeps_run += 1;
         if self.structural_dirty {
             self.structural_dirty = false;
-            for violation in invariants::check_excluding(&self.topology, &self.view, &self.dead) {
+            // The structural guarantee covers the survivors: both the
+            // crashed and the gracefully departed are exempt.
+            let mut excluded = self.dead.clone();
+            excluded.extend_from_slice(&self.departed);
+            for violation in invariants::check_excluding(&self.topology, &self.view, &excluded) {
                 self.violations
                     .push(HardViolation::Structural { at, violation });
             }
@@ -233,7 +281,13 @@ impl Monitor {
         for (id, node) in sim.actors() {
             for d in node.detections() {
                 for suspect in &d.suspects {
-                    if !self.is_dead.get(suspect.index()).copied().unwrap_or(false) {
+                    let crashed = self.is_dead.get(suspect.index()).copied().unwrap_or(false);
+                    let departed = self
+                        .is_departed
+                        .get(suspect.index())
+                        .copied()
+                        .unwrap_or(false);
+                    if !crashed && !departed {
                         false_suspicions += 1;
                     }
                 }
@@ -296,8 +350,15 @@ impl Monitor {
         self.last_residual.as_ref()
     }
 
-    /// Nodes the monitor has seen crash, in crash order.
+    /// Nodes the monitor has seen crash, in crash order. Rejoined
+    /// nodes have been removed again.
     pub fn dead(&self) -> &[NodeId] {
         &self.dead
+    }
+
+    /// Nodes the monitor has seen leave gracefully, in leave order.
+    /// Rejoined nodes have been removed again.
+    pub fn departed(&self) -> &[NodeId] {
+        &self.departed
     }
 }

@@ -359,3 +359,11 @@ mod tests {
         );
     }
 }
+
+cbfd_net::impl_persist!(Aggregate {
+    count,
+    sum,
+    min,
+    max,
+});
+cbfd_net::impl_persist!(ReadingTable { by_pos, extra });

@@ -1,7 +1,7 @@
 //! Roster-indexed bitsets for the digest/health hot path.
 //!
 //! A [`RosterBitmap`] represents a subset of a cluster roster as one
-//! bit per *roster position* instead of one explicit [`NodeId`] per
+//! bit per *roster position* instead of one explicit [`NodeId`](cbfd_net::id::NodeId) per
 //! member. Positions index the node's **announcement-ordered roster**
 //! (`FdsNode::roster_order`): the formation roster in sorted order,
 //! with every later admission batch appended at the end. Because the
@@ -356,6 +356,37 @@ impl Iterator for BitIter {
         let bit = self.word.trailing_zeros() as usize;
         self.word &= self.word - 1;
         Some(self.base + bit)
+    }
+}
+
+impl cbfd_net::checkpoint::Persist for RosterBitmap {
+    fn persist(&self, w: &mut cbfd_net::checkpoint::Writer) {
+        w.put_u32(self.version);
+        w.put_u64(u64::from(self.len));
+        for word in self.words() {
+            w.put_u64(*word);
+        }
+    }
+
+    // Restores through `from_words`, the checked construction path:
+    // the tail-zero invariant is re-established rather than trusted,
+    // and the inline/spilled representation is chosen from `len`, not
+    // from whatever the writing side happened to use.
+    fn restore(
+        r: &mut cbfd_net::checkpoint::Reader<'_>,
+    ) -> Result<Self, cbfd_net::checkpoint::CheckpointError> {
+        let version = r.get_u32()?;
+        let len = usize::try_from(r.get_u64()?)
+            .map_err(|_| cbfd_net::checkpoint::CheckpointError::Corrupt("bitmap length"))?;
+        let n = word_count(len);
+        if n.saturating_mul(8) > r.remaining() {
+            return Err(cbfd_net::checkpoint::CheckpointError::Truncated);
+        }
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(r.get_u64()?);
+        }
+        Ok(RosterBitmap::from_words(version, len, words))
     }
 }
 

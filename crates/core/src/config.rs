@@ -68,6 +68,13 @@ pub struct FdsConfig {
     /// low-numbered neighbours answer every request — the ablation
     /// that shows why the paper prefers the energy-aware policy.
     pub energy_balanced_forwarding: bool,
+    /// How many epochs of per-epoch bookkeeping (answered
+    /// peer-forward requests, relayed notices, woken sleepers,
+    /// published aggregates, detection decisions) each node retains
+    /// before garbage-collecting them at the epoch boundary. Bounds
+    /// per-node memory in long churny runs; `0` disables retention
+    /// (keep everything forever).
+    pub retention_epochs: u64,
 }
 
 impl Default for FdsConfig {
@@ -87,6 +94,7 @@ impl Default for FdsConfig {
             sleep_announcements: true,
             aggregation: false,
             energy_balanced_forwarding: true,
+            retention_epochs: 64,
         }
     }
 }
@@ -166,3 +174,20 @@ mod tests {
         assert_eq!(c.post_offset(), c.t_hop * 3);
     }
 }
+
+cbfd_net::impl_persist!(FdsConfig {
+    t_hop,
+    heartbeat_interval,
+    digest_round,
+    peer_forwarding,
+    promiscuous_recovery,
+    bgw_assist,
+    cumulative_reports,
+    peer_forward_slots,
+    max_retransmits,
+    admit_unmarked,
+    sleep_announcements,
+    aggregation,
+    energy_balanced_forwarding,
+    retention_epochs,
+});

@@ -175,6 +175,27 @@ pub enum FdsMsg {
         /// First epoch at which it will be awake again.
         until_epoch: u64,
     },
+    /// A member announces a graceful withdrawal from the network: it
+    /// must be removed from the detection rule's expected set without
+    /// being condemned as failed (leave-vs-crash taxonomy). The
+    /// incarnation number lets peers discard stale replayed notices
+    /// from before the node's most recent rejoin.
+    LeaveNotice {
+        /// The departing node.
+        from: NodeId,
+        /// The departing node's current incarnation.
+        incarnation: u64,
+    },
+    /// A previously crashed or departed member announces it is back
+    /// with a **higher** incarnation number. Peers clear any
+    /// failed/departed verdict recorded against a lower incarnation;
+    /// digests and notices stamped with the old incarnation are stale.
+    Rejoin {
+        /// The returning node.
+        from: NodeId,
+        /// The node's new (bumped) incarnation.
+        incarnation: u64,
+    },
 }
 
 impl fmt::Display for FdsMsg {
@@ -208,6 +229,12 @@ impl fmt::Display for FdsMsg {
             }
             FdsMsg::SleepNotice { from, until_epoch } => {
                 write!(f, "sleep-notice({from}, until epoch {until_epoch})")
+            }
+            FdsMsg::LeaveNotice { from, incarnation } => {
+                write!(f, "leave-notice({from}, inc={incarnation})")
+            }
+            FdsMsg::Rejoin { from, incarnation } => {
+                write!(f, "rejoin({from}, inc={incarnation})")
             }
         }
     }
@@ -245,6 +272,8 @@ const TAG_PEER_FORWARD: u8 = 5;
 const TAG_PEER_ACK: u8 = 6;
 const TAG_REPORT: u8 = 7;
 const TAG_SLEEP: u8 = 8;
+const TAG_LEAVE: u8 = 9;
+const TAG_REJOIN: u8 = 10;
 
 fn put_ids(buf: &mut BytesMut, ids: &[NodeId]) {
     buf.put_u16(ids.len() as u16);
@@ -430,6 +459,16 @@ impl FdsMsg {
                 buf.put_u32(from.0);
                 buf.put_u64(*until_epoch);
             }
+            FdsMsg::LeaveNotice { from, incarnation } => {
+                buf.put_u8(TAG_LEAVE);
+                buf.put_u32(from.0);
+                buf.put_u64(*incarnation);
+            }
+            FdsMsg::Rejoin { from, incarnation } => {
+                buf.put_u8(TAG_REJOIN);
+                buf.put_u32(from.0);
+                buf.put_u64(*incarnation);
+            }
         }
         buf.freeze()
     }
@@ -548,6 +587,24 @@ impl FdsMsg {
                     until_epoch: buf.get_u64(),
                 })
             }
+            TAG_LEAVE => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(FdsMsg::LeaveNotice {
+                    from: NodeId(buf.get_u32()),
+                    incarnation: buf.get_u64(),
+                })
+            }
+            TAG_REJOIN => {
+                if buf.remaining() < 12 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(FdsMsg::Rejoin {
+                    from: NodeId(buf.get_u32()),
+                    incarnation: buf.get_u64(),
+                })
+            }
             other => Err(DecodeError::UnknownTag(other)),
         }
     }
@@ -566,6 +623,8 @@ impl FdsMsg {
             FdsMsg::PeerAck { .. } => 13,
             FdsMsg::Report(r) => 1 + 4 + 4 + ids_len(r.failed.len()) + ids_len(r.known_by.len()),
             FdsMsg::SleepNotice { .. } => 13,
+            FdsMsg::LeaveNotice { .. } => 13,
+            FdsMsg::Rejoin { .. } => 13,
         }
     }
 
@@ -642,6 +701,14 @@ mod tests {
             FdsMsg::SleepNotice {
                 from: NodeId(12),
                 until_epoch: 9,
+            },
+            FdsMsg::LeaveNotice {
+                from: NodeId(13),
+                incarnation: 2,
+            },
+            FdsMsg::Rejoin {
+                from: NodeId(13),
+                incarnation: 3,
             },
         ]
     }
@@ -845,6 +912,30 @@ mod wire_compat {
     }
 
     #[test]
+    fn leave_notice_golden_bytes() {
+        let msg = FdsMsg::LeaveNotice {
+            from: NodeId(4),
+            incarnation: 2,
+        };
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[9, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0, 2]
+        );
+    }
+
+    #[test]
+    fn rejoin_golden_bytes() {
+        let msg = FdsMsg::Rejoin {
+            from: NodeId(4),
+            incarnation: 3,
+        };
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[10, 0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0, 3]
+        );
+    }
+
+    #[test]
     fn report_golden_bytes() {
         let msg = FdsMsg::Report(FailureReport {
             via: NodeId(1),
@@ -856,5 +947,51 @@ mod wire_compat {
             msg.encode().as_ref(),
             &[7, 0, 0, 0, 1, 0, 0, 0, 2, 0, 1, 0, 0, 0, 3, 0, 0]
         );
+    }
+}
+
+cbfd_net::impl_persist!(Digest {
+    from,
+    cluster,
+    heard,
+    readings,
+});
+cbfd_net::impl_persist!(HealthUpdate {
+    from,
+    cluster,
+    epoch,
+    new_failed,
+    all_failed,
+    takeover,
+    roster_version,
+    joined,
+    roster,
+    aggregate,
+});
+cbfd_net::impl_persist!(FailureReport {
+    via,
+    to_cluster,
+    failed,
+    known_by,
+});
+
+// Checkpoints reuse the wire codec: one length-prefixed encoded
+// message per value. Anything the radio can carry, a snapshot can
+// carry — and the codec's golden-byte tests pin both at once.
+impl cbfd_net::checkpoint::Persist for FdsMsg {
+    fn persist(&self, w: &mut cbfd_net::checkpoint::Writer) {
+        let bytes = self.encode();
+        w.put_u64(bytes.len() as u64);
+        w.put_bytes(&bytes);
+    }
+
+    fn restore(
+        r: &mut cbfd_net::checkpoint::Reader<'_>,
+    ) -> Result<Self, cbfd_net::checkpoint::CheckpointError> {
+        let len = usize::try_from(r.get_u64()?)
+            .map_err(|_| cbfd_net::checkpoint::CheckpointError::Corrupt("message length"))?;
+        let raw = r.get_bytes(len)?;
+        FdsMsg::decode(Bytes::from(raw))
+            .map_err(|_| cbfd_net::checkpoint::CheckpointError::Corrupt("fds message codec"))
     }
 }

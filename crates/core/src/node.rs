@@ -31,6 +31,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// Energy quantization levels for the peer-forwarding waiting period.
 const ENERGY_LEVELS: u32 = 4;
 
+/// Gracefully-departed members still occupying roster positions before
+/// the acting head spends a version bump on compacting them away.
+const COMPACT_THRESHOLD: usize = 4;
+
 /// One detection decision made by this node while acting as an
 /// authority (clusterhead or judging deputy).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -151,6 +155,15 @@ pub struct FdsNode {
     asleep: bool,
     /// Peers known to be sleeping, with their wake epochs.
     known_sleepers: BTreeMap<NodeId, u64>,
+    /// This node's own incarnation number: bumped on every rejoin, so
+    /// peers can tell post-rejoin lifecycle messages from replays of
+    /// stale pre-crash state.
+    incarnation: u64,
+    /// Highest incarnation heard per peer (absent means `0`).
+    incarnations: BTreeMap<NodeId, u64>,
+    /// Peers that announced a graceful leave and have not rejoined:
+    /// removed from the expected set without being condemned.
+    departed: BTreeSet<NodeId>,
     /// Sleep notices already relayed (one relay per notice).
     relayed_notices: BTreeSet<(NodeId, u64)>,
     /// Sensor readings collected this epoch (aggregation embedding),
@@ -204,6 +217,9 @@ impl FdsNode {
             sleep_plan: Vec::new(),
             asleep: false,
             known_sleepers: BTreeMap::new(),
+            incarnation: 0,
+            incarnations: BTreeMap::new(),
+            departed: BTreeSet::new(),
             relayed_notices: BTreeSet::new(),
             readings: ReadingTable::new(),
             aggregates: Vec::new(),
@@ -275,6 +291,45 @@ impl FdsNode {
         &self.aggregates
     }
 
+    /// This node's current incarnation number (bumped on every rejoin).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Whether this node believes `peer` has gracefully withdrawn.
+    pub fn knows_departed(&self, peer: NodeId) -> bool {
+        self.departed.contains(&peer)
+    }
+
+    /// Deterministic memory-footprint proxy: total entries across
+    /// every growable ledger this node holds. Unlike allocator
+    /// introspection this is identical on every platform and worker
+    /// count, so soak harnesses can gate on its high-water mark
+    /// byte-for-byte. With `FdsConfig::retention_epochs` set, the
+    /// value plateaus as a function of roster size and the retention
+    /// window; without it, long churny runs grow it without bound.
+    pub fn retained_ledger_entries(&self) -> u64 {
+        let nested: usize = self
+            .known_by_cluster
+            .values()
+            .chain(self.forward_seen.values())
+            .map(BTreeSet::len)
+            .sum();
+        (self.known_failed.len()
+            + nested
+            + self.known_by_cluster.len()
+            + self.forward_seen.len()
+            + self.quit.len()
+            + self.join_pending.len()
+            + self.known_sleepers.len()
+            + self.incarnations.len()
+            + self.departed.len()
+            + self.relayed_notices.len()
+            + self.aggregates.len()
+            + self.detections.len()
+            + self.timers.len()) as u64
+    }
+
     /// The sleep window covering `epoch`, if any.
     fn sleep_window(&self, epoch: u64) -> Option<(u64, u64)> {
         self.sleep_plan
@@ -297,21 +352,25 @@ impl FdsNode {
     }
 
     /// Adopts an announced roster wholesale (joining a cluster, or a
-    /// re-announcement after admissions elsewhere in the cluster).
-    /// Stale announcements — older version or shorter order — are
-    /// ignored: positions must never move backwards. Mid-epoch
-    /// evidence survives because the old order is a prefix of the new.
+    /// re-announcement after admissions or a compaction elsewhere in
+    /// the cluster). Stale announcements — an older version, or a
+    /// same-version order that shrank — are ignored. When the old
+    /// order is a prefix of the new one, mid-epoch evidence survives;
+    /// a compaction bump moves positions, so the evidence is reset
+    /// (only the already-latched `update_received` flag carries over).
     fn adopt_roster_order(&mut self, order: Vec<NodeId>, version: u32) {
-        if version < self.roster_version || order.len() < self.roster_order.len() {
+        if version < self.roster_version
+            || (version == self.roster_version && order.len() < self.roster_order.len())
+        {
             return;
         }
-        for (p, n) in order.iter().enumerate().skip(self.roster_order.len()) {
-            self.pos_index.insert(*n, p as u32);
-        }
-        // A same-length adoption may still rename positions (first
-        // adoption of a formation roster we already mirror is a
-        // no-op; anything else re-indexes defensively).
-        if order[..self.roster_order.len()] != self.roster_order[..] {
+        let prefix_stable = order.len() >= self.roster_order.len()
+            && order[..self.roster_order.len()] == self.roster_order[..];
+        if prefix_stable {
+            for (p, n) in order.iter().enumerate().skip(self.roster_order.len()) {
+                self.pos_index.insert(*n, p as u32);
+            }
+        } else {
             self.pos_index.clear();
             for (p, n) in order.iter().enumerate() {
                 self.pos_index.insert(*n, p as u32);
@@ -321,14 +380,15 @@ impl FdsNode {
         self.roster_version = version;
         self.profile.roster = self.roster_order.clone();
         self.profile.roster.sort_unstable();
-        self.evidence
-            .grow(self.roster_version, self.roster_order.len());
-        self.readings.grow(self.roster_order.len());
+        self.resize_epoch_books(prefix_stable);
     }
 
-    /// Head-side admission: appends this epoch's joiners (sorted) to
-    /// the announcement order and bumps the roster version.
+    /// Head-side admission: drops departed members (a compaction), then
+    /// appends this epoch's joiners (sorted) to the announcement order
+    /// and bumps the roster version. With no compaction, existing
+    /// positions never move and mid-epoch evidence survives.
     fn append_joined(&mut self, joined: &[NodeId]) {
+        let compacted = self.compact_roster();
         for n in joined {
             if self.pos_of(*n).is_none() {
                 self.pos_index.insert(*n, self.roster_order.len() as u32);
@@ -338,9 +398,53 @@ impl FdsNode {
         self.roster_version += 1;
         self.profile.roster = self.roster_order.clone();
         self.profile.roster.sort_unstable();
-        self.evidence
-            .grow(self.roster_version, self.roster_order.len());
-        self.readings.grow(self.roster_order.len());
+        self.resize_epoch_books(!compacted);
+    }
+
+    /// Drops gracefully-departed members from the announcement order,
+    /// re-indexing positions. Returns whether anything was removed.
+    /// Callers must bump the roster version and re-announce the full
+    /// order: compaction deliberately breaks the append-only prefix
+    /// contract, so every consumer re-indexes from the announcement.
+    fn compact_roster(&mut self) -> bool {
+        if self.departed_on_roster() == 0 {
+            return false;
+        }
+        let departed = std::mem::take(&mut self.departed);
+        self.roster_order.retain(|n| !departed.contains(n));
+        self.departed = departed;
+        self.pos_index.clear();
+        for (p, n) in self.roster_order.iter().enumerate() {
+            self.pos_index.insert(*n, p as u32);
+        }
+        true
+    }
+
+    /// Roster positions still held by gracefully-departed members —
+    /// the memory a compaction bump would reclaim.
+    fn departed_on_roster(&self) -> usize {
+        self.roster_order
+            .iter()
+            .filter(|n| self.departed.contains(n))
+            .count()
+    }
+
+    /// Resizes the per-epoch books to the current roster. A
+    /// prefix-stable change grows them in place; anything else (a
+    /// compaction moved positions) resets them, preserving only the
+    /// `update_received` latch, which is positionless.
+    fn resize_epoch_books(&mut self, prefix_stable: bool) {
+        if prefix_stable {
+            self.evidence
+                .grow(self.roster_version, self.roster_order.len());
+            self.readings.grow(self.roster_order.len());
+        } else {
+            let update_received = self.evidence.update_received;
+            self.evidence
+                .reset(self.roster_version, self.roster_order.len());
+            self.evidence.update_received = update_received;
+            self.readings.reset(self.roster_order.len());
+        }
     }
 
     /// Broadcasts `msg`, accounting its wire size under both the
@@ -363,7 +467,27 @@ impl FdsNode {
         ctx.set_timer(delay, TimerToken(token));
     }
 
+    /// Bounded-memory ledger GC: drops per-epoch bookkeeping more than
+    /// `retention_epochs` epochs old. `0` disables retention. Run at
+    /// every epoch boundary, this keeps a node's footprint a function
+    /// of the roster size and the retention window — not of run
+    /// length, which is what lets week-long soaks hold a memory
+    /// plateau (see `bench_soak`).
+    fn gc_retired_state(&mut self) {
+        let retention = self.config.retention_epochs;
+        if retention == 0 || self.epoch < retention {
+            return;
+        }
+        let cutoff = self.epoch - retention;
+        self.quit.retain(|&(_, epoch)| epoch >= cutoff);
+        self.relayed_notices.retain(|&(_, until)| until >= cutoff);
+        self.known_sleepers.retain(|_, until| *until >= cutoff);
+        self.aggregates.retain(|&(epoch, _)| epoch >= cutoff);
+        self.detections.retain(|d| d.epoch >= cutoff);
+    }
+
     fn begin_epoch(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        self.gc_retired_state();
         self.evidence
             .reset(self.roster_version, self.roster_order.len());
         self.update_this_epoch = None;
@@ -429,16 +553,21 @@ impl FdsNode {
     }
 
     /// Expected-alive members, excluding this node itself, known
-    /// failures, and announced sleepers that have not woken yet.
-    /// (The protocol path builds the equivalent bitmap mask in
-    /// [`FdsNode::expected_mask`]; this id-list view serves tests.)
+    /// failures, gracefully-departed peers, and announced sleepers
+    /// that have not woken yet. (The protocol path builds the
+    /// equivalent bitmap mask in [`FdsNode::expected_mask`]; this
+    /// id-list view serves tests.)
     #[cfg(test)]
     fn expected_members(&self) -> Vec<NodeId> {
         self.profile
             .roster
             .iter()
             .copied()
-            .filter(|m| *m != self.profile.id && !self.known_failed.contains(*m))
+            .filter(|m| {
+                *m != self.profile.id
+                    && !self.known_failed.contains(*m)
+                    && !self.departed.contains(m)
+            })
             .filter(|m| {
                 self.known_sleepers
                     .get(m)
@@ -448,8 +577,8 @@ impl FdsNode {
     }
 
     /// Builds the expected-members mask into the reusable scratch
-    /// bitmap: every roster position minus self, known failures, and
-    /// announced sleepers that have not woken yet.
+    /// bitmap: every roster position minus self, known failures,
+    /// departed peers, and announced sleepers that have not woken yet.
     fn expected_mask(&mut self) {
         self.expected_scratch
             .reset(self.roster_version, self.roster_order.len());
@@ -462,6 +591,11 @@ impl FdsNode {
                 self.expected_scratch.clear(p);
             }
         }
+        for d in &self.departed {
+            if let Some(p) = self.pos_index.get(d) {
+                self.expected_scratch.clear(*p as usize);
+            }
+        }
         for (sleeper, until) in &self.known_sleepers {
             if *until > self.epoch {
                 if let Some(p) = self.pos_index.get(sleeper) {
@@ -472,13 +606,14 @@ impl FdsNode {
     }
 
     /// The deputy currently entitled to judge the acting head: the
-    /// highest-ranked deputy that is neither failed, promoted, nor
-    /// (announcedly) asleep — a sleeping deputy's duty falls to the
-    /// next rank for the duration of its window.
+    /// highest-ranked deputy that is neither failed, departed,
+    /// promoted, nor (announcedly) asleep — a sleeping deputy's duty
+    /// falls to the next rank for the duration of its window.
     fn judging_deputy(&self) -> Option<NodeId> {
         self.profile.deputies.iter().copied().find(|d| {
             Some(*d) != self.acting_head
                 && !self.known_failed.contains(*d)
+                && !self.departed.contains(d)
                 && self
                     .known_sleepers
                     .get(d)
@@ -513,11 +648,18 @@ impl FdsNode {
         if !joined.is_empty() {
             self.stats.joins_admitted += joined.len() as u64;
             // Admission batch: append in sorted order (join_pending is
-            // a BTreeSet) and bump the roster version — existing
-            // positions never move.
+            // a BTreeSet) and bump the roster version. Departed
+            // members are compacted away in the same bump.
             self.append_joined(&joined);
             roster = self.roster_order.clone();
             self.join_pending.clear();
+        } else if !takeover && self.departed_on_roster() >= COMPACT_THRESHOLD {
+            // Enough positions are held by gracefully-departed
+            // members to be worth a pure compaction bump: the roster
+            // shrinks, and the full order rides in this update so
+            // every member re-indexes.
+            self.append_joined(&[]);
+            roster = self.roster_order.clone();
         }
         let aggregate = if self.config.aggregation && !takeover {
             let agg = self.readings.aggregate();
@@ -696,6 +838,13 @@ impl FdsNode {
         }
 
         if mine && self.profile.roster.contains(&u.from) {
+            if self.acting_head.is_none() {
+                // A rejoined node re-learns the cluster authority from
+                // the first roster member it hears announcing (the
+                // head, or whichever deputy took over while it was
+                // down).
+                self.acting_head = Some(u.from);
+            }
             if u.epoch == self.epoch && Some(u.from) == self.acting_head && !via_peer {
                 self.evidence.update_received = true;
             }
@@ -813,20 +962,37 @@ impl FdsNode {
         };
         // Deputy judgement of the clusterhead. The head always has a
         // roster position; a headless evidence check degenerates to
-        // "no R-3 update heard".
-        let head_gone = match self.pos_of(head) {
-            Some(p) => ch_failed(p, &self.evidence),
-            None => !self.evidence.update_received,
-        };
+        // "no R-3 update heard". A gracefully-departed head is
+        // succeeded without evidence: its LeaveNotice already said it
+        // will not be back this epoch.
+        let head_departed = self.departed.contains(&head);
+        let head_gone = head_departed
+            || match self.pos_of(head) {
+                Some(p) => ch_failed(p, &self.evidence),
+                None => !self.evidence.update_received,
+            };
         if self.judging_deputy() == Some(self.profile.id) && head_gone {
-            self.adopt_failures([head]);
-            self.detections.push(DetectionEvent {
-                epoch: self.epoch,
-                suspects: vec![head],
-                takeover: true,
-            });
-            self.acting_head = Some(self.profile.id);
-            self.announce_update(ctx, vec![head], true);
+            if head_departed {
+                // Succession, not detection: the head withdrew
+                // voluntarily, so the takeover update names no
+                // suspects and the head is never condemned.
+                self.detections.push(DetectionEvent {
+                    epoch: self.epoch,
+                    suspects: Vec::new(),
+                    takeover: true,
+                });
+                self.acting_head = Some(self.profile.id);
+                self.announce_update(ctx, Vec::new(), true);
+            } else {
+                self.adopt_failures([head]);
+                self.detections.push(DetectionEvent {
+                    epoch: self.epoch,
+                    suspects: vec![head],
+                    takeover: true,
+                });
+                self.acting_head = Some(self.profile.id);
+                self.announce_update(ctx, vec![head], true);
+            }
             return;
         }
         // Members that missed the update ask their peers.
@@ -1172,6 +1338,61 @@ impl Actor for FdsNode {
                     self.transmit(ctx, FdsMsg::SleepNotice { from, until_epoch });
                 }
             }
+            FdsMsg::LeaveNotice { from, incarnation } => {
+                let (from, incarnation) = (*from, *incarnation);
+                if from == self.profile.id {
+                    return;
+                }
+                let known = self.incarnations.get(&from).copied().unwrap_or(0);
+                // Accept only fresh news: an equal incarnation we
+                // already marked departed is a duplicate copy, a lower
+                // one is a stale replay from before a rejoin.
+                let fresh =
+                    incarnation > known || (incarnation == known && !self.departed.contains(&from));
+                if fresh {
+                    self.incarnations.insert(from, incarnation);
+                    self.departed.insert(from);
+                    self.known_sleepers.remove(&from);
+                    self.join_pending.remove(&from);
+                    // Relay exactly once — precisely when the notice
+                    // changed our state — so the head gets a second
+                    // chance to hear it without a relay ledger.
+                    self.transmit(ctx, FdsMsg::LeaveNotice { from, incarnation });
+                }
+            }
+            FdsMsg::Rejoin { from, incarnation } => {
+                let (from, incarnation) = (*from, *incarnation);
+                if from == self.profile.id {
+                    return;
+                }
+                let known = self.incarnations.get(&from).copied().unwrap_or(0);
+                // A rejoin is only credible with a strictly higher
+                // incarnation: replays of pre-crash traffic can never
+                // resurrect a peer.
+                if incarnation > known {
+                    self.incarnations.insert(from, incarnation);
+                    self.departed.remove(&from);
+                    self.known_sleepers.remove(&from);
+                    // Any failed/forwarded verdicts recorded against
+                    // the lower incarnation are stale.
+                    self.known_failed.remove(from);
+                    for known_set in self.known_by_cluster.values_mut() {
+                        known_set.remove(&from);
+                    }
+                    for seen in self.forward_seen.values_mut() {
+                        seen.remove(&from);
+                    }
+                    // A rejoiner whose position was compacted away
+                    // re-enters through the ordinary admission path.
+                    if self.config.admit_unmarked
+                        && self.is_acting_head()
+                        && !self.profile.roster.contains(&from)
+                    {
+                        self.join_pending.insert(from);
+                    }
+                    self.transmit(ctx, FdsMsg::Rejoin { from, incarnation });
+                }
+            }
         }
     }
 
@@ -1179,6 +1400,58 @@ impl Actor for FdsNode {
         if let Some(payload) = self.timers.remove(&token.0) {
             self.handle_timer(ctx, payload);
         }
+    }
+
+    fn on_leave(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        // Announce the withdrawal while the radio is still on: peers
+        // that hear it drop this node from their expected sets instead
+        // of running the failure rule against it.
+        self.transmit(
+            ctx,
+            FdsMsg::LeaveNotice {
+                from: self.profile.id,
+                incarnation: self.incarnation,
+            },
+        );
+    }
+
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        // Fresh incarnation: everything peers held against the old one
+        // (a failure verdict, a leave notice) is stale from here on.
+        self.incarnation += 1;
+        // The simulator invalidated this node's pending timers; their
+        // payloads must not linger, and per-epoch transients from the
+        // previous life are meaningless.
+        self.timers.clear();
+        self.update_this_epoch = None;
+        self.request_outstanding = false;
+        self.join_pending.clear();
+        self.asleep = false;
+        self.evidence
+            .reset(self.roster_version, self.roster_order.len());
+        // Authority is re-learned from the first announcement heard: a
+        // deputy may have taken over while this node was down, and a
+        // once-head that rejoins must not assume it still presides.
+        self.acting_head = None;
+        self.transmit(
+            ctx,
+            FdsMsg::Rejoin {
+                from: self.profile.id,
+                incarnation: self.incarnation,
+            },
+        );
+        // Re-sync the epoch clock to the network-wide boundary grid
+        // and idle until the next boundary; begin_epoch then runs the
+        // normal rounds.
+        let phi = self.config.heartbeat_interval.as_micros().max(1);
+        let now = ctx.now().as_micros();
+        let next_boundary = now / phi + 1;
+        self.epoch = next_boundary - 1;
+        self.schedule(
+            ctx,
+            cbfd_net::time::SimDuration::from_micros(next_boundary * phi - now),
+            TimerPayload::EpochStart,
+        );
     }
 }
 
@@ -1287,3 +1560,127 @@ mod tests {
         assert_eq!(*node.stats(), NodeStats::default());
     }
 }
+
+cbfd_net::impl_persist!(DetectionEvent {
+    epoch,
+    suspects,
+    takeover,
+});
+cbfd_net::impl_persist!(NodeStats {
+    updates_received,
+    requests_sent,
+    peer_forwards_sent,
+    reports_sent,
+    retransmissions,
+    updates_missed,
+    joins_admitted,
+    bytes_sent,
+    bytes_sent_id_list,
+});
+
+impl cbfd_net::checkpoint::Persist for TimerPayload {
+    fn persist(&self, w: &mut cbfd_net::checkpoint::Writer) {
+        match self {
+            TimerPayload::EpochStart => w.put_u8(0),
+            TimerPayload::R2 => w.put_u8(1),
+            TimerPayload::R3 => w.put_u8(2),
+            TimerPayload::Post => w.put_u8(3),
+            TimerPayload::RecoveryDeadline { epoch } => {
+                w.put_u8(4);
+                epoch.persist(w);
+            }
+            TimerPayload::PeerSlot { requester, epoch } => {
+                w.put_u8(5);
+                requester.persist(w);
+                epoch.persist(w);
+            }
+            TimerPayload::GwForward {
+                target,
+                failed,
+                attempt,
+            } => {
+                w.put_u8(6);
+                target.persist(w);
+                failed.persist(w);
+                attempt.persist(w);
+            }
+            TimerPayload::ChRetx {
+                peer,
+                failed,
+                attempt,
+            } => {
+                w.put_u8(7);
+                peer.persist(w);
+                failed.persist(w);
+                attempt.persist(w);
+            }
+        }
+    }
+
+    fn restore(
+        r: &mut cbfd_net::checkpoint::Reader<'_>,
+    ) -> Result<Self, cbfd_net::checkpoint::CheckpointError> {
+        Ok(match r.get_u8()? {
+            0 => TimerPayload::EpochStart,
+            1 => TimerPayload::R2,
+            2 => TimerPayload::R3,
+            3 => TimerPayload::Post,
+            4 => TimerPayload::RecoveryDeadline {
+                epoch: u64::restore(r)?,
+            },
+            5 => TimerPayload::PeerSlot {
+                requester: cbfd_net::id::NodeId::restore(r)?,
+                epoch: u64::restore(r)?,
+            },
+            6 => TimerPayload::GwForward {
+                target: cbfd_net::id::ClusterId::restore(r)?,
+                failed: Vec::restore(r)?,
+                attempt: u32::restore(r)?,
+            },
+            7 => TimerPayload::ChRetx {
+                peer: cbfd_net::id::ClusterId::restore(r)?,
+                failed: Vec::restore(r)?,
+                attempt: u32::restore(r)?,
+            },
+            _ => {
+                return Err(cbfd_net::checkpoint::CheckpointError::Corrupt(
+                    "timer payload tag",
+                ))
+            }
+        })
+    }
+}
+
+cbfd_net::impl_persist!(FdsNode {
+    profile,
+    config,
+    energy_capacity,
+    epoch,
+    acting_head,
+    roster_order,
+    roster_version,
+    pos_index,
+    evidence,
+    expected_scratch,
+    suspects_scratch,
+    update_this_epoch,
+    request_outstanding,
+    known_failed,
+    known_by_cluster,
+    forward_seen,
+    quit,
+    join_pending,
+    sleep_plan,
+    asleep,
+    known_sleepers,
+    incarnation,
+    incarnations,
+    departed,
+    relayed_notices,
+    readings,
+    aggregates,
+    detections,
+    stats,
+    next_token,
+    timers,
+});

@@ -251,3 +251,24 @@ mod tests {
         }
     }
 }
+
+cbfd_net::impl_persist!(GatewayDuty {
+    peer_cluster,
+    peer_head,
+    rank,
+    backups,
+});
+cbfd_net::impl_persist!(HeadLink {
+    peer_cluster,
+    primary,
+    backups,
+});
+cbfd_net::impl_persist!(NodeProfile {
+    id,
+    cluster,
+    head,
+    roster,
+    deputies,
+    duties,
+    cluster_links,
+});

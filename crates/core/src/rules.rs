@@ -401,3 +401,11 @@ mod tests {
         assert!(ev.digest_heard(0).is_none());
     }
 }
+
+cbfd_net::impl_persist!(RoundEvidence {
+    heartbeats,
+    digest_authors,
+    digest_heard,
+    has_heard,
+    update_received,
+});

@@ -328,29 +328,56 @@ impl Experiment {
         seed: u64,
         observe: &mut dyn FnMut(&Simulator<FdsNode>, SimEvent),
     ) -> FdsOutcome {
-        let phi = self.fds.heartbeat_interval;
+        let mut sim = self.build_sim(RadioConfig::bernoulli(plan.baseline_p), seed);
+        for node in plan.join_targets() {
+            if node.index() < self.topology.len() {
+                sim.set_dormant(node);
+            }
+        }
+        self.run_plan_on(&mut sim, plan, epochs, observe)
+    }
+
+    /// Builds the simulator this experiment's run entry points use,
+    /// without running it. The result can be driven manually, snapshot
+    /// via [`Simulator::checkpoint`], or handed to
+    /// [`Experiment::run_plan_on`].
+    pub fn build_sim(&self, radio: RadioConfig, seed: u64) -> Simulator<FdsNode> {
         let profiles = self.profiles.clone();
         let fds = self.fds;
         let capacity = self.energy.initial;
-        let mut sim = Simulator::new(
-            self.topology.clone(),
-            RadioConfig::bernoulli(plan.baseline_p),
-            seed,
-            |id| FdsNode::new(profiles[id.index()].clone(), fds, capacity),
-        );
+        let mut sim = Simulator::new(self.topology.clone(), radio, seed, |id| {
+            FdsNode::new(profiles[id.index()].clone(), fds, capacity)
+        });
         sim.set_energy_model(self.energy);
+        sim
+    }
 
+    /// Like [`Experiment::run_plan`], but drives an existing simulator
+    /// — typically one restored from a [`Simulator::checkpoint`], so a
+    /// chaos campaign can fork many plans off one warmed-up snapshot.
+    /// Plan instants that predate `sim.now()` saturate to now (both
+    /// for scheduling and for the ground-truth crash epochs).
+    pub fn run_plan_on(
+        &self,
+        sim: &mut Simulator<FdsNode>,
+        plan: &FaultPlan,
+        epochs: u64,
+        observe: &mut dyn FnMut(&Simulator<FdsNode>, SimEvent),
+    ) -> FdsOutcome {
+        let phi = self.fds.heartbeat_interval;
         let deadline = SimTime::ZERO + phi * epochs - SimDuration::from_micros(1);
+        let start = sim.now();
         let mut crash_epochs: BTreeMap<NodeId, u64> = BTreeMap::new();
         for (at, node) in plan.crash_schedule() {
             if node.index() < self.topology.len() && at <= deadline {
+                let at = at.max(start);
                 let epoch = (at.since(SimTime::ZERO).as_micros() / phi.as_micros()).min(epochs - 1);
                 crash_epochs.entry(node).or_insert(epoch);
             }
         }
 
-        chaos::run_plan(&mut sim, plan, deadline, observe);
-        self.evaluate(&sim, epochs, &crash_epochs)
+        chaos::run_plan(sim, plan, deadline, observe);
+        self.evaluate(sim, epochs, &crash_epochs)
     }
 
     /// The most general run entry point.
@@ -412,7 +439,17 @@ impl Experiment {
         self.evaluate(&sim, epochs, &crash_epochs)
     }
 
-    fn evaluate(
+    /// Judges a finished run against the paper's two properties, given
+    /// the ground-truth crash schedule. Public so harnesses that drive
+    /// a simulator manually (soaks, checkpoint forks) can score it.
+    ///
+    /// Churn-aware: a gracefully departed node that an authority later
+    /// condemned (its leave notice was lost, so the silence is
+    /// indistinguishable from a crash) is neither a false detection
+    /// nor a latency sample, and crash victims that rejoined before
+    /// the end are excluded from the completeness obligation — peers
+    /// legitimately retract the verdict on rejoin.
+    pub fn evaluate(
         &self,
         sim: &Simulator<FdsNode>,
         epochs: u64,
@@ -455,7 +492,7 @@ impl Experiment {
                             .entry(*suspect)
                             .and_modify(|l| *l = (*l).min(latency))
                             .or_insert(latency);
-                    } else {
+                    } else if !sim.has_departed(*suspect) {
                         false_detections.push(FalseDetection {
                             accuser: id,
                             suspect: *suspect,
@@ -468,7 +505,13 @@ impl Experiment {
         }
 
         // Completeness: every operational affiliated node must know
-        // every crash by the end of the run.
+        // every crash by the end of the run. Victims that rejoined are
+        // no longer failed, so peers owe no knowledge of them.
+        let still_crashed: Vec<NodeId> = crashed
+            .iter()
+            .copied()
+            .filter(|f| !sim.is_alive(*f) && !sim.has_departed(*f))
+            .collect();
         let mut missed = Vec::new();
         let mut informed_pairs = 0u64;
         let mut total_pairs = 0u64;
@@ -476,7 +519,7 @@ impl Experiment {
             if !sim.is_alive(id) || node.profile().cluster.is_none() {
                 continue;
             }
-            for f in &crashed {
+            for f in &still_crashed {
                 if *f == id {
                     continue;
                 }

@@ -55,6 +55,13 @@ impl FailureView {
             .collect()
     }
 
+    /// Retracts the failure verdict on `node` (a rejoin with a fresh
+    /// incarnation proved it alive). Returns true iff the verdict
+    /// existed.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.failed.remove(&node).is_some()
+    }
+
     /// Whether `node` is believed failed.
     pub fn contains(&self, node: NodeId) -> bool {
         self.failed.contains_key(&node)
@@ -122,3 +129,5 @@ mod tests {
         assert!(FailureView::new().is_empty());
     }
 }
+
+cbfd_net::impl_persist!(FailureView { failed });

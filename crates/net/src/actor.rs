@@ -184,6 +184,25 @@ pub trait Actor {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: TimerToken) {
         let _ = (ctx, token);
     }
+
+    /// Invoked when this node withdraws gracefully
+    /// ([`Simulator::schedule_leave`](crate::sim::Simulator::schedule_leave)):
+    /// a last chance to announce the departure before the node goes
+    /// silent. The default announces nothing — an unannounced leave is
+    /// indistinguishable from a crash, which is exactly the fail-stop
+    /// behavior pre-lifecycle actors had.
+    fn on_leave(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when this node comes back after a crash or a graceful
+    /// leave ([`Simulator::schedule_rejoin`](crate::sim::Simulator::schedule_rejoin)).
+    /// The actor still holds whatever state it had when it went down;
+    /// implementations decide what is stale. The default restarts the
+    /// protocol from `on_start`.
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.on_start(ctx);
+    }
 }
 
 #[cfg(test)]

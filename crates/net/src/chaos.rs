@@ -126,6 +126,31 @@ pub enum FaultPrimitive {
         /// Staleness of the replayed copy.
         lag: SimDuration,
     },
+    /// Late arrival: the dormant node `node` powers up and runs its
+    /// start hook at `at` (v2 churn primitive; the campaign driver
+    /// marks join targets dormant before the run).
+    Join {
+        /// Activation instant.
+        at: SimTime,
+        /// Joining node.
+        node: NodeId,
+    },
+    /// Graceful departure of `node` at `at`: the node announces its
+    /// leave and withdraws, which must *not* trip the failure rule.
+    Leave {
+        /// Departure instant.
+        at: SimTime,
+        /// Leaving node.
+        node: NodeId,
+    },
+    /// Return of a crashed or departed node at `at`, with whatever
+    /// stale state it held when it went down.
+    Rejoin {
+        /// Comeback instant.
+        at: SimTime,
+        /// Returning node.
+        node: NodeId,
+    },
 }
 
 impl FaultPrimitive {
@@ -140,7 +165,21 @@ impl FaultPrimitive {
             FaultPrimitive::DelayJitter { .. } => "delay_jitter",
             FaultPrimitive::LinkLag { .. } => "link_lag",
             FaultPrimitive::Replay { .. } => "replay",
+            FaultPrimitive::Join { .. } => "join",
+            FaultPrimitive::Leave { .. } => "leave",
+            FaultPrimitive::Rejoin { .. } => "rejoin",
         }
+    }
+
+    /// Whether this is one of the v2 churn primitives (their presence
+    /// bumps the artifact header to `cbfd-fault-plan v2`).
+    pub fn is_churn(&self) -> bool {
+        matches!(
+            self,
+            FaultPrimitive::Join { .. }
+                | FaultPrimitive::Leave { .. }
+                | FaultPrimitive::Rejoin { .. }
+        )
     }
 }
 
@@ -170,6 +209,10 @@ pub struct PlanConfig {
     pub max_primitives: usize,
     /// Upper bound on victims per cascade.
     pub max_cascade: usize,
+    /// Whether the generator also samples the v2 churn primitives
+    /// (joins, graceful leaves, rejoins). Off by default so pinned-seed
+    /// v1 plans stay byte-identical.
+    pub churn: bool,
 }
 
 impl Default for PlanConfig {
@@ -180,6 +223,7 @@ impl Default for PlanConfig {
             baseline_p: 0.1,
             max_primitives: 6,
             max_cascade: 8,
+            churn: false,
         }
     }
 }
@@ -224,9 +268,10 @@ impl FaultPlan {
             )
         };
         let count = rng.random_range(1..=config.max_primitives.max(1));
+        let kinds: u32 = if config.churn { 11 } else { 8 };
         let mut primitives = Vec::with_capacity(count);
         for _ in 0..count {
-            let primitive = match rng.random_range(0..8u32) {
+            let primitive = match rng.random_range(0..kinds) {
                 0 => FaultPrimitive::Crash {
                     at: SimTime::from_micros(rng.random_range(0..h)),
                     node: node(&mut rng),
@@ -286,7 +331,7 @@ impl FaultPlan {
                         lag: SimDuration::from_micros(rng.random_range(1_000..50_000)),
                     }
                 }
-                _ => {
+                7 => {
                     let (from, until) = window(&mut rng);
                     FaultPrimitive::Replay {
                         from,
@@ -295,6 +340,18 @@ impl FaultPlan {
                         lag: SimDuration::from_micros(rng.random_range(2_000..=h / 8 + 2_000)),
                     }
                 }
+                8 => FaultPrimitive::Join {
+                    at: SimTime::from_micros(rng.random_range(0..h)),
+                    node: node(&mut rng),
+                },
+                9 => FaultPrimitive::Leave {
+                    at: SimTime::from_micros(rng.random_range(0..h)),
+                    node: node(&mut rng),
+                },
+                _ => FaultPrimitive::Rejoin {
+                    at: SimTime::from_micros(rng.random_range(0..h)),
+                    node: node(&mut rng),
+                },
             };
             primitives.push(primitive);
         }
@@ -328,12 +385,54 @@ impl FaultPlan {
         crashes
     }
 
+    /// Whether the plan contains any v2 churn primitive.
+    pub fn has_churn(&self) -> bool {
+        self.primitives.iter().any(FaultPrimitive::is_churn)
+    }
+
+    /// The distinct targets of the plan's [`FaultPrimitive::Join`]
+    /// primitives, in first-mention order — the nodes a driver must
+    /// mark dormant before the run so their activation is a real late
+    /// arrival.
+    pub fn join_targets(&self) -> Vec<NodeId> {
+        let mut targets = Vec::new();
+        for p in &self.primitives {
+            if let FaultPrimitive::Join { node, .. } = p {
+                if !targets.contains(node) {
+                    targets.push(*node);
+                }
+            }
+        }
+        targets
+    }
+
+    /// Every `(instant, node, primitive-tag)` lifecycle transition the
+    /// plan's churn primitives produce, sorted by time (stable on
+    /// ties).
+    pub fn churn_schedule(&self) -> Vec<(SimTime, NodeId, &'static str)> {
+        let mut churn = Vec::new();
+        for p in &self.primitives {
+            match p {
+                FaultPrimitive::Join { at, node } => churn.push((*at, *node, "join")),
+                FaultPrimitive::Leave { at, node } => churn.push((*at, *node, "leave")),
+                FaultPrimitive::Rejoin { at, node } => churn.push((*at, *node, "rejoin")),
+                _ => {}
+            }
+        }
+        churn.sort_by_key(|&(at, _, _)| at);
+        churn
+    }
+
     /// Compiles the windowed primitives to a time-sorted action list.
     fn window_actions(&self) -> Vec<(SimTime, Action)> {
         let mut actions: Vec<(SimTime, Action)> = Vec::new();
         for p in &self.primitives {
             match p {
-                FaultPrimitive::Crash { .. } | FaultPrimitive::Cascade { .. } => {}
+                FaultPrimitive::Crash { .. }
+                | FaultPrimitive::Cascade { .. }
+                | FaultPrimitive::Join { .. }
+                | FaultPrimitive::Leave { .. }
+                | FaultPrimitive::Rejoin { .. } => {}
                 FaultPrimitive::LossStorm { from, until, p } => {
                     actions.push((
                         *from,
@@ -430,6 +529,24 @@ pub fn run_plan<A: Actor>(
             sim.schedule_crash(node, at);
         }
     }
+    for (at, node, kind) in plan.churn_schedule() {
+        if node.index() >= n || at > deadline {
+            continue;
+        }
+        // The schedule_* APIs are saturating and no-op on nonsensical
+        // transitions, so any generated churn schedule is safe.
+        match kind {
+            "join" => {
+                sim.schedule_join(node, at);
+            }
+            "leave" => {
+                sim.schedule_leave(node, at);
+            }
+            _ => {
+                sim.schedule_rejoin(node, at);
+            }
+        }
+    }
     for (at, action) in plan.window_actions() {
         if at > deadline {
             break;
@@ -498,11 +615,16 @@ fn groups_text(groups: &[u32]) -> String {
 }
 
 impl FaultPlan {
-    /// Renders the plan as the replayable line-based artifact format
-    /// (`cbfd-fault-plan v1`). [`FaultPlan::from_text`] inverts it
-    /// exactly.
+    /// Renders the plan as the replayable line-based artifact format.
+    /// Plans without churn primitives emit the `cbfd-fault-plan v1`
+    /// header unchanged; the presence of any join/leave/rejoin bumps
+    /// it to `v2`. [`FaultPlan::from_text`] inverts both exactly.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("cbfd-fault-plan v1\n");
+        let mut out = if self.has_churn() {
+            String::from("cbfd-fault-plan v2\n")
+        } else {
+            String::from("cbfd-fault-plan v1\n")
+        };
         out.push_str(&format!("baseline_p {}\n", self.baseline_p));
         out.push_str(&format!("horizon_us {}\n", self.horizon.as_micros()));
         for p in &self.primitives {
@@ -586,6 +708,15 @@ impl FaultPlan {
                     prob,
                     lag.as_micros()
                 ),
+                FaultPrimitive::Join { at, node } => {
+                    format!("join at_us={} node={}", at.as_micros(), node.0)
+                }
+                FaultPrimitive::Leave { at, node } => {
+                    format!("leave at_us={} node={}", at.as_micros(), node.0)
+                }
+                FaultPrimitive::Rejoin { at, node } => {
+                    format!("rejoin at_us={} node={}", at.as_micros(), node.0)
+                }
             };
             out.push_str(&line);
             out.push('\n');
@@ -597,9 +728,11 @@ impl FaultPlan {
     pub fn from_text(text: &str) -> Result<FaultPlan, String> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
         let header = lines.next().ok_or("empty plan")?;
-        if header.trim() != "cbfd-fault-plan v1" {
-            return Err(format!("unknown plan header: {header:?}"));
-        }
+        let version = match header.trim() {
+            "cbfd-fault-plan v1" => 1,
+            "cbfd-fault-plan v2" => 2,
+            other => return Err(format!("unknown plan header: {other:?}")),
+        };
         let mut plan = FaultPlan::empty(0.0, SimTime::ZERO);
         for line in lines {
             let mut parts = line.split_whitespace();
@@ -697,6 +830,15 @@ impl FaultPlan {
                     prob: f64_field("prob")?,
                     lag: SimDuration::from_micros(u64_field("lag_us")?),
                 }),
+                "join" | "leave" | "rejoin" if version >= 2 => {
+                    let at = SimTime::from_micros(u64_field("at_us")?);
+                    let node = NodeId(u64_field("node")? as u32);
+                    plan.primitives.push(match tag {
+                        "join" => FaultPrimitive::Join { at, node },
+                        "leave" => FaultPrimitive::Leave { at, node },
+                        _ => FaultPrimitive::Rejoin { at, node },
+                    });
+                }
                 other => return Err(format!("unknown primitive: {other}")),
             }
         }
@@ -766,7 +908,7 @@ pub fn shrink(
         let mut weakened_any = false;
         for i in 0..current.primitives.len() {
             loop {
-                let variants = weaken(&current.primitives[i], current.baseline_p);
+                let variants = weaken(&current.primitives[i], current.baseline_p, current.horizon);
                 let mut accepted = false;
                 for v in variants {
                     let mut candidate = current.clone();
@@ -801,10 +943,46 @@ fn halve_window(from: SimTime, until: SimTime) -> Option<SimTime> {
 }
 
 /// Strictly-weaker variants of `p`, strongest reduction first.
-fn weaken(p: &FaultPrimitive, baseline_p: f64) -> Vec<FaultPrimitive> {
+fn weaken(p: &FaultPrimitive, baseline_p: f64, horizon: SimTime) -> Vec<FaultPrimitive> {
     let mut out = Vec::new();
     match p {
         FaultPrimitive::Crash { .. } => {}
+        // Churn point faults weaken by shrinking the window in which
+        // the membership is perturbed: joins and leaves move toward the
+        // horizon (less time present/absent), rejoins move toward zero
+        // (shorter dead window). Each step halves the remaining
+        // distance, so weakening terminates.
+        FaultPrimitive::Join { at, node } | FaultPrimitive::Leave { at, node } => {
+            let gap = horizon.as_micros().saturating_sub(at.as_micros());
+            // Half-gap jump first, quarter-gap as the gentler fallback
+            // when the big jump overshoots whatever the oracle needs.
+            for step in [gap / 2, gap / 4] {
+                if step >= 1 {
+                    let shifted = *at + SimDuration::from_micros(step);
+                    out.push(match p {
+                        FaultPrimitive::Join { .. } => FaultPrimitive::Join {
+                            at: shifted,
+                            node: *node,
+                        },
+                        _ => FaultPrimitive::Leave {
+                            at: shifted,
+                            node: *node,
+                        },
+                    });
+                }
+            }
+        }
+        FaultPrimitive::Rejoin { at, node } => {
+            let offset = at.as_micros();
+            for step in [offset / 2, offset / 4] {
+                if step >= 1 {
+                    out.push(FaultPrimitive::Rejoin {
+                        at: SimTime::from_micros(offset - step),
+                        node: *node,
+                    });
+                }
+            }
+        }
         FaultPrimitive::Cascade {
             start,
             interval,
@@ -1003,6 +1181,188 @@ mod tests {
         assert!(FaultPlan::from_text("nonsense v9").is_err());
         assert!(FaultPlan::from_text("cbfd-fault-plan v1\nwobble x=1").is_err());
         assert!(FaultPlan::from_text("cbfd-fault-plan v1\ncrash at_us=5").is_err());
+        // Churn tags belong to the v2 format only.
+        assert!(FaultPlan::from_text("cbfd-fault-plan v1\nleave at_us=5 node=1").is_err());
+        assert!(FaultPlan::from_text("cbfd-fault-plan v2\nleave at_us=5 node=1").is_ok());
+    }
+
+    #[test]
+    fn churn_generation_covers_all_kinds_and_round_trips() {
+        let config = PlanConfig {
+            churn: true,
+            ..cfg(16)
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        let mut plans = Vec::new();
+        for seed in 0..400u64 {
+            let plan = FaultPlan::generate(seed, &config);
+            for p in &plan.primitives {
+                seen.insert(p.to_text_tag());
+            }
+            plans.push(plan);
+            if seen.len() == 11 {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 11, "churn generator must emit every kind");
+        for plan in &plans {
+            let text = plan.to_text();
+            if plan.has_churn() {
+                assert!(text.starts_with("cbfd-fault-plan v2\n"), "{text}");
+            } else {
+                assert!(text.starts_with("cbfd-fault-plan v1\n"), "{text}");
+            }
+            let parsed = FaultPlan::from_text(&text).expect("parse");
+            assert_eq!(*plan, parsed, "round trip:\n{text}");
+        }
+    }
+
+    #[test]
+    fn churn_off_generation_is_unchanged() {
+        // The churn flag must not perturb the v1 sampling stream:
+        // pinned-seed artifacts stay byte-identical.
+        for seed in 0..50u64 {
+            let v1 = FaultPlan::generate(seed, &cfg(30));
+            assert!(!v1.has_churn());
+            assert!(v1.to_text().starts_with("cbfd-fault-plan v1\n"));
+        }
+    }
+
+    #[test]
+    fn churn_schedule_and_join_targets() {
+        let plan = FaultPlan {
+            baseline_p: 0.0,
+            horizon: SimTime::from_millis(100),
+            primitives: vec![
+                FaultPrimitive::Rejoin {
+                    at: SimTime::from_millis(50),
+                    node: NodeId(1),
+                },
+                FaultPrimitive::Join {
+                    at: SimTime::from_millis(20),
+                    node: NodeId(7),
+                },
+                FaultPrimitive::Leave {
+                    at: SimTime::from_millis(10),
+                    node: NodeId(1),
+                },
+                FaultPrimitive::Join {
+                    at: SimTime::from_millis(30),
+                    node: NodeId(7),
+                },
+            ],
+        };
+        assert_eq!(
+            plan.churn_schedule(),
+            vec![
+                (SimTime::from_millis(10), NodeId(1), "leave"),
+                (SimTime::from_millis(20), NodeId(7), "join"),
+                (SimTime::from_millis(30), NodeId(7), "join"),
+                (SimTime::from_millis(50), NodeId(1), "rejoin"),
+            ]
+        );
+        assert_eq!(plan.join_targets(), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn run_plan_applies_churn_without_panicking() {
+        // Leave then rejoin one chatter; join a dormant one. Garbage
+        // targets are skipped.
+        let plan = FaultPlan {
+            baseline_p: 0.0,
+            horizon: SimTime::from_millis(50),
+            primitives: vec![
+                FaultPrimitive::Leave {
+                    at: SimTime::from_millis(5),
+                    node: NodeId(1),
+                },
+                FaultPrimitive::Rejoin {
+                    at: SimTime::from_millis(20),
+                    node: NodeId(1),
+                },
+                FaultPrimitive::Join {
+                    at: SimTime::from_millis(1),
+                    node: NodeId(999),
+                },
+                FaultPrimitive::Rejoin {
+                    at: SimTime::from_millis(2),
+                    node: NodeId(0),
+                },
+            ],
+        };
+        let mut sim = Simulator::new(pair(), RadioConfig::bernoulli(0.0), 1, |_| Chatter {
+            pings: 2,
+            ..Chatter::default()
+        });
+        let mut seen = Vec::new();
+        run_plan(
+            &mut sim,
+            &plan,
+            SimTime::from_millis(50),
+            &mut |_, ev| match ev {
+                SimEvent::Leave { node, .. } => seen.push(("leave", node)),
+                SimEvent::Rejoin { node, .. } => seen.push(("rejoin", node)),
+                SimEvent::Join { node, .. } => seen.push(("join", node)),
+                _ => {}
+            },
+        );
+        assert_eq!(
+            seen,
+            vec![("leave", NodeId(1)), ("rejoin", NodeId(1))],
+            "only the sensible transitions fire"
+        );
+        assert!(sim.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn shrink_weakens_churn_primitives() {
+        // Oracle: fails iff node 1 is absent (left, not yet rejoined)
+        // at t = 40ms.
+        let absent_at_40 = |p: &FaultPlan| {
+            let t = SimTime::from_millis(40);
+            let mut absent = false;
+            for (at, node, kind) in p.churn_schedule() {
+                if at <= t && node == NodeId(1) {
+                    match kind {
+                        "leave" => absent = true,
+                        "rejoin" => absent = false,
+                        _ => {}
+                    }
+                }
+            }
+            absent
+        };
+        let plan = FaultPlan {
+            baseline_p: 0.0,
+            horizon: SimTime::from_millis(100),
+            primitives: vec![
+                FaultPrimitive::Leave {
+                    at: SimTime::from_millis(1),
+                    node: NodeId(1),
+                },
+                FaultPrimitive::Join {
+                    at: SimTime::from_millis(2),
+                    node: NodeId(3),
+                },
+            ],
+        };
+        assert!(absent_at_40(&plan));
+        let result = shrink(&plan, absent_at_40, 10_000);
+        assert!(absent_at_40(&result.plan));
+        assert_eq!(result.plan.primitives.len(), 1, "join was irrelevant");
+        match &result.plan.primitives[0] {
+            FaultPrimitive::Leave { at, node } => {
+                assert_eq!(*node, NodeId(1));
+                assert!(
+                    *at > SimTime::from_millis(1),
+                    "leave should weaken toward the horizon: {}",
+                    result.plan.to_text()
+                );
+                assert!(*at <= SimTime::from_millis(40));
+            }
+            other => panic!("unexpected primitive {other:?}"),
+        }
+        assert_eq!(shrink(&plan, absent_at_40, 10_000), result);
     }
 
     #[test]

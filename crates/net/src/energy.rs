@@ -131,6 +131,14 @@ impl EnergyBook {
     }
 }
 
+crate::impl_persist!(EnergyModel {
+    initial,
+    tx_cost,
+    rx_cost,
+    harvest_per_sec,
+});
+crate::impl_persist!(EnergyBook { model, remaining });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,6 +71,22 @@ pub enum EventKind<M> {
         /// Crashing node.
         node: NodeId,
     },
+    /// First activation of a dormant (not-yet-started) `node`.
+    Join {
+        /// Joining node.
+        node: NodeId,
+    },
+    /// Graceful, announced withdrawal of `node` (no failure).
+    Leave {
+        /// Leaving node.
+        node: NodeId,
+    },
+    /// Reactivation of a crashed or departed `node`, carrying whatever
+    /// stale state it had when it went down.
+    Rejoin {
+        /// Rejoining node.
+        node: NodeId,
+    },
 }
 
 #[derive(Debug)]
@@ -187,6 +203,13 @@ impl<M> EventQueue<M> {
     pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert_with_seq(at, seq, kind);
+    }
+
+    /// Inserts an event with an explicit sequence number — the restore
+    /// path, where tie-break order must match the original run.
+    #[inline]
+    fn insert_with_seq(&mut self, at: SimTime, seq: u64, kind: EventKind<M>) {
         let t = at.as_micros();
         if t >= self.base && t - self.base < SLOT_COUNT as u64 {
             let slot = (self.cursor + (t - self.base) as usize) & (SLOT_COUNT - 1);
@@ -385,6 +408,143 @@ impl<M> EventQueue<M> {
     }
 }
 
+impl<M: Clone> EventQueue<M> {
+    /// Every pending event as `(at, seq, kind)`, sorted by the queue's
+    /// ordering contract `(time, sequence)` — the logical content of
+    /// the queue, independent of which tier each event currently sits
+    /// in.
+    pub fn snapshot_entries(&self) -> Vec<(SimTime, u64, EventKind<M>)> {
+        let mut out: Vec<(SimTime, u64, EventKind<M>)> = self
+            .pool
+            .iter()
+            .filter_map(|e| e.kind.as_ref().map(|k| (e.at, e.seq, k.clone())))
+            .chain(self.overflow.iter().map(|s| (s.at, s.seq, s.kind.clone())))
+            .collect();
+        out.sort_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Rebuilds a queue from a [`EventQueue::snapshot_entries`] dump.
+    ///
+    /// `base` anchors the calendar ring (the snapshotting run's ring
+    /// origin); `next_seq` continues the tie-break counter so events
+    /// scheduled after the restore sort exactly as they would have in
+    /// the uninterrupted run. Entries must be sorted by `(at, seq)` —
+    /// within one ring bucket insertion order is sequence order, which
+    /// the sorted dump reproduces.
+    pub fn from_parts(
+        base: u64,
+        next_seq: u64,
+        entries: Vec<(SimTime, u64, EventKind<M>)>,
+    ) -> Self {
+        let mut q = EventQueue::new();
+        q.base = base;
+        for (at, seq, kind) in entries {
+            q.insert_with_seq(at, seq, kind);
+        }
+        q.next_seq = next_seq;
+        q
+    }
+
+    /// The ring origin in microseconds (exposed for checkpointing).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The next insertion sequence number (exposed for checkpointing).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<M: crate::checkpoint::Persist> crate::checkpoint::Persist for EventKind<M> {
+    fn persist(&self, w: &mut crate::checkpoint::Writer) {
+        match self {
+            EventKind::Deliver { to, from, msg } => {
+                w.put_u8(0);
+                to.persist(w);
+                from.persist(w);
+                msg.persist(w);
+            }
+            EventKind::Timer { node, token, id } => {
+                w.put_u8(1);
+                node.persist(w);
+                token.persist(w);
+                id.persist(w);
+            }
+            EventKind::Crash { node } => {
+                w.put_u8(2);
+                node.persist(w);
+            }
+            EventKind::Join { node } => {
+                w.put_u8(3);
+                node.persist(w);
+            }
+            EventKind::Leave { node } => {
+                w.put_u8(4);
+                node.persist(w);
+            }
+            EventKind::Rejoin { node } => {
+                w.put_u8(5);
+                node.persist(w);
+            }
+        }
+    }
+
+    fn restore(
+        r: &mut crate::checkpoint::Reader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        Ok(match r.get_u8()? {
+            0 => EventKind::Deliver {
+                to: NodeId::restore(r)?,
+                from: NodeId::restore(r)?,
+                msg: M::restore(r)?,
+            },
+            1 => EventKind::Timer {
+                node: NodeId::restore(r)?,
+                token: u64::restore(r)?,
+                id: u64::restore(r)?,
+            },
+            2 => EventKind::Crash {
+                node: NodeId::restore(r)?,
+            },
+            3 => EventKind::Join {
+                node: NodeId::restore(r)?,
+            },
+            4 => EventKind::Leave {
+                node: NodeId::restore(r)?,
+            },
+            5 => EventKind::Rejoin {
+                node: NodeId::restore(r)?,
+            },
+            _ => {
+                return Err(crate::checkpoint::CheckpointError::Corrupt(
+                    "event kind tag",
+                ))
+            }
+        })
+    }
+}
+
+impl<M: crate::checkpoint::Persist + Clone> crate::checkpoint::Persist for EventQueue<M> {
+    fn persist(&self, w: &mut crate::checkpoint::Writer) {
+        self.base.persist(w);
+        self.next_seq.persist(w);
+        self.snapshot_entries().persist(w);
+    }
+
+    fn restore(
+        r: &mut crate::checkpoint::Reader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let base = u64::restore(r)?;
+        let next_seq = u64::restore(r)?;
+        let entries = Vec::restore(r)?;
+        Ok(EventQueue::from_parts(base, next_seq, entries))
+    }
+}
+
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         EventQueue::new()
@@ -574,5 +734,38 @@ mod tests {
             }
         }
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn snapshot_mid_drain_restores_identical_pop_order() {
+        // Schedule across both tiers, drain part way, snapshot, and
+        // check the rebuilt queue pops the exact same remainder — then
+        // keeps identical tie-break behavior for *new* events.
+        let mut q = EventQueue::new();
+        let mut x = 777u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = x % (SLOT_COUNT as u64 * 3);
+            q.schedule(SimTime::from_micros(t), timer(i));
+        }
+        for _ in 0..200 {
+            q.pop();
+        }
+        let mut restored = EventQueue::from_parts(q.base(), q.next_seq(), q.snapshot_entries());
+        assert_eq!(restored.len(), q.len());
+        // New events in both queues get the same sequence numbers.
+        let t = q.peek_time().unwrap();
+        q.schedule(t, timer(9_999));
+        restored.schedule(t, timer(9_999));
+        loop {
+            let a = q.pop();
+            let b = restored.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

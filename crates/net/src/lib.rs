@@ -51,6 +51,7 @@
 
 pub mod actor;
 pub mod chaos;
+pub mod checkpoint;
 pub mod energy;
 pub mod event;
 pub mod geometry;

@@ -10,6 +10,7 @@
 //! the sender are not modelled because the paper assumes they are
 //! masked by the MAC layer's CSMA scheme.
 
+use crate::checkpoint::{CheckpointError, Persist, Reader, Writer};
 use crate::geometry::Point;
 use crate::id::NodeId;
 use rand::RngExt;
@@ -33,6 +34,170 @@ pub trait LossModel: fmt::Debug + Send {
         to_pos: Point,
         rng: &mut dyn rand::Rng,
     ) -> bool;
+
+    /// A serializable image of the model's full state, if the model
+    /// supports checkpointing. The default returns `None`, which makes
+    /// [`Simulator::checkpoint`](crate::sim::Simulator::checkpoint)
+    /// fail loudly for custom models rather than silently dropping
+    /// their state.
+    fn snapshot(&self) -> Option<LossSnapshot> {
+        None
+    }
+}
+
+/// A complete, serializable image of one of the built-in loss models,
+/// including any per-link channel state (the Gilbert–Elliott burst
+/// chains). [`LossSnapshot::rebuild`] reconstructs a model that draws
+/// the exact same loss sequence as the original given the same random
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossSnapshot {
+    /// [`Perfect`].
+    Perfect,
+    /// [`Bernoulli`] with loss probability `p`.
+    Bernoulli {
+        /// Per-receiver loss probability.
+        p: f64,
+    },
+    /// [`DistanceScaled`] with its three parameters.
+    DistanceScaled {
+        /// Loss probability at distance zero.
+        p_min: f64,
+        /// Loss probability at the edge of the range.
+        p_max: f64,
+        /// Transmission range `R`.
+        range: f64,
+    },
+    /// [`GilbertElliott`] parameters plus the directed links currently
+    /// in the bad state (links in the good state are equivalent to
+    /// never-visited links and are dropped).
+    GilbertElliott {
+        /// Good-state loss probability.
+        p_good: f64,
+        /// Bad-state loss probability.
+        p_bad: f64,
+        /// Good→Bad transition probability.
+        p_gb: f64,
+        /// Bad→Good transition probability.
+        p_bg: f64,
+        /// Directed links currently bad, sorted by `(from, to)`.
+        bad: Vec<(NodeId, NodeId)>,
+    },
+}
+
+impl LossSnapshot {
+    /// Reconstructs the loss model this snapshot was taken from.
+    pub fn rebuild(&self) -> Box<dyn LossModel> {
+        match self {
+            LossSnapshot::Perfect => Box::new(Perfect),
+            LossSnapshot::Bernoulli { p } => Box::new(Bernoulli::new(*p)),
+            LossSnapshot::DistanceScaled {
+                p_min,
+                p_max,
+                range,
+            } => Box::new(DistanceScaled::new(*p_min, *p_max, *range)),
+            LossSnapshot::GilbertElliott {
+                p_good,
+                p_bad,
+                p_gb,
+                p_bg,
+                bad,
+            } => {
+                let mut model = GilbertElliott::new(*p_good, *p_bad, *p_gb, *p_bg);
+                for &link in bad {
+                    model.bad.insert(link, true);
+                }
+                Box::new(model)
+            }
+        }
+    }
+}
+
+impl Persist for LossSnapshot {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            LossSnapshot::Perfect => w.put_u8(0),
+            LossSnapshot::Bernoulli { p } => {
+                w.put_u8(1);
+                p.persist(w);
+            }
+            LossSnapshot::DistanceScaled {
+                p_min,
+                p_max,
+                range,
+            } => {
+                w.put_u8(2);
+                p_min.persist(w);
+                p_max.persist(w);
+                range.persist(w);
+            }
+            LossSnapshot::GilbertElliott {
+                p_good,
+                p_bad,
+                p_gb,
+                p_bg,
+                bad,
+            } => {
+                w.put_u8(3);
+                p_good.persist(w);
+                p_bad.persist(w);
+                p_gb.persist(w);
+                p_bg.persist(w);
+                bad.persist(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let snapshot = match r.get_u8()? {
+            0 => LossSnapshot::Perfect,
+            1 => {
+                let p = f64::restore(r)?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(CheckpointError::Corrupt("loss probability out of range"));
+                }
+                LossSnapshot::Bernoulli { p }
+            }
+            2 => {
+                let p_min = f64::restore(r)?;
+                let p_max = f64::restore(r)?;
+                let range = f64::restore(r)?;
+                let probabilities_ok =
+                    (0.0..=1.0).contains(&p_min) && (0.0..=1.0).contains(&p_max) && p_min <= p_max;
+                let range_ok = range.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+                if !probabilities_ok || !range_ok {
+                    return Err(CheckpointError::Corrupt("distance-scaled params invalid"));
+                }
+                LossSnapshot::DistanceScaled {
+                    p_min,
+                    p_max,
+                    range,
+                }
+            }
+            3 => {
+                let p_good = f64::restore(r)?;
+                let p_bad = f64::restore(r)?;
+                let p_gb = f64::restore(r)?;
+                let p_bg = f64::restore(r)?;
+                for p in [p_good, p_bad, p_gb, p_bg] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(CheckpointError::Corrupt(
+                            "gilbert-elliott probability out of range",
+                        ));
+                    }
+                }
+                LossSnapshot::GilbertElliott {
+                    p_good,
+                    p_bad,
+                    p_gb,
+                    p_bg,
+                    bad: Vec::restore(r)?,
+                }
+            }
+            _ => return Err(CheckpointError::Corrupt("unknown loss snapshot tag")),
+        };
+        Ok(snapshot)
+    }
 }
 
 /// A lossless channel; useful for functional tests and as the baseline
@@ -50,6 +215,10 @@ impl LossModel for Perfect {
         _rng: &mut dyn rand::Rng,
     ) -> bool {
         false
+    }
+
+    fn snapshot(&self) -> Option<LossSnapshot> {
+        Some(LossSnapshot::Perfect)
     }
 }
 
@@ -102,6 +271,10 @@ impl LossModel for Bernoulli {
     ) -> bool {
         rng.random_bool(self.p)
     }
+
+    fn snapshot(&self) -> Option<LossSnapshot> {
+        Some(LossSnapshot::Bernoulli { p: self.p })
+    }
 }
 
 /// Loss probability growing with distance: `p(d) = p_min + (p_max −
@@ -152,6 +325,14 @@ impl LossModel for DistanceScaled {
         rng: &mut dyn rand::Rng,
     ) -> bool {
         rng.random_bool(self.probability_at(from_pos.distance(to_pos)))
+    }
+
+    fn snapshot(&self) -> Option<LossSnapshot> {
+        Some(LossSnapshot::DistanceScaled {
+            p_min: self.p_min,
+            p_max: self.p_max,
+            range: self.range,
+        })
     }
 }
 
@@ -227,6 +408,25 @@ impl LossModel for GilbertElliott {
         }
         let p = if *state { self.p_bad } else { self.p_good };
         rng.random_bool(p)
+    }
+
+    fn snapshot(&self) -> Option<LossSnapshot> {
+        // Good-state entries behave exactly like absent entries (the
+        // `or_insert(false)` above), so only bad links are kept.
+        let mut bad: Vec<(NodeId, NodeId)> = self
+            .bad
+            .iter()
+            .filter(|&(_, &is_bad)| is_bad)
+            .map(|(&link, _)| link)
+            .collect();
+        bad.sort_unstable();
+        Some(LossSnapshot::GilbertElliott {
+            p_good: self.p_good,
+            p_bad: self.p_bad,
+            p_gb: self.p_gb,
+            p_bg: self.p_bg,
+            bad,
+        })
     }
 }
 
@@ -435,5 +635,72 @@ mod tests {
         // the reverse direction is an independent link.
         assert!(m.is_lost(NodeId(1), NodeId(0), a, a, &mut r));
         assert_eq!(m.bad.len(), 2);
+    }
+
+    #[test]
+    fn snapshots_rebuild_identical_draw_sequences() {
+        // Warm a Gilbert–Elliott model into a mixed per-link state,
+        // snapshot it, and check the rebuilt model continues drawing
+        // the exact same loss sequence from the same random stream.
+        let mut original = GilbertElliott::new(0.05, 0.8, 0.1, 0.3);
+        let mut warm = rng();
+        let a = Point::ORIGIN;
+        for i in 0..500 {
+            original.is_lost(NodeId(i % 5), NodeId(5 + i % 3), a, a, &mut warm);
+        }
+        let snap = original.snapshot().expect("built-in model snapshots");
+        let mut rebuilt = snap.rebuild();
+        let mut r1 = StdRng::seed_from_u64(4242);
+        let mut r2 = StdRng::seed_from_u64(4242);
+        for i in 0..2_000 {
+            let from = NodeId(i % 5);
+            let to = NodeId(5 + i % 3);
+            assert_eq!(
+                original.is_lost(from, to, a, a, &mut r1),
+                rebuilt.is_lost(from, to, a, a, &mut r2),
+                "draw {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_persist_round_trips() {
+        use crate::checkpoint::{Persist, Reader, Writer};
+        let snapshots = vec![
+            LossSnapshot::Perfect,
+            LossSnapshot::Bernoulli { p: 0.25 },
+            LossSnapshot::DistanceScaled {
+                p_min: 0.1,
+                p_max: 0.5,
+                range: 100.0,
+            },
+            LossSnapshot::GilbertElliott {
+                p_good: 0.05,
+                p_bad: 0.8,
+                p_gb: 0.1,
+                p_bg: 0.3,
+                bad: vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(0))],
+            },
+        ];
+        for snap in snapshots {
+            let mut w = Writer::new();
+            snap.persist(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(LossSnapshot::restore(&mut r).unwrap(), snap);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_bad_probabilities() {
+        use crate::checkpoint::{Persist, Reader, Writer};
+        let mut w = Writer::new();
+        LossSnapshot::Bernoulli { p: 0.5 }.persist(&mut w);
+        let mut bytes = w.into_bytes();
+        // Overwrite the payload with the bits of 2.0 (out of range).
+        bytes[1..9].copy_from_slice(&2.0f64.to_bits().to_be_bytes());
+        let mut r = Reader::new(&bytes);
+        assert!(LossSnapshot::restore(&mut r).is_err());
     }
 }

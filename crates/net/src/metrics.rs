@@ -105,6 +105,15 @@ impl SimMetrics {
     }
 }
 
+crate::impl_persist!(SimMetrics {
+    transmissions,
+    deliveries,
+    losses,
+    dropped_dead,
+    timers_fired,
+    tx_per_node,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -107,6 +107,12 @@ impl RadioConfig {
     pub(crate) fn loss_mut(&mut self) -> &mut dyn LossModel {
         self.loss.as_mut()
     }
+
+    /// Shared access to the loss model (used by the checkpoint writer
+    /// to snapshot the channel state).
+    pub(crate) fn loss(&self) -> &dyn LossModel {
+        self.loss.as_ref()
+    }
 }
 
 impl fmt::Debug for RadioConfig {

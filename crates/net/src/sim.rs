@@ -9,9 +9,11 @@
 //! deterministic for a given seed.
 
 use crate::actor::{Actor, Command, Ctx, TimerToken};
+use crate::checkpoint::{self, CheckpointError, Persist, Reader, Writer};
 use crate::energy::{EnergyBook, EnergyModel};
 use crate::event::{EventKind, EventQueue};
 use crate::id::NodeId;
+use crate::loss::LossSnapshot;
 use crate::metrics::SimMetrics;
 use crate::radio::RadioConfig;
 use crate::rng::derive_seed;
@@ -54,6 +56,24 @@ pub enum SimEvent {
         /// Crashing node.
         node: NodeId,
     },
+    /// A dormant node became operational for the first time (late
+    /// arrival; its `on_start` ran).
+    Join {
+        /// Joining node.
+        node: NodeId,
+    },
+    /// `node` withdrew gracefully: its `on_leave` ran (a last chance
+    /// to announce the departure) and it then went silent.
+    Leave {
+        /// Departing node.
+        node: NodeId,
+    },
+    /// A crashed or departed node came back: its `on_rejoin` ran after
+    /// every stale pre-downtime timer was invalidated.
+    Rejoin {
+        /// Returning node.
+        node: NodeId,
+    },
 }
 
 /// Handle to a broadcast payload stored once in the [`PayloadArena`];
@@ -62,6 +82,15 @@ pub enum SimEvent {
 /// copies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PayloadId(u32);
+
+impl Persist for PayloadId {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(PayloadId(r.get_u32()?))
+    }
+}
 
 /// Ref-counted slab holding each broadcast payload exactly once.
 ///
@@ -122,6 +151,22 @@ impl<M> PayloadArena<M> {
     }
 }
 
+impl<M: Persist> Persist for PayloadArena<M> {
+    // The slot vector and free list are stored exactly — not rebuilt —
+    // because future slot assignments (and thus the payload IDs inside
+    // queued `Deliver` events) depend on the free list's order.
+    fn persist(&self, w: &mut Writer) {
+        self.slots.persist(w);
+        self.free.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(PayloadArena {
+            slots: Vec::restore(r)?,
+            free: Vec::restore(r)?,
+        })
+    }
+}
+
 /// Generation-stamped timer slab: each pending timer owns a slot, the
 /// queued event carries `(slot, generation)` packed into the event's
 /// `id`, cancellation bumps the generation in O(1), and a stale firing
@@ -164,6 +209,8 @@ impl TimerSlab {
         true
     }
 }
+
+crate::impl_persist!(TimerSlab { generations, free });
 
 fn pack_timer(slot: u32, generation: u32) -> u64 {
     (u64::from(slot) << 32) | u64::from(generation)
@@ -209,6 +256,13 @@ pub struct Simulator<A: Actor> {
     radio: RadioConfig,
     actors: Vec<A>,
     alive: Vec<bool>,
+    /// Nodes that withdrew gracefully (distinct from crashes so that
+    /// observers — the chaos monitor in particular — can tell a
+    /// voluntary leaver from a failure).
+    departed: Vec<bool>,
+    /// Nodes configured as late arrivals: not yet part of the run,
+    /// activated by a `Join` event (never started, never crashed).
+    dormant: Vec<bool>,
     queue: EventQueue<PayloadId>,
     /// Broadcast payloads, stored once per transmission.
     payloads: PayloadArena<A::Msg>,
@@ -264,6 +318,8 @@ impl<A: Actor> Simulator<A> {
         Simulator {
             actors,
             alive: vec![true; n],
+            departed: vec![false; n],
+            dormant: vec![false; n],
             queue: EventQueue::new(),
             payloads: PayloadArena::new(),
             now: SimTime::ZERO,
@@ -389,13 +445,107 @@ impl<A: Actor> Simulator<A> {
     /// the effective crash instant is returned.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) -> SimTime {
         let at = at.max(self.now);
-        self.queue.schedule(at, EventKind::Crash { node });
+        if node.index() < self.topology.len() {
+            self.queue.schedule(at, EventKind::Crash { node });
+        }
         at
     }
 
     /// Crashes `node` immediately.
     pub fn crash_now(&mut self, node: NodeId) {
         self.apply_crash(node);
+    }
+
+    // --------------------------------------------- lifecycle (churn)
+
+    /// Marks `node` as a late arrival: it takes no part in the run (no
+    /// `on_start`, no deliveries, no timers) until a scheduled `Join`
+    /// activates it. Must be called before the first event is
+    /// processed; afterwards — and for unknown nodes, or nodes that
+    /// already crashed — it is a no-op, never a panic, so
+    /// machine-generated churn plans cannot abort the process.
+    pub fn set_dormant(&mut self, node: NodeId) {
+        if self.started || node.index() >= self.topology.len() || !self.alive[node.index()] {
+            return;
+        }
+        self.alive[node.index()] = false;
+        self.dormant[node.index()] = true;
+    }
+
+    /// Schedules the activation of the dormant node `node` at `at`
+    /// (its `on_start` runs then). Past timestamps saturate to `now()`
+    /// and unknown nodes are ignored — same non-panicking contract as
+    /// [`Simulator::schedule_crash`]; joins of nodes that are not
+    /// dormant (already present, crashed, or departed) dissolve into
+    /// silent no-ops at dispatch time. Returns the effective instant.
+    pub fn schedule_join(&mut self, node: NodeId, at: SimTime) -> SimTime {
+        let at = at.max(self.now);
+        if node.index() < self.topology.len() {
+            self.queue.schedule(at, EventKind::Join { node });
+        }
+        at
+    }
+
+    /// Schedules a graceful withdrawal of `node` at `at`: its
+    /// `on_leave` callback runs (commands issued there — typically a
+    /// departure announcement — are applied while the node is still
+    /// operational), then the node goes silent and every pending timer
+    /// it owns is invalidated. Leaves of unknown, dead, or dormant
+    /// nodes are no-ops; past timestamps saturate to `now()`. Returns
+    /// the effective instant.
+    pub fn schedule_leave(&mut self, node: NodeId, at: SimTime) -> SimTime {
+        let at = at.max(self.now);
+        if node.index() < self.topology.len() {
+            self.queue.schedule(at, EventKind::Leave { node });
+        }
+        at
+    }
+
+    /// Schedules the return of a crashed or departed node at `at`: all
+    /// of its stale pre-downtime timers are invalidated, then its
+    /// `on_rejoin` callback runs. The actor keeps whatever state it
+    /// held when it went down — deciding what is stale is the
+    /// protocol's job, which is exactly the scenario the FDS's
+    /// incarnation numbers exist for. Rejoins of unknown, operational,
+    /// or dormant nodes are no-ops; past timestamps saturate to
+    /// `now()`. Returns the effective instant.
+    pub fn schedule_rejoin(&mut self, node: NodeId, at: SimTime) -> SimTime {
+        let at = at.max(self.now);
+        if node.index() < self.topology.len() {
+            self.queue.schedule(at, EventKind::Rejoin { node });
+        }
+        at
+    }
+
+    /// Whether `node` withdrew gracefully (as opposed to crashing).
+    #[inline]
+    pub fn has_departed(&self, node: NodeId) -> bool {
+        self.departed[node.index()]
+    }
+
+    /// Whether `node` is a late arrival that has not joined yet.
+    #[inline]
+    pub fn is_dormant(&self, node: NodeId) -> bool {
+        self.dormant[node.index()]
+    }
+
+    /// Nodes that withdrew gracefully and have not rejoined.
+    pub fn departed_nodes(&self) -> Vec<NodeId> {
+        self.topology
+            .node_ids()
+            .filter(|n| self.departed[n.index()])
+            .collect()
+    }
+
+    /// Nodes that are down involuntarily: not alive, not a voluntary
+    /// leaver, not an unactivated late arrival.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        self.topology
+            .node_ids()
+            .filter(|n| {
+                !self.alive[n.index()] && !self.departed[n.index()] && !self.dormant[n.index()]
+            })
+            .collect()
     }
 
     // ------------------------------------------- chaos interposer API
@@ -579,6 +729,11 @@ impl<A: Actor> Simulator<A> {
                     })
             }
             EventKind::Crash { node } => self.apply_crash(node).then_some(SimEvent::Crash { node }),
+            EventKind::Join { node } => self.apply_join(node).then_some(SimEvent::Join { node }),
+            EventKind::Leave { node } => self.apply_leave(node).then_some(SimEvent::Leave { node }),
+            EventKind::Rejoin { node } => {
+                self.apply_rejoin(node).then_some(SimEvent::Rejoin { node })
+            }
         }
     }
 
@@ -656,6 +811,94 @@ impl<A: Actor> Simulator<A> {
             });
         }
         true
+    }
+
+    /// Returns true iff the dormant node `node` was activated.
+    fn apply_join(&mut self, node: NodeId) -> bool {
+        if !self.dormant[node.index()] {
+            return false;
+        }
+        self.dormant[node.index()] = false;
+        self.alive[node.index()] = true;
+        if self.trace.is_enabled() {
+            self.trace.push(TraceRecord {
+                at: self.now,
+                node,
+                peer: node,
+                kind: TraceKind::Join,
+            });
+        }
+        let mut ctx =
+            Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
+        ctx.commands = std::mem::take(&mut self.scratch_commands);
+        self.actors[node.index()].on_start(&mut ctx);
+        let commands = ctx.commands;
+        self.apply_commands(node, commands);
+        true
+    }
+
+    /// Returns true iff `node` withdrew (it was operational).
+    fn apply_leave(&mut self, node: NodeId) -> bool {
+        if !self.alive[node.index()] {
+            return false;
+        }
+        // The departure announcement (whatever `on_leave` broadcasts)
+        // is transmitted while the node is still operational.
+        let mut ctx =
+            Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
+        ctx.commands = std::mem::take(&mut self.scratch_commands);
+        self.actors[node.index()].on_leave(&mut ctx);
+        let commands = ctx.commands;
+        self.apply_commands(node, commands);
+        self.alive[node.index()] = false;
+        self.departed[node.index()] = true;
+        self.invalidate_node_timers(node);
+        if self.trace.is_enabled() {
+            self.trace.push(TraceRecord {
+                at: self.now,
+                node,
+                peer: node,
+                kind: TraceKind::Leave,
+            });
+        }
+        true
+    }
+
+    /// Returns true iff the crashed or departed node `node` came back.
+    fn apply_rejoin(&mut self, node: NodeId) -> bool {
+        if self.alive[node.index()] || self.dormant[node.index()] {
+            return false;
+        }
+        // Crashes leave timers pending (the dead node simply never
+        // fires them); a returning node must not inherit them.
+        self.invalidate_node_timers(node);
+        self.alive[node.index()] = true;
+        self.departed[node.index()] = false;
+        if self.trace.is_enabled() {
+            self.trace.push(TraceRecord {
+                at: self.now,
+                node,
+                peer: node,
+                kind: TraceKind::Rejoin,
+            });
+        }
+        let mut ctx =
+            Ctx::new(self.now, node, &mut self.rng).with_energy(self.energy.remaining(node));
+        ctx.commands = std::mem::take(&mut self.scratch_commands);
+        self.actors[node.index()].on_rejoin(&mut ctx);
+        let commands = ctx.commands;
+        self.apply_commands(node, commands);
+        true
+    }
+
+    /// Invalidates and forgets every pending timer of `node`. The
+    /// queued events stay in the calendar queue but their generation
+    /// stamps are stale, so they dissolve on pop.
+    fn invalidate_node_timers(&mut self, node: NodeId) {
+        for &(_, slot) in &self.node_timers[node.index()] {
+            self.timers.invalidate(slot);
+        }
+        self.node_timers[node.index()].clear();
     }
 
     fn apply_commands(&mut self, node: NodeId, mut commands: Vec<Command<A::Msg>>) {
@@ -782,6 +1025,139 @@ impl<A: Actor> Simulator<A> {
         // Zero surviving copies drop the payload immediately.
         self.payloads.set_refs(payload, refs);
         self.scratch_neighbors = neighbors;
+    }
+}
+
+impl<A: Actor + Persist> Simulator<A>
+where
+    A::Msg: Persist,
+{
+    /// Serializes the complete simulation state — actors, pending
+    /// events (with their tie-breaking insertion sequence numbers),
+    /// in-flight payloads, RNG, timers, channel state, metrics, trace,
+    /// energy, chaos interposers — into a version-tagged byte
+    /// snapshot. [`Simulator::restore`] rebuilds a simulator whose
+    /// future is **byte-identical** to this one's.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CheckpointError::Corrupt`] if the radio's loss
+    /// model is a custom one that does not implement
+    /// [`LossModel::snapshot`](crate::loss::LossModel::snapshot) —
+    /// better than silently dropping channel state.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, CheckpointError> {
+        let Some(loss) = self.radio.loss().snapshot() else {
+            return Err(CheckpointError::Corrupt(
+                "loss model does not support checkpointing",
+            ));
+        };
+        let mut w = Writer::new();
+        checkpoint::write_header(&mut w);
+        self.topology.persist(&mut w);
+        loss.persist(&mut w);
+        self.radio.delay().persist(&mut w);
+        self.radio.jitter().persist(&mut w);
+        self.actors.persist(&mut w);
+        self.alive.persist(&mut w);
+        self.departed.persist(&mut w);
+        self.dormant.persist(&mut w);
+        self.queue.persist(&mut w);
+        self.payloads.persist(&mut w);
+        self.now.persist(&mut w);
+        self.rng.persist(&mut w);
+        self.metrics.persist(&mut w);
+        self.energy.persist(&mut w);
+        self.trace.persist(&mut w);
+        self.timers.persist(&mut w);
+        self.node_timers.persist(&mut w);
+        self.started.persist(&mut w);
+        self.last_harvest.persist(&mut w);
+        self.partition.persist(&mut w);
+        self.link_lag.persist(&mut w);
+        self.dup_probability.persist(&mut w);
+        self.dup_lag.persist(&mut w);
+        Ok(w.into_bytes())
+    }
+
+    /// Rebuilds a simulator from a [`Simulator::checkpoint`] snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated, foreign, version-mismatched, or
+    /// structurally inconsistent bytes; never panics on untrusted
+    /// input.
+    pub fn restore(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::new(bytes);
+        checkpoint::read_header(&mut r)?;
+        let topology = Topology::restore(&mut r)?;
+        let loss = LossSnapshot::restore(&mut r)?;
+        let delay = SimDuration::restore(&mut r)?;
+        let jitter = SimDuration::restore(&mut r)?;
+        let radio = RadioConfig::new(loss.rebuild())
+            .with_delay(delay)
+            .with_jitter(jitter);
+        let actors: Vec<A> = Vec::restore(&mut r)?;
+        let alive: Vec<bool> = Vec::restore(&mut r)?;
+        let departed: Vec<bool> = Vec::restore(&mut r)?;
+        let dormant: Vec<bool> = Vec::restore(&mut r)?;
+        let queue = EventQueue::restore(&mut r)?;
+        let payloads = PayloadArena::restore(&mut r)?;
+        let now = SimTime::restore(&mut r)?;
+        let rng = StdRng::restore(&mut r)?;
+        let metrics = SimMetrics::restore(&mut r)?;
+        let energy = EnergyBook::restore(&mut r)?;
+        let trace = Trace::restore(&mut r)?;
+        let timers = TimerSlab::restore(&mut r)?;
+        let node_timers: Vec<Vec<(u64, u32)>> = Vec::restore(&mut r)?;
+        let started = bool::restore(&mut r)?;
+        let last_harvest = SimTime::restore(&mut r)?;
+        let partition: Option<Vec<u32>> = Option::restore(&mut r)?;
+        let link_lag = Vec::restore(&mut r)?;
+        let dup_probability = f64::restore(&mut r)?;
+        let dup_lag = SimDuration::restore(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt("trailing bytes"));
+        }
+        let n = topology.len();
+        if actors.len() != n
+            || alive.len() != n
+            || departed.len() != n
+            || dormant.len() != n
+            || node_timers.len() != n
+            || partition.as_ref().is_some_and(|g| g.len() != n)
+        {
+            return Err(CheckpointError::Corrupt("population size mismatch"));
+        }
+        if !(0.0..=1.0).contains(&dup_probability) {
+            return Err(CheckpointError::Corrupt(
+                "duplication probability out of range",
+            ));
+        }
+        Ok(Simulator {
+            topology,
+            radio,
+            actors,
+            alive,
+            departed,
+            dormant,
+            queue,
+            payloads,
+            now,
+            rng,
+            metrics,
+            energy,
+            trace,
+            timers,
+            node_timers,
+            started,
+            last_harvest,
+            partition,
+            link_lag,
+            dup_probability,
+            dup_lag,
+            scratch_neighbors: Vec::new(),
+            scratch_commands: Vec::new(),
+        })
     }
 }
 
@@ -1329,5 +1705,237 @@ mod tests {
         let s = format!("{sim:?}");
         assert!(s.contains("Simulator"));
         assert!(s.contains("nodes"));
+    }
+
+    crate::impl_persist!(Chatter {
+        heard,
+        pings,
+        timer_fires,
+    });
+
+    #[test]
+    fn dormant_node_misses_traffic_until_it_joins() {
+        // Node 1 is a late arrival: it must miss node 0's start-time
+        // ping, then run its own on_start when the join fires.
+        let mut sim = Simulator::new(triangle_topology(), RadioConfig::lossless(), 1, |id| {
+            Chatter {
+                pings: if id == NodeId(1) { 3 } else { 1 },
+                ..Chatter::default()
+            }
+        });
+        sim.set_dormant(NodeId(1));
+        assert!(sim.is_dormant(NodeId(1)));
+        assert!(!sim.is_alive(NodeId(1)));
+        sim.schedule_join(NodeId(1), SimTime::from_millis(10));
+        let mut events = Vec::new();
+        sim.run_until_observed(SimTime::from_millis(30), &mut |_, ev| events.push(ev));
+        assert!(events.contains(&SimEvent::Join { node: NodeId(1) }));
+        // The dormant node heard nothing from the start-time pings...
+        let early = sim
+            .actor(NodeId(1))
+            .heard
+            .iter()
+            .filter(|&&(from, _)| from == NodeId(0))
+            .count();
+        assert_eq!(early, 0, "start-time ping must be dropped, not heard");
+        // ...but its own on_start ran at join time: 3 pings, heard by
+        // both neighbours.
+        assert_eq!(
+            sim.actors()
+                .filter(|&(id, _)| id != NodeId(1))
+                .map(|(_, a)| a.heard.iter().filter(|&&(f, _)| f == NodeId(1)).count())
+                .sum::<usize>(),
+            6
+        );
+        assert!(!sim.is_dormant(NodeId(1)));
+        assert!(sim.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn leave_announces_then_silences_and_is_not_a_crash() {
+        struct Leaver {
+            farewell_heard: bool,
+        }
+        impl Actor for Leaver {
+            type Msg = u8;
+            fn on_message(&mut self, _: &mut Ctx<'_, u8>, _: NodeId, msg: &u8) {
+                if *msg == 99 {
+                    self.farewell_heard = true;
+                }
+            }
+            fn on_leave(&mut self, ctx: &mut Ctx<'_, u8>) {
+                ctx.broadcast(99);
+            }
+        }
+        let mut sim = Simulator::new(pair_topology(), RadioConfig::lossless(), 1, |_| Leaver {
+            farewell_heard: false,
+        });
+        sim.schedule_leave(NodeId(0), SimTime::from_millis(5));
+        let mut events = Vec::new();
+        sim.run_until_observed(SimTime::from_millis(20), &mut |_, ev| events.push(ev));
+        assert!(events.contains(&SimEvent::Leave { node: NodeId(0) }));
+        assert!(
+            sim.actor(NodeId(1)).farewell_heard,
+            "on_leave broadcast must go out before the node goes silent"
+        );
+        assert!(!sim.is_alive(NodeId(0)));
+        assert!(sim.has_departed(NodeId(0)));
+        assert_eq!(sim.departed_nodes(), vec![NodeId(0)]);
+        assert_eq!(sim.crashed_nodes(), Vec::new(), "a leave is not a crash");
+    }
+
+    #[test]
+    fn rejoin_revives_without_stale_timers() {
+        struct Phoenix {
+            fired: u32,
+            rejoined: bool,
+        }
+        impl Actor for Phoenix {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_millis(50), TimerToken(1));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: TimerToken) {
+                self.fired += 1;
+            }
+            fn on_rejoin(&mut self, _: &mut Ctx<'_, ()>) {
+                self.rejoined = true;
+            }
+        }
+        let mut sim = Simulator::new(pair_topology(), RadioConfig::lossless(), 1, |_| Phoenix {
+            fired: 0,
+            rejoined: false,
+        });
+        sim.schedule_crash(NodeId(0), SimTime::from_millis(10));
+        sim.schedule_rejoin(NodeId(0), SimTime::from_millis(20));
+        let mut events = Vec::new();
+        sim.run_until_observed(SimTime::from_millis(100), &mut |_, ev| events.push(ev));
+        assert!(events.contains(&SimEvent::Rejoin { node: NodeId(0) }));
+        let phoenix = sim.actor(NodeId(0));
+        assert!(phoenix.rejoined);
+        assert_eq!(
+            phoenix.fired, 0,
+            "the pre-crash timer is stale and must not fire after rejoin"
+        );
+        assert!(sim.is_alive(NodeId(0)));
+        assert!(!sim.has_departed(NodeId(0)));
+        // Node 1 never crashed: its timer fires normally.
+        assert_eq!(sim.actor(NodeId(1)).fired, 1);
+    }
+
+    #[test]
+    fn churn_apis_never_panic_on_garbage_input() {
+        let mut sim = Simulator::new(pair_topology(), RadioConfig::lossless(), 1, |_| Chatter {
+            pings: 1,
+            ..Chatter::default()
+        });
+        sim.run_until(SimTime::from_millis(10));
+        // Unknown node ids are ignored; past timestamps saturate.
+        assert_eq!(
+            sim.schedule_join(NodeId(99), SimTime::from_millis(1)),
+            SimTime::from_millis(10)
+        );
+        sim.schedule_leave(NodeId(99), SimTime::ZERO);
+        sim.schedule_rejoin(NodeId(99), SimTime::ZERO);
+        sim.schedule_crash(NodeId(99), SimTime::ZERO);
+        sim.set_dormant(NodeId(99));
+        // Joining a present node and rejoining an alive node dissolve
+        // into no-ops at dispatch time.
+        sim.schedule_join(NodeId(0), SimTime::from_millis(11));
+        sim.schedule_rejoin(NodeId(1), SimTime::from_millis(11));
+        let mut effective = Vec::new();
+        sim.run_until_observed(SimTime::from_millis(15), &mut |_, ev| effective.push(ev));
+        assert!(
+            effective.is_empty(),
+            "none of the garbage events may be effective: {effective:?}"
+        );
+        // Leaving a node that is already dead is a no-op too.
+        sim.crash_now(NodeId(1));
+        sim.schedule_leave(NodeId(1), SimTime::from_millis(16));
+        let mut late = Vec::new();
+        sim.run_until_observed(SimTime::from_millis(20), &mut |_, ev| late.push(ev));
+        assert!(late.is_empty(), "leave of a dead node fired: {late:?}");
+        assert!(sim.is_alive(NodeId(0)));
+        assert!(!sim.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn set_dormant_after_start_is_ignored() {
+        let mut sim = Simulator::new(pair_topology(), RadioConfig::lossless(), 1, |_| Chatter {
+            pings: 0,
+            ..Chatter::default()
+        });
+        sim.run_until(SimTime::from_millis(1));
+        sim.set_dormant(NodeId(1));
+        assert!(!sim.is_dormant(NodeId(1)));
+        assert!(sim.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let build = || {
+            let mut sim = Simulator::new(
+                triangle_topology(),
+                RadioConfig::bernoulli(0.3)
+                    .with_delay(SimDuration::from_millis(1))
+                    .with_jitter(SimDuration::from_micros(500)),
+                7,
+                |_| Chatter {
+                    pings: 6,
+                    ..Chatter::default()
+                },
+            );
+            sim.enable_trace();
+            sim.set_duplication(0.2, SimDuration::from_millis(2));
+            sim
+        };
+        // Uninterrupted reference run.
+        let mut reference = build();
+        reference.schedule_crash(NodeId(2), SimTime::from_millis(3));
+        reference.schedule_rejoin(NodeId(2), SimTime::from_millis(6));
+        reference.run_until(SimTime::from_millis(40));
+
+        // Interrupted run: snapshot mid-flight, restore, continue.
+        let mut first_half = build();
+        first_half.schedule_crash(NodeId(2), SimTime::from_millis(3));
+        first_half.schedule_rejoin(NodeId(2), SimTime::from_millis(6));
+        first_half.run_until(SimTime::from_millis(4));
+        let snapshot = first_half.checkpoint().expect("checkpoint");
+        drop(first_half);
+        let mut resumed: Simulator<Chatter> = Simulator::restore(&snapshot).expect("restore");
+        resumed.run_until(SimTime::from_millis(40));
+
+        assert_eq!(resumed.metrics(), reference.metrics());
+        assert_eq!(resumed.trace().records(), reference.trace().records());
+        for n in reference.topology().node_ids() {
+            assert_eq!(resumed.actor(n).heard, reference.actor(n).heard);
+            assert_eq!(resumed.actor(n).timer_fires, reference.actor(n).timer_fires);
+            assert_eq!(resumed.is_alive(n), reference.is_alive(n));
+        }
+        // The strongest form of the contract: the final snapshots are
+        // byte-identical.
+        assert_eq!(
+            resumed.checkpoint().unwrap(),
+            reference.checkpoint().unwrap()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_input_without_panicking() {
+        let sim = Simulator::new(pair_topology(), RadioConfig::lossless(), 1, |_| Chatter {
+            pings: 2,
+            ..Chatter::default()
+        });
+        let bytes = sim.checkpoint().unwrap();
+        assert!(Simulator::<Chatter>::restore(b"garbage").is_err());
+        assert!(Simulator::<Chatter>::restore(&[]).is_err());
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Simulator::<Chatter>::restore(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be detected"
+            );
+        }
+        assert!(Simulator::<Chatter>::restore(&bytes).is_ok());
     }
 }

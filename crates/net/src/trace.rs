@@ -5,6 +5,7 @@
 //! [`TraceRecord`] per radio/timer/crash event which tests and tools
 //! can assert against or pretty-print.
 
+use crate::checkpoint::{CheckpointError, Persist, Reader, Writer};
 use crate::id::NodeId;
 use crate::time::SimTime;
 use std::fmt;
@@ -22,6 +23,12 @@ pub enum TraceKind {
     Timer,
     /// `node` crashed (fail-stop).
     Crash,
+    /// A dormant `node` joined the network (late arrival).
+    Join,
+    /// `node` withdrew gracefully.
+    Leave,
+    /// A crashed or departed `node` came back.
+    Rejoin,
 }
 
 /// One traced event.
@@ -45,6 +52,9 @@ impl fmt::Display for TraceRecord {
             TraceKind::Loss => write!(f, "[{}] {} lost from {}", self.at, self.node, self.peer),
             TraceKind::Timer => write!(f, "[{}] {} timer", self.at, self.node),
             TraceKind::Crash => write!(f, "[{}] {} crash", self.at, self.node),
+            TraceKind::Join => write!(f, "[{}] {} join", self.at, self.node),
+            TraceKind::Leave => write!(f, "[{}] {} leave", self.at, self.node),
+            TraceKind::Rejoin => write!(f, "[{}] {} rejoin", self.at, self.node),
         }
     }
 }
@@ -136,6 +146,47 @@ impl Trace {
     }
 }
 
+impl Persist for TraceKind {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            TraceKind::Transmit => 0,
+            TraceKind::Receive => 1,
+            TraceKind::Loss => 2,
+            TraceKind::Timer => 3,
+            TraceKind::Crash => 4,
+            TraceKind::Join => 5,
+            TraceKind::Leave => 6,
+            TraceKind::Rejoin => 7,
+        });
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(match r.get_u8()? {
+            0 => TraceKind::Transmit,
+            1 => TraceKind::Receive,
+            2 => TraceKind::Loss,
+            3 => TraceKind::Timer,
+            4 => TraceKind::Crash,
+            5 => TraceKind::Join,
+            6 => TraceKind::Leave,
+            7 => TraceKind::Rejoin,
+            _ => return Err(CheckpointError::Corrupt("trace kind tag")),
+        })
+    }
+}
+
+crate::impl_persist!(TraceRecord {
+    at,
+    node,
+    peer,
+    kind
+});
+crate::impl_persist!(Trace {
+    enabled,
+    capacity,
+    records,
+    dropped,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +256,9 @@ mod tests {
             TraceKind::Loss,
             TraceKind::Timer,
             TraceKind::Crash,
+            TraceKind::Join,
+            TraceKind::Leave,
+            TraceKind::Rejoin,
         ];
         for k in kinds {
             let s = rec(5, 3, k).to_string();

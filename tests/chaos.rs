@@ -148,6 +148,7 @@ fn fuzzer_artifacts_shrink_and_replay_deterministically() {
         baseline_p: 0.1,
         max_primitives: 6,
         max_cascade: 6,
+        churn: false,
     };
     let hurts = |plan: &FaultPlan| {
         let outcome = exp.run_plan(plan, 4, 8, &mut |_, _| {});

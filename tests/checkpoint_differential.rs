@@ -1,0 +1,322 @@
+//! Differential checkpoint suite: restore-then-run must be
+//! **byte-identical** to an uninterrupted run.
+//!
+//! Every case draws a randomized churn workload — geometry, channel
+//! loss, crashes, graceful leaves, rejoins with stale state, late
+//! joins — runs it uninterrupted, and runs it again with a
+//! checkpoint/restore interruption after a random number of events.
+//! The verdict is the strongest possible: the *final checkpoint
+//! bytes* of the two runs must be equal, which covers every actor's
+//! protocol state, the event queue, the RNG, metrics, energy ledgers,
+//! and the full trace in one comparison.
+//!
+//! The suite executes its cases through the deterministic sweep
+//! runner at worker counts 1, 2 and max, asserting the per-case
+//! digests are identical for every count.
+
+use cbfd::core::node::FdsNode;
+use cbfd::net::checkpoint::{CheckpointError, Persist, Reader, Writer};
+use cbfd::net::par;
+use cbfd::net::sim::Simulator;
+use cbfd::prelude::*;
+use cbfd_cluster::FormationConfig;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One randomized churn workload over one field.
+struct ChurnCase {
+    exp: Experiment,
+    p: f64,
+    epochs: u64,
+    /// Node to keep dormant and join mid-run.
+    joiner: Option<(NodeId, SimTime)>,
+    crashes: Vec<(NodeId, SimTime)>,
+    leaves: Vec<(NodeId, SimTime)>,
+    rejoins: Vec<(NodeId, SimTime)>,
+    /// Events to execute before the snapshot is taken.
+    snapshot_after: usize,
+    seed: u64,
+}
+
+fn build_case(seed: u64) -> ChurnCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let n = rng.random_range(20..=40usize);
+    let side = rng.random_range(250.0..400.0);
+    let pts = Placement::UniformRect(Rect::square(side)).generate(n, &mut rng);
+    let topology = Topology::from_positions(pts, 100.0);
+    let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    let p = rng.random_range(0.0..0.25);
+    let epochs = rng.random_range(4..=7u64);
+    let phi = FdsConfig::default().heartbeat_interval;
+    let horizon = phi.as_micros() * epochs;
+    let instant =
+        |rng: &mut StdRng| SimTime::from_micros(rng.random_range(horizon / 8..horizon * 3 / 4));
+
+    let mut crashes = Vec::new();
+    let mut leaves = Vec::new();
+    let mut rejoins = Vec::new();
+    for _ in 0..rng.random_range(1..=3u32) {
+        let node = NodeId(rng.random_range(0..n as u32));
+        let at = instant(&mut rng);
+        match rng.random_range(0..3u32) {
+            0 => crashes.push((node, at)),
+            1 => leaves.push((node, at)),
+            _ => {
+                // Crash or leave first, come back later with whatever
+                // stale state survived.
+                if rng.random_bool(0.5) {
+                    crashes.push((node, at));
+                } else {
+                    leaves.push((node, at));
+                }
+                rejoins.push((node, at + phi * rng.random_range(1..=2u64)));
+            }
+        }
+    }
+    let joiner = rng
+        .random_bool(0.4)
+        .then(|| (NodeId(rng.random_range(0..n as u32)), instant(&mut rng)));
+    ChurnCase {
+        exp,
+        p,
+        epochs,
+        joiner,
+        crashes,
+        leaves,
+        rejoins,
+        snapshot_after: rng.random_range(1..=150usize),
+        seed,
+    }
+}
+
+fn build_sim(case: &ChurnCase) -> Simulator<FdsNode> {
+    let mut sim = case
+        .exp
+        .build_sim(RadioConfig::bernoulli(case.p), case.seed);
+    if let Some((node, at)) = case.joiner {
+        sim.set_dormant(node);
+        sim.schedule_join(node, at);
+    }
+    for &(node, at) in &case.crashes {
+        sim.schedule_crash(node, at);
+    }
+    for &(node, at) in &case.leaves {
+        sim.schedule_leave(node, at);
+    }
+    for &(node, at) in &case.rejoins {
+        sim.schedule_rejoin(node, at);
+    }
+    sim.enable_trace();
+    sim
+}
+
+fn deadline(case: &ChurnCase) -> SimTime {
+    let phi = FdsConfig::default().heartbeat_interval;
+    SimTime::ZERO + phi * case.epochs - SimDuration::from_micros(1)
+}
+
+/// The uninterrupted run's final snapshot.
+fn run_straight(case: &ChurnCase) -> Vec<u8> {
+    let mut sim = build_sim(case);
+    sim.run_until(deadline(case));
+    sim.checkpoint().expect("final checkpoint")
+}
+
+/// The interrupted run: step `snapshot_after` events, snapshot,
+/// restore from the bytes, finish. Returns (mid-run bytes, final
+/// bytes).
+fn run_interrupted(case: &ChurnCase) -> (Vec<u8>, Vec<u8>) {
+    let mut sim = build_sim(case);
+    let end = deadline(case);
+    for _ in 0..case.snapshot_after {
+        if sim.now() >= end || !sim.step_one() {
+            break;
+        }
+    }
+    let mid = sim.checkpoint().expect("mid-run checkpoint");
+    drop(sim);
+    let mut resumed: Simulator<FdsNode> = Simulator::restore(&mid).expect("restore");
+    resumed.run_until(end);
+    (mid, resumed.checkpoint().expect("final checkpoint"))
+}
+
+/// FNV-1a digest of a snapshot, so the worker-count sweep compares
+/// small values instead of multi-kilobyte blobs.
+fn digest(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+const CASES: u64 = 104;
+
+#[test]
+fn restore_then_run_is_byte_identical_across_workers() {
+    let seeds: Vec<u64> = (0..CASES).collect();
+    let run_case = |_w: usize, &seed: &u64| {
+        let case = build_case(seed);
+        let straight = run_straight(&case);
+        let (mid, resumed) = run_interrupted(&case);
+        assert_eq!(
+            straight, resumed,
+            "seed {seed}: resumed run diverged from uninterrupted run \
+             (snapshot after {} events)",
+            case.snapshot_after
+        );
+        // Restoring the same snapshot twice must also agree.
+        let mut again: Simulator<FdsNode> = Simulator::restore(&mid).expect("second restore");
+        again.run_until(deadline(&case));
+        assert_eq!(
+            again.checkpoint().expect("checkpoint"),
+            straight,
+            "seed {seed}: second restore diverged"
+        );
+        digest(&straight)
+    };
+    let one = par::par_map(1, &seeds, run_case);
+    let two = par::par_map(2, &seeds, run_case);
+    let max = par::par_map(par::default_workers().max(2), &seeds, run_case);
+    assert_eq!(one, two, "workers 1 vs 2");
+    assert_eq!(one, max, "workers 1 vs max");
+}
+
+#[test]
+fn restored_outcome_matches_uninterrupted_verdicts() {
+    // Beyond byte equality of state: the evaluated verdicts (false
+    // detections, completeness, latencies) agree when the run is
+    // scored through the public evaluate path.
+    for seed in [3u64, 17, 55] {
+        let case = build_case(seed);
+        let end = deadline(&case);
+        let crash_epochs: std::collections::BTreeMap<NodeId, u64> = case
+            .crashes
+            .iter()
+            .map(|&(node, at)| {
+                (
+                    node,
+                    at.as_micros() / FdsConfig::default().heartbeat_interval.as_micros(),
+                )
+            })
+            .collect();
+
+        let mut straight = build_sim(&case);
+        straight.run_until(end);
+        let a = case.exp.evaluate(&straight, case.epochs, &crash_epochs);
+
+        let mut sim = build_sim(&case);
+        for _ in 0..case.snapshot_after {
+            if sim.now() >= end || !sim.step_one() {
+                break;
+            }
+        }
+        let bytes = sim.checkpoint().expect("checkpoint");
+        let mut resumed: Simulator<FdsNode> = Simulator::restore(&bytes).expect("restore");
+        resumed.run_until(end);
+        let b = case.exp.evaluate(&resumed, case.epochs, &crash_epochs);
+
+        assert_eq!(a.false_detections, b.false_detections, "seed {seed}");
+        assert_eq!(a.missed, b.missed, "seed {seed}");
+        assert_eq!(a.completeness, b.completeness, "seed {seed}");
+        assert_eq!(a.detection_latency, b.detection_latency, "seed {seed}");
+        assert_eq!(a.metrics, b.metrics, "seed {seed}");
+        assert_eq!(a.bytes, b.bytes, "seed {seed}");
+    }
+}
+
+#[test]
+fn snapshot_rejects_corruption_without_panicking() {
+    let case = build_case(1);
+    let mut sim = build_sim(&case);
+    for _ in 0..40 {
+        sim.step_one();
+    }
+    let bytes = sim.checkpoint().expect("checkpoint");
+
+    // Truncations at every prefix length of the header region and a
+    // sample of interior cuts must fail cleanly.
+    for cut in (0..bytes.len().min(64)).chain([bytes.len() / 2, bytes.len() - 1]) {
+        assert!(
+            Simulator::<FdsNode>::restore(&bytes[..cut]).is_err(),
+            "truncation at {cut} must be rejected"
+        );
+    }
+    // Bit flips in the magic/version must be rejected too.
+    for i in 0..12 {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x40;
+        assert!(
+            Simulator::<FdsNode>::restore(&bad).is_err(),
+            "corrupt header byte {i} must be rejected"
+        );
+    }
+    // Trailing garbage is not silently ignored.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(Simulator::<FdsNode>::restore(&padded).is_err());
+}
+
+// ------------------------------------------------- round-trip props
+
+proptest::proptest! {
+    #[test]
+    fn primitive_round_trips(
+        a in proptest::prelude::any::<u64>(),
+        b in proptest::prelude::any::<i64>(),
+        c in proptest::prelude::any::<bool>(),
+        d in proptest::prelude::any::<f64>(),
+        sv in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..24),
+        v in proptest::collection::vec(proptest::prelude::any::<u32>(), 0..16),
+    ) {
+        let s: String = sv.iter().map(|b| char::from(b'a' + b % 26)).collect();
+        let mut w = Writer::new();
+        a.persist(&mut w);
+        b.persist(&mut w);
+        c.persist(&mut w);
+        d.persist(&mut w);
+        s.persist(&mut w);
+        v.persist(&mut w);
+        Some(a).persist(&mut w);
+        Option::<u64>::None.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        proptest::prop_assert_eq!(u64::restore(&mut r).unwrap(), a);
+        proptest::prop_assert_eq!(i64::restore(&mut r).unwrap(), b);
+        proptest::prop_assert_eq!(bool::restore(&mut r).unwrap(), c);
+        let d2 = f64::restore(&mut r).unwrap();
+        proptest::prop_assert_eq!(d2.to_bits(), d.to_bits(), "bit-exact floats");
+        proptest::prop_assert_eq!(String::restore(&mut r).unwrap(), s);
+        proptest::prop_assert_eq!(Vec::<u32>::restore(&mut r).unwrap(), v);
+        proptest::prop_assert_eq!(Option::<u64>::restore(&mut r).unwrap(), Some(a));
+        proptest::prop_assert_eq!(Option::<u64>::restore(&mut r).unwrap(), None);
+        proptest::prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in proptest::collection::vec(
+        proptest::prelude::any::<u8>(), 0..64,
+    )) {
+        // Whatever the input, restore returns Err or a value — it must
+        // not panic or read out of bounds.
+        let mut r = Reader::new(&bytes);
+        let _ = Vec::<u64>::restore(&mut r);
+        let mut r = Reader::new(&bytes);
+        let _ = String::restore(&mut r);
+        let mut r = Reader::new(&bytes);
+        let _ = std::collections::BTreeMap::<u32, u32>::restore(&mut r);
+        let _ = Simulator::<FdsNode>::restore(&bytes).err();
+    }
+
+    #[test]
+    fn checkpoint_error_display_is_total(code in 0u32..4) {
+        let err = match code {
+            0 => CheckpointError::Truncated,
+            1 => CheckpointError::BadMagic,
+            2 => CheckpointError::UnsupportedVersion(9),
+            _ => CheckpointError::Corrupt("test"),
+        };
+        proptest::prop_assert!(!err.to_string().is_empty());
+    }
+}
