@@ -15,12 +15,25 @@
 //! `bytes_sent_id_list` shadow accounting must equal the reference's
 //! live ledger exactly, or the before/after comparison is meaningless.
 //!
-//! Writes `BENCH_protocol.json`. With `--check` it first reads the
-//! committed JSON and asserts the fresh N=10k bitmap run reaches 0.8×
-//! the committed `smoke_baseline_member_epochs_per_sec` (the margin
-//! absorbs runner variance, as in `bench_engine`).
+//! Beyond the layout comparison, the binary measures the spatially
+//! tiled engine (`cbfd_net::tiled::TiledSim`, DESIGN.md §14) on an
+//! N-scaling ladder up to N=1,000,000 full-FDS nodes, plus a
+//! tile-count-scaling sweep at fixed N — the numbers behind the
+//! ROADMAP's "millions of users" claim.
 //!
-//! Usage: `cargo run --release -p cbfd-bench --bin bench_protocol [--check]`
+//! Writes `BENCH_protocol.json`. With `--check` it first reads the
+//! committed JSON and asserts **every** fresh row reaches 0.5× its
+//! committed per-row baseline (shared-container wall-clock wobble is
+//! ±40–50 %; the structural regressions the gate exists for cost 5×),
+//! failing with the offending N; a committed row the invocation did
+//! not re-run is itself a failure.
+//!
+//! `--ci` is the CI smoke: it skips the N=1,000,000 row (the N=250k
+//! reduced-epoch scenario is the large-N gate), exempts that one row
+//! from the missing-row check, and writes `results/BENCH_protocol_ci.json`
+//! instead of touching the committed file.
+//!
+//! Usage: `cargo run --release -p cbfd-bench --bin bench_protocol [--check] [--ci]`
 
 use cbfd_cluster::{oracle, FormationConfig};
 use cbfd_core::config::FdsConfig;
@@ -31,6 +44,7 @@ use cbfd_net::actor::Actor;
 use cbfd_net::energy::EnergyModel;
 use cbfd_net::geometry::Rect;
 use cbfd_net::prelude::*;
+use cbfd_net::tiled::{suggested_grid, TiledSim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -235,19 +249,216 @@ fn run_scenario(s: &Scenario) -> Measurement {
     }
 }
 
-/// The committed reference throughput for the N=10k cell, measured on
-/// the repo's container. CI asserts fresh runs reach 0.8×.
-fn committed_baseline() -> Option<f64> {
-    let text = std::fs::read_to_string("BENCH_protocol.json").ok()?;
-    let key = "\"smoke_baseline_member_epochs_per_sec\":";
-    let at = text.find(key)? + key.len();
-    text[at..]
-        .trim_start()
-        .split([',', '\n', '}'])
-        .next()?
+// ------------------------------------------------------- tiled ladder
+
+/// One rung of the tiled-engine N-scaling ladder (or one grid of the
+/// tile-count sweep).
+struct TiledScenario {
+    n: usize,
+    target_degree: f64,
+    loss_p: f64,
+    epochs: u64,
+    gx: u32,
+    gy: u32,
+}
+
+struct TiledRow {
+    n: usize,
+    gx: u32,
+    gy: u32,
+    workers: usize,
+    epochs: u64,
+    member_epochs: u64,
+    seconds: f64,
+    member_epochs_per_sec: f64,
+    events: u64,
+    allocs_per_event: f64,
+}
+
+/// Full FDS on the tiled engine: pinned placement/sim seeds, best-of-N
+/// passes (one pass at N = 1M — a single large run dominates warmup
+/// noise and keeps the wall-clock budget).
+fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
+    const RANGE: f64 = 100.0;
+    let side = side_for_degree(s.n, RANGE, s.target_degree);
+    let mut rng = StdRng::seed_from_u64(0xFD5_BEEF);
+    let pts = Placement::UniformRect(Rect::square(side)).generate(s.n, &mut rng);
+    let topology = Topology::from_positions(pts, RANGE);
+    let view = oracle::form(&topology, &FormationConfig::default());
+    let profiles = build_profiles(&view);
+    let members = profiles
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| p.cluster.is_some() && p.head != Some(NodeId(*i as u32)))
+        .count() as u64;
+    let member_epochs = members * s.epochs;
+
+    let fds = FdsConfig::default();
+    let capacity = EnergyModel::default().initial;
+    let phi = fds.heartbeat_interval;
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let passes = if s.n >= 1_000_000 { 1 } else { PASSES };
+    let mut best: Option<(f64, u64)> = None;
+    let mut last_sim = None;
+    for _ in 0..passes {
+        let mut sim = TiledSim::new(
+            topology.clone(),
+            RadioConfig::bernoulli(s.loss_p),
+            0xFD5,
+            s.gx,
+            s.gy,
+            |id: NodeId| FdsNode::new(profiles[id.index()].clone(), fds, capacity),
+        );
+        sim.set_energy_model(EnergyModel::default());
+        sim.set_workers(workers);
+        let allocs_before = ALLOCS.load(Ordering::Relaxed);
+        let started = Instant::now();
+        sim.run_until(SimTime::ZERO + phi * s.epochs - SimDuration::from_micros(1));
+        let seconds = started.elapsed().as_secs_f64();
+        let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+        if best.is_none_or(|(b, _)| seconds < b) {
+            best = Some((seconds, allocs));
+        }
+        last_sim = Some(sim);
+    }
+    let (seconds, allocs) = best.expect("at least one pass");
+    let m = last_sim.expect("at least one pass").metrics();
+    let events = m.deliveries + m.dropped_dead + m.timers_fired;
+    TiledRow {
+        n: s.n,
+        gx: s.gx,
+        gy: s.gy,
+        workers,
+        epochs: s.epochs,
+        member_epochs,
+        seconds,
+        member_epochs_per_sec: member_epochs as f64 / seconds,
+        events,
+        allocs_per_event: allocs as f64 / events.max(1) as f64,
+    }
+}
+
+// ------------------------------------------------- committed baselines
+
+/// Per-row regression anchors parsed from the committed
+/// `BENCH_protocol.json`: `(section, row id)` → committed
+/// `baseline_member_epochs_per_sec`.
+struct Committed {
+    present: bool,
+    rows: Vec<(String, f64)>,
+}
+
+impl Committed {
+    fn load(path: &str) -> Self {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Self {
+                present: false,
+                rows: Vec::new(),
+            };
+        };
+        let mut rows = Vec::new();
+        for (section, id_key) in [
+            ("scenarios", "\"n\":"),
+            ("tiled_scaling", "\"n\":"),
+            ("tile_count_scaling", "\"grid\":"),
+        ] {
+            for (id, base) in section_rows(&text, section, id_key) {
+                rows.push((format!("{section} {id}"), base));
+            }
+        }
+        // Legacy single-baseline file (pre-ladder): its smoke anchor
+        // carries over as the N=10k scenario-row baseline, so the bar
+        // set on the repo's container is never silently lowered.
+        if rows.is_empty() {
+            let key = "\"smoke_baseline_member_epochs_per_sec\":";
+            if let Some(v) = text
+                .find(key)
+                .and_then(|at| parse_number(&text[at + key.len()..]))
+            {
+                rows.push(("scenarios n=10000".into(), v));
+            }
+        }
+        Self {
+            present: true,
+            rows,
+        }
+    }
+
+    fn baseline(&self, section: &str, id: &str) -> Option<f64> {
+        let want = format!("{section} {id}");
+        self.rows.iter().find(|(k, _)| *k == want).map(|&(_, v)| v)
+    }
+}
+
+fn parse_number(text: &str) -> Option<f64> {
+    text.trim_start()
+        .split([',', '\n', '}', ']', '"'])
+        .find(|s| !s.is_empty())?
         .trim()
         .parse()
         .ok()
+}
+
+/// Scans one committed section for `(row id, baseline)` pairs. Rows
+/// are delimited by their leading id key (`"n":` or `"grid":`), and
+/// each carries `baseline_member_epochs_per_sec` immediately after the
+/// id — nested objects later in the row can't be mistaken for it.
+fn section_rows(text: &str, section: &str, id_key: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let header = format!("\"{section}\": [");
+    let Some(start) = text.find(&header) else {
+        return out;
+    };
+    let body = &text[start + header.len()..];
+    let body = &body[..body.find("\n  ]").unwrap_or(body.len())];
+    let base_key = "\"baseline_member_epochs_per_sec\":";
+    let mut rest = body;
+    while let Some(at) = rest.find(id_key) {
+        rest = &rest[at + id_key.len()..];
+        let id_raw = rest
+            .trim_start()
+            .split([',', '\n'])
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_matches('"')
+            .to_string();
+        let next_row = rest.find(id_key).unwrap_or(rest.len());
+        let Some(bat) = rest[..next_row].find(base_key) else {
+            continue;
+        };
+        let Some(base) = parse_number(&rest[bat + base_key.len()..]) else {
+            continue;
+        };
+        let id = if id_key == "\"n\":" {
+            format!("n={id_raw}")
+        } else {
+            format!("grid={id_raw}")
+        };
+        out.push((id, base));
+    }
+    out
+}
+
+/// The per-row regression gate, named so failures carry the offending
+/// N (or grid) in the message. The margin is 0.5×: repeated runs on
+/// the shared 1-core container show whole-machine wall-clock swings
+/// of ±40–50 % even on best-of-2 mid-size cells, while the structural
+/// regressions this gate exists for — the pre-tiling single-queue
+/// wall, the O(N²) dissemination cliff — cost 5× and more. Covering
+/// every row at 0.5× is strictly stronger in practice than the old
+/// single-cell 0.8× gate that let every other rung drift unwatched.
+fn gate_row(section: &str, id: &str, fresh: f64, committed: &Committed, gated: &mut Vec<String>) {
+    let key = format!("{section} {id}");
+    let Some(base) = committed.baseline(section, id) else {
+        return; // new row: seeded below, gated from the next commit on
+    };
+    assert!(
+        fresh >= 0.5 * base,
+        "protocol regression at {section} {id}: {fresh:.0} member-epochs/s is below \
+         0.5x the committed baseline of {base:.0}"
+    );
+    gated.push(key);
 }
 
 fn layout_json(r: &LayoutRun) -> String {
@@ -263,10 +474,57 @@ fn layout_json(r: &LayoutRun) -> String {
     )
 }
 
+fn tiled_row_json(r: &TiledRow, baseline: f64) -> String {
+    format!(
+        "    {{ \"n\": {}, \"baseline_member_epochs_per_sec\": {:.0}, \"grid\": \"{}x{}\", \
+         \"workers\": {}, \"epochs\": {},\n      \"member_epochs\": {}, \"seconds\": {:.4}, \
+         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3} }}",
+        r.n,
+        baseline,
+        r.gx,
+        r.gy,
+        r.workers,
+        r.epochs,
+        r.member_epochs,
+        r.seconds,
+        r.member_epochs_per_sec,
+        r.events,
+        r.allocs_per_event
+    )
+}
+
+fn tile_count_row_json(r: &TiledRow, baseline: f64) -> String {
+    format!(
+        "    {{ \"grid\": \"{}x{}\", \"baseline_member_epochs_per_sec\": {:.0}, \"n\": {}, \
+         \"workers\": {}, \"epochs\": {},\n      \"member_epochs\": {}, \"seconds\": {:.4}, \
+         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3} }}",
+        r.gx,
+        r.gy,
+        baseline,
+        r.n,
+        r.workers,
+        r.epochs,
+        r.member_epochs,
+        r.seconds,
+        r.member_epochs_per_sec,
+        r.events,
+        r.allocs_per_event
+    )
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
-    let baseline = committed_baseline();
+    let ci = std::env::args().any(|a| a == "--ci");
+    let committed = Committed::load("BENCH_protocol.json");
+    if check {
+        assert!(
+            committed.present,
+            "--check needs a committed BENCH_protocol.json baseline"
+        );
+    }
+    let mut gated: Vec<String> = Vec::new();
 
+    // ------------------------------------------- layout comparison
     let scenarios = [
         Scenario {
             n: 1_000,
@@ -314,11 +572,26 @@ fn main() {
             speedup,
             byte_ratio * 100.0
         );
+        let id = format!("n={}", m.n);
+        if check {
+            gate_row(
+                "scenarios",
+                &id,
+                m.bitmap.member_epochs_per_sec,
+                &committed,
+                &mut gated,
+            );
+        }
+        let baseline = committed
+            .baseline("scenarios", &id)
+            .unwrap_or(m.bitmap.member_epochs_per_sec);
         rows.push(format!(
-            "    {{ \"n\": {}, \"mean_degree\": {:.2}, \"clusters\": {}, \"epochs\": {}, \
-             \"member_epochs\": {},\n      \"bitmap\": {},\n      \"id_list\": {},\n      \
+            "    {{ \"n\": {}, \"baseline_member_epochs_per_sec\": {:.0}, \"mean_degree\": {:.2}, \
+             \"clusters\": {}, \"epochs\": {}, \"member_epochs\": {},\n      \
+             \"bitmap\": {},\n      \"id_list\": {},\n      \
              \"speedup\": {:.3}, \"byte_ratio\": {:.4} }}",
             m.n,
+            baseline,
             m.mean_degree,
             m.clusters,
             m.epochs,
@@ -329,33 +602,139 @@ fn main() {
             byte_ratio
         ));
         if m.n == 10_000 {
-            smoke = Some(m.bitmap.member_epochs_per_sec);
+            smoke = Some(
+                committed
+                    .baseline("scenarios", "n=10000")
+                    .unwrap_or(m.bitmap.member_epochs_per_sec),
+            );
         }
     }
 
-    let smoke = smoke.expect("smoke scenario present");
-    if check {
-        let base = baseline.expect("--check needs a committed BENCH_protocol.json baseline");
-        let floor = 0.8 * base;
-        assert!(
-            smoke >= floor,
-            "protocol regression: {smoke:.0} member-epochs/s at N=10k is below 0.8x the \
-             committed baseline of {base:.0}"
+    // ----------------------------------------- tiled N-scaling ladder
+    // ~1000 nodes per tile, uniform degree 25 and a p=0.01 channel on
+    // every rung so per-node protocol traffic is N-invariant (at
+    // p=0.05 the false-detection rate scales with N and the
+    // system-wide report dissemination makes total traffic O(N²) —
+    // that measures the protocol extension, not the engine; see
+    // EXPERIMENTS.md). The N=250k rung runs reduced epochs so CI can
+    // afford it, and N=1M (skipped under --ci) is the full-FDS
+    // headline scenario.
+    let ladder: Vec<TiledScenario> = [
+        (1_000usize, 6u64),
+        (10_000, 3),
+        (50_000, 2),
+        (250_000, 2),
+        (1_000_000, 2),
+    ]
+    .into_iter()
+    .filter(|&(n, _)| !(ci && n == 1_000_000))
+    .map(|(n, epochs)| {
+        let (gx, gy) = suggested_grid(n, 1_000);
+        TiledScenario {
+            n,
+            target_degree: 25.0,
+            loss_p: 0.01,
+            epochs,
+            gx,
+            gy,
+        }
+    })
+    .collect();
+
+    let mut tiled_rows = Vec::new();
+    for s in &ladder {
+        let r = run_tiled_scenario(s);
+        println!(
+            "tiled N={:<7} grid {}x{} w{}  {:8.3} s  {:>9.0} me/s  {:5.2} allocs/ev",
+            r.n, r.gx, r.gy, r.workers, r.seconds, r.member_epochs_per_sec, r.allocs_per_event
         );
-        println!("smoke check passed: {smoke:.0} me/s >= 0.8 x {base:.0} me/s");
+        let id = format!("n={}", r.n);
+        if check {
+            gate_row(
+                "tiled_scaling",
+                &id,
+                r.member_epochs_per_sec,
+                &committed,
+                &mut gated,
+            );
+        }
+        let baseline = committed
+            .baseline("tiled_scaling", &id)
+            .unwrap_or(r.member_epochs_per_sec);
+        tiled_rows.push(tiled_row_json(&r, baseline));
     }
 
-    // Preserve the committed baseline (the regression anchor) rather
-    // than overwriting it with this machine's number; seed it from the
-    // current run when absent.
-    let committed = baseline.unwrap_or(smoke);
+    // ---------------------------------------- tile-count scaling sweep
+    // Fixed N, growing grids: per-tile queues shrink, so throughput
+    // must hold (or improve) as tiles multiply — the near-linear
+    // tile-count scaling record the acceptance criteria ask for.
+    let mut tile_count_rows = Vec::new();
+    for side in [1u32, 2, 4, 8] {
+        let r = run_tiled_scenario(&TiledScenario {
+            n: 50_000,
+            target_degree: 25.0,
+            loss_p: 0.01,
+            epochs: 2,
+            gx: side,
+            gy: side,
+        });
+        println!(
+            "tiles {}x{} N={}  {:8.3} s  {:>9.0} me/s",
+            r.gx, r.gy, r.n, r.seconds, r.member_epochs_per_sec
+        );
+        let id = format!("grid={}x{}", r.gx, r.gy);
+        if check {
+            gate_row(
+                "tile_count_scaling",
+                &id,
+                r.member_epochs_per_sec,
+                &committed,
+                &mut gated,
+            );
+        }
+        let baseline = committed
+            .baseline("tile_count_scaling", &id)
+            .unwrap_or(r.member_epochs_per_sec);
+        tile_count_rows.push(tile_count_row_json(&r, baseline));
+    }
+
+    // Every committed row must have been re-measured and gated; under
+    // --ci only the deliberately skipped N=1M rung is exempt.
+    if check {
+        let missing: Vec<&String> = committed
+            .rows
+            .iter()
+            .map(|(k, _)| k)
+            .filter(|k| !gated.contains(k))
+            .filter(|k| !(ci && k.as_str() == "tiled_scaling n=1000000"))
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "--check: committed scenario rows not re-run this invocation: {missing:?}"
+        );
+        println!(
+            "check passed: {} rows at or above 0.5x their committed baselines",
+            gated.len()
+        );
+    }
+
+    let smoke = smoke.expect("smoke scenario present");
     let json = format!(
         "{{\n  \"benchmark\": \"fds_protocol\",\n  \
-         \"workload\": \"full FDS (heartbeats, digests, updates, peer forwarding) on uniform fields, p=0.05\",\n  \
-         \"smoke_baseline_member_epochs_per_sec\": {committed:.0},\n  \
-         \"smoke_scenario\": \"n=10000 bitmap layout\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+         \"workload\": \"full FDS (heartbeats, digests, updates, peer forwarding) on uniform fields; layout comparison at p=0.05, tiled scaling at p=0.01 (N-invariant per-node traffic)\",\n  \
+         \"smoke_baseline_member_epochs_per_sec\": {smoke:.0},\n  \
+         \"smoke_scenario\": \"n=10000 bitmap layout\",\n  \"scenarios\": [\n{}\n  ],\n  \
+         \"tiled_scaling\": [\n{}\n  ],\n  \"tile_count_scaling\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
+        tiled_rows.join(",\n"),
+        tile_count_rows.join(",\n"),
     );
-    std::fs::write("BENCH_protocol.json", &json).expect("write BENCH_protocol.json");
-    println!("wrote BENCH_protocol.json");
+    let out = if ci {
+        std::fs::create_dir_all("results").expect("create results dir");
+        "results/BENCH_protocol_ci.json"
+    } else {
+        "BENCH_protocol.json"
+    };
+    std::fs::write(out, &json).expect("write benchmark json");
+    println!("wrote {out}");
 }

@@ -22,7 +22,7 @@ use crate::view::{ClusterPair, ClusterView, GatewayLink};
 use crate::FormationConfig;
 use cbfd_net::id::{ClusterId, NodeId};
 use cbfd_net::topology::Topology;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Runs a full formation over `topology`.
 ///
@@ -70,16 +70,21 @@ fn admit(
         // *established* cluster — i.e. within range of an existing
         // head — joins that cluster rather than founding a new one;
         // its heartbeat is its membership subscription. Ties go to
-        // the lowest head ID.
+        // the lowest head ID. A cluster's head must be a direct
+        // neighbor for `linked` to hold, so the candidate set is the
+        // node's neighborhood, not the full cluster map (this keeps
+        // formation near-linear at N=10⁶).
+        let heads: HashMap<NodeId, ClusterId> =
+            clusters.values().map(|c| (c.head(), c.id())).collect();
         let mut subscribed = false;
         for v in topology.node_ids() {
             if affiliation[v.index()].is_some() {
                 continue;
             }
-            let host = clusters
-                .values()
-                .filter(|c| topology.linked(v, c.head()))
-                .map(|c| c.id())
+            let host = topology
+                .neighbors(v)
+                .iter()
+                .filter_map(|w| heads.get(w).copied())
                 .min();
             if let Some(cid) = host {
                 affiliation[v.index()] = Some(cid);
@@ -194,24 +199,29 @@ pub(crate) fn elect_gateways(
     affiliation: &[Option<ClusterId>],
     config: &FormationConfig,
 ) -> BTreeMap<ClusterPair, GatewayLink> {
+    // A foreign head must be a direct neighbor for `linked` to hold,
+    // so candidacy is decided per neighborhood, not per cluster pair —
+    // the candidate lists come out in a different push order, but they
+    // are sorted and deduplicated below, so the elected gateways are
+    // identical.
+    let heads: HashMap<NodeId, ClusterId> = clusters.values().map(|c| (c.head(), c.id())).collect();
     let mut candidates: BTreeMap<ClusterPair, Vec<NodeId>> = BTreeMap::new();
     for v in topology.node_ids() {
         let Some(own) = affiliation[v.index()] else {
             continue;
         };
-        let own_cluster = &clusters[&own];
-        if own_cluster.head() == v {
+        if clusters[&own].head() == v {
             continue; // heads coordinate, they do not serve as gateways
         }
-        for (other_id, other) in clusters {
-            if *other_id == own {
-                continue;
-            }
-            if topology.linked(v, other.head()) {
-                candidates
-                    .entry(ClusterPair::new(own, *other_id))
-                    .or_default()
-                    .push(v);
+        for w in topology.neighbors(v) {
+            match heads.get(w) {
+                Some(&other_id) if other_id != own => {
+                    candidates
+                        .entry(ClusterPair::new(own, other_id))
+                        .or_default()
+                        .push(v);
+                }
+                _ => {}
             }
         }
     }

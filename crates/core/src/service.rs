@@ -12,12 +12,13 @@ use crate::config::FdsConfig;
 use crate::node::FdsNode;
 use crate::profile::{build_profiles, NodeProfile};
 use cbfd_cluster::{oracle, ClusterView, FormationConfig};
-use cbfd_net::chaos::{self, FaultPlan, FaultPrimitive};
+use cbfd_net::chaos::{self, FaultPlan, FaultPrimitive, PlanHost};
 use cbfd_net::energy::EnergyModel;
 use cbfd_net::id::NodeId;
 use cbfd_net::metrics::SimMetrics;
 use cbfd_net::radio::RadioConfig;
 use cbfd_net::sim::{SimEvent, Simulator};
+use cbfd_net::tiled::{CanonicalSim, TiledSim};
 use cbfd_net::time::{SimDuration, SimTime};
 use cbfd_net::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -352,6 +353,77 @@ impl Experiment {
         sim
     }
 
+    /// [`Experiment::build_sim`] for the single-queue canonical engine
+    /// (per-node RNG streams — deterministic under tiling, unlike the
+    /// legacy simulator's global stream).
+    pub fn build_canonical_sim(&self, radio: RadioConfig, seed: u64) -> CanonicalSim<FdsNode> {
+        let profiles = self.profiles.clone();
+        let fds = self.fds;
+        let capacity = self.energy.initial;
+        let mut sim = CanonicalSim::new(self.topology.clone(), radio, seed, |id| {
+            FdsNode::new(profiles[id.index()].clone(), fds, capacity)
+        });
+        sim.set_energy_model(self.energy);
+        sim
+    }
+
+    /// [`Experiment::build_sim`] for the spatially tiled engine over a
+    /// `gx × gy` grid. Byte-identical to [`CanonicalSim`] output for
+    /// any grid and worker count.
+    pub fn build_tiled_sim(
+        &self,
+        radio: RadioConfig,
+        seed: u64,
+        gx: u32,
+        gy: u32,
+    ) -> TiledSim<FdsNode> {
+        let profiles = self.profiles.clone();
+        let fds = self.fds;
+        let capacity = self.energy.initial;
+        let mut sim = TiledSim::new(self.topology.clone(), radio, seed, gx, gy, |id| {
+            FdsNode::new(profiles[id.index()].clone(), fds, capacity)
+        });
+        sim.set_energy_model(self.energy);
+        sim
+    }
+
+    /// Marks the plan's join targets dormant on `host` — the pre-run
+    /// step [`Experiment::run_plan`] performs on the engine it builds.
+    pub fn mark_join_targets<H: PlanHost>(&self, host: &mut H, plan: &FaultPlan) {
+        for node in plan.join_targets() {
+            if node.index() < self.topology.len() {
+                host.set_dormant(node);
+            }
+        }
+    }
+
+    /// [`Experiment::run_plan_on`] for any engine implementing both
+    /// [`PlanHost`] and [`FdsHost`]: identical crash-epoch ground
+    /// truth, identical plan segmentation (via
+    /// [`chaos::run_plan_quiet`]), identical scoring — but no
+    /// observer, so no invariant monitor can attach. Used by the
+    /// tiling differential suite and the large-N benchmarks.
+    pub fn run_plan_on_host<H: PlanHost + FdsHost>(
+        &self,
+        host: &mut H,
+        plan: &FaultPlan,
+        epochs: u64,
+    ) -> FdsOutcome {
+        let phi = self.fds.heartbeat_interval;
+        let deadline = SimTime::ZERO + phi * epochs - SimDuration::from_micros(1);
+        let start = host.now();
+        let mut crash_epochs: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for (at, node) in plan.crash_schedule() {
+            if node.index() < self.topology.len() && at <= deadline {
+                let at = at.max(start);
+                let epoch = (at.since(SimTime::ZERO).as_micros() / phi.as_micros()).min(epochs - 1);
+                crash_epochs.entry(node).or_insert(epoch);
+            }
+        }
+        chaos::run_plan_quiet(host, plan, deadline);
+        self.evaluate_host(host, epochs, &crash_epochs)
+    }
+
     /// Like [`Experiment::run_plan`], but drives an existing simulator
     /// — typically one restored from a [`Simulator::checkpoint`], so a
     /// chaos campaign can fork many plans off one warmed-up snapshot.
@@ -455,6 +527,18 @@ impl Experiment {
         epochs: u64,
         crash_epochs: &BTreeMap<NodeId, u64>,
     ) -> FdsOutcome {
+        self.evaluate_host(sim, epochs, crash_epochs)
+    }
+
+    /// [`Experiment::evaluate`] over any [`FdsHost`] engine — the
+    /// legacy [`Simulator`], the single-queue
+    /// [`CanonicalSim`], or the spatially tiled [`TiledSim`].
+    pub fn evaluate_host<H: FdsHost>(
+        &self,
+        sim: &H,
+        epochs: u64,
+        crash_epochs: &BTreeMap<NodeId, u64>,
+    ) -> FdsOutcome {
         let crashed: Vec<NodeId> = crash_epochs.keys().copied().collect();
         let mut false_detections = Vec::new();
         let mut detection_latency: BTreeMap<NodeId, u64> = BTreeMap::new();
@@ -549,15 +633,89 @@ impl Experiment {
             detection_latency,
             update_misses,
             member_epochs,
-            metrics: sim.metrics().clone(),
+            metrics: sim.metrics_snapshot(),
             peer_forwards,
             reports,
             retransmissions,
             joins,
             bytes,
             bytes_id_list,
-            energy_imbalance: sim.energy().imbalance(),
+            energy_imbalance: sim.energy_imbalance(),
         }
+    }
+}
+
+/// The read-only surface [`Experiment::evaluate_host`] needs from a
+/// finished engine, implemented by the legacy [`Simulator`], the
+/// single-queue [`CanonicalSim`], and the spatially tiled
+/// [`TiledSim`]. Together with
+/// [`cbfd_net::chaos::PlanHost`] this lets the same
+/// experiment run unchanged on any engine — the tiling differential
+/// suite compares verdicts across all three.
+pub trait FdsHost {
+    /// `(id, node)` pairs in global node order.
+    fn actors(&self) -> Box<dyn Iterator<Item = (NodeId, &FdsNode)> + '_>;
+    /// Whether `node` is operational.
+    fn is_alive(&self, node: NodeId) -> bool;
+    /// Whether `node` withdrew gracefully.
+    fn has_departed(&self, node: NodeId) -> bool;
+    /// Traffic counters for the whole run.
+    fn metrics_snapshot(&self) -> SimMetrics;
+    /// Standard deviation of remaining per-node energy.
+    fn energy_imbalance(&self) -> f64;
+}
+
+impl FdsHost for Simulator<FdsNode> {
+    fn actors(&self) -> Box<dyn Iterator<Item = (NodeId, &FdsNode)> + '_> {
+        Box::new(self.actors())
+    }
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.is_alive(node)
+    }
+    fn has_departed(&self, node: NodeId) -> bool {
+        self.has_departed(node)
+    }
+    fn metrics_snapshot(&self) -> SimMetrics {
+        self.metrics().clone()
+    }
+    fn energy_imbalance(&self) -> f64 {
+        self.energy().imbalance()
+    }
+}
+
+impl FdsHost for CanonicalSim<FdsNode> {
+    fn actors(&self) -> Box<dyn Iterator<Item = (NodeId, &FdsNode)> + '_> {
+        Box::new(self.actors())
+    }
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.is_alive(node)
+    }
+    fn has_departed(&self, node: NodeId) -> bool {
+        self.has_departed(node)
+    }
+    fn metrics_snapshot(&self) -> SimMetrics {
+        self.metrics().clone()
+    }
+    fn energy_imbalance(&self) -> f64 {
+        self.energy_imbalance()
+    }
+}
+
+impl FdsHost for TiledSim<FdsNode> {
+    fn actors(&self) -> Box<dyn Iterator<Item = (NodeId, &FdsNode)> + '_> {
+        Box::new(self.actors())
+    }
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.is_alive(node)
+    }
+    fn has_departed(&self, node: NodeId) -> bool {
+        self.has_departed(node)
+    }
+    fn metrics_snapshot(&self) -> SimMetrics {
+        self.metrics()
+    }
+    fn energy_imbalance(&self) -> f64 {
+        self.energy_imbalance()
     }
 }
 

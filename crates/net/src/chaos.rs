@@ -590,6 +590,171 @@ fn apply_action<A: Actor>(sim: &mut Simulator<A>, action: &Action, baseline_p: f
     }
 }
 
+/// The engine surface a [`FaultPlan`] needs to drive a run: scheduling
+/// churn, swapping channel state between windows, and advancing time.
+///
+/// Implemented by the legacy [`Simulator`], the single-queue
+/// [`CanonicalSim`](crate::tiled::CanonicalSim), and the spatially
+/// tiled [`TiledSim`](crate::tiled::TiledSim), so the same plan can be
+/// replayed on any engine — the tiling differential suite leans on
+/// this to compare engines under identical fault schedules (identical
+/// `run_until` split points included, which matters for energy-harvest
+/// float rounding).
+pub trait PlanHost {
+    /// Number of nodes in the topology.
+    fn node_count(&self) -> usize;
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Advances the run to `deadline`.
+    fn run_until(&mut self, deadline: SimTime);
+    /// Schedules a fail-stop crash (saturating, non-panicking).
+    fn schedule_crash(&mut self, node: NodeId, at: SimTime);
+    /// Schedules the activation of a dormant node.
+    fn schedule_join(&mut self, node: NodeId, at: SimTime);
+    /// Schedules a graceful withdrawal.
+    fn schedule_leave(&mut self, node: NodeId, at: SimTime);
+    /// Schedules the return of a crashed or departed node.
+    fn schedule_rejoin(&mut self, node: NodeId, at: SimTime);
+    /// Marks a node as a late arrival (pre-start only).
+    fn set_dormant(&mut self, node: NodeId);
+    /// Swaps the channel configuration.
+    fn set_radio(&mut self, radio: RadioConfig);
+    /// Imposes a partition (`group_of` has one entry per node).
+    fn set_partition(&mut self, group_of: Vec<u32>);
+    /// Heals any partition.
+    fn clear_partition(&mut self);
+    /// Adds delivery lag to the directed link `from → to`.
+    fn set_link_lag(&mut self, from: NodeId, to: NodeId, extra: SimDuration);
+    /// Removes the lag on `from → to`.
+    fn remove_link_lag(&mut self, from: NodeId, to: NodeId);
+    /// Sets message duplication.
+    fn set_duplication(&mut self, probability: f64, lag: SimDuration);
+}
+
+macro_rules! impl_plan_host_body {
+    () => {
+        fn node_count(&self) -> usize {
+            self.topology().len()
+        }
+        fn now(&self) -> SimTime {
+            self.now()
+        }
+        fn run_until(&mut self, deadline: SimTime) {
+            self.run_until(deadline);
+        }
+        fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+            self.schedule_crash(node, at);
+        }
+        fn schedule_join(&mut self, node: NodeId, at: SimTime) {
+            self.schedule_join(node, at);
+        }
+        fn schedule_leave(&mut self, node: NodeId, at: SimTime) {
+            self.schedule_leave(node, at);
+        }
+        fn schedule_rejoin(&mut self, node: NodeId, at: SimTime) {
+            self.schedule_rejoin(node, at);
+        }
+        fn set_dormant(&mut self, node: NodeId) {
+            self.set_dormant(node);
+        }
+        fn set_radio(&mut self, radio: RadioConfig) {
+            self.set_radio(radio);
+        }
+        fn set_partition(&mut self, group_of: Vec<u32>) {
+            self.set_partition(group_of);
+        }
+        fn clear_partition(&mut self) {
+            self.clear_partition();
+        }
+        fn set_link_lag(&mut self, from: NodeId, to: NodeId, extra: SimDuration) {
+            self.set_link_lag(from, to, extra);
+        }
+        fn remove_link_lag(&mut self, from: NodeId, to: NodeId) {
+            self.remove_link_lag(from, to);
+        }
+        fn set_duplication(&mut self, probability: f64, lag: SimDuration) {
+            self.set_duplication(probability, lag);
+        }
+    };
+}
+
+impl<A: Actor> PlanHost for Simulator<A> {
+    impl_plan_host_body!();
+}
+
+impl<A: Actor> PlanHost for crate::tiled::CanonicalSim<A> {
+    impl_plan_host_body!();
+}
+
+impl<A: Actor + Send> PlanHost for crate::tiled::TiledSim<A>
+where
+    A::Msg: Send,
+{
+    impl_plan_host_body!();
+}
+
+/// [`run_plan`] for any [`PlanHost`], without an observer: identical
+/// crash/churn compilation, identical window segmentation (run to
+/// `at − 1 µs`, apply, continue), identical final segment — so two
+/// hosts fed the same plan see byte-identical schedules and identical
+/// `run_until` split points.
+pub fn run_plan_quiet<H: PlanHost>(host: &mut H, plan: &FaultPlan, deadline: SimTime) {
+    let n = host.node_count();
+    for (at, node) in plan.crash_schedule() {
+        if node.index() < n && at <= deadline {
+            host.schedule_crash(node, at);
+        }
+    }
+    for (at, node, kind) in plan.churn_schedule() {
+        if node.index() >= n || at > deadline {
+            continue;
+        }
+        match kind {
+            "join" => host.schedule_join(node, at),
+            "leave" => host.schedule_leave(node, at),
+            _ => host.schedule_rejoin(node, at),
+        }
+    }
+    for (at, action) in plan.window_actions() {
+        if at > deadline {
+            break;
+        }
+        if at > host.now() && at > SimTime::ZERO {
+            host.run_until(at - SimDuration::from_micros(1));
+        }
+        apply_action_on(host, &action, plan.baseline_p, n);
+    }
+    host.run_until(deadline);
+}
+
+fn apply_action_on<H: PlanHost>(host: &mut H, action: &Action, baseline_p: f64, n: usize) {
+    match action {
+        Action::Bernoulli { p, jitter } => {
+            host.set_radio(RadioConfig::bernoulli(*p).with_jitter(*jitter));
+        }
+        Action::Burst { p_bad, p_gb, p_bg } => {
+            host.set_radio(RadioConfig::new(Box::new(GilbertElliott::new(
+                baseline_p, *p_bad, *p_gb, *p_bg,
+            ))));
+        }
+        Action::RestoreRadio => host.set_radio(RadioConfig::bernoulli(baseline_p)),
+        Action::PartitionOn(groups) => {
+            if groups.len() == n {
+                host.set_partition(groups.clone());
+            }
+        }
+        Action::PartitionOff => host.clear_partition(),
+        Action::LinkLagOn(a, b, lag) => {
+            if a.index() < n && b.index() < n {
+                host.set_link_lag(*a, *b, *lag);
+            }
+        }
+        Action::LinkLagOff(a, b) => host.remove_link_lag(*a, *b),
+        Action::ReplayOn(prob, lag) => host.set_duplication(*prob, *lag),
+        Action::ReplayOff => host.set_duplication(0.0, SimDuration::ZERO),
+    }
+}
+
 // ------------------------------------------------------------ codec
 
 impl fmt::Display for FaultPlan {

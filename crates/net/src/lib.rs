@@ -64,6 +64,7 @@ pub mod placement;
 pub mod radio;
 pub mod rng;
 pub mod sim;
+pub mod tiled;
 pub mod time;
 pub mod topology;
 pub mod trace;

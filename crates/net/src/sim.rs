@@ -81,7 +81,7 @@ pub enum SimEvent {
 /// transmission fans out to any number of neighbours without deep
 /// copies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PayloadId(u32);
+pub(crate) struct PayloadId(pub(crate) u32);
 
 impl Persist for PayloadId {
     fn persist(&self, w: &mut Writer) {
@@ -100,13 +100,13 @@ impl Persist for PayloadId {
 /// reference, and the slot is recycled when the count reaches zero.
 /// A transmission whose every copy is lost frees the slot immediately.
 #[derive(Debug)]
-struct PayloadArena<M> {
+pub(crate) struct PayloadArena<M> {
     slots: Vec<(u32, Option<M>)>,
     free: Vec<u32>,
 }
 
 impl<M> PayloadArena<M> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PayloadArena {
             slots: Vec::new(),
             free: Vec::new(),
@@ -114,7 +114,7 @@ impl<M> PayloadArena<M> {
     }
 
     /// Stores `msg` with a reference count of zero (set after fan-out).
-    fn insert(&mut self, msg: M) -> PayloadId {
+    pub(crate) fn insert(&mut self, msg: M) -> PayloadId {
         if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = (0, Some(msg));
             PayloadId(idx)
@@ -124,7 +124,7 @@ impl<M> PayloadArena<M> {
         }
     }
 
-    fn set_refs(&mut self, id: PayloadId, refs: u32) {
+    pub(crate) fn set_refs(&mut self, id: PayloadId, refs: u32) {
         if refs == 0 {
             self.slots[id.0 as usize].1 = None;
             self.free.push(id.0);
@@ -133,7 +133,7 @@ impl<M> PayloadArena<M> {
         }
     }
 
-    fn get(&self, id: PayloadId) -> &M {
+    pub(crate) fn get(&self, id: PayloadId) -> &M {
         self.slots[id.0 as usize]
             .1
             .as_ref()
@@ -141,7 +141,7 @@ impl<M> PayloadArena<M> {
     }
 
     /// Drops one reference; recycles the slot on the last one.
-    fn release(&mut self, id: PayloadId) {
+    pub(crate) fn release(&mut self, id: PayloadId) {
         let slot = &mut self.slots[id.0 as usize];
         slot.0 -= 1;
         if slot.0 == 0 {
@@ -173,14 +173,14 @@ impl<M: Persist> Persist for PayloadArena<M> {
 /// is rejected by a single compare — no tombstone set to grow without
 /// bound on cancel-heavy runs.
 #[derive(Debug, Default)]
-struct TimerSlab {
+pub(crate) struct TimerSlab {
     generations: Vec<u32>,
     free: Vec<u32>,
 }
 
 impl TimerSlab {
     /// Claims a slot, returning the packed `(slot, generation)` stamp.
-    fn alloc(&mut self) -> u64 {
+    pub(crate) fn alloc(&mut self) -> u64 {
         let slot = self.free.pop().unwrap_or_else(|| {
             self.generations.push(0);
             (self.generations.len() - 1) as u32
@@ -192,7 +192,7 @@ impl TimerSlab {
     /// event still in the queue is rejected by its generation on pop;
     /// generations wrap at 2^32 reuses of one slot, far beyond any
     /// run's cancel count.
-    fn invalidate(&mut self, slot: u32) {
+    pub(crate) fn invalidate(&mut self, slot: u32) {
         self.generations[slot as usize] = self.generations[slot as usize].wrapping_add(1);
         self.free.push(slot);
     }
@@ -200,7 +200,7 @@ impl TimerSlab {
     /// Consumes a firing: true iff `stamp` is current for its slot, in
     /// which case the slot is invalidated (the event is spent) and
     /// recycled.
-    fn try_fire(&mut self, stamp: u64) -> bool {
+    pub(crate) fn try_fire(&mut self, stamp: u64) -> bool {
         let (slot, generation) = unpack_timer(stamp);
         if self.generations[slot as usize] != generation {
             return false;
@@ -212,11 +212,11 @@ impl TimerSlab {
 
 crate::impl_persist!(TimerSlab { generations, free });
 
-fn pack_timer(slot: u32, generation: u32) -> u64 {
+pub(crate) fn pack_timer(slot: u32, generation: u32) -> u64 {
     (u64::from(slot) << 32) | u64::from(generation)
 }
 
-fn unpack_timer(stamp: u64) -> (u32, u32) {
+pub(crate) fn unpack_timer(stamp: u64) -> (u32, u32) {
     ((stamp >> 32) as u32, stamp as u32)
 }
 

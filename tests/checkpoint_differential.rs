@@ -18,6 +18,7 @@ use cbfd::core::node::FdsNode;
 use cbfd::net::checkpoint::{CheckpointError, Persist, Reader, Writer};
 use cbfd::net::par;
 use cbfd::net::sim::Simulator;
+use cbfd::net::tiled::TiledSim;
 use cbfd::prelude::*;
 use cbfd_cluster::FormationConfig;
 use rand::rngs::StdRng;
@@ -256,6 +257,143 @@ fn snapshot_rejects_corruption_without_panicking() {
     let mut padded = bytes.clone();
     padded.push(0);
     assert!(Simulator::<FdsNode>::restore(&padded).is_err());
+}
+
+// ------------------------------------------------- tiled engine
+
+/// The tiled counterpart of [`build_sim`]: identical schedule on the
+/// spatially tiled engine.
+fn build_tiled(case: &ChurnCase, gx: u32, gy: u32) -> TiledSim<FdsNode> {
+    let mut sim = case
+        .exp
+        .build_tiled_sim(RadioConfig::bernoulli(case.p), case.seed, gx, gy);
+    if let Some((node, at)) = case.joiner {
+        sim.set_dormant(node);
+        sim.schedule_join(node, at);
+    }
+    for &(node, at) in &case.crashes {
+        sim.schedule_crash(node, at);
+    }
+    for &(node, at) in &case.leaves {
+        sim.schedule_leave(node, at);
+    }
+    for &(node, at) in &case.rejoins {
+        sim.schedule_rejoin(node, at);
+    }
+    sim.enable_trace();
+    sim
+}
+
+/// A mid-window instant: strictly inside the run, never aligned to the
+/// 1 ms barrier grid, varied per seed.
+fn mid_window_instant(case: &ChurnCase) -> SimTime {
+    let end = deadline(case).as_micros();
+    let mid = end / 3 + 137 + (case.seed * 271) % 800;
+    SimTime::from_micros(if mid.is_multiple_of(1000) {
+        mid + 1
+    } else {
+        mid
+    })
+}
+
+#[test]
+fn tiled_mid_window_restore_then_run_is_byte_identical() {
+    // Same verdict as the single-queue suite, on the tiled engine,
+    // with the snapshot taken at a non-barrier-aligned instant (the
+    // partially-executed window's remainder sits in the per-tile
+    // queues). Both runs pause at `mid`, so their energy-harvest sync
+    // points — and therefore every byte — must agree.
+    for seed in 0..24u64 {
+        let case = build_case(seed);
+        let end = deadline(&case);
+        let mid = mid_window_instant(&case);
+        let (gx, gy) = [(1, 1), (2, 2), (3, 2), (4, 4)][(seed % 4) as usize];
+
+        let mut straight = build_tiled(&case, gx, gy);
+        straight.run_until(mid);
+        straight.run_until(end);
+        let straight_bytes = straight.checkpoint().expect("final checkpoint");
+
+        let mut sim = build_tiled(&case, gx, gy);
+        sim.run_until(mid);
+        let mid_bytes = sim.checkpoint().expect("mid-window checkpoint");
+        drop(sim);
+        let mut resumed: TiledSim<FdsNode> = TiledSim::restore(&mid_bytes).expect("restore");
+        assert_eq!(resumed.grid_dims(), (gx, gy), "seed {seed}: grid survives");
+        assert_eq!(resumed.now(), mid, "seed {seed}: clock survives");
+        resumed.run_until(end);
+        assert_eq!(
+            resumed.checkpoint().expect("final checkpoint"),
+            straight_bytes,
+            "seed {seed}: tiled resume at {mid:?} diverged (grid {gx}x{gy})"
+        );
+
+        // Restoring the same snapshot twice must also agree, and a
+        // different worker count on the resumed engine must not show.
+        let mut again: TiledSim<FdsNode> =
+            TiledSim::restore_with_grid(&mid_bytes, gx, gy).expect("second restore");
+        again.set_workers(4);
+        again.run_until(end);
+        assert_eq!(
+            again.checkpoint().expect("checkpoint"),
+            straight_bytes,
+            "seed {seed}: second restore (4 workers) diverged"
+        );
+    }
+}
+
+#[test]
+fn tiled_checkpoint_pins_its_grid() {
+    // The chosen re-tiling policy: a checkpoint restored at a
+    // different tile count is REJECTED, not silently re-tiled.
+    let case = build_case(5);
+    let mut sim = build_tiled(&case, 2, 2);
+    sim.run_until(mid_window_instant(&case));
+    let bytes = sim.checkpoint().expect("checkpoint");
+
+    assert!(TiledSim::<FdsNode>::restore_with_grid(&bytes, 2, 2).is_ok());
+    for (gx, gy) in [(1, 1), (3, 3), (2, 3), (4, 4)] {
+        let err = TiledSim::<FdsNode>::restore_with_grid(&bytes, gx, gy)
+            .expect_err("grid mismatch must be rejected");
+        assert!(
+            matches!(err, CheckpointError::Corrupt(msg) if msg.contains("grid")),
+            "unexpected rejection: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn tiled_and_legacy_checkpoints_are_mutually_rejected() {
+    let case = build_case(9);
+
+    let mut tiled = build_tiled(&case, 2, 2);
+    tiled.run_until(mid_window_instant(&case));
+    let tiled_bytes = tiled.checkpoint().expect("tiled checkpoint");
+    assert!(
+        Simulator::<FdsNode>::restore(&tiled_bytes).is_err(),
+        "legacy restore must reject a tiled snapshot"
+    );
+
+    let mut legacy = build_sim(&case);
+    for _ in 0..40 {
+        legacy.step_one();
+    }
+    let legacy_bytes = legacy.checkpoint().expect("legacy checkpoint");
+    assert!(
+        matches!(
+            TiledSim::<FdsNode>::restore(&legacy_bytes),
+            Err(CheckpointError::Corrupt(_))
+        ),
+        "tiled restore must reject a single-queue snapshot"
+    );
+
+    // And tiled snapshots reject the same corruption classes.
+    for cut in [0, 4, 12, tiled_bytes.len() / 2, tiled_bytes.len() - 1] {
+        assert!(TiledSim::<FdsNode>::restore(&tiled_bytes[..cut]).is_err());
+    }
+    let mut padded = tiled_bytes.clone();
+    padded.push(0);
+    assert!(TiledSim::<FdsNode>::restore(&padded).is_err());
 }
 
 // ------------------------------------------------- round-trip props

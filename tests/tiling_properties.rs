@@ -1,0 +1,153 @@
+//! Property-based tests for the tiled engine's barrier and lookahead
+//! arithmetic (DESIGN.md §14): window boundary inclusivity, the
+//! range-derived lookahead lower bound, cross-tile transmits landing
+//! beyond the execution limit of the window that sent them, and tile
+//! assignment stability under bounded mobility drift.
+
+use cbfd::net::tiled::{lookahead_of, window_end, window_index, TileGrid};
+use cbfd::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Windows are half-open `[k·W, (k+1)·W)`: an event exactly at a
+    /// barrier belongs to the *next* window, and every instant falls
+    /// inside the window its index names.
+    #[test]
+    fn window_boundaries_are_half_open(
+        at in 0u64..1_000_000_000,
+        w in 1u64..100_000,
+    ) {
+        let width = SimDuration::from_micros(w);
+        let k = window_index(SimTime::from_micros(at), width);
+        // Containment: k·W ≤ at < (k+1)·W.
+        prop_assert!(k.saturating_mul(w) <= at);
+        prop_assert!(at < window_end(k, width).as_micros());
+        // Barrier inclusivity: the barrier instant itself indexes the
+        // next window.
+        let barrier = window_end(k, width).as_micros();
+        prop_assert_eq!(window_index(SimTime::from_micros(barrier), width), k + 1);
+        // A window's end is the next window's start.
+        prop_assert_eq!(
+            window_end(k, width).as_micros(),
+            (k + 1).saturating_mul(w)
+        );
+    }
+
+    /// The lookahead is the radio's base delay, and it is a true lower
+    /// bound: jitter, per-link lag, and duplication lag only add
+    /// latency, so every delivery lands in a strictly later window
+    /// than its transmission.
+    #[test]
+    fn lookahead_forces_strictly_later_window(
+        t in 0u64..1_000_000_000,
+        delay in 1u64..50_000,
+        jitter_draw in 0u64..50_000,
+        link_lag in 0u64..100_000,
+        dup_lag in 0u64..100_000,
+    ) {
+        let radio = RadioConfig::lossless()
+            .with_delay(SimDuration::from_micros(delay))
+            .with_jitter(SimDuration::from_micros(jitter_draw));
+        let w = lookahead_of(&radio);
+        prop_assert_eq!(w, SimDuration::from_micros(delay));
+        // Worst case for the bound is the *minimum* added latency:
+        // zero jitter, zero lag. Any extras push further out.
+        for extra in [0, jitter_draw + link_lag, jitter_draw + link_lag + dup_lag] {
+            let arrival = t + delay + extra;
+            prop_assert!(
+                window_index(SimTime::from_micros(arrival), w)
+                    > window_index(SimTime::from_micros(t), w),
+                "arrival {arrival} did not clear the send window of {t} (W={delay})"
+            );
+        }
+    }
+
+    /// The engine's per-window execution limit is
+    /// `min(barrier, deadline + 1µs)` (deadline-clamped windows). A
+    /// message sent at any instant the window actually executes lands
+    /// at or beyond that limit — cross-tile copies routed at the
+    /// barrier can never be late, even on the clamped final window.
+    #[test]
+    fn cross_tile_transmit_lands_at_or_beyond_the_window_limit(
+        t in 0u64..1_000_000_000,
+        w in 1u64..50_000,
+        deadline_off in 0u64..200_000,
+        extra in 0u64..100_000,
+    ) {
+        let width = SimDuration::from_micros(w);
+        let deadline = t + deadline_off; // t executes only if t ≤ deadline
+        let k = window_index(SimTime::from_micros(t), width);
+        let lim = window_end(k, width)
+            .as_micros()
+            .min(deadline.saturating_add(1));
+        let arrival = t + w + extra; // delay = W plus any extras
+        prop_assert!(
+            arrival >= lim,
+            "arrival {arrival} inside execution limit {lim} (t={t}, W={w}, deadline={deadline})"
+        );
+    }
+
+    /// Tile assignment is total (every point maps to a valid tile,
+    /// even far outside the bounding box) and row-major-consistent.
+    #[test]
+    fn tile_assignment_is_total_and_consistent(
+        pts in proptest::collection::vec((-500.0f64..500.0, -500.0f64..500.0), 1..50),
+        probe_x in -2000.0f64..2000.0,
+        probe_y in -2000.0f64..2000.0,
+        gx in 1u32..8,
+        gy in 1u32..8,
+    ) {
+        let positions: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let grid = TileGrid::new(&positions, gx, gy);
+        prop_assert_eq!(grid.len(), (gx * gy) as usize);
+        for p in &positions {
+            let (cx, cy) = grid.cell_of(*p);
+            prop_assert!(cx < gx && cy < gy);
+            prop_assert_eq!(grid.tile_of(*p), cy * gx + cx);
+        }
+        let probe = Point::new(probe_x, probe_y);
+        prop_assert!((grid.tile_of(probe) as usize) < grid.len());
+    }
+
+    /// Mobility-drift stability: a node that moves strictly less than
+    /// its `boundary_margin` (per axis) keeps its tile. This is the
+    /// contract a future mobility-aware re-tiling pass leans on — only
+    /// nodes whose drift exceeds their margin can change tiles.
+    #[test]
+    fn tile_assignment_is_stable_under_drift_within_margin(
+        pts in proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 2..40),
+        which in 0usize..40,
+        frac_x in -0.99f64..0.99,
+        frac_y in -0.99f64..0.99,
+        gx in 1u32..8,
+        gy in 1u32..8,
+    ) {
+        let positions: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let grid = TileGrid::new(&positions, gx, gy);
+        let p = positions[which % positions.len()];
+        let margin = grid.boundary_margin(p);
+        prop_assert!(margin >= 0.0);
+        if margin.is_finite() && margin > 0.0 {
+            let drifted = Point::new(p.x + frac_x * margin, p.y + frac_y * margin);
+            prop_assert_eq!(
+                grid.tile_of(drifted),
+                grid.tile_of(p),
+                "drift ({:.4}, {:.4}) within margin {:.4} changed tile",
+                frac_x * margin,
+                frac_y * margin,
+                margin
+            );
+        } else {
+            // Infinite margin: the whole axis (or the outward side of
+            // an edge cell) belongs to this tile — any drift that kept
+            // the finite axes in place keeps the tile. Spot-check a
+            // large move on a degenerate single-cell grid.
+            if gx == 1 && gy == 1 {
+                let far = Point::new(p.x + 1e6, p.y - 1e6);
+                prop_assert_eq!(grid.tile_of(far), grid.tile_of(p));
+            }
+        }
+    }
+}
