@@ -44,7 +44,7 @@ use cbfd_net::actor::Actor;
 use cbfd_net::energy::EnergyModel;
 use cbfd_net::geometry::Rect;
 use cbfd_net::prelude::*;
-use cbfd_net::tiled::{suggested_grid, TiledSim};
+use cbfd_net::tiled::{suggested_grid, BarrierBreakdown, TiledSim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -273,11 +273,16 @@ struct TiledRow {
     member_epochs_per_sec: f64,
     events: u64,
     allocs_per_event: f64,
+    /// Per-phase wall-clock breakdown of the best pass's window loop.
+    breakdown: BarrierBreakdown,
 }
 
 /// Full FDS on the tiled engine: pinned placement/sim seeds, best-of-N
-/// passes (one pass at N = 1M — a single large run dominates warmup
-/// noise and keeps the wall-clock budget).
+/// passes at every rung. The N = 1M rung needs the second pass most:
+/// pass one first-touches gigabytes of tile state and eats ~20 s of
+/// page faults that have nothing to do with the engine (the per-phase
+/// breakdown shows the cost land in `other_s`, outside every timed
+/// phase); the warm pass measures the simulation itself.
 fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
     const RANGE: f64 = 100.0;
     let side = side_for_degree(s.n, RANGE, s.target_degree);
@@ -297,10 +302,9 @@ fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
     let capacity = EnergyModel::default().initial;
     let phi = fds.heartbeat_interval;
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let passes = if s.n >= 1_000_000 { 1 } else { PASSES };
-    let mut best: Option<(f64, u64)> = None;
-    let mut last_sim = None;
-    for _ in 0..passes {
+    let mut best: Option<(f64, u64, BarrierBreakdown)> = None;
+    let mut metrics = None;
+    for _ in 0..PASSES {
         let mut sim = TiledSim::new(
             topology.clone(),
             RadioConfig::bernoulli(s.loss_p),
@@ -316,14 +320,38 @@ fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
         sim.run_until(SimTime::ZERO + phi * s.epochs - SimDuration::from_micros(1));
         let seconds = started.elapsed().as_secs_f64();
         let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
-        if best.is_none_or(|(b, _)| seconds < b) {
-            best = Some((seconds, allocs));
+        if best.is_none_or(|(b, _, _)| seconds < b) {
+            best = Some((seconds, allocs, sim.barrier_breakdown()));
         }
-        last_sim = Some(sim);
+        // Metrics are byte-identical across passes (determinism
+        // contract), so snapshot them and drop the sim: keeping the
+        // previous pass's world alive would force the next pass onto
+        // fresh pages and make it pay first-touch faults all over
+        // again — at N = 1M that is the difference between a warm
+        // ~90 s pass and a cold ~115 s one.
+        metrics = Some(sim.metrics());
     }
-    let (seconds, allocs) = best.expect("at least one pass");
-    let m = last_sim.expect("at least one pass").metrics();
+    let (seconds, allocs, breakdown) = best.expect("at least one pass");
+    let m = metrics.expect("at least one pass");
     let events = m.deliveries + m.dropped_dead + m.timers_fired;
+    // Self-consistency: the engine's own per-phase timers must account
+    // for (at most) the wall clock the run took — if they sum past it,
+    // the instrumentation is broken and the breakdown meaningless.
+    // (2 % + 5 ms of slack for clock granularity on the container.)
+    let phase_sum = breakdown.window_exec_s
+        + breakdown.exchange_s
+        + breakdown.trace_merge_s
+        + breakdown.scheduling_s;
+    assert!(
+        breakdown.windows > 0 && phase_sum.is_finite() && phase_sum >= 0.0,
+        "N={}: degenerate barrier breakdown {breakdown:?}",
+        s.n
+    );
+    assert!(
+        phase_sum <= seconds * 1.02 + 0.005,
+        "N={}: barrier phases sum to {phase_sum:.3}s but the run took {seconds:.3}s",
+        s.n
+    );
     TiledRow {
         n: s.n,
         gx: s.gx,
@@ -335,6 +363,7 @@ fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
         member_epochs_per_sec: member_epochs as f64 / seconds,
         events,
         allocs_per_event: allocs as f64 / events.max(1) as f64,
+        breakdown,
     }
 }
 
@@ -342,10 +371,13 @@ fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
 
 /// Per-row regression anchors parsed from the committed
 /// `BENCH_protocol.json`: `(section, row id)` → committed
-/// `baseline_member_epochs_per_sec`.
+/// `baseline_member_epochs_per_sec`, plus — for the tiled sections,
+/// whose rows carry exactly one `allocs_per_event` — the committed
+/// allocation rate, so allocation regressions gate like throughput
+/// regressions.
 struct Committed {
     present: bool,
-    rows: Vec<(String, f64)>,
+    rows: Vec<(String, f64, Option<f64>)>,
 }
 
 impl Committed {
@@ -357,13 +389,13 @@ impl Committed {
             };
         };
         let mut rows = Vec::new();
-        for (section, id_key) in [
-            ("scenarios", "\"n\":"),
-            ("tiled_scaling", "\"n\":"),
-            ("tile_count_scaling", "\"grid\":"),
+        for (section, id_key, with_allocs) in [
+            ("scenarios", "\"n\":", false),
+            ("tiled_scaling", "\"n\":", true),
+            ("tile_count_scaling", "\"grid\":", true),
         ] {
-            for (id, base) in section_rows(&text, section, id_key) {
-                rows.push((format!("{section} {id}"), base));
+            for (id, base, allocs) in section_rows(&text, section, id_key, with_allocs) {
+                rows.push((format!("{section} {id}"), base, allocs));
             }
         }
         // Legacy single-baseline file (pre-ladder): its smoke anchor
@@ -375,7 +407,7 @@ impl Committed {
                 .find(key)
                 .and_then(|at| parse_number(&text[at + key.len()..]))
             {
-                rows.push(("scenarios n=10000".into(), v));
+                rows.push(("scenarios n=10000".into(), v, None));
             }
         }
         Self {
@@ -386,7 +418,18 @@ impl Committed {
 
     fn baseline(&self, section: &str, id: &str) -> Option<f64> {
         let want = format!("{section} {id}");
-        self.rows.iter().find(|(k, _)| *k == want).map(|&(_, v)| v)
+        self.rows
+            .iter()
+            .find(|(k, _, _)| *k == want)
+            .map(|&(_, v, _)| v)
+    }
+
+    fn allocs_baseline(&self, section: &str, id: &str) -> Option<f64> {
+        let want = format!("{section} {id}");
+        self.rows
+            .iter()
+            .find(|(k, _, _)| *k == want)
+            .and_then(|&(_, _, a)| a)
     }
 }
 
@@ -399,11 +442,20 @@ fn parse_number(text: &str) -> Option<f64> {
         .ok()
 }
 
-/// Scans one committed section for `(row id, baseline)` pairs. Rows
-/// are delimited by their leading id key (`"n":` or `"grid":`), and
-/// each carries `baseline_member_epochs_per_sec` immediately after the
-/// id — nested objects later in the row can't be mistaken for it.
-fn section_rows(text: &str, section: &str, id_key: &str) -> Vec<(String, f64)> {
+/// Scans one committed section for `(row id, baseline, allocs)`
+/// triples. Rows are delimited by their leading id key (`"n":` or
+/// `"grid":`), and each carries `baseline_member_epochs_per_sec`
+/// immediately after the id — nested objects later in the row can't be
+/// mistaken for it. `with_allocs` additionally captures the row's
+/// `allocs_per_event`; only the tiled sections opt in, because their
+/// flat rows carry exactly one such key (scenario rows nest several
+/// per-layout copies, which this scanner would conflate).
+fn section_rows(
+    text: &str,
+    section: &str,
+    id_key: &str,
+    with_allocs: bool,
+) -> Vec<(String, f64, Option<f64>)> {
     let mut out = Vec::new();
     let header = format!("\"{section}\": [");
     let Some(start) = text.find(&header) else {
@@ -412,6 +464,7 @@ fn section_rows(text: &str, section: &str, id_key: &str) -> Vec<(String, f64)> {
     let body = &text[start + header.len()..];
     let body = &body[..body.find("\n  ]").unwrap_or(body.len())];
     let base_key = "\"baseline_member_epochs_per_sec\":";
+    let allocs_key = "\"allocs_per_event\":";
     let mut rest = body;
     while let Some(at) = rest.find(id_key) {
         rest = &rest[at + id_key.len()..];
@@ -424,18 +477,25 @@ fn section_rows(text: &str, section: &str, id_key: &str) -> Vec<(String, f64)> {
             .trim_matches('"')
             .to_string();
         let next_row = rest.find(id_key).unwrap_or(rest.len());
-        let Some(bat) = rest[..next_row].find(base_key) else {
+        let row = &rest[..next_row];
+        let Some(bat) = row.find(base_key) else {
             continue;
         };
         let Some(base) = parse_number(&rest[bat + base_key.len()..]) else {
             continue;
+        };
+        let allocs = if with_allocs {
+            row.find(allocs_key)
+                .and_then(|aat| parse_number(&row[aat + allocs_key.len()..]))
+        } else {
+            None
         };
         let id = if id_key == "\"n\":" {
             format!("n={id_raw}")
         } else {
             format!("grid={id_raw}")
         };
-        out.push((id, base));
+        out.push((id, base, allocs));
     }
     out
 }
@@ -461,6 +521,23 @@ fn gate_row(section: &str, id: &str, fresh: f64, committed: &Committed, gated: &
     gated.push(key);
 }
 
+/// The per-row allocation gate for the tiled ladder. Allocation counts
+/// are deterministic (the `CountingAlloc` tally doesn't wobble with
+/// machine load the way wall-clock does), so the margin is a tight
+/// 1.5×: a steady-state alloc leak on the barrier path — the exact
+/// regression the pooled-buffer design exists to prevent — multiplies
+/// allocs/event, it doesn't nudge it.
+fn gate_allocs_row(section: &str, id: &str, fresh: f64, committed: &Committed) {
+    let Some(base) = committed.allocs_baseline(section, id) else {
+        return; // new row or pre-breakdown baseline: seeded this commit
+    };
+    assert!(
+        fresh <= 1.5 * base,
+        "allocation regression at {section} {id}: {fresh:.3} allocs/event exceeds \
+         1.5x the committed {base:.3}"
+    );
+}
+
 fn layout_json(r: &LayoutRun) -> String {
     format!(
         "{{ \"seconds\": {:.4}, \"member_epochs_per_sec\": {:.0}, \"events\": {}, \
@@ -474,11 +551,29 @@ fn layout_json(r: &LayoutRun) -> String {
     )
 }
 
+/// Per-phase barrier cost of the run's best pass. `other_s` is the
+/// wall-clock the four instrumented phases don't account for (actor
+/// start-up, the energy epilogue, loop overhead) so the row always
+/// reconciles: phases + other == seconds.
+fn breakdown_json(b: &cbfd_net::tiled::BarrierBreakdown, seconds: f64) -> String {
+    let phase_sum = b.window_exec_s + b.exchange_s + b.trace_merge_s + b.scheduling_s;
+    format!(
+        "\"breakdown\": {{ \"windows\": {}, \"window_exec_s\": {:.4}, \"exchange_s\": {:.4}, \
+         \"trace_merge_s\": {:.4}, \"scheduling_s\": {:.4}, \"other_s\": {:.4} }}",
+        b.windows,
+        b.window_exec_s,
+        b.exchange_s,
+        b.trace_merge_s,
+        b.scheduling_s,
+        (seconds - phase_sum).max(0.0)
+    )
+}
+
 fn tiled_row_json(r: &TiledRow, baseline: f64) -> String {
     format!(
         "    {{ \"n\": {}, \"baseline_member_epochs_per_sec\": {:.0}, \"grid\": \"{}x{}\", \
          \"workers\": {}, \"epochs\": {},\n      \"member_epochs\": {}, \"seconds\": {:.4}, \
-         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3} }}",
+         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3},\n      {} }}",
         r.n,
         baseline,
         r.gx,
@@ -489,7 +584,8 @@ fn tiled_row_json(r: &TiledRow, baseline: f64) -> String {
         r.seconds,
         r.member_epochs_per_sec,
         r.events,
-        r.allocs_per_event
+        r.allocs_per_event,
+        breakdown_json(&r.breakdown, r.seconds)
     )
 }
 
@@ -497,7 +593,7 @@ fn tile_count_row_json(r: &TiledRow, baseline: f64) -> String {
     format!(
         "    {{ \"grid\": \"{}x{}\", \"baseline_member_epochs_per_sec\": {:.0}, \"n\": {}, \
          \"workers\": {}, \"epochs\": {},\n      \"member_epochs\": {}, \"seconds\": {:.4}, \
-         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3} }}",
+         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3},\n      {} }}",
         r.gx,
         r.gy,
         baseline,
@@ -508,7 +604,8 @@ fn tile_count_row_json(r: &TiledRow, baseline: f64) -> String {
         r.seconds,
         r.member_epochs_per_sec,
         r.events,
-        r.allocs_per_event
+        r.allocs_per_event,
+        breakdown_json(&r.breakdown, r.seconds)
     )
 }
 
@@ -657,6 +754,7 @@ fn main() {
                 &committed,
                 &mut gated,
             );
+            gate_allocs_row("tiled_scaling", &id, r.allocs_per_event, &committed);
         }
         let baseline = committed
             .baseline("tiled_scaling", &id)
@@ -691,6 +789,7 @@ fn main() {
                 &committed,
                 &mut gated,
             );
+            gate_allocs_row("tile_count_scaling", &id, r.allocs_per_event, &committed);
         }
         let baseline = committed
             .baseline("tile_count_scaling", &id)
@@ -704,7 +803,7 @@ fn main() {
         let missing: Vec<&String> = committed
             .rows
             .iter()
-            .map(|(k, _)| k)
+            .map(|(k, _, _)| k)
             .filter(|k| !gated.contains(k))
             .filter(|k| !(ci && k.as_str() == "tiled_scaling n=1000000"))
             .collect();

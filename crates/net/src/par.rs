@@ -154,6 +154,49 @@ where
         .collect()
 }
 
+/// Runs `f` over `items` with **exclusive** access to each element, on
+/// `workers` threads, discarding results.
+///
+/// [`par_map_mut`] minus the result slots: the tiled engine's barrier
+/// phases (per-destination exchange routing) mutate disjoint state in
+/// place and return nothing, so allocating a `Vec<Mutex<Option<()>>>`
+/// per window would be pure churn. The same determinism contract
+/// applies — as long as `f(i, item)` depends only on `i` and the item,
+/// the final state of `items` is invariant in the worker count.
+///
+/// # Panics
+///
+/// Panics if any worker panics (via `std::thread::scope`'s join).
+pub fn par_for_each_mut<T, F>(workers: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let mut item = cells[i].lock().expect("work cell poisoned");
+                f(i, &mut item);
+            });
+        }
+    });
+}
+
 /// [`par_map`] with the [`default_workers`] count.
 pub fn par_map_default<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -234,6 +277,21 @@ mod tests {
         };
         assert_eq!(par_map_mut(1, &mut a, bump), par_map_mut(8, &mut b, bump));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial() {
+        let mut serial: Vec<u64> = (0..63).collect();
+        let mut threaded = serial.clone();
+        let bump = |i: usize, x: &mut u64| {
+            *x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+        };
+        par_for_each_mut(1, &mut serial, bump);
+        par_for_each_mut(8, &mut threaded, bump);
+        assert_eq!(serial, threaded);
+
+        let mut empty: Vec<u64> = Vec::new();
+        par_for_each_mut(4, &mut empty, |_, _| unreachable!());
     }
 
     #[test]

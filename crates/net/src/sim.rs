@@ -124,6 +124,28 @@ impl<M> PayloadArena<M> {
         }
     }
 
+    /// Stores `msg` with its final reference count in one operation —
+    /// the fused `insert` + `set_refs` pair the tiled exchange pays
+    /// per routed payload. `refs == 0` behaves exactly like
+    /// `insert` followed by `set_refs(_, 0)`: the slot is claimed and
+    /// immediately recycled, preserving free-list order (the free list
+    /// is persisted, so its order is observable).
+    pub(crate) fn insert_with_refs(&mut self, msg: M, refs: u32) -> PayloadId {
+        if refs == 0 {
+            let id = self.insert(msg);
+            self.slots[id.0 as usize].1 = None;
+            self.free.push(id.0);
+            return id;
+        }
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = (refs, Some(msg));
+            PayloadId(idx)
+        } else {
+            self.slots.push((refs, Some(msg)));
+            PayloadId((self.slots.len() - 1) as u32)
+        }
+    }
+
     pub(crate) fn set_refs(&mut self, id: PayloadId, refs: u32) {
         if refs == 0 {
             self.slots[id.0 as usize].1 = None;
@@ -1562,6 +1584,46 @@ mod tests {
             sim.payloads.slots.iter().all(|(_, m)| m.is_none()),
             "zero-survivor payloads are dropped at transmit time"
         );
+    }
+
+    #[test]
+    fn insert_with_refs_counts_down_to_recycling() {
+        let mut arena: PayloadArena<u64> = PayloadArena::new();
+        let id = arena.insert_with_refs(7, 2);
+        assert_eq!(*arena.get(id), 7);
+        arena.release(id);
+        assert_eq!(*arena.get(id), 7, "one reference still outstanding");
+        arena.release(id);
+        assert_eq!(arena.free, vec![id.0], "last release recycles the slot");
+
+        // The recycled slot is reused before the vector grows.
+        let id2 = arena.insert_with_refs(9, 1);
+        assert_eq!(id2.0, id.0);
+        assert_eq!(arena.slots.len(), 1);
+    }
+
+    #[test]
+    fn insert_with_refs_zero_matches_insert_then_set_refs() {
+        // The free list is persisted in checkpoints, so its order is
+        // observable: the fused call must leave the arena in exactly
+        // the state the unfused insert + set_refs(0) pair would.
+        let mut fused: PayloadArena<u64> = PayloadArena::new();
+        let mut unfused: PayloadArena<u64> = PayloadArena::new();
+        for arena in [&mut fused, &mut unfused] {
+            let a = arena.insert_with_refs(1, 1);
+            let b = arena.insert_with_refs(2, 1);
+            arena.release(a);
+            arena.release(b);
+        }
+        let f = fused.insert_with_refs(3, 0);
+        let u = unfused.insert(3);
+        unfused.set_refs(u, 0);
+        assert_eq!(f.0, u.0);
+        assert_eq!(fused.free, unfused.free, "free-list order preserved");
+        assert!(fused.slots[f.0 as usize].1.is_none());
+
+        // And the next allocation lands on the same slot in both.
+        assert_eq!(fused.insert(4).0, unfused.insert(4).0);
     }
 
     #[test]

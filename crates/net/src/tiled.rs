@@ -56,6 +56,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// The `node` value [`EventPrio`] uses for externally scheduled events
 /// (crash/join/leave/rejoin injected by a harness rather than by a
@@ -474,6 +475,116 @@ impl<M> EventHeap<M> {
         }
         heap
     }
+}
+
+// ----------------------------------------------------- window sched
+
+/// Incrementally maintained minimum over per-tile next-event times: a
+/// flat tournament tree (the calendar-queue trick applied to tiles).
+///
+/// Leaf `i` holds tile `i`'s next pending fire time in microseconds
+/// (`u64::MAX` = idle); each internal node holds the minimum of its
+/// two children. [`TileSchedule::set`] is O(log T), the global minimum
+/// is O(1), and [`TileSchedule::collect_before`] enumerates every tile
+/// with work before a limit in **ascending tile order** in
+/// O(answer·log T) — replacing the O(tiles) `peek_time()` scan the
+/// window loop used to pay per window (1,024 probes each at 32×32).
+#[derive(Debug, Clone)]
+pub struct TileSchedule {
+    width: usize,
+    tree: Vec<u64>,
+}
+
+impl TileSchedule {
+    /// A schedule over `tiles` tiles, all initially idle.
+    pub fn new(tiles: usize) -> Self {
+        let width = tiles.max(1).next_power_of_two();
+        TileSchedule {
+            width,
+            tree: vec![u64::MAX; 2 * width],
+        }
+    }
+
+    /// Records tile `tile`'s next pending fire time (`None` = idle).
+    pub fn set(&mut self, tile: usize, next: Option<SimTime>) {
+        let v = next.map_or(u64::MAX, |t| t.as_micros());
+        let mut i = self.width + tile;
+        if self.tree[i] == v {
+            return;
+        }
+        self.tree[i] = v;
+        while i > 1 {
+            i >>= 1;
+            let m = self.tree[2 * i].min(self.tree[2 * i + 1]);
+            if self.tree[i] == m {
+                break;
+            }
+            self.tree[i] = m;
+        }
+    }
+
+    /// The earliest pending fire time across all tiles, if any.
+    pub fn min_time(&self) -> Option<SimTime> {
+        let v = self.tree[1];
+        (v != u64::MAX).then(|| SimTime::from_micros(v))
+    }
+
+    /// Appends to `out` every tile whose next event fires strictly
+    /// before `lim`, in ascending tile order (left-first descent over
+    /// leaves in tile order) — exactly the tiles `pop_before(lim)`
+    /// would find work on.
+    pub fn collect_before(&self, lim: SimTime, out: &mut Vec<u32>) {
+        self.walk(1, lim.as_micros(), out);
+    }
+
+    fn walk(&self, node: usize, lim: u64, out: &mut Vec<u32>) {
+        if self.tree[node] >= lim {
+            return;
+        }
+        if node >= self.width {
+            out.push((node - self.width) as u32);
+            return;
+        }
+        self.walk(2 * node, lim, out);
+        self.walk(2 * node + 1, lim, out);
+    }
+}
+
+/// Cumulative wall-clock cost of the window loop, split by phase —
+/// observational instrumentation for `bench_protocol`'s barrier-cost
+/// breakdown. Never feeds back into simulation state, so determinism
+/// is untouched; not persisted in checkpoints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BarrierBreakdown {
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Seconds inside per-tile `run_window` (the parallel section).
+    pub window_exec_s: f64,
+    /// Seconds routing cross-tile copies at the barrier.
+    pub exchange_s: f64,
+    /// Seconds merging per-tile trace buffers.
+    pub trace_merge_s: f64,
+    /// Seconds maintaining/querying the window schedule.
+    pub scheduling_s: f64,
+}
+
+/// Hands out disjoint `&mut` borrows to the elements of `items` at the
+/// **strictly ascending** indices `idx`, by repeatedly splitting the
+/// slice — no `unsafe`, no per-element locks. The window loop uses
+/// this to run only the active tiles through the parallel section.
+fn gather_mut<'a, T>(items: &'a mut [T], idx: &[u32]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(idx.len());
+    let mut rest: &'a mut [T] = items;
+    let mut base = 0usize;
+    for &i in idx {
+        let taken = std::mem::take(&mut rest);
+        let (_, tail) = taken.split_at_mut(i as usize - base);
+        let (item, tail) = tail.split_first_mut().expect("gather index in range");
+        out.push(item);
+        rest = tail;
+        base = i as usize + 1;
+    }
+    out
 }
 
 // -------------------------------------------------------- canonical
@@ -1061,13 +1172,39 @@ impl TileMetrics {
 }
 
 /// A cross-tile delivery copy awaiting the window barrier exchange.
-#[derive(Debug)]
-struct OutCopy<M> {
+/// `msg` indexes into the owning [`OutBucket`]'s message table, so
+/// several copies of one transmission into the same destination tile
+/// share a single cloned payload.
+#[derive(Debug, Clone, Copy)]
+struct OutCopy {
     at: SimTime,
     prio: EventPrio,
     to: NodeId,
     from: NodeId,
-    msg: M,
+    msg: u32,
+}
+
+/// One window's cross-tile traffic from one source tile to one
+/// destination tile: the deduplicated payloads (with the reference
+/// count each will need in the destination arena) plus the copies in
+/// creation order. Bucket shells are pooled and recycled across
+/// windows — the barrier never allocates in steady state.
+#[derive(Debug)]
+struct OutBucket<M> {
+    dst: u32,
+    /// `(payload, copies referencing it)`, in first-copy order.
+    msgs: Vec<(M, u32)>,
+    copies: Vec<OutCopy>,
+}
+
+impl<M> Default for OutBucket<M> {
+    fn default() -> Self {
+        OutBucket {
+            dst: u32::MAX,
+            msgs: Vec::new(),
+            copies: Vec::new(),
+        }
+    }
 }
 
 /// Read-only state shared by every tile during a window (all global
@@ -1106,15 +1243,29 @@ struct Tile<A: Actor> {
     timers: TimerSlab,
     node_timers: Vec<Vec<(u64, u32)>>,
     metrics: TileMetrics,
-    outbox: Vec<OutCopy<A::Msg>>,
+    /// Cross-tile copies bucketed by destination tile, in bucket
+    /// creation order (at most one bucket per destination per window).
+    outbox: Vec<OutBucket<A::Msg>>,
+    /// Recycled empty bucket shells. Refilled by the exchange with the
+    /// shells routed *into* this tile — in a grid, neighbour relations
+    /// are symmetric, so sends ≈ receives and the pool self-balances.
+    bucket_pool: Vec<OutBucket<A::Msg>>,
+    /// Per-transmission `(dst, bucket, msg-index)` dedup scratch so
+    /// every copy of one transmission into one destination tile shares
+    /// a single payload clone.
+    tx_dests: Vec<(u32, u32, u32)>,
     /// Window trace buffer: records tagged with the dispatching
     /// event's priority so the barrier merge can interleave tiles in
     /// canonical order.
     trace_buf: Vec<(EventPrio, TraceRecord)>,
+    /// Consumed prefix of `trace_buf` during the k-way barrier merge.
+    trace_cursor: usize,
     tag: EventPrio,
     now: SimTime,
     scratch_neighbors: Vec<NodeId>,
     scratch_commands: Vec<Command<A::Msg>>,
+    /// Exchange scratch: payload ids of the bucket being routed in.
+    scratch_payload_ids: Vec<PayloadId>,
 }
 
 impl<A: Actor> Tile<A> {
@@ -1341,6 +1492,54 @@ impl<A: Actor> Tile<A> {
         self.scratch_commands = commands;
     }
 
+    /// Appends one cross-tile copy to the outbox, bucketed by
+    /// destination tile. The payload is cloned once per
+    /// `(transmission, destination tile)` pair — `tx_dests` (cleared
+    /// per transmission) remembers where this transmission's payload
+    /// already landed — and every further copy only bumps the shared
+    /// slot's reference count.
+    #[allow(clippy::too_many_arguments)]
+    fn push_cross(
+        &mut self,
+        dst: u32,
+        at: SimTime,
+        prio: EventPrio,
+        to: NodeId,
+        from: NodeId,
+        payload: PayloadId,
+    ) {
+        let (bi, mi) = match self.tx_dests.iter().find(|&&(d, _, _)| d == dst) {
+            Some(&(_, bi, mi)) => (bi, mi),
+            None => {
+                let bi = match self.outbox.iter().position(|b| b.dst == dst) {
+                    Some(bi) => bi as u32,
+                    None => {
+                        let mut bucket = self.bucket_pool.pop().unwrap_or_default();
+                        bucket.dst = dst;
+                        self.outbox.push(bucket);
+                        (self.outbox.len() - 1) as u32
+                    }
+                };
+                let bucket = &mut self.outbox[bi as usize];
+                let mi = bucket.msgs.len() as u32;
+                // The payload is still alive in the local arena (its
+                // refs are finalized after the neighbour loop).
+                bucket.msgs.push((self.payloads.get(payload).clone(), 0));
+                self.tx_dests.push((dst, bi, mi));
+                (bi, mi)
+            }
+        };
+        let bucket = &mut self.outbox[bi as usize];
+        bucket.msgs[mi as usize].1 += 1;
+        bucket.copies.push(OutCopy {
+            at,
+            prio,
+            to,
+            from,
+            msg: mi,
+        });
+    }
+
     fn transmit(&mut self, from: NodeId, msg: A::Msg, shared: &Shared<'_>) {
         let lf = self.local(shared, from);
         let mut neighbors = std::mem::take(&mut self.scratch_neighbors);
@@ -1353,6 +1552,7 @@ impl<A: Actor> Tile<A> {
         let from_pos = shared.topology.position(from);
         let src_lags = lag_slice(shared.link_lag, from);
         let payload = self.payloads.insert(msg);
+        self.tx_dests.clear();
         let mut refs = 0u32;
         for &to in neighbors.iter() {
             let partitioned = shared
@@ -1383,7 +1583,8 @@ impl<A: Actor> Tile<A> {
                 node: from.0,
                 seq,
             };
-            let local_dest = shared.tile_of[to.index()] == self.index;
+            let dst = shared.tile_of[to.index()];
+            let local_dest = dst == self.index;
             if local_dest {
                 refs += 1;
                 self.queue.push(
@@ -1396,13 +1597,7 @@ impl<A: Actor> Tile<A> {
                     },
                 );
             } else {
-                self.outbox.push(OutCopy {
-                    at,
-                    prio,
-                    to,
-                    from,
-                    msg: self.payloads.get(payload).clone(),
-                });
+                self.push_cross(dst, at, prio, to, from, payload);
             }
             if shared.dup_probability > 0.0 && self.rngs[lf].random_bool(shared.dup_probability) {
                 let dup_at = at + shared.dup_lag;
@@ -1425,13 +1620,7 @@ impl<A: Actor> Tile<A> {
                         },
                     );
                 } else {
-                    self.outbox.push(OutCopy {
-                        at: dup_at,
-                        prio: dup_prio,
-                        to,
-                        from,
-                        msg: self.payloads.get(payload).clone(),
-                    });
+                    self.push_cross(dst, dup_at, dup_prio, to, from, payload);
                 }
             }
         }
@@ -1491,6 +1680,21 @@ pub struct TiledSim<A: Actor> {
     trace: Trace,
     model: EnergyModel,
     workers: usize,
+    /// O(log T) window schedule over per-tile next-event times;
+    /// refreshed in full at each `run_until` entry, maintained
+    /// incrementally inside the window loop. Not persisted.
+    sched: TileSchedule,
+    /// Scratch: tiles with work in the current window, ascending.
+    active: Vec<u32>,
+    /// Exchange scratch: inbound buckets per destination tile, pushed
+    /// in source-tile-ascending order (the canonical drain order).
+    dest_in: Vec<Vec<OutBucket<A::Msg>>>,
+    /// Exchange scratch: destination tiles of the current window.
+    window_dests: Vec<u32>,
+    /// Trace-merge scratch: one cursor key per tile with records left.
+    merge_heap: BinaryHeap<Reverse<(SimTime, EventPrio, u32)>>,
+    /// Cumulative per-phase wall-clock cost (observational only).
+    breakdown: BarrierBreakdown,
 }
 
 impl<A: Actor> TiledSim<A> {
@@ -1563,7 +1767,10 @@ impl<A: Actor> TiledSim<A> {
                     node_timers: vec![Vec::new(); k],
                     metrics: TileMetrics::new(k),
                     outbox: Vec::new(),
+                    bucket_pool: Vec::new(),
+                    tx_dests: Vec::new(),
                     trace_buf: Vec::new(),
+                    trace_cursor: 0,
                     tag: EventPrio {
                         birth: SimTime::ZERO,
                         node: EXTERNAL_NODE,
@@ -1572,6 +1779,7 @@ impl<A: Actor> TiledSim<A> {
                     now: SimTime::ZERO,
                     scratch_neighbors: Vec::new(),
                     scratch_commands: Vec::new(),
+                    scratch_payload_ids: Vec::new(),
                     nodes,
                 }
             })
@@ -1593,8 +1801,21 @@ impl<A: Actor> TiledSim<A> {
             trace: Trace::disabled(),
             model: EnergyModel::default(),
             workers: 1,
+            sched: TileSchedule::new(ntiles),
+            active: Vec::new(),
+            dest_in: (0..ntiles).map(|_| Vec::new()).collect(),
+            window_dests: Vec::new(),
+            merge_heap: BinaryHeap::new(),
+            breakdown: BarrierBreakdown::default(),
             topology,
         }
+    }
+
+    /// Cumulative per-phase wall-clock breakdown of the window loop
+    /// (window execution vs exchange vs trace merge vs scheduling).
+    /// Purely observational; never part of simulation state.
+    pub fn barrier_breakdown(&self) -> BarrierBreakdown {
+        self.breakdown
     }
 
     /// Sets the worker-thread count used per window (clamped to at
@@ -1852,7 +2073,12 @@ impl<A: Actor> TiledSim<A> {
         self.dup_probability = probability;
         self.dup_lag = lag;
     }
+}
 
+impl<A: Actor + Send> TiledSim<A>
+where
+    A::Msg: Send,
+{
     /// Delivers `on_start` callbacks in global node order (sequential
     /// — start order is part of the determinism contract), then
     /// exchanges any cross-tile copies the starts produced.
@@ -1861,114 +2087,193 @@ impl<A: Actor> TiledSim<A> {
             return;
         }
         self.started = true;
-        for i in 0..self.topology.len() {
-            let t = self.tile_of[i] as usize;
-            let l = self.local_of[i] as usize;
-            {
-                let shared = Shared {
-                    topology: &self.topology,
-                    tile_of: &self.tile_of,
-                    local_of: &self.local_of,
-                    partition: &self.partition,
-                    link_lag: &self.link_lag,
-                    delay: self.delay,
-                    jitter: self.jitter,
-                    dup_probability: self.dup_probability,
-                    dup_lag: self.dup_lag,
-                    trace_enabled: self.trace.is_enabled(),
-                };
-                let tile = &mut self.tiles[t];
-                if !tile.alive[l] {
-                    continue;
+        let trace_enabled = self.trace.is_enabled();
+        // Tile-major, in parallel: starting N actors in global node
+        // order hops tiles on every step — at N=10⁶ that walk touches
+        // a cold tile per node and dominates the whole first epoch.
+        // Per tile, locals run in ascending global id, and tiles are
+        // independent (start-time sends land in per-tile outbox
+        // buckets), so the observable outcome is order-free.
+        {
+            let workers = self.workers;
+            let shared = Shared {
+                topology: &self.topology,
+                tile_of: &self.tile_of,
+                local_of: &self.local_of,
+                partition: &self.partition,
+                link_lag: &self.link_lag,
+                delay: self.delay,
+                jitter: self.jitter,
+                dup_probability: self.dup_probability,
+                dup_lag: self.dup_lag,
+                trace_enabled,
+            };
+            crate::par::par_for_each_mut(workers, &mut self.tiles, |_, tile| {
+                for l in 0..tile.nodes.len() {
+                    if tile.alive[l] {
+                        let node = tile.nodes[l];
+                        tile.start_node(l, node, &shared);
+                    }
                 }
-                tile.start_node(l, NodeId(i as u32), &shared);
-            }
-            // Start-time records flush straight to the global trace in
-            // node order — exactly the canonical engine's order.
-            if self.trace.is_enabled() {
-                let buf = std::mem::take(&mut self.tiles[t].trace_buf);
-                for (_, rec) in buf {
-                    self.trace.push(rec);
-                }
-            }
+            });
+        }
+        // Start-time records carry priority `(birth 0, node, 0)` —
+        // globally unique and node-ascending — so the k-way barrier
+        // merge emits them in exactly the canonical engine's node
+        // order.
+        if trace_enabled {
+            self.active.clear();
+            self.active.extend(0..self.tiles.len() as u32);
+            self.merge_traces();
+            self.active.clear();
         }
         self.exchange(SimTime::ZERO);
     }
 
-    /// Routes every outbox copy into its destination tile's queue and
-    /// arena. Deterministic order: source tile ascending, push order
-    /// within a tile — worker scheduling never touches it.
+    /// Routes every outbox bucket into its destination tile's queue
+    /// and arena, per destination in parallel. Deterministic order per
+    /// destination: source tile ascending (one bucket per source), the
+    /// within-source push order preserved inside each bucket — worker
+    /// scheduling never touches it, because destinations are disjoint
+    /// and each destination's bucket list is drained sequentially by
+    /// exactly one worker. Deduplicated payloads enter the arena via
+    /// [`PayloadArena::insert_with_refs`] (one arena op per
+    /// transmission per destination tile) and the emptied bucket
+    /// shells refill the destination's pool.
     fn exchange(&mut self, lim: SimTime) {
+        // Phase A (serial, cheap): hand each bucket to its destination
+        // in source-tile-ascending order.
         for t in 0..self.tiles.len() {
-            let out = std::mem::take(&mut self.tiles[t].outbox);
-            for copy in out {
-                debug_assert!(
-                    copy.at >= lim,
-                    "cross-tile copy violates the lookahead window"
-                );
-                let d = self.tile_of[copy.to.index()] as usize;
-                let dest = &mut self.tiles[d];
-                let payload = dest.payloads.insert(copy.msg);
-                dest.payloads.set_refs(payload, 1);
-                dest.queue.push(
-                    copy.at,
-                    copy.prio,
-                    EventKind::Deliver {
-                        to: copy.to,
-                        from: copy.from,
-                        msg: payload,
-                    },
-                );
+            let tile = &mut self.tiles[t];
+            for bucket in tile.outbox.drain(..) {
+                let d = bucket.dst as usize;
+                if self.dest_in[d].is_empty() {
+                    self.window_dests.push(bucket.dst);
+                }
+                self.dest_in[d].push(bucket);
             }
         }
+        if self.window_dests.is_empty() {
+            return;
+        }
+        // Phase B (parallel over destinations): insert payloads, queue
+        // copies, recycle shells.
+        self.window_dests.sort_unstable();
+        let dest_tiles = gather_mut(&mut self.tiles, &self.window_dests);
+        let dest_lists = gather_mut(&mut self.dest_in, &self.window_dests);
+        let mut work: Vec<_> = dest_tiles.into_iter().zip(dest_lists).collect();
+        crate::par::par_for_each_mut(self.workers, &mut work, |_, cell| {
+            let (tile, buckets) = cell;
+            for mut bucket in buckets.drain(..) {
+                tile.scratch_payload_ids.clear();
+                for (msg, count) in bucket.msgs.drain(..) {
+                    tile.scratch_payload_ids
+                        .push(tile.payloads.insert_with_refs(msg, count));
+                }
+                for copy in bucket.copies.drain(..) {
+                    debug_assert!(
+                        copy.at >= lim,
+                        "cross-tile copy violates the lookahead window"
+                    );
+                    tile.queue.push(
+                        copy.at,
+                        copy.prio,
+                        EventKind::Deliver {
+                            to: copy.to,
+                            from: copy.from,
+                            msg: tile.scratch_payload_ids[copy.msg as usize],
+                        },
+                    );
+                }
+                tile.bucket_pool.push(bucket);
+            }
+        });
+        for &d in &self.window_dests {
+            self.sched
+                .set(d as usize, self.tiles[d as usize].queue.peek_time());
+        }
+        self.window_dests.clear();
     }
 
     /// Merges the window's per-tile trace buffers into the global
-    /// trace in canonical event order: stable sort by
-    /// `(record time, dispatching event priority)`. Keys can only
-    /// collide within one tile's buffer, where buffer order is already
-    /// canonical, so the stable sort is exact.
+    /// trace in canonical event order — an exact k-way merge, O(total
+    /// · log T) with zero steady-state allocations, replacing the old
+    /// allocate-append-global-sort. Each buffer is already internally
+    /// canonical, and a `(record time, dispatching priority)` key can
+    /// only repeat *within* one tile's buffer (an event dispatches on
+    /// exactly one tile and priorities are globally unique), so
+    /// cross-tile keys never collide: the merge gallops to the next
+    /// cursor's key with `partition_point` and bulk-appends whole runs
+    /// via [`Trace::extend`].
     fn merge_traces(&mut self) {
         if !self.trace.is_enabled() {
             return;
         }
-        let total: usize = self.tiles.iter().map(|t| t.trace_buf.len()).sum();
-        if total == 0 {
-            return;
+        debug_assert!(self.merge_heap.is_empty());
+        for &t in &self.active {
+            let tile = &self.tiles[t as usize];
+            debug_assert_eq!(tile.trace_cursor, 0);
+            if let Some(&(prio, rec)) = tile.trace_buf.first() {
+                self.merge_heap.push(Reverse((rec.at, prio, t)));
+            }
         }
-        let mut merged: Vec<(EventPrio, TraceRecord)> = Vec::with_capacity(total);
-        for tile in &mut self.tiles {
-            merged.append(&mut tile.trace_buf);
-        }
-        merged.sort_by_key(|a| (a.1.at, a.0));
-        for (_, rec) in merged {
-            self.trace.push(rec);
+        while let Some(Reverse((_, _, t))) = self.merge_heap.pop() {
+            let tile = &mut self.tiles[t as usize];
+            let start = tile.trace_cursor;
+            let end = match self.merge_heap.peek() {
+                None => tile.trace_buf.len(),
+                Some(&Reverse((la, lp, _))) => {
+                    start + tile.trace_buf[start..].partition_point(|&(p, r)| (r.at, p) <= (la, lp))
+                }
+            };
+            self.trace
+                .extend(tile.trace_buf[start..end].iter().map(|&(_, r)| r));
+            if let Some(&(p, r)) = tile.trace_buf.get(end) {
+                tile.trace_cursor = end;
+                self.merge_heap.push(Reverse((r.at, p, t)));
+            } else {
+                tile.trace_buf.clear();
+                tile.trace_cursor = 0;
+            }
         }
     }
-}
 
-impl<A: Actor + Send> TiledSim<A>
-where
-    A::Msg: Send,
-{
     /// Runs until the next pending event lies beyond `deadline`
     /// (events at exactly `deadline` are processed), window by window:
     /// each window `[k·W, (k+1)·W)` — `W` the radio's base delay — is
-    /// executed on all tiles in parallel via
-    /// [`par_map_mut`](crate::par::par_map_mut), then cross-tile
-    /// deliveries and trace buffers are merged at the barrier in a
-    /// deterministic order. Idle gaps between windows are skipped.
+    /// executed on the tiles with pending work in parallel via
+    /// [`par_for_each_mut`](crate::par::par_for_each_mut), then
+    /// cross-tile deliveries and trace buffers are merged at the
+    /// barrier in a deterministic order. Idle gaps between windows are
+    /// skipped, and idle tiles cost nothing: the window schedule (an
+    /// O(log T) tournament tree, [`TileSchedule`]) is refreshed in
+    /// full once per call and maintained incrementally afterwards —
+    /// only tiles that ran or received copies are re-probed.
     /// Afterwards `now()` equals `deadline` and per-node energy is
     /// synced to it.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some(next) = self.tiles.iter().filter_map(|t| t.queue.peek_time()).min() {
+        let t_refresh = Instant::now();
+        for t in 0..self.tiles.len() {
+            self.sched.set(t, self.tiles[t].queue.peek_time());
+        }
+        self.breakdown.scheduling_s += t_refresh.elapsed().as_secs_f64();
+        loop {
+            let t0 = Instant::now();
+            let Some(next) = self.sched.min_time() else {
+                break;
+            };
             if next > deadline {
                 break;
             }
             let w = self.delay;
             let barrier = window_end(window_index(next, w), w);
             let lim = barrier.min(SimTime::from_micros(deadline.as_micros().saturating_add(1)));
+            // Strict `<` matches `pop_before`; `lim > next` guarantees
+            // at least one active tile, so the loop always progresses.
+            self.active.clear();
+            self.sched.collect_before(lim, &mut self.active);
+            let t1 = Instant::now();
             {
                 let workers = self.workers;
                 let shared = Shared {
@@ -1983,12 +2288,26 @@ where
                     dup_lag: self.dup_lag,
                     trace_enabled: self.trace.is_enabled(),
                 };
-                crate::par::par_map_mut(workers, &mut self.tiles, |_, tile| {
+                let mut act = gather_mut(&mut self.tiles, &self.active);
+                crate::par::par_for_each_mut(workers, &mut act, |_, tile| {
                     tile.run_window(lim, &shared);
                 });
             }
+            let t2 = Instant::now();
+            for &t in &self.active {
+                self.sched
+                    .set(t as usize, self.tiles[t as usize].queue.peek_time());
+            }
+            let t3 = Instant::now();
             self.merge_traces();
+            let t4 = Instant::now();
             self.exchange(lim);
+            let t5 = Instant::now();
+            self.breakdown.windows += 1;
+            self.breakdown.scheduling_s += (t1 - t0).as_secs_f64() + (t3 - t2).as_secs_f64();
+            self.breakdown.window_exec_s += (t2 - t1).as_secs_f64();
+            self.breakdown.trace_merge_s += (t4 - t3).as_secs_f64();
+            self.breakdown.exchange_s += (t5 - t4).as_secs_f64();
         }
         let end = self.now.max(deadline);
         for tile in &mut self.tiles {
@@ -2208,7 +2527,10 @@ where
                     tx_local,
                 },
                 outbox: Vec::new(),
+                bucket_pool: Vec::new(),
+                tx_dests: Vec::new(),
                 trace_buf: Vec::new(),
+                trace_cursor: 0,
                 tag: EventPrio {
                     birth: SimTime::ZERO,
                     node: EXTERNAL_NODE,
@@ -2217,6 +2539,7 @@ where
                 now: tile_now,
                 scratch_neighbors: Vec::new(),
                 scratch_commands: Vec::new(),
+                scratch_payload_ids: Vec::new(),
                 nodes,
             });
         }
@@ -2240,6 +2563,12 @@ where
             trace,
             model,
             workers: 1,
+            sched: TileSchedule::new(ntiles),
+            active: Vec::new(),
+            dest_in: (0..ntiles).map(|_| Vec::new()).collect(),
+            window_dests: Vec::new(),
+            merge_heap: BinaryHeap::new(),
+            breakdown: BarrierBreakdown::default(),
             topology,
         })
     }

@@ -1,12 +1,19 @@
 //! Property-based tests for the tiled engine's barrier and lookahead
 //! arithmetic (DESIGN.md §14): window boundary inclusivity, the
 //! range-derived lookahead lower bound, cross-tile transmits landing
-//! beyond the execution limit of the window that sent them, and tile
-//! assignment stability under bounded mobility drift.
+//! beyond the execution limit of the window that sent them, tile
+//! assignment stability under bounded mobility drift, window-scheduler
+//! equivalence against the brute-force scan, and exchange determinism
+//! under grid × worker variation.
 
-use cbfd::net::tiled::{lookahead_of, window_end, window_index, TileGrid};
+use cbfd::core::config::FdsConfig;
+use cbfd::net::tiled::{
+    lookahead_of, suggested_grid, window_end, window_index, TileGrid, TileSchedule,
+};
 use cbfd::prelude::*;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngExt;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -148,6 +155,112 @@ proptest! {
                 let far = Point::new(p.x + 1e6, p.y - 1e6);
                 prop_assert_eq!(grid.tile_of(far), grid.tile_of(p));
             }
+        }
+    }
+
+    /// Window-scheduler equivalence: the O(log T) tournament tree the
+    /// window loop maintains agrees with the brute-force O(tiles)
+    /// `peek_time()` scan it replaced, on randomized queue states —
+    /// both the global minimum after every update and the
+    /// ascending-tile-order active set for arbitrary limits.
+    #[test]
+    fn tile_schedule_matches_brute_force_scan(
+        tiles in 1usize..130,
+        ops in proptest::collection::vec(
+            (0usize..130, proptest::option::of(0u64..10_000)),
+            1..200,
+        ),
+        probes in proptest::collection::vec(0u64..10_002, 1..8),
+    ) {
+        let mut sched = TileSchedule::new(tiles);
+        let mut brute: Vec<Option<u64>> = vec![None; tiles];
+        for (t, v) in ops {
+            let t = t % tiles;
+            brute[t] = v;
+            sched.set(t, v.map(SimTime::from_micros));
+            prop_assert_eq!(
+                sched.min_time(),
+                brute.iter().filter_map(|&x| x).min().map(SimTime::from_micros)
+            );
+        }
+        for lim in probes {
+            let mut got = Vec::new();
+            sched.collect_before(SimTime::from_micros(lim), &mut got);
+            let want: Vec<u32> = brute
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| x.is_some_and(|v| v < lim))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(got, want, "lim={}", lim);
+        }
+    }
+}
+
+/// One full-FDS run's observable output, for exchange-determinism
+/// comparison: the event trace, merged traffic metrics, and exact
+/// per-node energy bits.
+fn tiled_fingerprint(
+    exp: &cbfd::core::service::Experiment,
+    loss_p: f64,
+    seed: u64,
+    dup: f64,
+    horizon: SimTime,
+    (gx, gy, workers): (u32, u32, usize),
+) -> (Vec<cbfd::net::trace::TraceRecord>, String, Vec<u64>) {
+    let radio = RadioConfig::bernoulli(loss_p).with_jitter(SimDuration::from_micros(200));
+    let mut sim = exp.build_tiled_sim(radio, seed, gx, gy);
+    sim.set_workers(workers);
+    sim.enable_trace();
+    if dup > 0.0 {
+        sim.set_duplication(dup, SimDuration::from_micros(137));
+    }
+    sim.run_until(horizon);
+    (
+        sim.trace().records().to_vec(),
+        format!("{:?}", sim.metrics()),
+        sim.energy_remaining_vec()
+            .iter()
+            .map(|e| e.to_bits())
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exchange determinism: the routed-copy order — and with it every
+    /// observable output — is invariant under worker count and bucket
+    /// layout. Different grids change how copies are bucketed per
+    /// destination (1×1 has no cross-tile traffic at all; fine grids
+    /// maximize it) and different worker counts change which thread
+    /// routes which destination; duplication forces several copies of
+    /// one transmission into one destination bucket (the shared-payload
+    /// path). Trace, metrics, and energy must not move.
+    #[test]
+    fn exchange_is_invariant_under_grid_and_workers(
+        n in 8usize..24,
+        seed in 0u64..1_000_000,
+        dup_sel in 0u8..3,
+        loss_p in 0.0f64..0.3,
+        side in 150.0f64..400.0,
+    ) {
+        let dup = [0.0f64, 0.2, 0.45][dup_sel as usize];
+        let mut rng = StdRng::seed_from_u64(0xE8C4_A0DE ^ seed);
+        let positions: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+            .collect();
+        let topology = Topology::from_positions(positions, 120.0);
+        let fds = FdsConfig::default();
+        let horizon = SimTime::ZERO + fds.heartbeat_interval * 3;
+        let exp = Experiment::new(topology, fds, FormationConfig::default());
+        let (mx, my) = suggested_grid(n, 1);
+        let reference = tiled_fingerprint(&exp, loss_p, seed, dup, horizon, (1, 1, 1));
+        for (gx, gy, workers) in [(2, 2, 1), (2, 2, 8), (mx, my, 2), (mx, my, 8)] {
+            let other = tiled_fingerprint(&exp, loss_p, seed, dup, horizon, (gx, gy, workers));
+            prop_assert_eq!(&reference.0, &other.0, "trace diverged at {}x{} w{}", gx, gy, workers);
+            prop_assert_eq!(&reference.1, &other.1, "metrics diverged at {}x{} w{}", gx, gy, workers);
+            prop_assert_eq!(&reference.2, &other.2, "energy diverged at {}x{} w{}", gx, gy, workers);
         }
     }
 }
