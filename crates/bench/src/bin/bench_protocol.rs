@@ -15,6 +15,12 @@
 //! `bytes_sent_id_list` shadow accounting must equal the reference's
 //! live ledger exactly, or the before/after comparison is meaningless.
 //!
+//! A `report_dedup` section records a deterministic crash-avalanche
+//! run (several same-epoch crashes across clusters) and asserts the
+//! gateway per-epoch forwarding ledger actually suppressed duplicate
+//! inter-cluster reports — the epoch-1 report avalanche fix, with the
+//! suppressed wire bytes priced by the live codec.
+//!
 //! Beyond the layout comparison, the binary measures the spatially
 //! tiled engine (`cbfd_net::tiled::TiledSim`, DESIGN.md §14) on an
 //! N-scaling ladder up to N=1,000,000 full-FDS nodes, plus a
@@ -40,6 +46,7 @@ use cbfd_core::config::FdsConfig;
 use cbfd_core::node::{FdsNode, NodeStats};
 use cbfd_core::profile::{build_profiles, NodeProfile};
 use cbfd_core::reference::RefFdsNode;
+use cbfd_core::service::{Experiment, PlannedCrash};
 use cbfd_net::actor::Actor;
 use cbfd_net::energy::EnergyModel;
 use cbfd_net::geometry::Rect;
@@ -247,6 +254,63 @@ fn run_scenario(s: &Scenario) -> Measurement {
         bitmap,
         id_list,
     }
+}
+
+// --------------------------------------------- report-dedup avalanche
+
+/// Crash-avalanche measurement of the gateway forwarding ledger:
+/// several same-epoch crashes across distinct clusters make every
+/// overheard update/report re-trigger `gw_consider_forward`, which the
+/// pre-dedup protocol answered with a fresh full-pending report each
+/// time. The counters are deterministic (pinned seed, no wall-clock),
+/// and the run asserts the ledger actually suppressed traffic — the
+/// byte-ledger improvement the dedup exists for.
+fn run_report_dedup() -> String {
+    const RANGE: f64 = 100.0;
+    const N: usize = 600;
+    const EPOCHS: u64 = 6;
+    const CRASHES: usize = 8;
+    let side = side_for_degree(N, RANGE, 25.0);
+    let mut rng = StdRng::seed_from_u64(0xFD5_BEEF);
+    let pts = Placement::UniformRect(Rect::square(side)).generate(N, &mut rng);
+    let topology = Topology::from_positions(pts, RANGE);
+    let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+
+    // One member victim per cluster, first CRASHES clusters — the
+    // same-epoch multi-cluster crash wave that triggers the avalanche.
+    let mut seen = std::collections::BTreeSet::new();
+    let crashes: Vec<PlannedCrash> = (0..N as u32)
+        .map(NodeId)
+        .filter_map(|id| {
+            let cluster = exp.view().cluster_of(id)?;
+            (cluster.head() != id && seen.insert(cluster))
+                .then_some(PlannedCrash { epoch: 1, node: id })
+        })
+        .take(CRASHES)
+        .collect();
+    assert_eq!(crashes.len(), CRASHES, "field too small for the wave");
+
+    let o = exp.run(0.05, EPOCHS, &crashes, 0xFD5);
+    assert!(
+        o.reports_suppressed > 0 && o.bytes_suppressed > 0,
+        "dedup ledger suppressed nothing under a {CRASHES}-crash avalanche"
+    );
+    let share = o.bytes_suppressed as f64 / (o.bytes + o.bytes_suppressed) as f64;
+    println!(
+        "report dedup N={N} crashes={CRASHES}  {} reports sent, {} suppressed  \
+         ({} bytes live, {} suppressed = {:.1}% of the pre-dedup wire)",
+        o.reports,
+        o.reports_suppressed,
+        o.bytes,
+        o.bytes_suppressed,
+        share * 100.0
+    );
+    format!(
+        "  \"report_dedup\": {{ \"n\": {N}, \"crashes\": {CRASHES}, \"epochs\": {EPOCHS}, \
+         \"reports_sent\": {}, \"reports_suppressed\": {}, \"bytes\": {}, \
+         \"bytes_suppressed\": {}, \"suppressed_byte_share\": {:.4} }}",
+        o.reports, o.reports_suppressed, o.bytes, o.bytes_suppressed, share
+    )
 }
 
 // ------------------------------------------------------- tiled ladder
@@ -707,6 +771,9 @@ fn main() {
         }
     }
 
+    // --------------------------------------- report-dedup avalanche
+    let report_dedup = run_report_dedup();
+
     // ----------------------------------------- tiled N-scaling ladder
     // ~1000 nodes per tile, uniform degree 25 and a p=0.01 channel on
     // every rung so per-node protocol traffic is N-invariant (at
@@ -822,7 +889,8 @@ fn main() {
         "{{\n  \"benchmark\": \"fds_protocol\",\n  \
          \"workload\": \"full FDS (heartbeats, digests, updates, peer forwarding) on uniform fields; layout comparison at p=0.05, tiled scaling at p=0.01 (N-invariant per-node traffic)\",\n  \
          \"smoke_baseline_member_epochs_per_sec\": {smoke:.0},\n  \
-         \"smoke_scenario\": \"n=10000 bitmap layout\",\n  \"scenarios\": [\n{}\n  ],\n  \
+         \"smoke_scenario\": \"n=10000 bitmap layout\",\n  \"scenarios\": [\n{}\n  ],\n\
+         {report_dedup},\n  \
          \"tiled_scaling\": [\n{}\n  ],\n  \"tile_count_scaling\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
         tiled_rows.join(",\n"),

@@ -12,15 +12,23 @@
 //!   does;
 //! * `--overhead` — measure monitor cost: events/s with no observer
 //!   work vs. a stride-1 monitor, printed to stdout (never into the
-//!   report, which must stay byte-deterministic).
+//!   report, which must stay byte-deterministic);
+//! * `--compare-detectors` — judge the fixed three-round rule against
+//!   the adaptive accrual detector on identical scripted fault
+//!   regimes, plans and seeds, writing the byte-deterministic
+//!   `BENCH_detectors.json`; with `--check`, compare byte-for-byte
+//!   against the committed artifact instead and exit non-zero on any
+//!   drift.
 //!
 //! Usage:
 //!   chaos [--plans N] [--nodes N] [--epochs N] [--seed S] [--stride K]
 //!         [--side F] [--baseline-p P] [--out PATH]
 //!   chaos --replay FILE [--seed S] [--nodes N] [--epochs N] [--side F]
 //!   chaos --overhead [--plans N] [--nodes N] [--epochs N]
+//!   chaos --compare-detectors [--out PATH] [--check]
 
 use cbfd_chaos::campaign::{build_experiment, run_campaign, run_monitored, CampaignConfig};
+use cbfd_chaos::detectors::{run_comparison, ComparisonConfig};
 use cbfd_net::chaos::FaultPlan;
 use std::path::Path;
 use std::process::ExitCode;
@@ -157,8 +165,84 @@ fn overhead_mode(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn compare_detectors_mode(args: &[String]) -> ExitCode {
+    let mut config = ComparisonConfig::default();
+    if let Some(v) = parse_flag(args, "--nodes") {
+        config.nodes = v;
+    }
+    if let Some(v) = parse_flag(args, "--epochs") {
+        config.epochs = v;
+    }
+    if let Some(v) = parse_flag(args, "--seed") {
+        config.master_seed = v;
+    }
+    if let Some(v) = parse_flag(args, "--side") {
+        config.side = v;
+    }
+    let out: String = parse_flag(args, "--out").unwrap_or_else(|| "BENCH_detectors.json".into());
+    let started = Instant::now();
+    let report = run_comparison(&config);
+    let secs = started.elapsed().as_secs_f64();
+    let json = report.to_json();
+
+    println!(
+        "detector comparison: {} nodes ({} clusters), {} epochs, seed {:#x}, {} regime(s) in {secs:.1} s wall",
+        config.nodes,
+        report.clusters,
+        config.epochs,
+        config.master_seed,
+        report.regimes.len()
+    );
+    for r in &report.regimes {
+        for d in [&r.fixed, &r.adaptive] {
+            println!(
+                "  {:18} {:8}  detected {}/{}  false {}  raised {}  retracted {}",
+                r.regime,
+                d.mode,
+                d.detected,
+                d.crashes,
+                d.false_detections,
+                d.suspicions_raised,
+                d.suspicions_retracted
+            );
+        }
+    }
+
+    if args.iter().any(|a| a == "--check") {
+        let committed = match std::fs::read_to_string(&out) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read committed artifact {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if committed == json {
+            println!("  matches committed {out} byte-for-byte");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("  DRIFT: regenerated report differs from committed {out}");
+            eprintln!(
+                "  (run `chaos --compare-detectors --out {out}` to refresh after intended changes)"
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        if let Some(dir) = Path::new(&out).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create report directory");
+            }
+        }
+        std::fs::write(&out, json).expect("write detector comparison");
+        println!("  report: {out}");
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--compare-detectors") {
+        return compare_detectors_mode(&args);
+    }
     if let Some(i) = args.iter().position(|a| a == "--replay") {
         let Some(path) = args.get(i + 1) else {
             eprintln!("--replay requires a plan file");

@@ -59,6 +59,11 @@ pub struct CampaignConfig {
     /// then diverge from identical mid-run state. The run deadline is
     /// `epochs` total, so it must exceed the warmup.
     pub fork_warm_epochs: u64,
+    /// Protocol configuration every run uses. Defaults to
+    /// [`FdsConfig::default`]; the detector-comparison harness swaps
+    /// in `DetectionMode::Adaptive` here to judge both detectors on
+    /// identical topologies, plans and seeds.
+    pub fds: FdsConfig,
 }
 
 impl Default for CampaignConfig {
@@ -76,6 +81,7 @@ impl Default for CampaignConfig {
             workers: par::default_workers(),
             churn: false,
             fork_warm_epochs: 0,
+            fds: FdsConfig::default(),
         }
     }
 }
@@ -253,12 +259,12 @@ pub fn build_experiment(config: &CampaignConfig) -> Experiment {
     let mut rng = StdRng::seed_from_u64(derive_seed(config.master_seed, 0xF1E1D));
     let pts = Placement::UniformRect(Rect::square(config.side)).generate(config.nodes, &mut rng);
     let topology = Topology::from_positions(pts, 100.0);
-    Experiment::new(topology, FdsConfig::default(), FormationConfig::default())
+    Experiment::new(topology, config.fds, FormationConfig::default())
 }
 
 /// The [`PlanConfig`] a campaign samples plans from.
 pub fn plan_config(config: &CampaignConfig) -> PlanConfig {
-    let phi = FdsConfig::default().heartbeat_interval;
+    let phi = config.fds.heartbeat_interval;
     PlanConfig {
         nodes: config.nodes,
         horizon: SimTime::ZERO + phi * config.epochs,
@@ -273,7 +279,7 @@ pub fn plan_config(config: &CampaignConfig) -> PlanConfig {
 /// quiet run (no faults) of `fork_warm_epochs` heartbeat intervals
 /// seeded from the master seed, checkpointed mid-flight.
 pub fn warm_checkpoint(exp: &Experiment, config: &CampaignConfig) -> Vec<u8> {
-    let phi = FdsConfig::default().heartbeat_interval;
+    let phi = config.fds.heartbeat_interval;
     let mut sim = exp.build_sim(
         cbfd_net::radio::RadioConfig::bernoulli(config.baseline_p),
         config.master_seed,

@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod detectors;
 pub mod monitor;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, PlanOutcome};
+pub use detectors::{run_comparison, ComparisonConfig, ComparisonReport};
 pub use monitor::{HardViolation, Monitor, ResidualSample};
 
 #[cfg(test)]

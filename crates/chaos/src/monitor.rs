@@ -103,7 +103,24 @@ pub struct ResidualSample {
     /// Events observed so far.
     pub events: u64,
     /// Authority suspicions whose suspect is not (currently) crashed.
+    ///
+    /// These are **permanent condemnations** (entries in a node's
+    /// detection log). Under `DetectionMode::Adaptive` a transient
+    /// accrual suspicion later retracted never appears here — it is
+    /// counted in [`ResidualSample::retracted_suspicions`] instead,
+    /// which is what makes the residual detector-aware.
     pub false_suspicions: u64,
+    /// Adaptive-mode suspicion episodes that were later retracted on
+    /// late evidence (◇P self-correction events). Always `0` under
+    /// `DetectionMode::Fixed`. Reported separately from
+    /// [`ResidualSample::false_suspicions`]: a retraction is the
+    /// detector *recovering* from a soft error, not a permanent
+    /// accuracy violation.
+    pub retracted_suspicions: u64,
+    /// Adaptive-mode suspicion episodes still open at sampling time
+    /// (neither retracted nor aged out) whose subject is live — the
+    /// in-flight soft-error exposure.
+    pub open_suspicions: u64,
     /// Fraction of (live affiliated observer, crashed node) pairs
     /// already informed; `1.0` with no crashes yet.
     pub completeness: f64,
@@ -276,6 +293,8 @@ impl Monitor {
         }
 
         let mut false_suspicions = 0u64;
+        let mut retracted_suspicions = 0u64;
+        let mut open_suspicions = 0u64;
         let mut informed = 0u64;
         let mut pairs = 0u64;
         for (id, node) in sim.actors() {
@@ -289,6 +308,25 @@ impl Monitor {
                         .unwrap_or(false);
                     if !crashed && !departed {
                         false_suspicions += 1;
+                    }
+                }
+            }
+            for ev in node.suspicion_events() {
+                if ev.retracted.is_some() {
+                    retracted_suspicions += 1;
+                } else {
+                    let crashed = self
+                        .is_dead
+                        .get(ev.subject.index())
+                        .copied()
+                        .unwrap_or(false);
+                    let departed = self
+                        .is_departed
+                        .get(ev.subject.index())
+                        .copied()
+                        .unwrap_or(false);
+                    if !crashed && !departed {
+                        open_suspicions += 1;
                     }
                 }
             }
@@ -307,6 +345,8 @@ impl Monitor {
             at,
             events: self.events_seen,
             false_suspicions,
+            retracted_suspicions,
+            open_suspicions,
             completeness: if pairs == 0 {
                 1.0
             } else {

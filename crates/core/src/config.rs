@@ -1,7 +1,43 @@
 //! Configuration of the failure detection service.
 
+use cbfd_net::checkpoint::{CheckpointError, Persist, Reader, Writer};
 use cbfd_net::time::SimDuration;
 use serde::{Deserialize, Serialize};
+
+/// Which failure rule the service runs (DESIGN.md §15).
+///
+/// Both modes consume the identical per-epoch roster-bitmap evidence
+/// (`rules::RoundEvidence`) and share the dissemination substrate —
+/// only the condemnation policy differs, echoing the pluggable
+/// detection layer of Dobre et al.'s robust FD architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DetectionMode {
+    /// The paper's fixed three-round rule: silence across one epoch's
+    /// heartbeat + digest + reflection evidence condemns. The default;
+    /// byte-identical to the pre-adaptive service.
+    #[default]
+    Fixed,
+    /// Eventually-perfect (◇P) detection: per-link ADD-channel
+    /// deadlines plus an accrual suspicion score with retractable
+    /// suspicions (see [`crate::adaptive`]).
+    Adaptive,
+}
+
+impl Persist for DetectionMode {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            DetectionMode::Fixed => 0,
+            DetectionMode::Adaptive => 1,
+        });
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        match r.get_u8()? {
+            0 => Ok(DetectionMode::Fixed),
+            1 => Ok(DetectionMode::Adaptive),
+            _ => Err(CheckpointError::Corrupt("detection mode tag")),
+        }
+    }
+}
 
 /// Tunables of the FDS protocol (Section 4 of the paper).
 ///
@@ -75,6 +111,35 @@ pub struct FdsConfig {
     /// per-node memory in long churny runs; `0` disables retention
     /// (keep everything forever).
     pub retention_epochs: u64,
+    /// Which failure rule condemns: the paper's fixed three-round
+    /// silence rule, or the adaptive ◇P accrual detector.
+    pub detection_mode: DetectionMode,
+    /// Adaptive mode: gap samples kept per monitored link (the bounded
+    /// ring of the ADD-channel estimator). Ignored under `Fixed`.
+    pub adaptive_window: u32,
+    /// Adaptive mode: epochs of slack added to the largest observed
+    /// gap when computing a link's deadline.
+    pub adaptive_slack: u64,
+    /// Adaptive mode: accrual score (milli-deadlines of silence) at
+    /// which a link becomes *suspected* — retractable, gossiped via
+    /// the digest suspicion field. 1000 = one full deadline.
+    pub adaptive_suspect_millis: u64,
+    /// Adaptive mode: accrual score at which an authority condemns.
+    /// Must be at least `adaptive_suspect_millis`.
+    pub adaptive_condemn_millis: u64,
+}
+
+fn default_adaptive_window() -> u32 {
+    8
+}
+fn default_adaptive_slack() -> u64 {
+    1
+}
+fn default_adaptive_suspect() -> u64 {
+    1000
+}
+fn default_adaptive_condemn() -> u64 {
+    2000
 }
 
 impl Default for FdsConfig {
@@ -95,6 +160,11 @@ impl Default for FdsConfig {
             aggregation: false,
             energy_balanced_forwarding: true,
             retention_epochs: 64,
+            detection_mode: DetectionMode::Fixed,
+            adaptive_window: default_adaptive_window(),
+            adaptive_slack: default_adaptive_slack(),
+            adaptive_suspect_millis: default_adaptive_suspect(),
+            adaptive_condemn_millis: default_adaptive_condemn(),
         }
     }
 }
@@ -117,6 +187,20 @@ impl FdsConfig {
                 "heartbeat interval {} too short for protocol phases {}",
                 self.heartbeat_interval, occupied
             ));
+        }
+        if self.detection_mode == DetectionMode::Adaptive {
+            if self.adaptive_window == 0 {
+                return Err("adaptive_window must be at least 1".into());
+            }
+            if self.adaptive_suspect_millis == 0 {
+                return Err("adaptive_suspect_millis must be positive".into());
+            }
+            if self.adaptive_condemn_millis < self.adaptive_suspect_millis {
+                return Err(format!(
+                    "adaptive_condemn_millis {} below adaptive_suspect_millis {}",
+                    self.adaptive_condemn_millis, self.adaptive_suspect_millis
+                ));
+            }
         }
         Ok(())
     }
@@ -167,6 +251,23 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_thresholds_are_validated() {
+        let mut config = FdsConfig {
+            detection_mode: DetectionMode::Adaptive,
+            ..FdsConfig::default()
+        };
+        assert_eq!(config.validate(), Ok(()));
+        config.adaptive_window = 0;
+        assert!(config.validate().is_err());
+        config.adaptive_window = 4;
+        config.adaptive_condemn_millis = config.adaptive_suspect_millis - 1;
+        assert!(config.validate().is_err());
+        // Fixed mode never looks at the adaptive tunables.
+        config.detection_mode = DetectionMode::Fixed;
+        assert_eq!(config.validate(), Ok(()));
+    }
+
+    #[test]
     fn round_offsets_are_multiples_of_t_hop() {
         let c = FdsConfig::default();
         assert_eq!(c.r2_offset(), c.t_hop);
@@ -190,4 +291,9 @@ cbfd_net::impl_persist!(FdsConfig {
     aggregation,
     energy_balanced_forwarding,
     retention_epochs,
+    detection_mode,
+    adaptive_window,
+    adaptive_slack,
+    adaptive_suspect_millis,
+    adaptive_condemn_millis,
 });

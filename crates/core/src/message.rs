@@ -32,6 +32,12 @@ pub struct Digest {
     /// aggregation is embedded in the FDS (message sharing); the head
     /// deduplicates by node ID.
     pub readings: Vec<(NodeId, i32)>,
+    /// Roster positions the author's adaptive detector currently
+    /// suspects (`DetectionMode::Adaptive` only; see
+    /// [`crate::adaptive`]). Encoded as a **trailing optional** field:
+    /// fixed-mode digests omit it entirely, so their wire bytes are
+    /// identical to the pre-adaptive codec.
+    pub suspected: Option<RosterBitmap>,
 }
 
 impl Digest {
@@ -43,12 +49,20 @@ impl Digest {
             cluster,
             heard,
             readings: Vec::new(),
+            suspected: None,
         }
     }
 
     /// Attaches overheard sensor readings (aggregation embedding).
     pub fn with_readings(mut self, readings: Vec<(NodeId, i32)>) -> Self {
         self.readings = readings;
+        self
+    }
+
+    /// Attaches the author's adaptive suspicion bitmap (gossiped so
+    /// authorities can corroborate their own accrual scores).
+    pub fn with_suspected(mut self, suspected: RosterBitmap) -> Self {
+        self.suspected = Some(suspected);
         self
     }
 
@@ -424,6 +438,16 @@ impl FdsMsg {
                     buf.put_u32(node.0);
                     buf.put_i32(*reading);
                 }
+                // Trailing optional suspicion bitmap: absent = no extra
+                // bytes, so fixed-mode digests match the legacy layout
+                // exactly (the golden-byte tests pin this).
+                if let Some(s) = &d.suspected {
+                    buf.put_u32(s.version());
+                    buf.put_u16(s.len() as u16);
+                    for word in s.words() {
+                        buf.put_u64(*word);
+                    }
+                }
             }
             FdsMsg::HealthUpdate(u) => {
                 buf.put_u8(TAG_UPDATE);
@@ -532,9 +556,26 @@ impl FdsMsg {
                 let readings = (0..n)
                     .map(|_| (NodeId(buf.get_u32()), buf.get_i32()))
                     .collect();
-                Ok(FdsMsg::Digest(
-                    Digest::new(from, cluster, heard).with_readings(readings),
-                ))
+                let mut digest = Digest::new(from, cluster, heard).with_readings(readings);
+                // Trailing optional suspicion bitmap: an exhausted
+                // buffer means "absent"; a partial field is truncation.
+                if buf.remaining() > 0 {
+                    if buf.remaining() < 4 + 2 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let version = buf.get_u32();
+                    let bits = buf.get_u16() as usize;
+                    let words = bits.div_ceil(64);
+                    if buf.remaining() < words * 8 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    digest = digest.with_suspected(RosterBitmap::from_words(
+                        version,
+                        bits,
+                        (0..words).map(|_| buf.get_u64()),
+                    ));
+                }
+                Ok(FdsMsg::Digest(digest))
             }
             TAG_UPDATE => Ok(FdsMsg::HealthUpdate(get_update(&mut buf)?)),
             TAG_REQUEST => {
@@ -615,7 +656,16 @@ impl FdsMsg {
         match self {
             FdsMsg::Heartbeat { reading, .. } => 7 + if reading.is_some() { 4 } else { 0 },
             FdsMsg::Digest(d) => {
-                1 + 4 + 4 + 4 + 2 + 8 * d.heard.words().len() + 2 + 8 * d.readings.len()
+                1 + 4
+                    + 4
+                    + 4
+                    + 2
+                    + 8 * d.heard.words().len()
+                    + 2
+                    + 8 * d.readings.len()
+                    + d.suspected
+                        .as_ref()
+                        .map_or(0, |s| 4 + 2 + 8 * s.words().len())
             }
             FdsMsg::HealthUpdate(u) => 1 + update_len(u),
             FdsMsg::ForwardRequest { .. } => 13,
@@ -817,6 +867,50 @@ mod tests {
         assert_eq!(s.legacy_encoded_len(), s.encoded_len());
     }
 
+    fn suspicious_digest() -> FdsMsg {
+        let mut heard = RosterBitmap::new(1, 5);
+        heard.set(0);
+        let mut suspected = RosterBitmap::new(1, 5);
+        suspected.set(3);
+        suspected.set(4);
+        FdsMsg::Digest(
+            Digest::new(NodeId(2), ClusterId::of(NodeId(3)), heard)
+                .with_readings(vec![(NodeId(1), 55)])
+                .with_suspected(suspected),
+        )
+    }
+
+    #[test]
+    fn suspicion_field_round_trips() {
+        let msg = suspicious_digest();
+        assert_eq!(FdsMsg::decode(msg.encode()).expect("decode"), msg);
+        assert_eq!(msg.encoded_len(), msg.encode().len());
+    }
+
+    #[test]
+    fn suspicion_field_rejects_partial_truncation() {
+        // `all_messages` digests omit the optional suspicion field, so
+        // the truncation-everywhere sweep can demand hard errors. Here
+        // the field is present: cutting at its exact start is a valid
+        // "absent" decode, while any cut strictly inside it must fail.
+        let msg = suspicious_digest();
+        let full = msg.encode();
+        let base = full.len() - (4 + 2 + 8);
+        let at_boundary = FdsMsg::decode(full.slice(0..base)).expect("absent field decodes");
+        match at_boundary {
+            FdsMsg::Digest(d) => assert_eq!(d.suspected, None),
+            other => panic!("unexpected {other}"),
+        }
+        for cut in base + 1..full.len() {
+            assert_eq!(
+                FdsMsg::decode(full.slice(0..cut)),
+                Err(DecodeError::Truncated),
+                "cut {cut}/{}",
+                full.len()
+            );
+        }
+    }
+
     #[test]
     fn update_news_detection() {
         let mut u = update();
@@ -883,6 +977,36 @@ mod wire_compat {
                 0, 5, // roster bit-length
                 0, 0, 0, 0, 0, 0, 0, 6, // bitmap word
                 0, 0, // no readings
+            ]
+        );
+    }
+
+    #[test]
+    fn digest_with_suspicion_golden_bytes() {
+        // Same digest as above plus the trailing suspicion field:
+        // position 4 suspected, one big-endian word 0b10000 = 16. The
+        // prefix is byte-identical to the suspicion-free encoding.
+        let mut heard = RosterBitmap::new(1, 5);
+        heard.set(1);
+        heard.set(2);
+        let mut suspected = RosterBitmap::new(1, 5);
+        suspected.set(4);
+        let msg = FdsMsg::Digest(
+            Digest::new(NodeId(7), ClusterId::of(NodeId(3)), heard).with_suspected(suspected),
+        );
+        assert_eq!(
+            msg.encode().as_ref(),
+            &[
+                2, // tag
+                0, 0, 0, 7, // from
+                0, 0, 0, 3, // cluster head
+                0, 0, 0, 1, // roster version
+                0, 5, // roster bit-length
+                0, 0, 0, 0, 0, 0, 0, 6, // bitmap word
+                0, 0, // no readings
+                0, 0, 0, 1, // suspicion roster version
+                0, 5, // suspicion bit-length
+                0, 0, 0, 0, 0, 0, 0, 16, // suspicion word
             ]
         );
     }
@@ -955,6 +1079,7 @@ cbfd_net::impl_persist!(Digest {
     cluster,
     heard,
     readings,
+    suspected,
 });
 cbfd_net::impl_persist!(HealthUpdate {
     from,

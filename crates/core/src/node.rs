@@ -15,9 +15,10 @@
 //! The actor consumes only node-local knowledge (its
 //! [`NodeProfile`]) plus what it hears on the air.
 
+use crate::adaptive::{LinkEstimator, SuspicionEvent, CORROBORATION_BONUS_MILLIS};
 use crate::aggregation::{synthetic_reading, Aggregate, ReadingTable};
 use crate::bitmap::RosterBitmap;
-use crate::config::FdsConfig;
+use crate::config::{DetectionMode, FdsConfig};
 use crate::message::{Digest, FailureReport, FdsMsg, HealthUpdate};
 use crate::peer_forward::waiting_period;
 use crate::profile::NodeProfile;
@@ -34,6 +35,18 @@ const ENERGY_LEVELS: u32 = 4;
 /// Gracefully-departed members still occupying roster positions before
 /// the acting head spends a version bump on compacting them away.
 const COMPACT_THRESHOLD: usize = 4;
+
+/// Marks the newest unretracted suspicion of `subject` as retracted at
+/// epoch `at` (◇P self-correction; a no-op if none is open).
+fn retract_suspicion(log: &mut [SuspicionEvent], subject: NodeId, at: u64) {
+    if let Some(ev) = log
+        .iter_mut()
+        .rev()
+        .find(|ev| ev.subject == subject && ev.retracted.is_none())
+    {
+        ev.retracted = Some(at);
+    }
+}
 
 /// One detection decision made by this node while acting as an
 /// authority (clusterhead or judging deputy).
@@ -73,6 +86,14 @@ pub struct NodeStats {
     /// pre-bitmap id-list wire layout — recorded per transmit so
     /// experiments can compare the two layouts' energy cost.
     pub bytes_sent_id_list: u64,
+    /// Immediate report broadcasts the per-epoch forwarding ledger
+    /// suppressed: the pre-dedup protocol would have re-sent the full
+    /// pending set on every overheard trigger.
+    pub reports_suppressed: u64,
+    /// Wire bytes those suppressed reports would have cost, priced by
+    /// the same codec as live traffic (including the `known_by`
+    /// piggyback the real report would have carried).
+    pub bytes_suppressed: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -175,6 +196,32 @@ pub struct FdsNode {
     detections: Vec<DetectionEvent>,
     stats: NodeStats,
 
+    /// Adaptive mode: one ADD-channel estimator per monitored roster
+    /// member, keyed by id so positions may move underneath (pruned
+    /// once a subject is condemned or departs — see
+    /// [`FdsNode::gc_retired_state`]).
+    adaptive: BTreeMap<NodeId, LinkEstimator>,
+    /// Adaptive mode: members whose suspicion at least one peer's
+    /// digest corroborated this epoch (cleared at every epoch
+    /// boundary; feeds the accrual corroboration bonus).
+    peer_suspects: BTreeSet<NodeId>,
+    /// Adaptive mode: the suspect→(trust|condemn) episode log, GC'd by
+    /// the retention window like the detection log.
+    suspicions: Vec<SuspicionEvent>,
+    /// Adaptive mode: the epoch whose evidence was already folded into
+    /// the estimators (`u64::MAX` = none yet); the fold runs at most
+    /// once per epoch whether R-3 or the post-round reaches it first.
+    adaptive_observed_epoch: u64,
+    /// Gateway dedup ledger: subjects already forwarded (or scheduled
+    /// for a ranked backup slot) toward each target cluster **this
+    /// epoch**. Every overheard update/report used to re-trigger a
+    /// full forward of the same pending set, which is what made the
+    /// epoch-1 report avalanche O(clusters²); the ledger caps the
+    /// event-triggered path at one report per (epoch, target, subject)
+    /// while the `GwForward` retry timers — which do not consult it —
+    /// keep reliability. Cleared at every epoch boundary.
+    forwarded_this_epoch: BTreeMap<ClusterId, BTreeSet<NodeId>>,
+
     next_token: u64,
     timers: HashMap<u64, TimerPayload>,
 }
@@ -225,6 +272,11 @@ impl FdsNode {
             aggregates: Vec::new(),
             detections: Vec::new(),
             stats: NodeStats::default(),
+            adaptive: BTreeMap::new(),
+            peer_suspects: BTreeSet::new(),
+            suspicions: Vec::new(),
+            adaptive_observed_epoch: u64::MAX,
+            forwarded_this_epoch: BTreeMap::new(),
             next_token: 0,
             timers: HashMap::new(),
         }
@@ -238,6 +290,22 @@ impl FdsNode {
     /// Detection decisions this node made as an authority.
     pub fn detections(&self) -> &[DetectionEvent] {
         &self.detections
+    }
+
+    /// Suspicion raise/retract episodes recorded by the adaptive
+    /// detector (always empty under `DetectionMode::Fixed`).
+    pub fn suspicion_events(&self) -> &[SuspicionEvent] {
+        &self.suspicions
+    }
+
+    /// Members this node's adaptive detector currently suspects but
+    /// has not condemned (sorted; empty under `DetectionMode::Fixed`).
+    pub fn suspected_now(&self) -> Vec<NodeId> {
+        self.adaptive
+            .iter()
+            .filter(|(_, est)| est.is_suspected())
+            .map(|(n, _)| *n)
+            .collect()
     }
 
     /// Behaviour counters.
@@ -313,12 +381,14 @@ impl FdsNode {
             .known_by_cluster
             .values()
             .chain(self.forward_seen.values())
+            .chain(self.forwarded_this_epoch.values())
             .map(BTreeSet::len)
             .sum();
         (self.known_failed.len()
             + nested
             + self.known_by_cluster.len()
             + self.forward_seen.len()
+            + self.forwarded_this_epoch.len()
             + self.quit.len()
             + self.join_pending.len()
             + self.known_sleepers.len()
@@ -327,6 +397,9 @@ impl FdsNode {
             + self.relayed_notices.len()
             + self.aggregates.len()
             + self.detections.len()
+            + self.adaptive.len()
+            + self.peer_suspects.len()
+            + self.suspicions.len()
             + self.timers.len()) as u64
     }
 
@@ -474,6 +547,14 @@ impl FdsNode {
     /// length, which is what lets week-long soaks hold a memory
     /// plateau (see `bench_soak`).
     fn gc_retired_state(&mut self) {
+        if self.config.detection_mode == DetectionMode::Adaptive {
+            // Estimators of condemned or departed members are dead
+            // links: pruning them bounds the map by the live roster.
+            let known_failed = &self.known_failed;
+            let departed = &self.departed;
+            self.adaptive
+                .retain(|n, _| !known_failed.contains(*n) && !departed.contains(n));
+        }
         let retention = self.config.retention_epochs;
         if retention == 0 || self.epoch < retention {
             return;
@@ -484,6 +565,7 @@ impl FdsNode {
         self.known_sleepers.retain(|_, until| *until >= cutoff);
         self.aggregates.retain(|&(epoch, _)| epoch >= cutoff);
         self.detections.retain(|d| d.epoch >= cutoff);
+        self.suspicions.retain(|ev| ev.epoch >= cutoff);
     }
 
     fn begin_epoch(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
@@ -493,6 +575,8 @@ impl FdsNode {
         self.update_this_epoch = None;
         self.request_outstanding = false;
         self.join_pending.clear();
+        self.peer_suspects.clear();
+        self.forwarded_this_epoch.clear();
         self.readings.reset(self.roster_order.len());
 
         // Sleep/wakeup power management (concluding-remarks
@@ -621,6 +705,74 @@ impl FdsNode {
         })
     }
 
+    /// Adaptive mode: folds this epoch's delivered evidence into the
+    /// per-link estimators and returns — sorted — the members whose
+    /// accrual score crossed the condemnation threshold.
+    ///
+    /// Runs at most once per epoch, whichever of `fds.R-3` (acting
+    /// head) or the post-round (members) reaches it first, and
+    /// consumes only delivered events plus node-local state — the
+    /// determinism contract every engine relies on. Heard-from
+    /// evidence is exactly what the fixed rule consumes: a direct
+    /// heartbeat/digest from the subject, or a reflection of its
+    /// heartbeat in a peer's digest.
+    fn adaptive_observe(&mut self) -> Vec<NodeId> {
+        let mut condemned = Vec::new();
+        if self.config.detection_mode != DetectionMode::Adaptive
+            || self.my_cluster().is_none()
+            || self.adaptive_observed_epoch == self.epoch
+        {
+            return condemned;
+        }
+        self.adaptive_observed_epoch = self.epoch;
+        self.expected_mask();
+        let epoch = self.epoch;
+        let window = self.config.adaptive_window;
+        let slack = self.config.adaptive_slack;
+        let suspect_at = self.config.adaptive_suspect_millis;
+        let condemn_at = self.config.adaptive_condemn_millis;
+        for p in 0..self.roster_order.len() {
+            if !self.expected_scratch.contains(p) {
+                continue;
+            }
+            let subject = self.roster_order[p];
+            let heard = self.evidence.direct_evidence(p) || self.evidence.reflected_in_digests(p);
+            let est = self
+                .adaptive
+                .entry(subject)
+                .or_insert_with(|| LinkEstimator::new(epoch.saturating_sub(1)));
+            if heard {
+                if est.record_evidence(epoch, window) {
+                    // ◇P self-correction: late evidence retracts the
+                    // standing suspicion, and the gap just recorded
+                    // lengthens the deadline so the same outage depth
+                    // cannot re-trip this link.
+                    retract_suspicion(&mut self.suspicions, subject, epoch);
+                }
+                continue;
+            }
+            let mut score = est.score_millis(epoch, slack);
+            if self.peer_suspects.contains(&subject) {
+                score = score.saturating_add(CORROBORATION_BONUS_MILLIS);
+            }
+            if score >= suspect_at && !est.is_suspected() {
+                est.mark_suspected();
+                self.suspicions.push(SuspicionEvent {
+                    epoch,
+                    subject,
+                    score,
+                    retracted: None,
+                });
+            }
+            if score >= condemn_at {
+                condemned.push(subject);
+            }
+        }
+        // Positions-order out, sorted ids is the protocol contract.
+        condemned.sort_unstable();
+        condemned
+    }
+
     /// Broadcasts a health update as the (possibly just promoted)
     /// acting head, and arms the implicit-ack watchdogs for links that
     /// must carry the news.
@@ -723,7 +875,7 @@ impl FdsNode {
         backups: u8,
         target: ClusterId,
     ) {
-        let pending: Vec<NodeId> = self
+        let pre: Vec<NodeId> = self
             .known_failed
             .nodes()
             .filter(|f| {
@@ -734,12 +886,51 @@ impl FdsNode {
             })
             .filter(|f| *f != target.head())
             .collect();
+        // Per-epoch dedup: every overheard update/report naming the
+        // same failures re-triggers this path, and without the ledger
+        // each trigger re-sent (or re-scheduled) the full pending set
+        // — the epoch-1 avalanche. One report per (epoch, target,
+        // subject) through here; the GwForward retry timers ignore
+        // the ledger, so reliability is unchanged.
+        let pending: Vec<NodeId> = pre
+            .iter()
+            .copied()
+            .filter(|f| {
+                !self
+                    .forwarded_this_epoch
+                    .get(&target)
+                    .is_some_and(|sent| sent.contains(f))
+            })
+            .collect();
         if pending.is_empty() {
+            if !pre.is_empty() && rank == 0 {
+                // The ledger alone stopped a broadcast the primary
+                // gateway would otherwise perform right now; price it
+                // exactly as `send_report` would have.
+                self.stats.reports_suppressed += 1;
+                let known_by: Vec<ClusterId> = self
+                    .known_by_cluster
+                    .iter()
+                    .filter(|(_, known)| pre.iter().all(|f| known.contains(f)))
+                    .map(|(c, _)| *c)
+                    .collect();
+                self.stats.bytes_suppressed += FdsMsg::Report(FailureReport {
+                    via: self.profile.id,
+                    to_cluster: target,
+                    failed: pre,
+                    known_by,
+                })
+                .encoded_len() as u64;
+            }
             return;
         }
         if rank == 0 {
             // The primary forwards immediately, then re-checks after
             // (n+1)·2Thop.
+            self.forwarded_this_epoch
+                .entry(target)
+                .or_default()
+                .extend(pending.iter().copied());
             self.send_report(ctx, target, pending.clone());
             self.schedule(
                 ctx,
@@ -752,6 +943,10 @@ impl FdsNode {
             );
         } else if self.config.bgw_assist {
             // Backup of rank k stands by for k·2Thop.
+            self.forwarded_this_epoch
+                .entry(target)
+                .or_default()
+                .extend(pending.iter().copied());
             self.schedule(
                 ctx,
                 self.config.t_hop * 2 * u64::from(rank),
@@ -954,6 +1149,13 @@ impl FdsNode {
     }
 
     fn handle_post(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
+        // Members fold this epoch's evidence into their adaptive
+        // estimators (the acting head already did so at fds.R-3; the
+        // fold is once-per-epoch either way). Only authorities
+        // condemn, so the returned set is dropped — the member-side
+        // value of the fold is the suspicion state the next digest
+        // gossips.
+        let _ = self.adaptive_observe();
         if self.is_acting_head() {
             return;
         }
@@ -968,7 +1170,28 @@ impl FdsNode {
         let head_departed = self.departed.contains(&head);
         let head_gone = head_departed
             || match self.pos_of(head) {
-                Some(p) => ch_failed(p, &self.evidence),
+                Some(p) => match self.config.detection_mode {
+                    DetectionMode::Fixed => ch_failed(p, &self.evidence),
+                    // Adaptive CH rule: same accrual machinery as the
+                    // member rule, gated on the missing R-3 update
+                    // (the paper's CH-failure signal), so a deputy
+                    // tolerates a bursty head exactly as long as the
+                    // head's link deadline says it should.
+                    DetectionMode::Adaptive => {
+                        !self.evidence.update_received && {
+                            let bonus = if self.peer_suspects.contains(&head) {
+                                CORROBORATION_BONUS_MILLIS
+                            } else {
+                                0
+                            };
+                            self.adaptive.get(&head).is_none_or(|est| {
+                                est.score_millis(self.epoch, self.config.adaptive_slack)
+                                    .saturating_add(bonus)
+                                    >= self.config.adaptive_condemn_millis
+                            })
+                        }
+                    }
+                },
                 None => !self.evidence.update_received,
             };
         if self.judging_deputy() == Some(self.profile.id) && head_gone {
@@ -1039,28 +1262,57 @@ impl FdsNode {
                     if self.config.aggregation {
                         digest = digest.with_readings(self.readings.pairs(&self.roster_order));
                     }
+                    if self.config.detection_mode == DetectionMode::Adaptive {
+                        // Gossip the links this node currently
+                        // suspects (state as of last epoch's fold) so
+                        // authorities can corroborate their own
+                        // accrual scores. Attached only when
+                        // non-empty: quiet-channel adaptive digests
+                        // cost zero extra bytes.
+                        let mut suspected =
+                            RosterBitmap::new(self.roster_version, self.roster_order.len());
+                        let mut any = false;
+                        for (subject, est) in &self.adaptive {
+                            if est.is_suspected() {
+                                if let Some(p) = self.pos_index.get(subject) {
+                                    suspected.set(*p as usize);
+                                    any = true;
+                                }
+                            }
+                        }
+                        if any {
+                            digest = digest.with_suspected(suspected);
+                        }
+                    }
                     self.transmit(ctx, FdsMsg::Digest(digest));
                 }
             }
             TimerPayload::R3 => {
                 if self.is_acting_head() {
-                    self.expected_mask();
-                    let mut suspects = std::mem::take(&mut self.suspects_scratch);
-                    detect_failures_into(
-                        &self.expected_scratch,
-                        &self.evidence,
-                        &self.roster_order,
-                        &mut suspects,
-                    );
-                    // Suspects come out in roster-position order; the
-                    // protocol's historical contract is sorted ids.
-                    suspects.sort_unstable();
-                    let new_failed: Vec<NodeId> = if suspects.is_empty() {
-                        Vec::new() // alloc-free common case
-                    } else {
-                        suspects.clone()
+                    let new_failed: Vec<NodeId> = match self.config.detection_mode {
+                        DetectionMode::Fixed => {
+                            self.expected_mask();
+                            let mut suspects = std::mem::take(&mut self.suspects_scratch);
+                            detect_failures_into(
+                                &self.expected_scratch,
+                                &self.evidence,
+                                &self.roster_order,
+                                &mut suspects,
+                            );
+                            // Suspects come out in roster-position
+                            // order; the protocol's historical
+                            // contract is sorted ids.
+                            suspects.sort_unstable();
+                            let new_failed = if suspects.is_empty() {
+                                Vec::new() // alloc-free common case
+                            } else {
+                                suspects.clone()
+                            };
+                            self.suspects_scratch = suspects;
+                            new_failed
+                        }
+                        DetectionMode::Adaptive => self.adaptive_observe(),
                     };
-                    self.suspects_scratch = suspects;
                     if !new_failed.is_empty() {
                         self.detections.push(DetectionEvent {
                             epoch: self.epoch,
@@ -1248,6 +1500,23 @@ impl Actor for FdsNode {
                     let heard = (self.my_cluster() == Some(d.cluster)).then_some(&d.heard);
                     self.evidence.record_digest(author_pos, heard);
                 }
+                if self.config.detection_mode == DetectionMode::Adaptive
+                    && self.my_cluster() == Some(d.cluster)
+                    && d.from != self.profile.id
+                {
+                    // Peer corroboration: same prefix-stable position
+                    // tolerance as the heard-bits (a position beyond
+                    // our roster is simply not interpretable yet).
+                    if let Some(s) = &d.suspected {
+                        for p in s.iter() {
+                            if let Some(subject) = self.roster_order.get(p).copied() {
+                                if subject != self.profile.id {
+                                    self.peer_suspects.insert(subject);
+                                }
+                            }
+                        }
+                    }
+                }
             }
             FdsMsg::HealthUpdate(u) => self.handle_update(ctx, u, false),
             FdsMsg::ForwardRequest { from, epoch } => {
@@ -1354,6 +1623,13 @@ impl Actor for FdsNode {
                     self.departed.insert(from);
                     self.known_sleepers.remove(&from);
                     self.join_pending.remove(&from);
+                    // A departed link stops being monitored: the
+                    // estimator goes, and any open suspicion resolves
+                    // as a retraction (the peer left, it did not
+                    // fail).
+                    self.adaptive.remove(&from);
+                    self.peer_suspects.remove(&from);
+                    retract_suspicion(&mut self.suspicions, from, self.epoch);
                     // Relay exactly once — precisely when the notice
                     // changed our state — so the head gets a second
                     // chance to hear it without a relay ledger.
@@ -1373,6 +1649,12 @@ impl Actor for FdsNode {
                     self.incarnations.insert(from, incarnation);
                     self.departed.remove(&from);
                     self.known_sleepers.remove(&from);
+                    // A fresh incarnation is a fresh link: drop the
+                    // old estimator (its gap history belongs to the
+                    // previous life) and retract any open suspicion.
+                    self.adaptive.remove(&from);
+                    self.peer_suspects.remove(&from);
+                    retract_suspicion(&mut self.suspicions, from, self.epoch);
                     // Any failed/forwarded verdicts recorded against
                     // the lower incarnation are stale.
                     self.known_failed.remove(from);
@@ -1429,6 +1711,19 @@ impl Actor for FdsNode {
         self.asleep = false;
         self.evidence
             .reset(self.roster_version, self.roster_order.len());
+        // The restarted observer's estimators measured a channel that
+        // no longer exists (it was down, not its peers): start fresh
+        // and resolve open suspicions as retractions.
+        self.adaptive.clear();
+        self.peer_suspects.clear();
+        self.forwarded_this_epoch.clear();
+        self.adaptive_observed_epoch = u64::MAX;
+        let at = self.epoch;
+        for ev in &mut self.suspicions {
+            if ev.retracted.is_none() {
+                ev.retracted = Some(at);
+            }
+        }
         // Authority is re-learned from the first announcement heard: a
         // deputy may have taken over while this node was down, and a
         // once-head that rejoins must not assume it still presides.
@@ -1576,6 +1871,8 @@ cbfd_net::impl_persist!(NodeStats {
     joins_admitted,
     bytes_sent,
     bytes_sent_id_list,
+    reports_suppressed,
+    bytes_suppressed,
 });
 
 impl cbfd_net::checkpoint::Persist for TimerPayload {
@@ -1681,6 +1978,11 @@ cbfd_net::impl_persist!(FdsNode {
     aggregates,
     detections,
     stats,
+    adaptive,
+    peer_suspects,
+    suspicions,
+    adaptive_observed_epoch,
+    forwarded_this_epoch,
     next_token,
     timers,
 });

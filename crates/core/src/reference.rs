@@ -286,6 +286,10 @@ pub struct RefFdsNode {
     known_failed: FailureView,
     known_by_cluster: BTreeMap<ClusterId, BTreeSet<NodeId>>,
     forward_seen: BTreeMap<ClusterId, BTreeSet<NodeId>>,
+    /// Per-epoch gateway dedup ledger (mirrors
+    /// [`crate::node::FdsNode`]'s: one event-triggered report per
+    /// (epoch, target, subject); retry timers bypass it).
+    forwarded_this_epoch: BTreeMap<ClusterId, BTreeSet<NodeId>>,
     quit: BTreeSet<(NodeId, u64)>,
     join_pending: BTreeSet<NodeId>,
     sleep_plan: Vec<(u64, u64)>,
@@ -318,6 +322,7 @@ impl RefFdsNode {
             known_failed: FailureView::new(),
             known_by_cluster: BTreeMap::new(),
             forward_seen: BTreeMap::new(),
+            forwarded_this_epoch: BTreeMap::new(),
             quit: BTreeSet::new(),
             join_pending: BTreeSet::new(),
             sleep_plan: Vec::new(),
@@ -429,6 +434,7 @@ impl RefFdsNode {
         self.update_this_epoch = None;
         self.request_outstanding = false;
         self.join_pending.clear();
+        self.forwarded_this_epoch.clear();
         self.readings.clear();
 
         if let Some((from, until)) = self.sleep_window(self.epoch) {
@@ -589,7 +595,7 @@ impl RefFdsNode {
         backups: u8,
         target: ClusterId,
     ) {
-        let pending: Vec<NodeId> = self
+        let pre: Vec<NodeId> = self
             .known_failed
             .nodes()
             .filter(|f| {
@@ -600,10 +606,40 @@ impl RefFdsNode {
             })
             .filter(|f| *f != target.head())
             .collect();
+        let pending: Vec<NodeId> = pre
+            .iter()
+            .copied()
+            .filter(|f| {
+                !self
+                    .forwarded_this_epoch
+                    .get(&target)
+                    .is_some_and(|sent| sent.contains(f))
+            })
+            .collect();
         if pending.is_empty() {
+            if !pre.is_empty() && rank == 0 {
+                self.stats.reports_suppressed += 1;
+                let known_by: Vec<ClusterId> = self
+                    .known_by_cluster
+                    .iter()
+                    .filter(|(_, known)| pre.iter().all(|f| known.contains(f)))
+                    .map(|(c, _)| *c)
+                    .collect();
+                self.stats.bytes_suppressed += RefMsg::Report(FailureReport {
+                    via: self.profile.id,
+                    to_cluster: target,
+                    failed: pre,
+                    known_by,
+                })
+                .encoded_len() as u64;
+            }
             return;
         }
         if rank == 0 {
+            self.forwarded_this_epoch
+                .entry(target)
+                .or_default()
+                .extend(pending.iter().copied());
             self.send_report(ctx, target, pending.clone());
             self.schedule(
                 ctx,
@@ -615,6 +651,10 @@ impl RefFdsNode {
                 },
             );
         } else if self.config.bgw_assist {
+            self.forwarded_this_epoch
+                .entry(target)
+                .or_default()
+                .extend(pending.iter().copied());
             self.schedule(
                 ctx,
                 self.config.t_hop * 2 * u64::from(rank),

@@ -91,6 +91,19 @@ pub struct FdsOutcome {
     pub bytes_id_list: u64,
     /// Standard deviation of remaining energy (energy balance).
     pub energy_imbalance: f64,
+    /// Adaptive mode: suspicion episodes raised across all observers
+    /// (always `0` under `DetectionMode::Fixed`).
+    pub suspicions_raised: u64,
+    /// Adaptive mode: suspicion episodes later retracted on late
+    /// evidence — the transient soft errors the ◇P self-correction
+    /// absorbed instead of condemning.
+    pub suspicions_retracted: u64,
+    /// Immediate gateway report broadcasts the per-epoch forwarding
+    /// ledger suppressed (the epoch-1 report avalanche, deduplicated).
+    pub reports_suppressed: u64,
+    /// Wire bytes those suppressed reports would have cost under the
+    /// pre-dedup protocol, priced by the live message codec.
+    pub bytes_suppressed: u64,
 }
 
 impl FdsOutcome {
@@ -550,9 +563,19 @@ impl Experiment {
         let mut joins = 0;
         let mut bytes = 0;
         let mut bytes_id_list = 0;
+        let mut suspicions_raised = 0;
+        let mut suspicions_retracted = 0;
+        let mut reports_suppressed = 0;
+        let mut bytes_suppressed = 0;
 
         for (id, node) in sim.actors() {
             let s = node.stats();
+            suspicions_raised += node.suspicion_events().len() as u64;
+            suspicions_retracted += node
+                .suspicion_events()
+                .iter()
+                .filter(|ev| ev.retracted.is_some())
+                .count() as u64;
             update_misses += s.updates_missed;
             peer_forwards += s.peer_forwards_sent;
             reports += s.reports_sent;
@@ -560,6 +583,8 @@ impl Experiment {
             joins += s.joins_admitted;
             bytes += s.bytes_sent;
             bytes_id_list += s.bytes_sent_id_list;
+            reports_suppressed += s.reports_suppressed;
+            bytes_suppressed += s.bytes_suppressed;
             if node.profile().cluster.is_some() && node.profile().head != Some(id) {
                 // A member can miss an update in any epoch it survives.
                 let survived = crash_epochs.get(&id).copied().unwrap_or(epochs);
@@ -641,6 +666,10 @@ impl Experiment {
             bytes,
             bytes_id_list,
             energy_imbalance: sim.energy_imbalance(),
+            suspicions_raised,
+            suspicions_retracted,
+            reports_suppressed,
+            bytes_suppressed,
         }
     }
 }

@@ -26,7 +26,13 @@ use std::hash::Hash;
 pub const MAGIC: [u8; 8] = *b"CBFDCKPT";
 
 /// Current checkpoint format version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: `1` — initial format; `2` — adaptive ◇P detection state
+/// (per-link estimators, suspicion log, gateway dedup ledger) joined
+/// `FdsNode`, and digests grew the optional suspicion field. Version-1
+/// snapshots cannot express that state, so the versions reject each
+/// other rather than misread trailing fields.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors surfaced while writing or reading a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -623,6 +629,16 @@ mod tests {
         assert_eq!(
             read_header(&mut Reader::new(&future.into_bytes())),
             Err(CheckpointError::UnsupportedVersion(FORMAT_VERSION + 1))
+        );
+        // Mutual rejection across the v1 → v2 bump: a snapshot written
+        // by the pre-adaptive format must be refused by name, not
+        // misread (its FdsNode encoding lacks the adaptive fields).
+        let mut v1 = Writer::new();
+        v1.put_bytes(&MAGIC);
+        v1.put_u32(1);
+        assert_eq!(
+            read_header(&mut Reader::new(&v1.into_bytes())),
+            Err(CheckpointError::UnsupportedVersion(1))
         );
         assert_eq!(
             read_header(&mut Reader::new(b"CB")),

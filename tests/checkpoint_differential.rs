@@ -14,6 +14,7 @@
 //! runner at worker counts 1, 2 and max, asserting the per-case
 //! digests are identical for every count.
 
+use cbfd::core::config::DetectionMode;
 use cbfd::core::node::FdsNode;
 use cbfd::net::checkpoint::{CheckpointError, Persist, Reader, Writer};
 use cbfd::net::par;
@@ -45,7 +46,18 @@ fn build_case(seed: u64) -> ChurnCase {
     let side = rng.random_range(250.0..400.0);
     let pts = Placement::UniformRect(Rect::square(side)).generate(n, &mut rng);
     let topology = Topology::from_positions(pts, 100.0);
-    let exp = Experiment::new(topology, FdsConfig::default(), FormationConfig::default());
+    // Odd seeds run the adaptive ◇P detector, so its per-link
+    // estimators, suspicion log, and gossip bitmaps all go through the
+    // snapshot/restore byte-identity verdict.
+    let fds = FdsConfig {
+        detection_mode: if seed % 2 == 1 {
+            DetectionMode::Adaptive
+        } else {
+            DetectionMode::Fixed
+        },
+        ..FdsConfig::default()
+    };
+    let exp = Experiment::new(topology, fds, FormationConfig::default());
     let p = rng.random_range(0.0..0.25);
     let epochs = rng.random_range(4..=7u64);
     let phi = FdsConfig::default().heartbeat_interval;

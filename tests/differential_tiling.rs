@@ -19,7 +19,7 @@
 //! details, invisible in the output.
 
 use cbfd::cluster::FormationConfig;
-use cbfd::core::config::FdsConfig;
+use cbfd::core::config::{DetectionMode, FdsConfig};
 use cbfd::core::node::FdsNode;
 use cbfd::core::service::Experiment;
 use cbfd::net::chaos::{FaultPlan, PlanConfig};
@@ -42,11 +42,12 @@ struct Fingerprint {
 
 fn node_summary(id: NodeId, node: &FdsNode) -> String {
     format!(
-        "{id} epoch={} head={:?} failed={:?} detections={:?} stats={:?}",
+        "{id} epoch={} head={:?} failed={:?} detections={:?} suspicions={:?} stats={:?}",
         node.epoch(),
         node.acting_head(),
         node.known_failed(),
         node.detections(),
+        node.suspicion_events(),
         node.stats(),
     )
 }
@@ -69,8 +70,16 @@ fn make_workload(case: u64) -> Workload {
         .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
         .collect();
     let topology = Topology::from_positions(positions, 100.0);
+    // `case % 4 >= 2` puts the adaptive detector on both even (churn)
+    // and odd (churn-free) cases, so ◇P suspicion state meets every
+    // fault primitive the plan pool generates.
     let fds = FdsConfig {
         aggregation: case % 3 == 1,
+        detection_mode: if case % 4 >= 2 {
+            DetectionMode::Adaptive
+        } else {
+            DetectionMode::Fixed
+        },
         ..Default::default()
     };
     let epochs = rng.random_range(4u64..8);
@@ -161,12 +170,18 @@ fn assert_fingerprints_equal(case: u64, label: &str, a: &Fingerprint, b: &Finger
 fn tiled_engine_is_invariant_in_grid_and_workers_on_randomized_workloads() {
     const CASES: u64 = 102;
     let mut churn_cases = 0u64;
+    let mut adaptive_suspicions = 0u64;
     for case in 0..CASES {
         let w = make_workload(case);
         if w.plan.has_churn() {
             churn_cases += 1;
         }
         let canonical = run_canonical(&w);
+        adaptive_suspicions += canonical
+            .nodes
+            .iter()
+            .map(|s| s.matches("SuspicionEvent").count() as u64)
+            .sum::<u64>();
         // Grids 1×1 / 2×2 / max (~1 node per tile), workers 1 / 2 / 8,
         // rotated so every grid meets every worker count across cases.
         let (mx, my) = suggested_grid(w.n, 1);
@@ -183,6 +198,10 @@ fn tiled_engine_is_invariant_in_grid_and_workers_on_randomized_workloads() {
     assert!(
         churn_cases >= 10,
         "workload mix lost its churn coverage ({churn_cases} cases)"
+    );
+    assert!(
+        adaptive_suspicions > 0,
+        "no adaptive case ever raised a suspicion — the ◇P path went untested"
     );
 }
 
