@@ -27,12 +27,18 @@
 //! tile-count-scaling sweep at fixed N — the numbers behind the
 //! ROADMAP's "millions of users" claim.
 //!
+//! Every row also carries a deterministic `protocol_profile` block —
+//! ledger mutations (`NodeStats::ledger_ops`), heap allocations, and
+//! residual retained-update clones on the hot path — counters that
+//! replay bit-identically on any machine, unlike wall-clock.
+//!
 //! Writes `BENCH_protocol.json`. With `--check` it first reads the
 //! committed JSON and asserts **every** fresh row reaches 0.5× its
 //! committed per-row baseline (shared-container wall-clock wobble is
 //! ±40–50 %; the structural regressions the gate exists for cost 5×),
 //! failing with the offending N; a committed row the invocation did
-//! not re-run is itself a failure.
+//! not re-run is itself a failure. Allocation rates gate separately
+//! and tighter (1.5×, deterministic) on scenario and tiled rows.
 //!
 //! `--ci` is the CI smoke: it skips the N=1,000,000 row (the N=250k
 //! reduced-epoch scenario is the large-N gate), exempts that one row
@@ -86,6 +92,11 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 trait BenchNode: Actor + Sized {
     fn build(profile: NodeProfile, fds: FdsConfig, capacity: f64) -> Self;
     fn node_stats(&self) -> &NodeStats;
+    /// Retained-update/report clones on the dissemination path. The
+    /// reference deliberately reports 0: it keeps the historical
+    /// clone-heavy shapes, so the counter only tracks the live node's
+    /// residual clones (the thing the flat layout is meant to shrink).
+    fn clone_count(&self) -> u64;
 }
 
 impl BenchNode for FdsNode {
@@ -95,6 +106,9 @@ impl BenchNode for FdsNode {
     fn node_stats(&self) -> &NodeStats {
         self.stats()
     }
+    fn clone_count(&self) -> u64 {
+        self.clone_ops()
+    }
 }
 
 impl BenchNode for RefFdsNode {
@@ -103,6 +117,9 @@ impl BenchNode for RefFdsNode {
     }
     fn node_stats(&self) -> &NodeStats {
         self.stats()
+    }
+    fn clone_count(&self) -> u64 {
+        0
     }
 }
 
@@ -121,6 +138,32 @@ struct LayoutRun {
     allocs_per_event: f64,
     bytes: u64,
     bytes_per_epoch: f64,
+    profile: ProtocolProfile,
+}
+
+/// Deterministic hot-path counters for one run: unlike wall-clock,
+/// these replay bit-identically on any machine, so the committed JSON
+/// can be audited (and CI can reconcile it) without re-timing.
+#[derive(Clone, Copy)]
+struct ProtocolProfile {
+    /// Sum of per-node `NodeStats::ledger_ops` — membership-ledger
+    /// mutations on the protocol path (counted at identical sites by
+    /// the flat node and the frozen reference).
+    ledger_ops: u64,
+    /// Heap allocations during the timed window (best pass).
+    allocs: u64,
+    /// Allocations per simulated event, the gated rate.
+    allocs_per_event: f64,
+    /// Residual retained-update clones (0 for the reference).
+    clones: u64,
+}
+
+fn profile_json(p: &ProtocolProfile) -> String {
+    format!(
+        "\"protocol_profile\": {{ \"ledger_ops\": {}, \"allocs\": {}, \
+         \"allocs_per_event\": {:.3}, \"clones\": {} }}",
+        p.ledger_ops, p.allocs, p.allocs_per_event, p.clones
+    )
 }
 
 struct Measurement {
@@ -181,9 +224,13 @@ fn run_layout<A: BenchNode>(
     let events = m.deliveries + m.dropped_dead + m.timers_fired;
     let mut bytes = 0u64;
     let mut bytes_id_list = 0u64;
+    let mut ledger_ops = 0u64;
+    let mut clones = 0u64;
     for (_, node) in sim.actors() {
         bytes += node.node_stats().bytes_sent;
         bytes_id_list += node.node_stats().bytes_sent_id_list;
+        ledger_ops += node.node_stats().ledger_ops;
+        clones += node.clone_count();
     }
     if std::env::var_os("BENCH_PROTOCOL_DEBUG").is_some() {
         let mut req = 0u64;
@@ -202,14 +249,21 @@ fn run_layout<A: BenchNode>(
             m.deliveries, m.timers_fired
         );
     }
+    let allocs_per_event = allocs as f64 / events.max(1) as f64;
     (
         LayoutRun {
             seconds,
             member_epochs_per_sec: member_epochs as f64 / seconds,
             events,
-            allocs_per_event: allocs as f64 / events.max(1) as f64,
+            allocs_per_event,
             bytes,
             bytes_per_epoch: bytes as f64 / s.epochs as f64,
+            profile: ProtocolProfile {
+                ledger_ops,
+                allocs,
+                allocs_per_event,
+                clones,
+            },
         },
         bytes_id_list,
     )
@@ -339,6 +393,7 @@ struct TiledRow {
     allocs_per_event: f64,
     /// Per-phase wall-clock breakdown of the best pass's window loop.
     breakdown: BarrierBreakdown,
+    profile: ProtocolProfile,
 }
 
 /// Full FDS on the tiled engine: pinned placement/sim seeds, best-of-N
@@ -392,11 +447,15 @@ fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
         // previous pass's world alive would force the next pass onto
         // fresh pages and make it pay first-touch faults all over
         // again — at N = 1M that is the difference between a warm
-        // ~90 s pass and a cold ~115 s one.
-        metrics = Some(sim.metrics());
+        // ~90 s pass and a cold ~115 s one. The hot-path counters are
+        // deterministic too, so they come from the same snapshot.
+        let (ledger_ops, clones) = sim.actors().fold((0u64, 0u64), |(l, c), (_, node)| {
+            (l + node.stats().ledger_ops, c + node.clone_ops())
+        });
+        metrics = Some((sim.metrics(), ledger_ops, clones));
     }
     let (seconds, allocs, breakdown) = best.expect("at least one pass");
-    let m = metrics.expect("at least one pass");
+    let (m, ledger_ops, clones) = metrics.expect("at least one pass");
     let events = m.deliveries + m.dropped_dead + m.timers_fired;
     // Self-consistency: the engine's own per-phase timers must account
     // for (at most) the wall clock the run took — if they sum past it,
@@ -416,6 +475,7 @@ fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
         "N={}: barrier phases sum to {phase_sum:.3}s but the run took {seconds:.3}s",
         s.n
     );
+    let allocs_per_event = allocs as f64 / events.max(1) as f64;
     TiledRow {
         n: s.n,
         gx: s.gx,
@@ -426,8 +486,14 @@ fn run_tiled_scenario(s: &TiledScenario) -> TiledRow {
         seconds,
         member_epochs_per_sec: member_epochs as f64 / seconds,
         events,
-        allocs_per_event: allocs as f64 / events.max(1) as f64,
+        allocs_per_event,
         breakdown,
+        profile: ProtocolProfile {
+            ledger_ops,
+            allocs,
+            allocs_per_event,
+            clones,
+        },
     }
 }
 
@@ -453,12 +519,16 @@ impl Committed {
             };
         };
         let mut rows = Vec::new();
-        for (section, id_key, with_allocs) in [
-            ("scenarios", "\"n\":", false),
-            ("tiled_scaling", "\"n\":", true),
-            ("tile_count_scaling", "\"grid\":", true),
+        for (section, id_key, allocs_scope) in [
+            // Scenario rows nest one `allocs_per_event` per layout, so
+            // their gated rate lives in the unambiguous
+            // `protocol_profile` block; tiled rows carry the row-level
+            // key first, before the breakdown/profile blocks.
+            ("scenarios", "\"n\":", Some("\"protocol_profile\":")),
+            ("tiled_scaling", "\"n\":", Some("")),
+            ("tile_count_scaling", "\"grid\":", Some("")),
         ] {
-            for (id, base, allocs) in section_rows(&text, section, id_key, with_allocs) {
+            for (id, base, allocs) in section_rows(&text, section, id_key, allocs_scope) {
                 rows.push((format!("{section} {id}"), base, allocs));
             }
         }
@@ -510,15 +580,16 @@ fn parse_number(text: &str) -> Option<f64> {
 /// triples. Rows are delimited by their leading id key (`"n":` or
 /// `"grid":`), and each carries `baseline_member_epochs_per_sec`
 /// immediately after the id — nested objects later in the row can't be
-/// mistaken for it. `with_allocs` additionally captures the row's
-/// `allocs_per_event`; only the tiled sections opt in, because their
-/// flat rows carry exactly one such key (scenario rows nest several
-/// per-layout copies, which this scanner would conflate).
+/// mistaken for it. `allocs_scope` additionally captures the row's
+/// `allocs_per_event`: `Some("")` takes the first (row-level)
+/// occurrence, `Some(marker)` the first occurrence after `marker` —
+/// scenario rows nest several per-layout copies, so theirs is scoped
+/// to the `protocol_profile` block.
 fn section_rows(
     text: &str,
     section: &str,
     id_key: &str,
-    with_allocs: bool,
+    allocs_scope: Option<&str>,
 ) -> Vec<(String, f64, Option<f64>)> {
     let mut out = Vec::new();
     let header = format!("\"{section}\": [");
@@ -548,12 +619,16 @@ fn section_rows(
         let Some(base) = parse_number(&rest[bat + base_key.len()..]) else {
             continue;
         };
-        let allocs = if with_allocs {
-            row.find(allocs_key)
-                .and_then(|aat| parse_number(&row[aat + allocs_key.len()..]))
-        } else {
-            None
-        };
+        let allocs = allocs_scope.and_then(|marker| {
+            let scoped = if marker.is_empty() {
+                row
+            } else {
+                &row[row.find(marker)? + marker.len()..]
+            };
+            scoped
+                .find(allocs_key)
+                .and_then(|aat| parse_number(&scoped[aat + allocs_key.len()..]))
+        });
         let id = if id_key == "\"n\":" {
             format!("n={id_raw}")
         } else {
@@ -585,12 +660,14 @@ fn gate_row(section: &str, id: &str, fresh: f64, committed: &Committed, gated: &
     gated.push(key);
 }
 
-/// The per-row allocation gate for the tiled ladder. Allocation counts
-/// are deterministic (the `CountingAlloc` tally doesn't wobble with
-/// machine load the way wall-clock does), so the margin is a tight
-/// 1.5×: a steady-state alloc leak on the barrier path — the exact
-/// regression the pooled-buffer design exists to prevent — multiplies
-/// allocs/event, it doesn't nudge it.
+/// The per-row allocation gate, covering the tiled ladder and the
+/// scenario rows (whose rate comes from the `protocol_profile` block).
+/// Allocation counts are deterministic (the `CountingAlloc` tally
+/// doesn't wobble with machine load the way wall-clock does), so the
+/// margin is a tight 1.5×: a steady-state alloc leak on the protocol
+/// or barrier path — the exact regression the flat-ledger and
+/// pooled-buffer designs exist to prevent — multiplies allocs/event,
+/// it doesn't nudge it.
 fn gate_allocs_row(section: &str, id: &str, fresh: f64, committed: &Committed) {
     let Some(base) = committed.allocs_baseline(section, id) else {
         return; // new row or pre-breakdown baseline: seeded this commit
@@ -637,7 +714,8 @@ fn tiled_row_json(r: &TiledRow, baseline: f64) -> String {
     format!(
         "    {{ \"n\": {}, \"baseline_member_epochs_per_sec\": {:.0}, \"grid\": \"{}x{}\", \
          \"workers\": {}, \"epochs\": {},\n      \"member_epochs\": {}, \"seconds\": {:.4}, \
-         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3},\n      {} }}",
+         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3},\n      \
+         {},\n      {} }}",
         r.n,
         baseline,
         r.gx,
@@ -649,7 +727,8 @@ fn tiled_row_json(r: &TiledRow, baseline: f64) -> String {
         r.member_epochs_per_sec,
         r.events,
         r.allocs_per_event,
-        breakdown_json(&r.breakdown, r.seconds)
+        breakdown_json(&r.breakdown, r.seconds),
+        profile_json(&r.profile)
     )
 }
 
@@ -657,7 +736,8 @@ fn tile_count_row_json(r: &TiledRow, baseline: f64) -> String {
     format!(
         "    {{ \"grid\": \"{}x{}\", \"baseline_member_epochs_per_sec\": {:.0}, \"n\": {}, \
          \"workers\": {}, \"epochs\": {},\n      \"member_epochs\": {}, \"seconds\": {:.4}, \
-         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3},\n      {} }}",
+         \"member_epochs_per_sec\": {:.0}, \"events\": {}, \"allocs_per_event\": {:.3},\n      \
+         {},\n      {} }}",
         r.gx,
         r.gy,
         baseline,
@@ -669,7 +749,8 @@ fn tile_count_row_json(r: &TiledRow, baseline: f64) -> String {
         r.member_epochs_per_sec,
         r.events,
         r.allocs_per_event,
-        breakdown_json(&r.breakdown, r.seconds)
+        breakdown_json(&r.breakdown, r.seconds),
+        profile_json(&r.profile)
     )
 }
 
@@ -742,6 +823,7 @@ fn main() {
                 &committed,
                 &mut gated,
             );
+            gate_allocs_row("scenarios", &id, m.bitmap.allocs_per_event, &committed);
         }
         let baseline = committed
             .baseline("scenarios", &id)
@@ -750,7 +832,7 @@ fn main() {
             "    {{ \"n\": {}, \"baseline_member_epochs_per_sec\": {:.0}, \"mean_degree\": {:.2}, \
              \"clusters\": {}, \"epochs\": {}, \"member_epochs\": {},\n      \
              \"bitmap\": {},\n      \"id_list\": {},\n      \
-             \"speedup\": {:.3}, \"byte_ratio\": {:.4} }}",
+             \"speedup\": {:.3}, \"byte_ratio\": {:.4},\n      {} }}",
             m.n,
             baseline,
             m.mean_degree,
@@ -760,7 +842,8 @@ fn main() {
             layout_json(&m.bitmap),
             layout_json(&m.id_list),
             speedup,
-            byte_ratio
+            byte_ratio,
+            profile_json(&m.bitmap.profile)
         ));
         if m.n == 10_000 {
             smoke = Some(

@@ -30,9 +30,14 @@
 //!
 //! Bounded state: one estimator per live roster member, each holding at
 //! most `adaptive_window` gap samples; estimators of condemned or
-//! departed members are pruned by the node's ledger GC. Bounded
-//! messages: the only wire delta is the optional suspicion bitmap on
-//! the existing digest (one bit per roster position).
+//! departed members are pruned by the node's ledger GC. The node keeps
+//! them **id-keyed** (a flat `ledger::SortedMap<NodeId, LinkEstimator>`,
+//! never roster-position-keyed): positions renumber when roster
+//! compaction retires members, and a position-keyed estimator would
+//! silently start scoring a different node mid-epoch (the aliasing
+//! hazard of DESIGN.md §16). Bounded messages: the only wire delta is
+//! the optional suspicion bitmap on the existing digest (one bit per
+//! roster position).
 
 use cbfd_net::id::NodeId;
 

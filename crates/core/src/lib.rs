@@ -72,6 +72,7 @@ pub mod aggregation;
 pub mod bitmap;
 pub mod config;
 pub mod health;
+pub mod ledger;
 pub mod message;
 pub mod node;
 pub mod peer_forward;

@@ -390,6 +390,15 @@ fn ids_len(n: usize) -> usize {
     2 + 4 * n
 }
 
+/// Wire size of a [`FdsMsg::Report`] carrying `failed` subject ids and
+/// `known_by` cluster ids, without constructing the message. The
+/// gateway dedup path prices reports it decides *not* to send
+/// (`bytes_suppressed` accounting); this keeps that path free of the
+/// throwaway id-list allocations building a real report would cost.
+pub fn report_wire_len(failed: usize, known_by: usize) -> usize {
+    1 + 4 + 4 + ids_len(failed) + ids_len(known_by)
+}
+
 fn update_len(u: &HealthUpdate) -> usize {
     4 + 4
         + 8
@@ -671,7 +680,7 @@ impl FdsMsg {
             FdsMsg::ForwardRequest { .. } => 13,
             FdsMsg::PeerForward { update, .. } => 1 + 4 + update_len(update),
             FdsMsg::PeerAck { .. } => 13,
-            FdsMsg::Report(r) => 1 + 4 + 4 + ids_len(r.failed.len()) + ids_len(r.known_by.len()),
+            FdsMsg::Report(r) => report_wire_len(r.failed.len(), r.known_by.len()),
             FdsMsg::SleepNotice { .. } => 13,
             FdsMsg::LeaveNotice { .. } => 13,
             FdsMsg::Rejoin { .. } => 13,
@@ -845,6 +854,22 @@ mod tests {
         ];
         for msg in extra {
             assert_eq!(msg.encoded_len(), msg.encode().len(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn report_wire_len_prices_without_building() {
+        for (failed, known_by) in [(0, 0), (1, 0), (0, 3), (5, 2), (40, 7)] {
+            let msg = FdsMsg::Report(FailureReport {
+                via: NodeId(9),
+                to_cluster: ClusterId::of(NodeId(3)),
+                failed: (0..failed as u32).map(NodeId).collect(),
+                known_by: (0..known_by as u32)
+                    .map(NodeId)
+                    .map(ClusterId::of)
+                    .collect(),
+            });
+            assert_eq!(report_wire_len(failed, known_by), msg.encode().len());
         }
     }
 

@@ -19,7 +19,8 @@ use crate::adaptive::{LinkEstimator, SuspicionEvent, CORROBORATION_BONUS_MILLIS}
 use crate::aggregation::{synthetic_reading, Aggregate, ReadingTable};
 use crate::bitmap::RosterBitmap;
 use crate::config::{DetectionMode, FdsConfig};
-use crate::message::{Digest, FailureReport, FdsMsg, HealthUpdate};
+use crate::ledger::{ClusterLedger, SortedMap, SortedSet, TimerRing};
+use crate::message::{report_wire_len, Digest, FailureReport, FdsMsg, HealthUpdate};
 use crate::peer_forward::waiting_period;
 use crate::profile::NodeProfile;
 use crate::rules::{ch_failed, detect_failures_into, RoundEvidence};
@@ -27,7 +28,6 @@ use crate::view::FailureView;
 use cbfd_net::actor::{Actor, Ctx, TimerToken};
 use cbfd_net::id::{ClusterId, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Energy quantization levels for the peer-forwarding waiting period.
 const ENERGY_LEVELS: u32 = 4;
@@ -94,6 +94,14 @@ pub struct NodeStats {
     /// the same codec as live traffic (including the `known_by`
     /// piggyback the real report would have carried).
     pub bytes_suppressed: u64,
+    /// Deterministic count of ledger mutation operations (set/map
+    /// inserts offered, extend items, timer schedule/fire) on the
+    /// protocol hot path. Counted at identical sites by `FdsNode` and
+    /// the frozen reference implementation, so layout rewrites are
+    /// visible in bench `protocol_profile` rows without wall-clock —
+    /// and a divergence fails the differential suite. Not persisted in
+    /// checkpoints (it is profiling state, not protocol state).
+    pub ledger_ops: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -148,8 +156,11 @@ pub struct FdsNode {
     /// Bumped on every admission batch; tags all bitmaps this node
     /// builds.
     roster_version: u32,
-    /// Node → position in `roster_order`.
-    pos_index: HashMap<NodeId, u32>,
+    /// Node → position in `roster_order`. A sorted vec: cluster
+    /// rosters hold tens of entries, so one binary search over a
+    /// contiguous array beats hashing the id (and the map persists in
+    /// key order for free).
+    pos_index: SortedMap<NodeId, u32>,
     evidence: RoundEvidence,
     /// Scratch for the R-3 expected-members mask, reused every epoch.
     expected_scratch: RosterBitmap,
@@ -160,33 +171,33 @@ pub struct FdsNode {
     known_failed: FailureView,
     /// What each cluster's head has evidently learned (from overheard
     /// health updates of that cluster) — the implicit-ack ledger.
-    known_by_cluster: BTreeMap<ClusterId, BTreeSet<NodeId>>,
+    known_by_cluster: ClusterLedger,
     /// Failures seen in overheard reports per target cluster (the
     /// head's layer-one implicit ack: "my gateway did forward").
-    forward_seen: BTreeMap<ClusterId, BTreeSet<NodeId>>,
+    forward_seen: ClusterLedger,
     /// Peer-forward requests already satisfied (quit on overheard ack).
-    quit: BTreeSet<(NodeId, u64)>,
+    quit: SortedSet<(NodeId, u64)>,
     /// Unmarked nodes heard this epoch (candidate subscriptions, only
     /// tracked by the acting head).
-    join_pending: BTreeSet<NodeId>,
+    join_pending: SortedSet<NodeId>,
     /// This node's own sleep windows, as `(first_epoch, until_epoch)`
     /// half-open intervals (sorted, non-overlapping).
     sleep_plan: Vec<(u64, u64)>,
     /// Whether the radio is currently off.
     asleep: bool,
     /// Peers known to be sleeping, with their wake epochs.
-    known_sleepers: BTreeMap<NodeId, u64>,
+    known_sleepers: SortedMap<NodeId, u64>,
     /// This node's own incarnation number: bumped on every rejoin, so
     /// peers can tell post-rejoin lifecycle messages from replays of
     /// stale pre-crash state.
     incarnation: u64,
     /// Highest incarnation heard per peer (absent means `0`).
-    incarnations: BTreeMap<NodeId, u64>,
+    incarnations: SortedMap<NodeId, u64>,
     /// Peers that announced a graceful leave and have not rejoined:
     /// removed from the expected set without being condemned.
-    departed: BTreeSet<NodeId>,
+    departed: SortedSet<NodeId>,
     /// Sleep notices already relayed (one relay per notice).
-    relayed_notices: BTreeSet<(NodeId, u64)>,
+    relayed_notices: SortedSet<(NodeId, u64)>,
     /// Sensor readings collected this epoch (aggregation embedding),
     /// deduplicated by reporting node, roster-position indexed.
     readings: ReadingTable,
@@ -199,12 +210,16 @@ pub struct FdsNode {
     /// Adaptive mode: one ADD-channel estimator per monitored roster
     /// member, keyed by id so positions may move underneath (pruned
     /// once a subject is condemned or departs — see
-    /// [`FdsNode::gc_retired_state`]).
-    adaptive: BTreeMap<NodeId, LinkEstimator>,
+    /// [`FdsNode::gc_retired_state`]). Keyed by id, not roster
+    /// position: a compaction bump moves positions mid-epoch, and
+    /// position-indexed estimator state would silently alias to the
+    /// wrong member (DESIGN.md §16).
+    adaptive: SortedMap<NodeId, LinkEstimator>,
     /// Adaptive mode: members whose suspicion at least one peer's
     /// digest corroborated this epoch (cleared at every epoch
-    /// boundary; feeds the accrual corroboration bonus).
-    peer_suspects: BTreeSet<NodeId>,
+    /// boundary; feeds the accrual corroboration bonus). Id-keyed for
+    /// the same compaction-aliasing reason as `adaptive`.
+    peer_suspects: SortedSet<NodeId>,
     /// Adaptive mode: the suspect→(trust|condemn) episode log, GC'd by
     /// the retention window like the detection log.
     suspicions: Vec<SuspicionEvent>,
@@ -219,11 +234,21 @@ pub struct FdsNode {
     /// epoch-1 report avalanche O(clusters²); the ledger caps the
     /// event-triggered path at one report per (epoch, target, subject)
     /// while the `GwForward` retry timers — which do not consult it —
-    /// keep reliability. Cleared at every epoch boundary.
-    forwarded_this_epoch: BTreeMap<ClusterId, BTreeSet<NodeId>>,
+    /// keep reliability. Cleared at every epoch boundary — an O(1)
+    /// generation bump on the ledger, not a tree walk.
+    forwarded_this_epoch: ClusterLedger,
 
     next_token: u64,
-    timers: HashMap<u64, TimerPayload>,
+    timers: TimerRing<TimerPayload>,
+
+    /// Per-report Vec clones and retained-update clones avoided or
+    /// still paid on the hot path; a deterministic profiling counter
+    /// like `NodeStats::ledger_ops`, but `FdsNode`-only (the frozen
+    /// reference keeps its historical clones, so this cannot live in
+    /// the differentially-compared stats). Not persisted.
+    clone_ops: u64,
+    /// Reusable scratch for the gateway pre-dedup pending set.
+    gw_scratch: Vec<NodeId>,
 }
 
 impl FdsNode {
@@ -237,11 +262,10 @@ impl FdsNode {
         // The formation roster is sorted; it is announcement-order
         // version 0.
         let roster_order = profile.roster.clone();
-        let pos_index = roster_order
-            .iter()
-            .enumerate()
-            .map(|(p, n)| (*n, p as u32))
-            .collect();
+        let mut pos_index = SortedMap::new();
+        for (p, n) in roster_order.iter().enumerate() {
+            pos_index.insert(*n, p as u32);
+        }
         FdsNode {
             profile,
             config,
@@ -257,29 +281,39 @@ impl FdsNode {
             update_this_epoch: None,
             request_outstanding: false,
             known_failed: FailureView::new(),
-            known_by_cluster: BTreeMap::new(),
-            forward_seen: BTreeMap::new(),
-            quit: BTreeSet::new(),
-            join_pending: BTreeSet::new(),
+            known_by_cluster: ClusterLedger::new(),
+            forward_seen: ClusterLedger::new(),
+            quit: SortedSet::new(),
+            join_pending: SortedSet::new(),
             sleep_plan: Vec::new(),
             asleep: false,
-            known_sleepers: BTreeMap::new(),
+            known_sleepers: SortedMap::new(),
             incarnation: 0,
-            incarnations: BTreeMap::new(),
-            departed: BTreeSet::new(),
-            relayed_notices: BTreeSet::new(),
+            incarnations: SortedMap::new(),
+            departed: SortedSet::new(),
+            relayed_notices: SortedSet::new(),
             readings: ReadingTable::new(),
             aggregates: Vec::new(),
             detections: Vec::new(),
             stats: NodeStats::default(),
-            adaptive: BTreeMap::new(),
-            peer_suspects: BTreeSet::new(),
+            adaptive: SortedMap::new(),
+            peer_suspects: SortedSet::new(),
             suspicions: Vec::new(),
             adaptive_observed_epoch: u64::MAX,
-            forwarded_this_epoch: BTreeMap::new(),
+            forwarded_this_epoch: ClusterLedger::new(),
             next_token: 0,
-            timers: HashMap::new(),
+            timers: TimerRing::new(),
+            clone_ops: 0,
+            gw_scratch: Vec::new(),
         }
+    }
+
+    /// Hot-path clones this node performed (or would historically have
+    /// performed) per [`FdsNode::clone_ops`] — a deterministic
+    /// profiling counter for bench read-out, zero after a checkpoint
+    /// restore.
+    pub fn clone_ops(&self) -> u64 {
+        self.clone_ops
     }
 
     /// The node's failure view (what it believes has failed).
@@ -377,18 +411,17 @@ impl FdsNode {
     /// value plateaus as a function of roster size and the retention
     /// window; without it, long churny runs grow it without bound.
     pub fn retained_ledger_entries(&self) -> u64 {
-        let nested: usize = self
-            .known_by_cluster
-            .values()
-            .chain(self.forward_seen.values())
-            .chain(self.forwarded_this_epoch.values())
-            .map(BTreeSet::len)
-            .sum();
+        // Live entries only: the cluster ledgers and scratch vectors
+        // retain capacity (and generation-stale entries) by design, and
+        // capacity is not retained state.
+        let nested: usize = self.known_by_cluster.live_item_count()
+            + self.forward_seen.live_item_count()
+            + self.forwarded_this_epoch.live_item_count();
         (self.known_failed.len()
             + nested
-            + self.known_by_cluster.len()
-            + self.forward_seen.len()
-            + self.forwarded_this_epoch.len()
+            + self.known_by_cluster.live_len()
+            + self.forward_seen.live_len()
+            + self.forwarded_this_epoch.live_len()
             + self.quit.len()
             + self.join_pending.len()
             + self.known_sleepers.len()
@@ -536,6 +569,7 @@ impl FdsNode {
     ) {
         let token = self.next_token;
         self.next_token += 1;
+        self.stats.ledger_ops += 1;
         self.timers.insert(token, payload);
         ctx.set_timer(delay, TimerToken(token));
     }
@@ -576,7 +610,7 @@ impl FdsNode {
         self.request_outstanding = false;
         self.join_pending.clear();
         self.peer_suspects.clear();
-        self.forwarded_this_epoch.clear();
+        self.forwarded_this_epoch.clear_all();
         self.readings.reset(self.roster_order.len());
 
         // Sleep/wakeup power management (concluding-remarks
@@ -675,12 +709,12 @@ impl FdsNode {
                 self.expected_scratch.clear(p);
             }
         }
-        for d in &self.departed {
+        for d in self.departed.iter() {
             if let Some(p) = self.pos_index.get(d) {
                 self.expected_scratch.clear(*p as usize);
             }
         }
-        for (sleeper, until) in &self.known_sleepers {
+        for (sleeper, until) in self.known_sleepers.iter() {
             if *until > self.epoch {
                 if let Some(p) = self.pos_index.get(sleeper) {
                     self.expected_scratch.clear(*p as usize);
@@ -737,10 +771,12 @@ impl FdsNode {
             }
             let subject = self.roster_order[p];
             let heard = self.evidence.direct_evidence(p) || self.evidence.reflected_in_digests(p);
-            let est = self
+            let (est, inserted) = self
                 .adaptive
-                .entry(subject)
-                .or_insert_with(|| LinkEstimator::new(epoch.saturating_sub(1)));
+                .or_insert_with(subject, || LinkEstimator::new(epoch.saturating_sub(1)));
+            if inserted {
+                self.stats.ledger_ops += 1;
+            }
             if heard {
                 if est.record_evidence(epoch, window) {
                     // ◇P self-correction: late evidence retracts the
@@ -834,21 +870,23 @@ impl FdsNode {
         };
         // The head's own broadcast is evidence of what this cluster
         // knows (gateways overhear it the same way).
+        self.stats.ledger_ops += update.all_failed.len() as u64;
         self.known_by_cluster
-            .entry(cluster)
-            .or_default()
-            .extend(update.all_failed.iter().copied());
+            .extend(cluster, update.all_failed.iter().copied());
+        self.clone_ops += 1;
         self.update_this_epoch = Some(update.clone());
         self.evidence.update_received = true;
         self.transmit(ctx, FdsMsg::HealthUpdate(update));
 
         if !new_failed.is_empty() {
-            for link in self.profile.cluster_links.clone() {
+            for i in 0..self.profile.cluster_links.len() {
+                let peer = self.profile.cluster_links[i].peer_cluster;
+                self.clone_ops += 1;
                 self.schedule(
                     ctx,
                     self.config.t_hop * 2,
                     TimerPayload::ChRetx {
-                        peer: link.peer_cluster,
+                        peer,
                         failed: new_failed.clone(),
                         attempt: 0,
                     },
@@ -862,8 +900,11 @@ impl FdsNode {
     fn adopt_failures(&mut self, failed: impl IntoIterator<Item = NodeId>) -> Vec<NodeId> {
         let me = self.profile.id;
         let epoch = self.epoch;
-        self.known_failed
-            .extend(failed.into_iter().filter(|f| *f != me), epoch)
+        let news = self
+            .known_failed
+            .extend(failed.into_iter().filter(|f| *f != me), epoch);
+        self.stats.ledger_ops += news.len() as u64;
+        news
     }
 
     /// Gateway logic: schedule forwarding of everything `target`'s
@@ -875,17 +916,17 @@ impl FdsNode {
         backups: u8,
         target: ClusterId,
     ) {
-        let pre: Vec<NodeId> = self
-            .known_failed
-            .nodes()
-            .filter(|f| {
-                !self
-                    .known_by_cluster
-                    .get(&target)
-                    .is_some_and(|known| known.contains(f))
-            })
-            .filter(|f| *f != target.head())
-            .collect();
+        // `pre` lives in a reusable scratch vec: this path runs on
+        // every overheard update/report, and its common outcome (all
+        // caught up, or already forwarded) must not allocate.
+        let mut pre = std::mem::take(&mut self.gw_scratch);
+        pre.clear();
+        pre.extend(
+            self.known_failed
+                .nodes()
+                .filter(|f| !self.known_by_cluster.contains(target, *f))
+                .filter(|f| *f != target.head()),
+        );
         // Per-epoch dedup: every overheard update/report naming the
         // same failures re-triggers this path, and without the ledger
         // each trigger re-sent (or re-scheduled) the full pending set
@@ -895,43 +936,33 @@ impl FdsNode {
         let pending: Vec<NodeId> = pre
             .iter()
             .copied()
-            .filter(|f| {
-                !self
-                    .forwarded_this_epoch
-                    .get(&target)
-                    .is_some_and(|sent| sent.contains(f))
-            })
+            .filter(|f| !self.forwarded_this_epoch.contains(target, *f))
             .collect();
         if pending.is_empty() {
             if !pre.is_empty() && rank == 0 {
                 // The ledger alone stopped a broadcast the primary
                 // gateway would otherwise perform right now; price it
-                // exactly as `send_report` would have.
+                // exactly as `send_report` would have — arithmetically,
+                // without building the throwaway report.
                 self.stats.reports_suppressed += 1;
-                let known_by: Vec<ClusterId> = self
+                let known_by = self
                     .known_by_cluster
-                    .iter()
-                    .filter(|(_, known)| pre.iter().all(|f| known.contains(f)))
-                    .map(|(c, _)| *c)
-                    .collect();
-                self.stats.bytes_suppressed += FdsMsg::Report(FailureReport {
-                    via: self.profile.id,
-                    to_cluster: target,
-                    failed: pre,
-                    known_by,
-                })
-                .encoded_len() as u64;
+                    .live_entries()
+                    .filter(|(_, known)| pre.iter().all(|f| known.binary_search(f).is_ok()))
+                    .count();
+                self.stats.bytes_suppressed += report_wire_len(pre.len(), known_by) as u64;
             }
+            self.gw_scratch = pre;
             return;
         }
+        self.gw_scratch = pre;
         if rank == 0 {
             // The primary forwards immediately, then re-checks after
             // (n+1)·2Thop.
+            self.stats.ledger_ops += pending.len() as u64;
             self.forwarded_this_epoch
-                .entry(target)
-                .or_default()
-                .extend(pending.iter().copied());
-            self.send_report(ctx, target, pending.clone());
+                .extend(target, pending.iter().copied());
+            self.send_report(ctx, target, &pending);
             self.schedule(
                 ctx,
                 self.config.t_hop * 2 * (u64::from(backups) + 1),
@@ -943,10 +974,9 @@ impl FdsNode {
             );
         } else if self.config.bgw_assist {
             // Backup of rank k stands by for k·2Thop.
+            self.stats.ledger_ops += pending.len() as u64;
             self.forwarded_this_epoch
-                .entry(target)
-                .or_default()
-                .extend(pending.iter().copied());
+                .extend(target, pending.iter().copied());
             self.schedule(
                 ctx,
                 self.config.t_hop * 2 * u64::from(rank),
@@ -959,22 +989,26 @@ impl FdsNode {
         }
     }
 
-    fn send_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, target: ClusterId, failed: Vec<NodeId>) {
+    /// Broadcasts a failure report toward `target`. Takes the pending
+    /// set as a borrowed slice — callers keep ownership (retry timers
+    /// reuse theirs), and the only copy made is the one the wire
+    /// message itself must own.
+    fn send_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, target: ClusterId, failed: &[NodeId]) {
         self.stats.reports_sent += 1;
         // Piggyback which clusters evidently already announced all of
         // `failed`, so receivers extend their implicit-ack ledgers.
         let known_by: Vec<ClusterId> = self
             .known_by_cluster
-            .iter()
-            .filter(|(_, known)| failed.iter().all(|f| known.contains(f)))
-            .map(|(c, _)| *c)
+            .live_entries()
+            .filter(|(_, known)| failed.iter().all(|f| known.binary_search(f).is_ok()))
+            .map(|(c, _)| c)
             .collect();
         self.transmit(
             ctx,
             FdsMsg::Report(FailureReport {
                 via: self.profile.id,
                 to_cluster: target,
-                failed,
+                failed: failed.to_vec(),
                 known_by,
             }),
         );
@@ -984,12 +1018,18 @@ impl FdsNode {
     /// toward the duty's peer cluster and (for news learned *from*
     /// that peer) toward this node's own cluster.
     fn gw_run_duties(&mut self, ctx: &mut Ctx<'_, FdsMsg>) {
-        let duties = self.profile.duties.clone();
         let own = self.my_cluster();
-        for duty in duties {
-            self.gw_consider_forward(ctx, duty.rank, duty.backups, duty.peer_cluster);
+        // Index loop copying the three scalar duty fields: this runs on
+        // every overheard update/report, and cloning the duty Vec here
+        // was a per-delivery allocation.
+        for i in 0..self.profile.duties.len() {
+            let (rank, backups, peer) = {
+                let d = &self.profile.duties[i];
+                (d.rank, d.backups, d.peer_cluster)
+            };
+            self.gw_consider_forward(ctx, rank, backups, peer);
             if let Some(own) = own {
-                self.gw_consider_forward(ctx, duty.rank, duty.backups, own);
+                self.gw_consider_forward(ctx, rank, backups, own);
             }
         }
     }
@@ -997,7 +1037,9 @@ impl FdsNode {
     fn handle_update(&mut self, ctx: &mut Ctx<'_, FdsMsg>, u: &HealthUpdate, via_peer: bool) {
         self.stats.updates_received += 1;
         // Any overheard update is evidence of what its cluster knows.
-        self.known_by_cluster.entry(u.cluster).or_default().extend(
+        self.stats.ledger_ops += (u.all_failed.len() + u.new_failed.len()) as u64;
+        self.known_by_cluster.extend(
+            u.cluster,
             u.all_failed
                 .iter()
                 .copied()
@@ -1105,6 +1147,7 @@ impl FdsNode {
                 }
             }
             if self.update_this_epoch.is_none() && u.epoch == self.epoch {
+                self.clone_ops += 1;
                 self.update_this_epoch = Some(u.clone());
                 if self.request_outstanding {
                     self.request_outstanding = false;
@@ -1124,20 +1167,17 @@ impl FdsNode {
         }
     }
 
-    fn handle_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, r: FailureReport) {
+    fn handle_report(&mut self, ctx: &mut Ctx<'_, FdsMsg>, r: &FailureReport) {
         // Layer-one implicit ack for the acting head: some forwarder
         // carried these failures toward that cluster.
+        self.stats.ledger_ops += r.failed.len() as u64;
         self.forward_seen
-            .entry(r.to_cluster)
-            .or_default()
-            .extend(r.failed.iter().copied());
+            .extend(r.to_cluster, r.failed.iter().copied());
         // Piggybacked ledger: the forwarder vouches that these
         // clusters' heads already announced every listed failure.
         for c in &r.known_by {
-            self.known_by_cluster
-                .entry(*c)
-                .or_default()
-                .extend(r.failed.iter().copied());
+            self.stats.ledger_ops += r.failed.len() as u64;
+            self.known_by_cluster.extend(*c, r.failed.iter().copied());
         }
 
         if self.my_cluster() == Some(r.to_cluster) && self.is_acting_head() {
@@ -1272,7 +1312,7 @@ impl FdsNode {
                         let mut suspected =
                             RosterBitmap::new(self.roster_version, self.roster_order.len());
                         let mut any = false;
-                        for (subject, est) in &self.adaptive {
+                        for (subject, est) in self.adaptive.iter() {
                             if est.is_suspected() {
                                 if let Some(p) = self.pos_index.get(subject) {
                                     suspected.set(*p as usize);
@@ -1335,6 +1375,7 @@ impl FdsNode {
                 if self.quit.contains(&(requester, epoch)) {
                     return;
                 }
+                self.clone_ops += 1;
                 if let Some(update) = self.update_this_epoch.clone() {
                     if update.epoch == epoch {
                         self.stats.peer_forwards_sent += 1;
@@ -1356,17 +1397,12 @@ impl FdsNode {
                 let still_pending: Vec<NodeId> = failed
                     .iter()
                     .copied()
-                    .filter(|f| {
-                        !self
-                            .known_by_cluster
-                            .get(&target)
-                            .is_some_and(|known| known.contains(f))
-                    })
+                    .filter(|f| !self.known_by_cluster.contains(target, *f))
                     .collect();
                 if still_pending.is_empty() || attempt > self.config.max_retransmits {
                     return;
                 }
-                self.send_report(ctx, target, still_pending.clone());
+                self.send_report(ctx, target, &still_pending);
                 // Stand by again for one full cycle of the link.
                 let backups = self
                     .profile
@@ -1397,15 +1433,8 @@ impl FdsNode {
                     .iter()
                     .copied()
                     .filter(|f| {
-                        let forwarded = self
-                            .forward_seen
-                            .get(&peer)
-                            .is_some_and(|seen| seen.contains(f));
-                        let acked = self
-                            .known_by_cluster
-                            .get(&peer)
-                            .is_some_and(|known| known.contains(f));
-                        !forwarded && !acked
+                        !self.forward_seen.contains(peer, *f)
+                            && !self.known_by_cluster.contains(peer, *f)
                     })
                     .collect();
                 if missing.is_empty() || attempt >= self.config.max_retransmits {
@@ -1417,6 +1446,9 @@ impl FdsNode {
                 let Some(cluster) = self.my_cluster() else {
                     return;
                 };
+                // Two unavoidable copies: the retransmitted update owns
+                // its id lists (`all_failed` snapshot + `missing`).
+                self.clone_ops += 2;
                 let all_failed: Vec<NodeId> = self.known_failed.nodes().collect();
                 self.transmit(
                     ctx,
@@ -1480,6 +1512,7 @@ impl Actor for FdsNode {
                     && self.is_acting_head()
                     && !self.profile.roster.contains(&from)
                 {
+                    self.stats.ledger_ops += 1;
                     self.join_pending.insert(from);
                 }
             }
@@ -1511,6 +1544,7 @@ impl Actor for FdsNode {
                         for p in s.iter() {
                             if let Some(subject) = self.roster_order.get(p).copied() {
                                 if subject != self.profile.id {
+                                    self.stats.ledger_ops += 1;
                                     self.peer_suspects.insert(subject);
                                 }
                             }
@@ -1591,20 +1625,24 @@ impl Actor for FdsNode {
                 }
             }
             FdsMsg::PeerAck { from, epoch } => {
+                self.stats.ledger_ops += 1;
                 self.quit.insert((*from, *epoch));
             }
-            FdsMsg::Report(r) => self.handle_report(ctx, r.clone()),
+            // By reference: the delivered message is shared, and the
+            // handler only reads the report's id lists.
+            FdsMsg::Report(r) => self.handle_report(ctx, r),
             FdsMsg::SleepNotice { from, until_epoch } => {
                 let (from, until_epoch) = (*from, *until_epoch);
+                self.stats.ledger_ops += 1;
                 self.known_sleepers.insert(from, until_epoch);
                 // Relay each notice once: the inherent message
                 // redundancy gives the head a second chance to hear
                 // it, reducing sleep-caused false detections.
-                if self.config.sleep_announcements
-                    && self.relayed_notices.insert((from, until_epoch))
-                    && from != self.profile.id
-                {
-                    self.transmit(ctx, FdsMsg::SleepNotice { from, until_epoch });
+                if self.config.sleep_announcements {
+                    self.stats.ledger_ops += 1;
+                    if self.relayed_notices.insert((from, until_epoch)) && from != self.profile.id {
+                        self.transmit(ctx, FdsMsg::SleepNotice { from, until_epoch });
+                    }
                 }
             }
             FdsMsg::LeaveNotice { from, incarnation } => {
@@ -1619,6 +1657,7 @@ impl Actor for FdsNode {
                 let fresh =
                     incarnation > known || (incarnation == known && !self.departed.contains(&from));
                 if fresh {
+                    self.stats.ledger_ops += 2;
                     self.incarnations.insert(from, incarnation);
                     self.departed.insert(from);
                     self.known_sleepers.remove(&from);
@@ -1646,6 +1685,7 @@ impl Actor for FdsNode {
                 // incarnation: replays of pre-crash traffic can never
                 // resurrect a peer.
                 if incarnation > known {
+                    self.stats.ledger_ops += 2;
                     self.incarnations.insert(from, incarnation);
                     self.departed.remove(&from);
                     self.known_sleepers.remove(&from);
@@ -1658,12 +1698,8 @@ impl Actor for FdsNode {
                     // Any failed/forwarded verdicts recorded against
                     // the lower incarnation are stale.
                     self.known_failed.remove(from);
-                    for known_set in self.known_by_cluster.values_mut() {
-                        known_set.remove(&from);
-                    }
-                    for seen in self.forward_seen.values_mut() {
-                        seen.remove(&from);
-                    }
+                    self.known_by_cluster.remove_everywhere(from);
+                    self.forward_seen.remove_everywhere(from);
                     // A rejoiner whose position was compacted away
                     // re-enters through the ordinary admission path.
                     if self.config.admit_unmarked
@@ -1679,7 +1715,8 @@ impl Actor for FdsNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, FdsMsg>, token: TimerToken) {
-        if let Some(payload) = self.timers.remove(&token.0) {
+        if let Some(payload) = self.timers.remove(token.0) {
+            self.stats.ledger_ops += 1;
             self.handle_timer(ctx, payload);
         }
     }
@@ -1716,7 +1753,7 @@ impl Actor for FdsNode {
         // and resolve open suspicions as retractions.
         self.adaptive.clear();
         self.peer_suspects.clear();
-        self.forwarded_this_epoch.clear();
+        self.forwarded_this_epoch.clear_all();
         self.adaptive_observed_epoch = u64::MAX;
         let at = self.epoch;
         for ev in &mut self.suspicions {
@@ -1861,19 +1898,42 @@ cbfd_net::impl_persist!(DetectionEvent {
     suspects,
     takeover,
 });
-cbfd_net::impl_persist!(NodeStats {
-    updates_received,
-    requests_sent,
-    peer_forwards_sent,
-    reports_sent,
-    retransmissions,
-    updates_missed,
-    joins_admitted,
-    bytes_sent,
-    bytes_sent_id_list,
-    reports_suppressed,
-    bytes_suppressed,
-});
+// Hand-written: `ledger_ops` is profiling state, not protocol state —
+// it stays out of the checkpoint so FORMAT_VERSION 2 encodings are
+// unchanged, and restores to zero.
+impl cbfd_net::checkpoint::Persist for NodeStats {
+    fn persist(&self, w: &mut cbfd_net::checkpoint::Writer) {
+        self.updates_received.persist(w);
+        self.requests_sent.persist(w);
+        self.peer_forwards_sent.persist(w);
+        self.reports_sent.persist(w);
+        self.retransmissions.persist(w);
+        self.updates_missed.persist(w);
+        self.joins_admitted.persist(w);
+        self.bytes_sent.persist(w);
+        self.bytes_sent_id_list.persist(w);
+        self.reports_suppressed.persist(w);
+        self.bytes_suppressed.persist(w);
+    }
+    fn restore(
+        r: &mut cbfd_net::checkpoint::Reader<'_>,
+    ) -> Result<Self, cbfd_net::checkpoint::CheckpointError> {
+        Ok(NodeStats {
+            updates_received: u64::restore(r)?,
+            requests_sent: u64::restore(r)?,
+            peer_forwards_sent: u64::restore(r)?,
+            reports_sent: u64::restore(r)?,
+            retransmissions: u64::restore(r)?,
+            updates_missed: u64::restore(r)?,
+            joins_admitted: u64::restore(r)?,
+            bytes_sent: u64::restore(r)?,
+            bytes_sent_id_list: u64::restore(r)?,
+            reports_suppressed: u64::restore(r)?,
+            bytes_suppressed: u64::restore(r)?,
+            ledger_ops: 0,
+        })
+    }
+}
 
 impl cbfd_net::checkpoint::Persist for TimerPayload {
     fn persist(&self, w: &mut cbfd_net::checkpoint::Writer) {
@@ -1948,41 +2008,93 @@ impl cbfd_net::checkpoint::Persist for TimerPayload {
     }
 }
 
-cbfd_net::impl_persist!(FdsNode {
-    profile,
-    config,
-    energy_capacity,
-    epoch,
-    acting_head,
-    roster_order,
-    roster_version,
-    pos_index,
-    evidence,
-    expected_scratch,
-    suspects_scratch,
-    update_this_epoch,
-    request_outstanding,
-    known_failed,
-    known_by_cluster,
-    forward_seen,
-    quit,
-    join_pending,
-    sleep_plan,
-    asleep,
-    known_sleepers,
-    incarnation,
-    incarnations,
-    departed,
-    relayed_notices,
-    readings,
-    aggregates,
-    detections,
-    stats,
-    adaptive,
-    peer_suspects,
-    suspicions,
-    adaptive_observed_epoch,
-    forwarded_this_epoch,
-    next_token,
-    timers,
-});
+// Hand-written (same field order the historical macro emitted): the
+// profiling counters (`clone_ops`) and the gateway scratch vec are
+// transient, stay out of the encoding, and restore to defaults — the
+// flat ledger types themselves encode byte-identically to the
+// collections they replaced, so FORMAT_VERSION 2 is unchanged.
+impl cbfd_net::checkpoint::Persist for FdsNode {
+    fn persist(&self, w: &mut cbfd_net::checkpoint::Writer) {
+        self.profile.persist(w);
+        self.config.persist(w);
+        self.energy_capacity.persist(w);
+        self.epoch.persist(w);
+        self.acting_head.persist(w);
+        self.roster_order.persist(w);
+        self.roster_version.persist(w);
+        self.pos_index.persist(w);
+        self.evidence.persist(w);
+        self.expected_scratch.persist(w);
+        self.suspects_scratch.persist(w);
+        self.update_this_epoch.persist(w);
+        self.request_outstanding.persist(w);
+        self.known_failed.persist(w);
+        self.known_by_cluster.persist(w);
+        self.forward_seen.persist(w);
+        self.quit.persist(w);
+        self.join_pending.persist(w);
+        self.sleep_plan.persist(w);
+        self.asleep.persist(w);
+        self.known_sleepers.persist(w);
+        self.incarnation.persist(w);
+        self.incarnations.persist(w);
+        self.departed.persist(w);
+        self.relayed_notices.persist(w);
+        self.readings.persist(w);
+        self.aggregates.persist(w);
+        self.detections.persist(w);
+        self.stats.persist(w);
+        self.adaptive.persist(w);
+        self.peer_suspects.persist(w);
+        self.suspicions.persist(w);
+        self.adaptive_observed_epoch.persist(w);
+        self.forwarded_this_epoch.persist(w);
+        self.next_token.persist(w);
+        self.timers.persist(w);
+    }
+    fn restore(
+        r: &mut cbfd_net::checkpoint::Reader<'_>,
+    ) -> Result<Self, cbfd_net::checkpoint::CheckpointError> {
+        use cbfd_net::checkpoint::Persist;
+        Ok(FdsNode {
+            profile: Persist::restore(r)?,
+            config: Persist::restore(r)?,
+            energy_capacity: Persist::restore(r)?,
+            epoch: Persist::restore(r)?,
+            acting_head: Persist::restore(r)?,
+            roster_order: Persist::restore(r)?,
+            roster_version: Persist::restore(r)?,
+            pos_index: Persist::restore(r)?,
+            evidence: Persist::restore(r)?,
+            expected_scratch: Persist::restore(r)?,
+            suspects_scratch: Persist::restore(r)?,
+            update_this_epoch: Persist::restore(r)?,
+            request_outstanding: Persist::restore(r)?,
+            known_failed: Persist::restore(r)?,
+            known_by_cluster: Persist::restore(r)?,
+            forward_seen: Persist::restore(r)?,
+            quit: Persist::restore(r)?,
+            join_pending: Persist::restore(r)?,
+            sleep_plan: Persist::restore(r)?,
+            asleep: Persist::restore(r)?,
+            known_sleepers: Persist::restore(r)?,
+            incarnation: Persist::restore(r)?,
+            incarnations: Persist::restore(r)?,
+            departed: Persist::restore(r)?,
+            relayed_notices: Persist::restore(r)?,
+            readings: Persist::restore(r)?,
+            aggregates: Persist::restore(r)?,
+            detections: Persist::restore(r)?,
+            stats: Persist::restore(r)?,
+            adaptive: Persist::restore(r)?,
+            peer_suspects: Persist::restore(r)?,
+            suspicions: Persist::restore(r)?,
+            adaptive_observed_epoch: Persist::restore(r)?,
+            forwarded_this_epoch: Persist::restore(r)?,
+            next_token: Persist::restore(r)?,
+            timers: Persist::restore(r)?,
+            clone_ops: 0,
+            gw_scratch: Vec::new(),
+        })
+    }
+}

@@ -104,6 +104,11 @@ pub struct FdsOutcome {
     /// Wire bytes those suppressed reports would have cost under the
     /// pre-dedup protocol, priced by the live message codec.
     pub bytes_suppressed: u64,
+    /// Sum of per-node membership-ledger mutations on the protocol
+    /// path ([`NodeStats::ledger_ops`](crate::node::NodeStats)) — the
+    /// deterministic hot-path cost proxy behind the bench
+    /// `protocol_profile` rows.
+    pub ledger_ops: u64,
 }
 
 impl FdsOutcome {
@@ -567,6 +572,7 @@ impl Experiment {
         let mut suspicions_retracted = 0;
         let mut reports_suppressed = 0;
         let mut bytes_suppressed = 0;
+        let mut ledger_ops = 0;
 
         for (id, node) in sim.actors() {
             let s = node.stats();
@@ -585,6 +591,7 @@ impl Experiment {
             bytes_id_list += s.bytes_sent_id_list;
             reports_suppressed += s.reports_suppressed;
             bytes_suppressed += s.bytes_suppressed;
+            ledger_ops += s.ledger_ops;
             if node.profile().cluster.is_some() && node.profile().head != Some(id) {
                 // A member can miss an update in any epoch it survives.
                 let survived = crash_epochs.get(&id).copied().unwrap_or(epochs);
@@ -670,6 +677,7 @@ impl Experiment {
             suspicions_retracted,
             reports_suppressed,
             bytes_suppressed,
+            ledger_ops,
         }
     }
 }

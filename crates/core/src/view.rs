@@ -7,10 +7,15 @@
 
 use cbfd_net::id::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// The set of nodes a host believes have failed, with the epoch at
 /// which each belief was acquired.
+///
+/// Stored as an epoch-keeping sorted vector — failure views are
+/// probed on every report/update delivery, so membership is a binary
+/// search over contiguous pairs rather than a tree walk. The
+/// checkpoint encoding (sorted pairs) is byte-identical to the
+/// `BTreeMap<NodeId, u64>` it replaced.
 ///
 /// # Examples
 ///
@@ -25,7 +30,7 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FailureView {
-    failed: BTreeMap<NodeId, u64>,
+    failed: Vec<(NodeId, u64)>,
 }
 
 impl FailureView {
@@ -38,12 +43,12 @@ impl FailureView {
     /// this was new information (the original epoch is kept
     /// otherwise).
     pub fn insert(&mut self, node: NodeId, epoch: u64) -> bool {
-        match self.failed.entry(node) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(epoch);
+        match self.failed.binary_search_by_key(&node, |(n, _)| *n) {
+            Ok(_) => false,
+            Err(idx) => {
+                self.failed.insert(idx, (node, epoch));
                 true
             }
-            std::collections::btree_map::Entry::Occupied(_) => false,
         }
     }
 
@@ -59,22 +64,31 @@ impl FailureView {
     /// incarnation proved it alive). Returns true iff the verdict
     /// existed.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        self.failed.remove(&node).is_some()
+        match self.failed.binary_search_by_key(&node, |(n, _)| *n) {
+            Ok(idx) => {
+                self.failed.remove(idx);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Whether `node` is believed failed.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.failed.contains_key(&node)
+        self.failed.binary_search_by_key(&node, |(n, _)| *n).is_ok()
     }
 
     /// The epoch at which `node` became known failed, if it is.
     pub fn known_since(&self, node: NodeId) -> Option<u64> {
-        self.failed.get(&node).copied()
+        self.failed
+            .binary_search_by_key(&node, |(n, _)| *n)
+            .ok()
+            .map(|idx| self.failed[idx].1)
     }
 
     /// All believed-failed nodes, sorted.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.failed.keys().copied()
+        self.failed.iter().map(|(n, _)| *n)
     }
 
     /// Number of believed-failed nodes.

@@ -14,6 +14,14 @@
 //! exact). Collections are length-prefixed; maps are written in sorted
 //! key order so the encoding of equal states is equal bytes.
 //!
+//! Sorted-key encoding also makes the format *layout-independent*: a
+//! sorted vector of pairs, a `BTreeMap`, and a `HashMap` holding the
+//! same entries all serialize to the same bytes. The flat protocol
+//! ledgers of `cbfd_core::ledger` (DESIGN.md §16) lean on exactly
+//! that — they replaced the node's tree/hash containers without a
+//! version bump, and pre-rewrite snapshots restore into flat state
+//! unchanged.
+//!
 //! Types opt in by implementing [`Persist`]; the [`impl_persist!`](crate::impl_persist)
 //! macro generates field-by-field implementations for structs whose
 //! fields all implement it themselves.
